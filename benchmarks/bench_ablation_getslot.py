@@ -1,0 +1,15 @@
+"""ABL4 — naive vs cursor-optimised GetAvailableSlot.
+
+The paper notes (Section 3.2) that the slot search "need not be always
+starting from the first slot of every channel".  This ablation measures
+the note's value: identical programs, growing speedup with instance size.
+"""
+
+
+def test_abl4_getslot_variants(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("ABL4")
+    for row in table.rows:
+        _pages, _ch, _naive, _optimised, _speedup, identical = row
+        assert identical
+    # The optimisation must pay off on the largest instance.
+    assert table.rows[-1][4] >= 1.5

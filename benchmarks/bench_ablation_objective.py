@@ -1,0 +1,17 @@
+"""ABL2 — delay objectives: Eq.-2 literal vs normalised Section 4.1.
+
+The paper's staged equations drop the 1/gap normalisation of its own
+Section-4.1 model.  This ablation re-runs the frequency search under both
+objectives and reports the *measured* AvgD of the resulting programs, so
+the table shows whether the simplification costs anything in practice.
+"""
+
+
+def test_abl2_objectives(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("ABL2")
+    for row in table.rows:
+        _channels, _sl, _sn, literal, normalized = row
+        # Both objectives must land in the same ballpark — within 2x —
+        # otherwise the paper's simplification materially changed PAMAD.
+        lo, hi = sorted([literal, normalized])
+        assert hi <= 2 * lo + 0.5, row

@@ -1,0 +1,16 @@
+"""ABL3 — placement: Algorithm-4 even spreading vs sequential packing.
+
+Same frequencies, same cycle, different copy positions.  Shows how much
+of PAMAD's AvgD comes from *where* copies land (the even-spread windows)
+rather than from the frequency choice alone.
+"""
+
+
+def test_abl3_placement(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("ABL3")
+    for row in table.rows:
+        _channels, even, sequential, _ratio = row
+        assert sequential >= even, row
+    # At least one operating point should show a clear win for spreading.
+    ratios = [row[3] for row in table.rows]
+    assert max(ratios) > 1.5

@@ -1,0 +1,14 @@
+"""ABL1 — frequency-search families: staged greedy vs joint vs brute force.
+
+Quantifies how much PAMAD's progressive commitment costs relative to a
+joint search over the same family (the OPT baseline) and to an
+unstructured brute force, on instances small enough for exact search.
+"""
+
+
+def test_abl1_search_families(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("ABL1")
+    for row in table.rows:
+        _instance, _ch, pamad, opt, brute, _po, _ob = row
+        assert opt <= pamad + 1e-9
+        assert brute <= opt + 1e-9

@@ -1,0 +1,21 @@
+"""EXT9 — client caching policies over a PAMAD program.
+
+Reproduces the broadcast-disks caching insight (the paper's refs [1]/[3])
+on this library's schedules: under skewed access, the broadcast-aware PIX
+policy (evict by access-probability / broadcast-frequency) dominates LRU
+at small cache sizes, and the two converge as capacity grows.
+"""
+
+
+def test_ext9_caching_policies(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("EXT9")
+    capacities = table.column("capacity")
+    lru = table.column("lru hit")
+    pix = table.column("pix hit")
+    assert capacities == sorted(capacities)
+    # PIX >= LRU at every capacity, strictly better at the smallest.
+    assert all(p >= l for p, l in zip(pix, lru))
+    assert pix[0] > lru[0]
+    # Hit ratios grow with capacity for both.
+    assert lru == sorted(lru)
+    assert pix == sorted(pix)

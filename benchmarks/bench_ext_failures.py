@@ -1,0 +1,20 @@
+"""EXT5 — channel failures: carry on degraded vs PAMAD reschedule.
+
+Carrying the old schedule on the surviving channels keeps the *reachable*
+pages' delay flat but strands every page whose copies lived on the failed
+channels; rescheduling accepts a higher (finite) average delay to keep
+the entire database on the air.
+"""
+
+
+def test_ext5_failure_responses(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("EXT5")
+    unreachable = table.column("unreachable pages")
+    rescheduled = table.column("rescheduled AvgD")
+    # More failures strand more pages under the degraded response...
+    assert unreachable == sorted(unreachable)
+    assert unreachable[-1] > 0
+    # ...while the reschedule keeps everything reachable at a delay that
+    # grows with the loss but stays finite.
+    assert rescheduled == sorted(rescheduled)
+    assert all(value < float("inf") for value in rescheduled)

@@ -1,0 +1,16 @@
+"""EXT4 — (1, m) air indexing over a PAMAD program.
+
+The classic selective-tuning trade-off from the paper's related work
+([10], [13]) reproduced on this library's schedules: more index copies
+cut the client's energy per access while inflating airtime overhead.
+"""
+
+
+def test_ext4_indexing_tradeoff(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("EXT4")
+    energy = table.column("energy/access")
+    overhead = table.column("index overhead")
+    tuning = table.column("tuning time")
+    assert energy == sorted(energy, reverse=True)  # energy falls with m
+    assert overhead == sorted(overhead)            # overhead rises with m
+    assert all(t < 5 for t in tuning)              # pointer packets: ~3 slots

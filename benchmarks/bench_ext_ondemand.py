@@ -1,0 +1,20 @@
+"""EXT1 — on-demand congestion: PAMAD vs the drop-pages strawman.
+
+Reproduces the paper's Section-4 argument for rejecting its "first
+solution": dropping pages forces those clients onto the pull channel
+permanently, while PAMAD's bounded extra delay keeps most of them on the
+air.  The pull channel is a 2-server FCFS queue.
+"""
+
+
+def test_ext1_ondemand_congestion(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("EXT1")
+    columns = list(table.columns)
+    drop_spill = table.column("drop spill")
+    dropped = table.column("dropped pages")
+    # Drop's spill ratio tracks the dropped fraction of the 1000 pages.
+    for spill, count in zip(drop_spill, dropped):
+        assert abs(spill - count / 1000) < 0.1
+    # With more channels both systems spill less.
+    assert drop_spill == sorted(drop_spill, reverse=True)
+    assert columns.index("pamad od-util") < columns.index("drop od-util")

@@ -1,0 +1,13 @@
+"""FIG2 — regenerate the Section 4.4 worked example (paper Figure 2).
+
+Checks the full PAMAD pipeline on the paper's own instance:
+``r = (2, 2)``, ``S = (4, 2, 1)``, major cycle 9, all 11 pages placed.
+"""
+
+from repro.analysis.report import format_value
+
+
+def test_fig2_worked_example(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("FIG2")
+    for quantity, paper, reproduced in table.rows:
+        assert format_value(paper) == format_value(reproduced), quantity

@@ -1,0 +1,18 @@
+"""FIG3 — regenerate the four group-size distributions (paper Figure 3).
+
+Each distribution spreads exactly n = 1000 pages over h = 8 groups with
+the shape the paper draws: flat, bell, decreasing, increasing.
+"""
+
+
+def test_fig3_distributions(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("FIG3")
+    totals = table.rows[-1]
+    assert all(total == 1000 for total in totals[2:])
+    body = table.rows[:-1]
+    uniform = [row[table.columns.index("uniform")] for row in body]
+    s_skew = [row[table.columns.index("s-skewed")] for row in body]
+    l_skew = [row[table.columns.index("l-skewed")] for row in body]
+    assert len(set(uniform)) == 1
+    assert s_skew == sorted(s_skew, reverse=True)
+    assert l_skew == sorted(l_skew)

@@ -1,0 +1,12 @@
+"""FIG4 — regenerate the default parameter table (paper Figure 4)."""
+
+
+def test_fig4_defaults(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("FIG4")
+    values = dict(table.rows)
+    assert values["n - total number"] == 1000
+    assert values["h - number of groups"] == 8
+    assert values["t_i - expected time"] == (
+        "4, 8, 16, 32, 64, 128, 256, 512"
+    )
+    assert values["number of requests"] == 3000

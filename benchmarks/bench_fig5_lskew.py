@@ -1,0 +1,12 @@
+"""FIG5B — Figure 5(b): AvgD vs channels, L-skewed distribution.
+
+Most pages sit in the relaxed (large expected time) groups, so the
+minimum channel count is the smallest of the four workloads.
+"""
+
+from fig5_checks import assert_fig5_shape
+
+
+def test_fig5b_lskew(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("FIG5B")
+    assert_fig5_shape(table)

@@ -1,0 +1,13 @@
+"""FIG5A — Figure 5(a): AvgD vs channels, normal group-size distribution.
+
+Full paper methodology: 1000 pages over 8 groups (bell-shaped sizes),
+channel counts swept from 1 to the Theorem-3.1 minimum, PAMAD / m-PB /
+OPT each measured with 3000 Monte-Carlo requests per point.
+"""
+
+from fig5_checks import assert_fig5_shape
+
+
+def test_fig5a_normal(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("FIG5A")
+    assert_fig5_shape(table)

@@ -1,0 +1,12 @@
+"""FIG5C — Figure 5(c): AvgD vs channels, S-skewed distribution.
+
+Most pages sit in the urgent (small expected time) groups — the hardest
+workload, with the largest minimum channel count (~145).
+"""
+
+from fig5_checks import assert_fig5_shape
+
+
+def test_fig5c_sskew(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("FIG5C")
+    assert_fig5_shape(table)

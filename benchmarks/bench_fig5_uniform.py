@@ -1,0 +1,15 @@
+"""FIG5D — Figure 5(d): AvgD vs channels, uniform distribution.
+
+The subfigure the paper discusses numerically: minimum sufficient
+channels ~64 (exactly 63 with the ceiling-of-sum reading of Eq. 1), and
+AvgD "almost ignorable" beyond ~10 channels.
+"""
+
+from fig5_checks import assert_fig5_shape
+
+
+def test_fig5d_uniform(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("FIG5D")
+    assert_fig5_shape(table)
+    n_min = table.column("channels")[-1]
+    assert abs(n_min - 64) <= 2

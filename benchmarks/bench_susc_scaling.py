@@ -1,0 +1,51 @@
+"""EXT2 — SUSC scaling + micro-benchmarks of the core scheduling kernels.
+
+The EXT2 table shows SUSC stays valid and fast from 50 to 8000 pages; the
+micro-benchmarks use pytest-benchmark's repeated rounds to time the hot
+kernels on the paper-default uniform workload.
+"""
+
+from repro.core.bounds import minimum_channels
+from repro.core.frequencies import pamad_frequencies
+from repro.core.pamad import place_by_frequency
+from repro.core.susc import schedule_susc
+from repro.sim.clients import measure_program
+from repro.workload.generator import paper_instance
+
+
+def test_ext2_susc_scaling(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("EXT2")
+    for row in table.rows:
+        _n, _h, _load, _bound, valid, occupancy, seconds = row
+        assert valid
+        assert 0 < occupancy <= 1
+        assert seconds < 30
+
+
+def test_micro_susc_schedule(benchmark):
+    instance = paper_instance("uniform")
+    result = benchmark(schedule_susc, instance)
+    assert result.num_channels == minimum_channels(instance)
+
+
+def test_micro_pamad_frequencies(benchmark):
+    instance = paper_instance("uniform")
+    assignment = benchmark(pamad_frequencies, instance, 13)
+    assert assignment.frequencies[-1] == 1
+
+
+def test_micro_algorithm4_placement(benchmark):
+    instance = paper_instance("uniform")
+    frequencies = pamad_frequencies(instance, 13).frequencies
+    result = benchmark(place_by_frequency, instance, frequencies, 13)
+    assert result.program.cycle_length > 0
+
+
+def test_micro_client_measurement(benchmark):
+    instance = paper_instance("uniform")
+    frequencies = pamad_frequencies(instance, 13).frequencies
+    program = place_by_frequency(instance, frequencies, 13).program
+    result = benchmark(
+        measure_program, program, instance, 3000, 0
+    )
+    assert result.num_requests == 3000

@@ -1,0 +1,13 @@
+"""THM31 — regenerate the Theorem 3.1 minimum-channel examples.
+
+The paper's two explicit instances (N = 2 and N = 4) plus the bound on all
+four Figure-3 workloads (Figure 5(d) quotes ~64 for uniform).
+"""
+
+
+def test_thm31_bounds(run_experiment_benchmark):
+    (table,) = run_experiment_benchmark("THM31")
+    bounds = {row[0]: row[2] for row in table.rows}
+    assert bounds["Sec 3.1 example: P=(2,3), t=(2,4)"] == 2
+    assert bounds["Fig 2 example: P=(3,5,3), t=(2,4,8)"] == 4
+    assert abs(bounds["paper defaults, uniform"] - 64) <= 2

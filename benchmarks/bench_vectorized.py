@@ -1,0 +1,59 @@
+"""Micro-benchmarks: scalar reference models vs the numpy batch engine.
+
+Not a paper artefact — an engineering measurement justifying
+:mod:`repro.analysis.vectorized`: the sweeps replay millions of requests,
+and the batch path must beat the scalar path by a wide margin while
+computing the same statistics (equivalence is pinned by unit tests).
+"""
+
+import pytest
+
+from repro.analysis.vectorized import batch_measure, program_average_delay_fast
+from repro.core.delay import program_average_delay
+from repro.core.pamad import schedule_pamad
+from repro.sim.clients import measure_program
+from repro.workload.generator import paper_instance
+
+
+@pytest.fixture(scope="module")
+def pamad_13():
+    instance = paper_instance("uniform")
+    return instance, schedule_pamad(instance, 13).program
+
+
+def test_micro_scalar_analytic(benchmark, pamad_13):
+    instance, program = pamad_13
+    value = benchmark(program_average_delay, program, instance)
+    assert value > 0
+
+
+def test_micro_vector_analytic(benchmark, pamad_13):
+    instance, program = pamad_13
+    value = benchmark(program_average_delay_fast, program, instance)
+    assert value > 0
+
+
+def test_micro_scalar_replay_3000(benchmark, pamad_13):
+    instance, program = pamad_13
+    result = benchmark(measure_program, program, instance, 3000, 0)
+    assert result.num_requests == 3000
+
+
+def test_micro_batch_replay_3000(benchmark, pamad_13):
+    instance, program = pamad_13
+    result = benchmark(batch_measure, program, instance, 3000, 0)
+    assert result.num_requests == 3000
+
+
+def test_batch_is_faster_at_scale(pamad_13):
+    """One explicit wall-clock comparison at 100k requests."""
+    import time
+
+    instance, program = pamad_13
+    started = time.perf_counter()
+    measure_program(program, instance, num_requests=100_000, seed=1)
+    scalar_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    batch_measure(program, instance, num_requests=100_000, seed=1)
+    batch_seconds = time.perf_counter() - started
+    assert batch_seconds < scalar_seconds

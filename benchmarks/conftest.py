@@ -1,0 +1,52 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one paper table/figure (or ablation) through
+the experiment registry, measures the wall time with pytest-benchmark
+(single round — these are experiment *re-runs*, not micro-benchmarks), and
+records the resulting table both to stdout and to
+``benchmarks/results/<ID>.txt`` so EXPERIMENTS.md can cite the numbers.
+
+Set ``REPRO_BENCH_FAST=1`` to run the Figure-5 sweeps with fewer channel
+points and requests while iterating.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import run_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+
+
+def record_tables(experiment_id: str, tables) -> None:
+    """Print tables and persist them under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    rendered = "\n".join(table.render() for table in tables)
+    print(rendered)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    path.write_text(rendered)
+
+
+@pytest.fixture
+def run_experiment_benchmark(benchmark):
+    """Run a registry experiment once under the benchmark timer."""
+
+    def runner(experiment_id: str, **overrides):
+        if FAST:
+            overrides.setdefault("num_requests", 300)
+            overrides.setdefault("max_points", 4)
+        tables = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, **overrides),
+            rounds=1,
+            iterations=1,
+        )
+        record_tables(experiment_id, tables)
+        return tables
+
+    return runner

@@ -1,0 +1,54 @@
+"""Channel planning: how many transmitters does a workload really need?
+
+A broadcast operator's capacity question, answered with the paper's
+tools: for each Figure-3 workload shape, what does Theorem 3.1 demand,
+and what does each foregone channel cost in average delay?  The output is
+the operating table an operator would pin to the wall — including the
+paper's headline discount: ~1/5 of the minimum channels already brings
+the average delay within a few slots of zero.
+
+Run:  python examples/channel_planning.py
+"""
+
+from repro import minimum_channels, plan_channels, schedule_pamad
+from repro.workload import DISTRIBUTION_NAMES, paper_instance
+
+
+def main() -> None:
+    print("Theorem 3.1 capacity requirements (n=1000, h=8, t=4..512):\n")
+    print(f"{'workload':>10}  {'load':>8}  {'channels':>8}")
+    instances = {}
+    for name in DISTRIBUTION_NAMES:
+        instance = paper_instance(name)
+        instances[name] = instance
+        plan = plan_channels(instance, available=1)
+        print(f"{name:>10}  {plan.load:>8.2f}  {plan.required:>8}")
+
+    print(
+        "\nDelay cost of under-provisioning (PAMAD, analytic AvgD in "
+        "slots):\n"
+    )
+    fractions = (0.05, 0.1, 0.2, 0.5, 1.0)
+    header = f"{'workload':>10}  " + "  ".join(
+        f"{int(fraction * 100):>4}%" for fraction in fractions
+    )
+    print(header + "   (% of minimum channels)")
+    for name, instance in instances.items():
+        n_min = minimum_channels(instance)
+        cells = []
+        for fraction in fractions:
+            channels = max(1, round(fraction * n_min))
+            delay = schedule_pamad(instance, channels).average_delay
+            cells.append(f"{delay:>5.1f}")
+        print(f"{name:>10}  " + "  ".join(cells))
+
+    print(
+        "\nReading the table: the 20% column is the paper's '1/5 of the "
+        "minimally\nsufficient channels' observation — delay collapses "
+        "to a few slots (tens at\nworst, for the skew that packs most "
+        "pages into one group) versus hundreds\nof slots at 5%."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Hybrid push/pull: why dropping pages congests the on-demand channel.
+
+Section 4 of the paper considers, and rejects, the obvious fix for a
+channel shortage: drop pages until the rest fits.  "Those clients who do
+not obtain data from the broadcast channels are forced to issue requests
+to the server ... the quality of service of the on-demand channels are
+still severely degraded."
+
+This example makes that argument quantitative.  Impatient clients arrive
+Poisson, prefer the air, and pull from a 2-server on-demand queue when
+the broadcast cannot serve them within their page's expected time.  We
+compare the same channel budget under:
+
+* PAMAD  — every page stays on the air, slightly late;
+* drop   — a valid program over a subset, the rest spills to the queue.
+
+Run:  python examples/hybrid_ondemand.py
+"""
+
+from repro import schedule_pamad
+from repro.baselines import schedule_drop
+from repro.sim import HybridConfig, simulate_hybrid
+from repro.workload import paper_instance
+
+
+def main() -> None:
+    instance = paper_instance("uniform")  # 1000 pages, t = 4 .. 512
+    config = HybridConfig(
+        arrival_rate=2.0,        # clients per slot
+        horizon=4000.0,          # simulated slots
+        ondemand_servers=2,      # scarce pull capacity
+        ondemand_service_time=1.0,
+        seed=42,
+    )
+
+    print("uniform paper workload, 2 on-demand servers, "
+          "Poisson(2.0) arrivals, 4000 slots\n")
+    print(f"{'channels':>8}  {'system':>6}  {'spill':>7}  "
+          f"{'od-util':>8}  {'od-resp':>8}  {'od-maxq':>8}")
+
+    for channels in (4, 8, 13, 26):
+        pamad = schedule_pamad(instance, channels)
+        drop = schedule_drop(instance, channels)
+        for name, program in (("PAMAD", pamad.program),
+                              ("drop", drop.program)):
+            result = simulate_hybrid(program, instance, config)
+            od = result.ondemand
+            print(f"{channels:>8}  {name:>6}  {result.spill_ratio:>6.1%}  "
+                  f"{od.utilisation:>8.2f}  "
+                  f"{od.mean_response_time:>8.2f}  "
+                  f"{od.max_queue_length:>8}")
+        print(f"{'':>8}  (drop removed {len(drop.dropped_pages)} of "
+              f"{instance.n} pages)")
+
+    print(
+        "\nDropping pages keeps the *broadcast* valid but parks a fixed "
+        "share of all\nclients on the pull queue forever; PAMAD's spill "
+        "vanishes as channels grow\nbecause late-but-broadcast pages stop "
+        "exceeding client patience."
+    )
+
+
+if __name__ == "__main__":
+    main()

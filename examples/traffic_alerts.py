@@ -1,0 +1,75 @@
+"""Traffic-alert broadcast under a channel shortage: PAMAD vs m-PB.
+
+The paper's second motivating scenario (Section 1): information about a
+car accident must reach drivers heading toward it in time to react — the
+closer the driver, the tighter the deadline.  A metropolitan traffic
+centre rarely owns the Theorem-3.1 minimum number of channels, so this is
+the insufficient-channel regime where PAMAD shines.
+
+The example builds a city-scale alert workload (urgent incident alerts,
+congestion maps, roadwork notices, transit updates), schedules it with
+PAMAD, m-PB and OPT on a fixed 6-channel budget, and compares average
+delay and per-group deadline misses.
+
+Run:  python examples/traffic_alerts.py
+"""
+
+from repro import instance_from_counts, minimum_channels, schedule_pamad
+from repro.baselines import schedule_mpb, schedule_opt
+from repro.sim import measure_program
+
+# Four alert classes on a ratio-2 ladder of expected times (slots).
+ALERT_CLASSES = [
+    ("accident alerts (drivers < 1 km away)", 60, 4),
+    ("congestion segments (route re-planning)", 90, 8),
+    ("roadwork and closures", 110, 16),
+    ("transit schedule updates", 140, 32),
+]
+
+
+def main() -> None:
+    sizes = [size for _, size, _ in ALERT_CLASSES]
+    times = [time for _, _, time in ALERT_CLASSES]
+    instance = instance_from_counts(sizes, times)
+    required = minimum_channels(instance)
+    budget = 6
+    print(f"workload: {instance}")
+    print(f"Theorem 3.1 needs {required} channels; the city owns {budget}.\n")
+
+    schedules = {
+        "PAMAD": schedule_pamad(instance, budget),
+        "m-PB": schedule_mpb(instance, budget),
+        "OPT": schedule_opt(instance, budget),
+    }
+
+    print(f"{'algorithm':>10}  {'cycle':>6}  {'AvgD':>8}  {'misses':>7}")
+    results = {}
+    for name, schedule in schedules.items():
+        result = measure_program(schedule.program, instance,
+                                 num_requests=3000, seed=17)
+        results[name] = result
+        print(f"{name:>10}  {schedule.program.cycle_length:>6}  "
+              f"{result.average_delay:>8.2f}  {result.miss_ratio:>6.1%}")
+
+    print("\nper-class average delay (slots):")
+    header = f"{'class':>42}  " + "  ".join(
+        f"{name:>8}" for name in schedules
+    )
+    print(header)
+    for index, (label, _size, time) in enumerate(ALERT_CLASSES, start=1):
+        row = f"{label:>42}  " + "  ".join(
+            f"{results[name].group_delay.get(index, 0.0):>8.2f}"
+            for name in schedules
+        )
+        print(row + f"   (expected time {time})")
+
+    pamad, mpb = results["PAMAD"], results["m-PB"]
+    factor = mpb.average_delay / max(pamad.average_delay, 1e-9)
+    print(f"\nPAMAD delivers {factor:.1f}x lower average delay than m-PB "
+          f"on the same {budget} channels,")
+    print("because it thins broadcast frequencies instead of stretching "
+          "the whole cycle.")
+
+
+if __name__ == "__main__":
+    main()

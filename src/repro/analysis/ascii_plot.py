@@ -1,0 +1,142 @@
+"""ASCII line charts — terminal rendering of the paper's figures.
+
+The evaluation's artefacts are *plots*; in an offline, dependency-light
+reproduction the honest equivalent is a text chart.  This module renders
+multi-series line charts (one mark character per series, optional log-y
+for the AvgD curves that span three decades) and is wired into the CLI as
+``repro-air figure <ID>``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.core.errors import ReproError
+
+__all__ = ["line_chart"]
+
+_MARKS = "ox+*#@%&"
+
+
+def _nice_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.3g}"
+    return f"{value:.2g}"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    width: int = 64,
+    height: int = 20,
+    log_y: bool = False,
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Args:
+        series: Mapping from series name to its (x, y) points.  Up to
+            eight series (one mark character each).
+        title: Chart heading.
+        width: Plot-area columns.
+        height: Plot-area rows.
+        log_y: Log-scale the y axis; non-positive values are clamped to
+            half the smallest positive y (standard log-plot practice,
+            noted in the legend).
+
+    Returns:
+        The chart as a multi-line string (legend included).
+    """
+    if not series:
+        raise ReproError("no series to plot")
+    if len(series) > len(_MARKS):
+        raise ReproError(
+            f"at most {len(_MARKS)} series supported, got {len(series)}"
+        )
+    if width < 8 or height < 4:
+        raise ReproError(f"chart area too small: {width}x{height}")
+
+    points = [
+        (x, y) for values in series.values() for x, y in values
+    ]
+    if not points:
+        raise ReproError("all series are empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    clamped = False
+    if log_y:
+        positive = [y for y in ys if y > 0]
+        if not positive:
+            raise ReproError("log-y chart needs at least one positive value")
+        floor = min(positive) / 2
+        clamped = any(y <= 0 for y in ys)
+        ys = [max(y, floor) for y in ys]
+
+        def transform(y: float) -> float:
+            return math.log10(max(y, floor))
+
+    else:
+
+        def transform(y: float) -> float:
+            return y
+
+    t_ys = [transform(y) for y in ys]
+    y_min, y_max = min(t_ys), max(t_ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    # Draw in reverse order so the first-listed series wins contested
+    # cells (it is usually the headline algorithm).
+    for (name, values), mark in reversed(
+        list(zip(series.items(), _MARKS))
+    ):
+        for x, y in values:
+            column = round((x - x_min) / x_span * (width - 1))
+            value = transform(max(y, 0) if not log_y else y if y > 0 else 0)
+            if log_y and y <= 0:
+                value = y_min
+            row = round((value - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][column] = mark
+
+    top_label = (
+        _nice_number(10**y_max) if log_y else _nice_number(y_max)
+    )
+    bottom_label = (
+        _nice_number(10**y_min) if log_y else _nice_number(y_min)
+    )
+    label_width = max(len(top_label), len(bottom_label))
+
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = top_label.rjust(label_width)
+        elif index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    left = _nice_number(x_min)
+    right = _nice_number(x_max)
+    gap = width - len(left) - len(right)
+    lines.append(
+        " " * (label_width + 2) + left + " " * max(gap, 1) + right
+    )
+    legend = "   ".join(
+        f"{mark} {name}"
+        for (name, _values), mark in zip(series.items(), _MARKS)
+    )
+    if log_y:
+        legend += "   (log y"
+        legend += ", zeros clamped)" if clamped else ")"
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Structural statistics of broadcast programs.
+
+The delay models answer "how long do clients wait"; this module answers
+"what does the schedule look like" — per-group bandwidth shares, gap
+distributions, deadline safety margins, and a fairness index.  Examples
+and the CLI use it to explain *why* a schedule behaves as it does, and
+tests use it to pin structural expectations (e.g. PAMAD gives urgent
+groups a super-proportional bandwidth share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.pages import ProblemInstance
+from repro.core.program import BroadcastProgram
+
+__all__ = ["GroupShare", "ProgramProfile", "profile_program", "jain_fairness"]
+
+
+@dataclass(frozen=True)
+class GroupShare:
+    """One group's footprint in a program.
+
+    Attributes:
+        group_index: 1-based group index.
+        expected_time: The group's deadline ``t_i``.
+        pages: ``P_i``.
+        slots: Broadcast slots the group occupies per cycle.
+        bandwidth_share: ``slots / total occupied slots``.
+        mean_gap: Mean cyclic gap between a group page's appearances.
+        max_gap: Worst gap over the group's pages.
+        safety_margin: ``t_i - max_gap`` — non-negative iff every client
+            deadline in the group is met.
+    """
+
+    group_index: int
+    expected_time: int
+    pages: int
+    slots: int
+    bandwidth_share: float
+    mean_gap: float
+    max_gap: int
+    safety_margin: int
+
+
+@dataclass(frozen=True)
+class ProgramProfile:
+    """Whole-program structural summary.
+
+    Attributes:
+        cycle_length: Major-cycle length.
+        num_channels: Channels.
+        occupancy: Fraction of grid cells carrying a page.
+        shares: Per-group footprints, in group order.
+        delay_fairness: Jain index over per-page average delays (1.0 =
+            perfectly even; the PAMAD design goal of "equally dispersed"
+            delay shows up here).
+    """
+
+    cycle_length: int
+    num_channels: int
+    occupancy: float
+    shares: tuple[GroupShare, ...]
+    delay_fairness: float
+
+
+def jain_fairness(values) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 when all values are equal; ``1/n`` when one value dominates.
+    All-zero input (perfectly fair: nobody waits) returns 1.0.
+    """
+    values = list(values)
+    if not values:
+        raise InvalidInstanceError("no values to compute fairness over")
+    if any(v < 0 for v in values):
+        raise InvalidInstanceError("fairness requires non-negative values")
+    square_of_sum = sum(values) ** 2
+    sum_of_squares = sum(v * v for v in values)
+    if sum_of_squares == 0:
+        return 1.0
+    return square_of_sum / (len(values) * sum_of_squares)
+
+
+def profile_program(
+    program: BroadcastProgram, instance: ProblemInstance
+) -> ProgramProfile:
+    """Compute the structural profile of a program for an instance."""
+    from repro.core.delay import page_average_delay
+
+    total_slots = 0
+    shares: list[GroupShare] = []
+    page_delays: list[float] = []
+    for group in instance.groups:
+        gaps_all: list[int] = []
+        slots = 0
+        max_gap = 0
+        for page in group.pages:
+            count = program.broadcast_count(page.page_id)
+            if count == 0:
+                raise InvalidInstanceError(
+                    f"page {page.page_id} missing from the program"
+                )
+            slots += count
+            gaps = program.cyclic_gaps(page.page_id)
+            gaps_all.extend(gaps)
+            max_gap = max(max_gap, max(gaps))
+            page_delays.append(
+                page_average_delay(
+                    program, page.page_id, page.expected_time
+                )
+            )
+        total_slots += slots
+        shares.append(
+            GroupShare(
+                group_index=group.index,
+                expected_time=group.expected_time,
+                pages=group.size,
+                slots=slots,
+                bandwidth_share=0.0,  # filled in below
+                mean_gap=sum(gaps_all) / len(gaps_all),
+                max_gap=max_gap,
+                safety_margin=group.expected_time - max_gap,
+            )
+        )
+    shares = [
+        GroupShare(
+            group_index=s.group_index,
+            expected_time=s.expected_time,
+            pages=s.pages,
+            slots=s.slots,
+            bandwidth_share=s.slots / total_slots,
+            mean_gap=s.mean_gap,
+            max_gap=s.max_gap,
+            safety_margin=s.safety_margin,
+        )
+        for s in shares
+    ]
+    return ProgramProfile(
+        cycle_length=program.cycle_length,
+        num_channels=program.num_channels,
+        occupancy=program.occupancy(),
+        shares=tuple(shares),
+        delay_fairness=jain_fairness(page_delays),
+    )

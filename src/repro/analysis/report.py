@@ -1,0 +1,141 @@
+"""Result tables — the textual equivalent of the paper's figures.
+
+The benchmark harness regenerates each paper table/figure as a
+:class:`Table`: named columns, typed rows, and renderers for fixed-width
+terminal output, Markdown (used by EXPERIMENTS.md) and CSV.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.errors import ReproError
+
+__all__ = ["Table", "format_value"]
+
+
+def format_value(value, precision: int = 4) -> str:
+    """Render one cell: floats rounded, everything else via ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == int(value) and abs(value) < 1e9:
+            return str(int(value))
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled result table with render helpers.
+
+    Attributes:
+        title: Human-readable table heading (e.g. "Figure 5(d): uniform").
+        columns: Column names.
+        rows: Row tuples, one value per column.
+        notes: Free-form footnotes (assumptions, seeds, parameters).
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        """Append a row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ReproError(
+                f"row has {len(values)} values but table "
+                f"{self.title!r} has {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list:
+        """Extract one column by name."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError:
+            raise ReproError(
+                f"table {self.title!r} has no column {name!r}; "
+                f"columns are {list(self.columns)}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def render(self, precision: int = 4) -> str:
+        """Fixed-width terminal rendering."""
+        cells = [
+            [format_value(v, precision) for v in row] for row in self.rows
+        ]
+        widths = [
+            max(len(str(name)), *(len(row[i]) for row in cells))
+            if cells
+            else len(str(name))
+            for i, name in enumerate(self.columns)
+        ]
+        out = io.StringIO()
+        out.write(f"== {self.title} ==\n")
+        header = "  ".join(
+            str(name).rjust(width)
+            for name, width in zip(self.columns, widths)
+        )
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for row in cells:
+            out.write(
+                "  ".join(
+                    cell.rjust(width) for cell, width in zip(row, widths)
+                )
+                + "\n"
+            )
+        for note in self.notes:
+            out.write(f"note: {note}\n")
+        return out.getvalue()
+
+    def to_markdown(self, precision: int = 4) -> str:
+        """GitHub-flavoured Markdown rendering."""
+        out = io.StringIO()
+        out.write("| " + " | ".join(str(c) for c in self.columns) + " |\n")
+        out.write("|" + "|".join("---" for _ in self.columns) + "|\n")
+        for row in self.rows:
+            out.write(
+                "| "
+                + " | ".join(format_value(v, precision) for v in row)
+                + " |\n"
+            )
+        for note in self.notes:
+            out.write(f"\n*{note}*\n")
+        return out.getvalue()
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (used by the result store)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Table":
+        """Rebuild a table produced by :meth:`to_dict`."""
+        table = cls(
+            title=data["title"],
+            columns=list(data["columns"]),
+            notes=list(data.get("notes", [])),
+        )
+        for row in data.get("rows", []):
+            table.add_row(*row)
+        return table
+
+    def to_csv(self, precision: int = 6) -> str:
+        """Comma-separated rendering (no quoting; values are numeric/ids)."""
+        lines = [",".join(str(c) for c in self.columns)]
+        lines.extend(
+            ",".join(format_value(v, precision) for v in row)
+            for row in self.rows
+        )
+        return "\n".join(lines) + "\n"

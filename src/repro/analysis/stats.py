@@ -1,0 +1,132 @@
+"""Summary statistics for experiment results.
+
+Thin, dependency-light helpers: the experiment harness reports means,
+dispersion and pairwise comparisons (e.g. "PAMAD is within x% of OPT",
+"m-PB is y times worse") without dragging a dataframe library in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import SimulationError
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "geometric_mean",
+    "relative_difference",
+    "ratio_of_means",
+]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample.
+
+    Attributes:
+        count: Sample size.
+        mean: Arithmetic mean.
+        stdev: Sample standard deviation (n-1).
+        minimum: Smallest value.
+        median: 50th percentile (linear interpolation).
+        maximum: Largest value.
+    """
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the mean."""
+        if self.count == 0:
+            return (math.nan, math.nan)
+        half = z * self.stdev / math.sqrt(self.count)
+        return (self.mean - half, self.mean + half)
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    if not ordered:
+        raise SimulationError("cannot take a percentile of no samples")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    fraction = position - lower
+    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of a non-empty sample.
+
+    Raises:
+        SimulationError: On an empty sample.
+    """
+    if not values:
+        raise SimulationError("cannot summarize an empty sample")
+    ordered = sorted(values)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in ordered) / (count - 1)
+    else:
+        variance = 0.0
+    return Summary(
+        count=count,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=ordered[0],
+        median=_percentile(ordered, 0.5),
+        maximum=ordered[-1],
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values.
+
+    The right aggregate for speedup ratios across heterogeneous workloads.
+
+    Raises:
+        SimulationError: On an empty sample or non-positive values.
+    """
+    if not values:
+        raise SimulationError("cannot take a geometric mean of no samples")
+    if any(v <= 0 for v in values):
+        raise SimulationError(
+            "geometric mean requires strictly positive values"
+        )
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def relative_difference(value: float, reference: float) -> float:
+    """``(value - reference) / reference``; 0/0 counts as no difference.
+
+    Used for "PAMAD within x% of OPT" style statements; a zero reference
+    with a non-zero value returns ``inf``.
+    """
+    if reference == 0:
+        return 0.0 if value == 0 else math.inf
+    return (value - reference) / reference
+
+
+def ratio_of_means(
+    numerator: Sequence[float], denominator: Sequence[float]
+) -> float:
+    """Ratio of two sample means ("m-PB is N times PAMAD's delay").
+
+    Raises:
+        SimulationError: On empty samples or a zero denominator mean.
+    """
+    num = summarize(numerator).mean
+    den = summarize(denominator).mean
+    if den == 0:
+        raise SimulationError("denominator mean is zero")
+    return num / den

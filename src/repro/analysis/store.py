@@ -1,0 +1,200 @@
+"""Persistent experiment results — save, reload, and diff runs.
+
+Reproduction work is iterative: after changing an algorithm you want to
+know *which cells moved*.  The store keeps every experiment run as one
+JSON file (tables + parameters + free-form metadata) under a root
+directory, and :func:`diff_records` reports cell-level changes between
+two runs of the same experiment.
+
+No timestamps are auto-generated — callers pass an explicit ``run_id``
+(a counter, a git hash, a date string), which keeps records reproducible
+and the store free of hidden state.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.analysis.report import Table
+from repro.core.errors import ReproError
+
+__all__ = ["ExperimentRecord", "ResultStore", "diff_records", "CellChange"]
+
+_RUN_ID_PATTERN = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One stored experiment run.
+
+    Attributes:
+        experiment_id: Registry id (e.g. ``FIG5D``).
+        run_id: Caller-chosen identifier, unique per experiment.
+        tables: The result tables of the run.
+        parameters: The overrides the run used (seed, requests, ...).
+        metadata: Free-form context (git revision, machine, notes).
+    """
+
+    experiment_id: str
+    run_id: str
+    tables: tuple[Table, ...]
+    parameters: Mapping = field(default_factory=dict)
+    metadata: Mapping = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "run_id": self.run_id,
+            "tables": [table.to_dict() for table in self.tables],
+            "parameters": dict(self.parameters),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentRecord":
+        return cls(
+            experiment_id=data["experiment_id"],
+            run_id=data["run_id"],
+            tables=tuple(
+                Table.from_dict(item) for item in data["tables"]
+            ),
+            parameters=data.get("parameters", {}),
+            metadata=data.get("metadata", {}),
+        )
+
+
+class ResultStore:
+    """A directory of experiment records, one JSON file per run."""
+
+    def __init__(self, root: str | Path) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, experiment_id: str, run_id: str) -> Path:
+        if not _RUN_ID_PATTERN.match(run_id):
+            raise ReproError(
+                f"run_id {run_id!r} must match {_RUN_ID_PATTERN.pattern}"
+            )
+        if not _RUN_ID_PATTERN.match(experiment_id):
+            raise ReproError(
+                f"experiment_id {experiment_id!r} must match "
+                f"{_RUN_ID_PATTERN.pattern}"
+            )
+        return self._root / f"{experiment_id}__{run_id}.json"
+
+    def save(self, record: ExperimentRecord, overwrite: bool = False) -> Path:
+        """Persist a record; refuses to clobber unless ``overwrite``."""
+        path = self._path(record.experiment_id, record.run_id)
+        if path.exists() and not overwrite:
+            raise ReproError(
+                f"record {path.name} already exists; pass overwrite=True "
+                "to replace it"
+            )
+        path.write_text(json.dumps(record.to_dict(), indent=2))
+        return path
+
+    def load(self, experiment_id: str, run_id: str) -> ExperimentRecord:
+        """Load one stored run."""
+        path = self._path(experiment_id, run_id)
+        if not path.exists():
+            raise ReproError(f"no stored record {path.name}")
+        return ExperimentRecord.from_dict(json.loads(path.read_text()))
+
+    def runs(self, experiment_id: str | None = None) -> list[tuple[str, str]]:
+        """List stored ``(experiment_id, run_id)`` pairs, sorted."""
+        out = []
+        for path in sorted(self._root.glob("*__*.json")):
+            experiment, _, run = path.stem.partition("__")
+            if experiment_id is None or experiment == experiment_id:
+                out.append((experiment, run))
+        return out
+
+
+@dataclass(frozen=True)
+class CellChange:
+    """One differing cell between two runs.
+
+    Attributes:
+        table: Title of the table the cell belongs to.
+        row: Row index within the table.
+        column: Column name.
+        before: Value in the first record.
+        after: Value in the second record.
+    """
+
+    table: str
+    row: int
+    column: str
+    before: object
+    after: object
+
+
+def _values_differ(a, b, rel_tol: float) -> bool:
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        if isinstance(a, bool) or isinstance(b, bool):
+            return a != b
+        return not math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-12)
+    return a != b
+
+
+def diff_records(
+    before: ExperimentRecord,
+    after: ExperimentRecord,
+    rel_tol: float = 1e-9,
+) -> list[CellChange]:
+    """Cell-level differences between two runs of the same experiment.
+
+    Args:
+        before: Baseline record.
+        after: Candidate record; must be the same experiment with tables
+            of identical shape (titles, columns, row counts).
+        rel_tol: Numeric cells within this relative tolerance count as
+            unchanged (use e.g. 0.05 to ignore Monte-Carlo noise).
+
+    Raises:
+        ReproError: On experiment or table-shape mismatches.
+    """
+    if before.experiment_id != after.experiment_id:
+        raise ReproError(
+            f"cannot diff {before.experiment_id} against "
+            f"{after.experiment_id}"
+        )
+    if len(before.tables) != len(after.tables):
+        raise ReproError(
+            f"table count changed: {len(before.tables)} -> "
+            f"{len(after.tables)}"
+        )
+    changes: list[CellChange] = []
+    for table_a, table_b in zip(before.tables, after.tables):
+        if list(table_a.columns) != list(table_b.columns):
+            raise ReproError(
+                f"columns of {table_a.title!r} changed: "
+                f"{list(table_a.columns)} -> {list(table_b.columns)}"
+            )
+        if len(table_a.rows) != len(table_b.rows):
+            raise ReproError(
+                f"row count of {table_a.title!r} changed: "
+                f"{len(table_a.rows)} -> {len(table_b.rows)}"
+            )
+        for row_index, (row_a, row_b) in enumerate(
+            zip(table_a.rows, table_b.rows)
+        ):
+            for column, value_a, value_b in zip(
+                table_a.columns, row_a, row_b
+            ):
+                if _values_differ(value_a, value_b, rel_tol):
+                    changes.append(
+                        CellChange(
+                            table=table_a.title,
+                            row=row_index,
+                            column=str(column),
+                            before=value_a,
+                            after=value_b,
+                        )
+                    )
+    return changes

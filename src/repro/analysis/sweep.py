@@ -1,0 +1,194 @@
+"""Parameter sweeps — the engine behind the Figure-5 reproduction.
+
+The paper's evaluation sweeps the channel count from 1 up to the minimum
+sufficient number and plots AvgD for PAMAD, m-PB and OPT.  This module
+provides the scheduler registry, the channel-point selection, and the
+sweep loop that measures each (algorithm, channel-count) cell both
+analytically (exact expectation) and by Monte-Carlo replay (the paper's
+3000-request methodology).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Protocol, Sequence
+
+from repro.baselines.broadcast_disks import schedule_broadcast_disks
+from repro.baselines.flat import schedule_flat
+from repro.baselines.mpb import schedule_mpb
+from repro.baselines.online import schedule_online
+from repro.baselines.opt import schedule_opt
+from repro.core.bounds import minimum_channels
+from repro.core.errors import ReproError
+from repro.core.pages import ProblemInstance
+from repro.core.pamad import schedule_pamad
+from repro.core.program import BroadcastProgram
+from repro.analysis.report import Table
+from repro.sim.clients import measure_program
+
+__all__ = [
+    "SCHEDULERS",
+    "get_scheduler",
+    "default_channel_points",
+    "SweepPoint",
+    "channel_sweep",
+    "sweep_table",
+]
+
+
+class _ScheduleLike(Protocol):
+    program: BroadcastProgram
+    average_delay: float
+
+
+Scheduler = Callable[[ProblemInstance, int], _ScheduleLike]
+
+SCHEDULERS: Mapping[str, Scheduler] = {
+    "pamad": schedule_pamad,
+    "m-pb": schedule_mpb,
+    "opt": schedule_opt,
+    "flat": schedule_flat,
+    "disks": schedule_broadcast_disks,
+    "online": schedule_online,
+}
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Look up a scheduler by registry name (case-insensitive)."""
+    key = name.strip().lower()
+    if key == "mpb":
+        key = "m-pb"
+    try:
+        return SCHEDULERS[key]
+    except KeyError:
+        raise ReproError(
+            f"unknown scheduler {name!r}; choose from "
+            f"{', '.join(SCHEDULERS)}"
+        ) from None
+
+
+def default_channel_points(
+    n_min: int, max_points: int = 12
+) -> list[int]:
+    """Channel counts to sweep: 1 .. n_min, geometrically thinned.
+
+    Small counts are where the curves move (the paper's "1/5 of the
+    minimum" observation), so points are dense at the low end —
+    geometric spacing from 1 to ``n_min`` with both endpoints included.
+    """
+    if n_min < 1:
+        raise ReproError(f"n_min must be >= 1, got {n_min}")
+    if n_min <= max_points:
+        return list(range(1, n_min + 1))
+    points = {1, n_min}
+    factor = n_min ** (1.0 / (max_points - 1))
+    value = 1.0
+    while len(points) < max_points:
+        value *= factor
+        candidate = min(n_min, max(1, round(value)))
+        points.add(candidate)
+        if candidate >= n_min:
+            break
+    return sorted(points)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured (algorithm, channel-count) cell of a sweep.
+
+    Attributes:
+        algorithm: Registry name of the scheduler.
+        channels: ``N_real`` given to it.
+        analytic_delay: Exact expected AvgD of the generated program.
+        simulated_delay: Monte-Carlo AvgD (paper methodology).
+        miss_ratio: Fraction of simulated requests past their deadline.
+        cycle_length: Major-cycle length of the generated program.
+        elapsed_seconds: Wall time to schedule (the OPT-is-slow point).
+    """
+
+    algorithm: str
+    channels: int
+    analytic_delay: float
+    simulated_delay: float
+    miss_ratio: float
+    cycle_length: int
+    elapsed_seconds: float
+
+
+def channel_sweep(
+    instance: ProblemInstance,
+    algorithms: Sequence[str] = ("pamad", "m-pb", "opt"),
+    channel_points: Sequence[int] | None = None,
+    num_requests: int = 3000,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Measure AvgD over a grid of channel counts and algorithms.
+
+    Args:
+        instance: The workload (e.g. a Figure-3 paper instance).
+        algorithms: Registry names to compare (paper: PAMAD, m-PB, OPT).
+        channel_points: Channel counts to evaluate; defaults to
+            :func:`default_channel_points` up to the Theorem-3.1 minimum.
+        num_requests: Monte-Carlo stream length per cell (paper: 3000).
+        seed: Base RNG seed; each cell derives its own deterministic seed.
+
+    Returns:
+        All sweep points, ordered by (channel count, algorithm order).
+    """
+    if channel_points is None:
+        channel_points = default_channel_points(minimum_channels(instance))
+    schedulers = [(name, get_scheduler(name)) for name in algorithms]
+    points: list[SweepPoint] = []
+    for channels in channel_points:
+        for order, (name, scheduler) in enumerate(schedulers):
+            started = time.perf_counter()
+            schedule = scheduler(instance, channels)
+            elapsed = time.perf_counter() - started
+            measurement = measure_program(
+                schedule.program,
+                instance,
+                num_requests=num_requests,
+                seed=seed * 1_000_003 + channels * 101 + order,
+            )
+            points.append(
+                SweepPoint(
+                    algorithm=name,
+                    channels=channels,
+                    analytic_delay=schedule.average_delay,
+                    simulated_delay=measurement.average_delay,
+                    miss_ratio=measurement.miss_ratio,
+                    cycle_length=schedule.program.cycle_length,
+                    elapsed_seconds=elapsed,
+                )
+            )
+    return points
+
+
+def sweep_table(
+    points: Sequence[SweepPoint],
+    title: str,
+    metric: str = "simulated_delay",
+) -> Table:
+    """Pivot sweep points into a channels-by-algorithm table.
+
+    Args:
+        points: Output of :func:`channel_sweep`.
+        title: Table heading.
+        metric: Which :class:`SweepPoint` field fills the cells.
+    """
+    algorithms = list(dict.fromkeys(p.algorithm for p in points))
+    channels = sorted({p.channels for p in points})
+    table = Table(title=title, columns=["channels", *algorithms])
+    lookup = {(p.algorithm, p.channels): getattr(p, metric) for p in points}
+    for count in channels:
+        table.add_row(
+            count,
+            *(
+                lookup.get((algorithm, count), math.nan)
+                for algorithm in algorithms
+            ),
+        )
+    table.notes.append(f"metric: {metric}")
+    return table

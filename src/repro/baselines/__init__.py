@@ -1,0 +1,33 @@
+"""Comparison algorithms: m-PB, OPT, broadcast disks, drop, flat."""
+
+from repro.baselines.broadcast_disks import (
+    BroadcastDisksSchedule,
+    schedule_broadcast_disks,
+)
+from repro.baselines.drop import DropSchedule, schedule_drop
+from repro.baselines.flat import FlatSchedule, schedule_flat
+from repro.baselines.mpb import MpbSchedule, schedule_mpb
+from repro.baselines.online import OnlineSchedule, schedule_online
+from repro.baselines.opt import (
+    OptSchedule,
+    brute_force_frequencies,
+    opt_frequencies,
+    schedule_opt,
+)
+
+__all__ = [
+    "BroadcastDisksSchedule",
+    "DropSchedule",
+    "FlatSchedule",
+    "MpbSchedule",
+    "OnlineSchedule",
+    "OptSchedule",
+    "brute_force_frequencies",
+    "opt_frequencies",
+    "schedule_broadcast_disks",
+    "schedule_drop",
+    "schedule_flat",
+    "schedule_mpb",
+    "schedule_online",
+    "schedule_opt",
+]

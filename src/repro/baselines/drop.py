@@ -1,0 +1,153 @@
+"""The drop-pages strategy — Section 4's rejected "first solution".
+
+When channels are insufficient, one can simply drop pages from the
+broadcast list until the remainder fits the Theorem-3.1 bound, then run
+SUSC on what is left.  The paper rejects this because every dropped page's
+clients spill onto the on-demand channels, degrading their quality of
+service — but it is the natural strawman, so we implement it both as a
+baseline and as the workload source for the EXT1 on-demand-congestion
+experiment (:mod:`repro.sim.hybrid`).
+
+Two drop policies:
+
+* ``fewest-drops`` — drop pages from the most *urgent* group first: each
+  ``G_1`` page frees ``1/t_1`` channels of load, the most per page, so the
+  bound is met with the fewest pages removed.
+* ``keep-urgent`` — drop pages from the most *relaxed* group first,
+  preserving urgent content at the cost of dropping more pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import SchedulingError, WorkloadError
+from repro.core.pages import Group, Page, ProblemInstance
+from repro.core.program import BroadcastProgram
+from repro.core.susc import schedule_susc
+
+__all__ = ["DropSchedule", "schedule_drop"]
+
+_POLICIES = ("fewest-drops", "keep-urgent")
+
+
+@dataclass(frozen=True)
+class DropSchedule:
+    """Output of the drop-pages baseline.
+
+    Attributes:
+        program: A *valid* program over the kept pages (SUSC output).
+        instance: The original (full) instance.
+        kept_instance: The reduced instance actually scheduled.
+        num_channels: ``N_real`` used.
+        dropped_pages: Pages removed from the broadcast; their clients must
+            use the on-demand channel.
+        dropped_fraction: ``len(dropped) / n`` — with uniform access, the
+            probability a random request cannot be served from the air.
+    """
+
+    program: BroadcastProgram
+    instance: ProblemInstance
+    kept_instance: ProblemInstance
+    num_channels: int
+    dropped_pages: tuple[Page, ...]
+    dropped_fraction: float
+
+
+def _drop_order(instance: ProblemInstance, policy: str) -> list[Group]:
+    if policy == "fewest-drops":
+        return list(instance.groups)  # most urgent (largest load) first
+    if policy == "keep-urgent":
+        return list(reversed(instance.groups))
+    raise WorkloadError(
+        f"unknown drop policy {policy!r}; choose from {_POLICIES}"
+    )
+
+
+def schedule_drop(
+    instance: ProblemInstance,
+    num_channels: int,
+    policy: str = "fewest-drops",
+) -> DropSchedule:
+    """Drop pages until SUSC fits, then schedule the remainder.
+
+    Args:
+        instance: The full problem instance.
+        num_channels: Channels actually available.
+        policy: ``fewest-drops`` or ``keep-urgent`` (see module docstring).
+
+    Returns:
+        A :class:`DropSchedule`; the program is valid for every kept page.
+
+    Raises:
+        SchedulingError: If even a single page per remaining group cannot
+            fit (i.e. ``num_channels`` < 1, which the grid already rejects,
+            or every page of every group was dropped).
+    """
+    if num_channels < 1:
+        raise SchedulingError(
+            f"cannot broadcast on {num_channels} channels"
+        )
+    # Track how many pages each group keeps; start with everything.
+    kept_counts = {g.index: g.size for g in instance.groups}
+    drop_sequence = _drop_order(instance, policy)
+
+    def current_bound() -> int:
+        t_h = instance.max_expected_time
+        numerator = sum(
+            kept_counts[g.index] * (t_h // g.expected_time)
+            for g in instance.groups
+            if kept_counts[g.index] > 0
+        )
+        return -(-numerator // t_h) if numerator else 0
+
+    position = 0
+    while current_bound() > num_channels:
+        while (
+            position < len(drop_sequence)
+            and kept_counts[drop_sequence[position].index] == 0
+        ):
+            position += 1
+        if position >= len(drop_sequence):
+            raise SchedulingError(
+                "dropped every page and the bound still exceeds "
+                f"{num_channels} channel(s)"
+            )
+        kept_counts[drop_sequence[position].index] -= 1
+
+    kept_groups: list[Group] = []
+    dropped: list[Page] = []
+    next_index = 1
+    for group in instance.groups:
+        keep = kept_counts[group.index]
+        kept_pages = group.pages[:keep]
+        dropped.extend(group.pages[keep:])
+        if kept_pages:
+            kept_groups.append(
+                Group(
+                    index=next_index,
+                    expected_time=group.expected_time,
+                    pages=tuple(
+                        Page(
+                            page_id=p.page_id,
+                            group_index=next_index,
+                            expected_time=p.expected_time,
+                        )
+                        for p in kept_pages
+                    ),
+                )
+            )
+            next_index += 1
+    if not kept_groups:
+        raise SchedulingError("drop policy removed every page")
+    kept_instance = ProblemInstance(groups=tuple(kept_groups))
+
+    susc = schedule_susc(kept_instance, num_channels=num_channels)
+    return DropSchedule(
+        program=susc.program,
+        instance=instance,
+        kept_instance=kept_instance,
+        num_channels=num_channels,
+        dropped_pages=tuple(dropped),
+        dropped_fraction=len(dropped) / instance.n,
+    )

@@ -1,0 +1,51 @@
+"""Flat round-robin baseline — the degenerate broadcast-disk program.
+
+The classic single-frequency broadcast cycle (Acharya et al.'s flat disk):
+every page appears exactly once per cycle regardless of its expected time.
+It ignores deadlines entirely, which makes it the natural *lower* baseline
+for the evaluation: any deadline-aware scheduler should beat it whenever
+expected times differ across groups, and tests assert PAMAD does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.delay import program_average_delay
+from repro.core.pages import ProblemInstance
+from repro.core.pamad import place_by_frequency
+from repro.core.program import BroadcastProgram
+
+__all__ = ["FlatSchedule", "schedule_flat"]
+
+
+@dataclass(frozen=True)
+class FlatSchedule:
+    """Output of the flat round-robin baseline."""
+
+    program: BroadcastProgram
+    instance: ProblemInstance
+    num_channels: int
+    average_delay: float
+
+
+def schedule_flat(
+    instance: ProblemInstance, num_channels: int
+) -> FlatSchedule:
+    """Broadcast every page once per cycle, evenly spread.
+
+    Cycle length is ``ceil(n / N_real)`` — the shortest cycle that holds
+    every page once.
+
+    Args:
+        instance: The problem instance.
+        num_channels: Channels available.
+    """
+    frequencies = [1] * instance.h
+    placement = place_by_frequency(instance, frequencies, num_channels)
+    return FlatSchedule(
+        program=placement.program,
+        instance=instance,
+        num_channels=num_channels,
+        average_delay=program_average_delay(placement.program, instance),
+    )

@@ -1,0 +1,201 @@
+"""OPT — exhaustive frequency search (Section 5).
+
+The paper's optimal comparator "exhaustively searches for a set of optimal
+broadcast frequencies that incurs the minimum delay" (its searching time
+being "unacceptably high" is the point of PAMAD).  Two searches live here:
+
+* :func:`opt_frequencies` — a joint depth-first search over the staged
+  frequency family PAMAD draws from (``S_i = prod(r_i..r_{h-1})``, each
+  ``r`` bounded by Algorithm 3's loop bound).  Where PAMAD *commits* each
+  ``r_{i-1}`` greedily stage by stage, OPT explores the full product space
+  and minimises the final-stage objective — the exact "progressive vs
+  exhaustive" comparison the evaluation makes.
+
+* :func:`brute_force_frequencies` — a cap-bounded search over *arbitrary*
+  frequency vectors ``S in {1..cap}^h`` (no product structure), feasible
+  only for small instances.  Tests use it to confirm the staged family is
+  not leaving delay on the table on small cases.
+
+Both return the same :class:`~repro.core.frequencies.FrequencyAssignment`
+shape as PAMAD, and :func:`schedule_opt` reuses PAMAD's Algorithm-4
+placement, so the three systems differ only in frequency selection.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from repro.core.delay import paper_group_delay, program_average_delay
+from repro.core.errors import SearchSpaceError
+from repro.core.frequencies import (
+    FrequencyAssignment,
+    frequencies_from_r,
+    r_upper_bound,
+)
+from repro.core.pages import ProblemInstance
+from repro.core.pamad import place_by_frequency
+from repro.core.program import BroadcastProgram
+
+__all__ = [
+    "OptSchedule",
+    "opt_frequencies",
+    "brute_force_frequencies",
+    "schedule_opt",
+]
+
+
+def opt_frequencies(
+    instance: ProblemInstance,
+    num_channels: int,
+    max_r: int | None = None,
+) -> FrequencyAssignment:
+    """Joint DFS over all staged ``r`` vectors, minimising final delay.
+
+    Args:
+        instance: The problem instance.
+        num_channels: ``N_real``.
+        max_r: Optional hard cap on each ``r`` (on top of Algorithm 3's
+            bound) to keep worst-case runtime bounded; ``None`` searches
+            the full per-stage bound.
+
+    Returns:
+        The delay-minimising :class:`FrequencyAssignment` (ties break
+        toward the lexicographically smallest ``r`` vector — least
+        bandwidth).
+    """
+    if num_channels <= 0:
+        raise SearchSpaceError(
+            f"num_channels must be positive, got {num_channels}"
+        )
+    sizes = instance.group_sizes
+    times = instance.expected_times
+    h = instance.h
+
+    best_r: tuple[int, ...] = ()
+    best_delay = math.inf
+
+    def evaluate(r_values: list[int]) -> float:
+        frequencies = frequencies_from_r(r_values, h)
+        return paper_group_delay(
+            frequencies, sizes, times, num_channels
+        )
+
+    def descend(r_values: list[int], stage: int) -> None:
+        nonlocal best_r, best_delay
+        if stage > h:
+            delay = evaluate(r_values)
+            if delay < best_delay - 1e-12:
+                best_delay = delay
+                best_r = tuple(r_values)
+            return
+        bound = r_upper_bound(r_values, stage, sizes, times, num_channels)
+        if max_r is not None:
+            bound = min(bound, max_r)
+        for candidate in range(1, bound + 1):
+            r_values.append(candidate)
+            descend(r_values, stage + 1)
+            r_values.pop()
+
+    if h == 1:
+        best_r, best_delay = (), evaluate([])
+    else:
+        descend([], 2)
+
+    frequencies = frequencies_from_r(list(best_r), h)
+    return FrequencyAssignment(
+        frequencies=frequencies,
+        r_values=best_r,
+        num_channels=num_channels,
+        stage_delays=(),
+        predicted_delay=best_delay,
+    )
+
+
+def brute_force_frequencies(
+    instance: ProblemInstance,
+    num_channels: int,
+    cap: int = 8,
+    objective=paper_group_delay,
+) -> FrequencyAssignment:
+    """Search *arbitrary* frequency vectors ``S in {1..cap}^h``.
+
+    Exponential in ``h`` — intended for instances with ``h <= 4`` in tests
+    and the ABL1 ablation.  ``S_h`` is pinned to 1 (broadcasting the most
+    relaxed group more than once per cycle only inflates the cycle, and any
+    uniform scaling of ``S`` represents the same program family).
+
+    Args:
+        instance: The problem instance (small!).
+        num_channels: ``N_real``.
+        cap: Upper bound per frequency.
+        objective: Delay functional ``f(S, P, t, N) -> float``; defaults to
+            the paper-literal Equation (2).
+
+    Raises:
+        SearchSpaceError: If the search space exceeds ~2 million vectors.
+    """
+    h = instance.h
+    space = cap ** (h - 1)
+    if space > 2_000_000:
+        raise SearchSpaceError(
+            f"brute force over cap={cap}, h={h} would evaluate {space} "
+            "vectors; reduce the instance or the cap"
+        )
+    sizes = instance.group_sizes
+    times = instance.expected_times
+
+    best: tuple[int, ...] | None = None
+    best_delay = math.inf
+    for prefix in itertools.product(range(1, cap + 1), repeat=h - 1):
+        frequencies = (*prefix, 1)
+        delay = objective(frequencies, sizes, times, num_channels)
+        if delay < best_delay - 1e-12:
+            best, best_delay = frequencies, delay
+    assert best is not None  # at least (1, ..., 1) was evaluated
+    return FrequencyAssignment(
+        frequencies=best,
+        r_values=(),
+        num_channels=num_channels,
+        stage_delays=(),
+        predicted_delay=best_delay,
+    )
+
+
+@dataclass(frozen=True)
+class OptSchedule:
+    """Output of the OPT baseline (search + Algorithm-4 placement)."""
+
+    program: BroadcastProgram
+    instance: ProblemInstance
+    num_channels: int
+    assignment: FrequencyAssignment
+    window_misses: int
+    average_delay: float
+
+
+def schedule_opt(
+    instance: ProblemInstance,
+    num_channels: int,
+    max_r: int | None = None,
+) -> OptSchedule:
+    """Run the OPT baseline end to end.
+
+    Args:
+        instance: The problem instance.
+        num_channels: ``N_real``.
+        max_r: Optional per-stage cap forwarded to :func:`opt_frequencies`.
+    """
+    assignment = opt_frequencies(instance, num_channels, max_r=max_r)
+    placement = place_by_frequency(
+        instance, assignment.frequencies, num_channels
+    )
+    return OptSchedule(
+        program=placement.program,
+        instance=instance,
+        num_channels=num_channels,
+        assignment=assignment,
+        window_misses=placement.window_misses,
+        average_delay=program_average_delay(placement.program, instance),
+    )

@@ -1,0 +1,387 @@
+"""Command-line interface: ``repro-air`` (or ``python -m repro``).
+
+Subcommands map one-to-one onto the library's public workflow:
+
+* ``plan`` — Theorem-3.1 capacity analysis for an instance.
+* ``schedule`` — run any registered scheduler and print the program.
+* ``evaluate`` — AvgD of a scheduler at a channel count (analytic +
+  Monte-Carlo).
+* ``sweep`` — a Figure-5-style channel sweep on a named workload.
+* ``profile`` — per-group structural profile of a generated program.
+* ``experiment`` — run a registered experiment (FIG2 .. EXT8).
+* ``experiments`` — list the registry.
+
+Instances are given either as ``--sizes 3,5,3 --times 2,4,8`` or as a
+named paper workload ``--workload uniform``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.analysis.sweep import (
+    SCHEDULERS,
+    channel_sweep,
+    default_channel_points,
+    get_scheduler,
+    sweep_table,
+)
+from repro.core.bounds import minimum_channels, plan_channels
+from repro.core.errors import ReproError
+from repro.core.pages import ProblemInstance, instance_from_counts
+from repro.core.validate import validate_program
+from repro.sim.clients import measure_program
+from repro.workload.distributions import DISTRIBUTION_NAMES
+from repro.workload.generator import PAPER_DEFAULTS, paper_instance
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_int_list(text: str) -> list[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+
+
+def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sizes",
+        type=_parse_int_list,
+        help="comma-separated group sizes P_1..P_h (e.g. 3,5,3)",
+    )
+    parser.add_argument(
+        "--times",
+        type=_parse_int_list,
+        help="comma-separated expected times t_1..t_h (e.g. 2,4,8)",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=DISTRIBUTION_NAMES,
+        help="use a paper workload (n=1000, h=8, t=4..512) instead",
+    )
+
+
+def _resolve_instance(args: argparse.Namespace) -> ProblemInstance:
+    if args.workload:
+        return paper_instance(args.workload)
+    if args.sizes and args.times:
+        return instance_from_counts(args.sizes, args.times)
+    raise ReproError(
+        "specify an instance: either --workload NAME or both "
+        "--sizes and --times"
+    )
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    instance = _resolve_instance(args)
+    plan = plan_channels(instance, available=args.channels)
+    print(instance)
+    print(f"channel load       : {plan.load:.4f}")
+    print(f"minimum channels   : {plan.required}")
+    print(f"available channels : {plan.available}")
+    print(f"sufficient         : {'yes' if plan.sufficient else 'no'}")
+    print(f"utilisation        : {plan.utilisation:.3f}")
+    if plan.sufficient:
+        print(f"slack slots / t_h  : {plan.slack_slots}")
+        print("recommendation     : SUSC (zero delay)")
+    else:
+        print("recommendation     : PAMAD (minimum average delay)")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    instance = _resolve_instance(args)
+    if args.algorithm == "susc":
+        from repro.core.susc import schedule_susc
+
+        schedule = schedule_susc(instance, num_channels=args.channels)
+    else:
+        scheduler = get_scheduler(args.algorithm)
+        channels = args.channels or minimum_channels(instance)
+        schedule = scheduler(instance, channels)
+    program = schedule.program
+    report = validate_program(program, instance)
+    print(repr(program))
+    print(f"validity: {report.summary()}")
+    if args.render:
+        print(program.render())
+    if args.json:
+        print(program.to_json())
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    instance = _resolve_instance(args)
+    scheduler = get_scheduler(args.algorithm)
+    schedule = scheduler(instance, args.channels)
+    measurement = measure_program(
+        schedule.program,
+        instance,
+        num_requests=args.requests,
+        seed=args.seed,
+    )
+    low, high = measurement.confidence_interval()
+    print(f"algorithm          : {args.algorithm}")
+    print(f"channels           : {args.channels}")
+    print(f"cycle length       : {schedule.program.cycle_length}")
+    print(f"AvgD (analytic)    : {schedule.average_delay:.4f}")
+    print(
+        f"AvgD (simulated)   : {measurement.average_delay:.4f} "
+        f"[{low:.4f}, {high:.4f}] over {measurement.num_requests} requests"
+    )
+    print(f"mean wait          : {measurement.average_wait:.4f}")
+    print(f"deadline misses    : {measurement.miss_ratio:.3%}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    instance = _resolve_instance(args)
+    n_min = minimum_channels(instance)
+    points = channel_sweep(
+        instance,
+        algorithms=args.algorithms,
+        channel_points=default_channel_points(n_min, args.points),
+        num_requests=args.requests,
+        seed=args.seed,
+    )
+    table = sweep_table(
+        points, title=f"AvgD vs channels (N_min={n_min})"
+    )
+    print(table.render())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.analysis.ascii_plot import line_chart
+    from repro.analysis.experiments import run_experiment
+
+    overrides = {}
+    if args.requests is not None:
+        overrides["num_requests"] = args.requests
+    tables = run_experiment(args.experiment_id, **overrides)
+    for table in tables:
+        columns = list(table.columns)
+        if columns and columns[0] == "channels":
+            x = table.column("channels")
+            series = {
+                name: [
+                    (float(xv), float(yv))
+                    for xv, yv in zip(x, table.column(name))
+                    if isinstance(yv, (int, float))
+                ]
+                for name in columns[1:]
+            }
+            print(
+                line_chart(
+                    series, title=table.title, log_y=args.log
+                )
+            )
+        else:
+            print(table.render())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.analysis.programstats import profile_program
+    from repro.analysis.report import Table
+
+    instance = _resolve_instance(args)
+    scheduler = get_scheduler(args.algorithm)
+    channels = args.channels or minimum_channels(instance)
+    schedule = scheduler(instance, channels)
+    profile = profile_program(schedule.program, instance)
+    print(
+        f"{args.algorithm} on {channels} channels: cycle "
+        f"{profile.cycle_length}, occupancy {profile.occupancy:.1%}, "
+        f"delay fairness {profile.delay_fairness:.3f}"
+    )
+    table = Table(
+        title="per-group structure",
+        columns=[
+            "group", "t_i", "pages", "slots", "bandwidth",
+            "mean gap", "max gap", "margin",
+        ],
+    )
+    for share in profile.shares:
+        table.add_row(
+            share.group_index,
+            share.expected_time,
+            share.pages,
+            share.slots,
+            round(share.bandwidth_share, 3),
+            round(share.mean_gap, 1),
+            share.max_gap,
+            share.safety_margin,
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    overrides = {}
+    if args.requests is not None:
+        overrides["num_requests"] = args.requests
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    for table in run_experiment(args.experiment_id, **overrides):
+        print(table.render() if not args.markdown else table.to_markdown())
+    return 0
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    width = max(len(key) for key in EXPERIMENTS)
+    for key, experiment in EXPERIMENTS.items():
+        print(
+            f"{key.ljust(width)}  {experiment.paper_ref.ljust(12)}  "
+            f"{experiment.title}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-air",
+        description=(
+            "Time-constrained broadcast scheduling "
+            "(ICDCS 2005 reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    plan = commands.add_parser(
+        "plan", help="Theorem-3.1 capacity analysis"
+    )
+    _add_instance_arguments(plan)
+    plan.add_argument(
+        "--channels", type=int, default=1, help="channels available"
+    )
+    plan.set_defaults(handler=_cmd_plan)
+
+    schedule = commands.add_parser(
+        "schedule", help="generate a broadcast program"
+    )
+    _add_instance_arguments(schedule)
+    schedule.add_argument(
+        "--algorithm",
+        default="susc",
+        choices=["susc", *SCHEDULERS],
+        help="scheduler to run",
+    )
+    schedule.add_argument(
+        "--channels",
+        type=int,
+        default=None,
+        help="channels to use (default: Theorem-3.1 minimum)",
+    )
+    schedule.add_argument(
+        "--render", action="store_true", help="print the program grid"
+    )
+    schedule.add_argument(
+        "--json", action="store_true", help="print the program as JSON"
+    )
+    schedule.set_defaults(handler=_cmd_schedule)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="measure AvgD of a scheduler"
+    )
+    _add_instance_arguments(evaluate)
+    evaluate.add_argument(
+        "--algorithm", default="pamad", choices=list(SCHEDULERS)
+    )
+    evaluate.add_argument("--channels", type=int, required=True)
+    evaluate.add_argument(
+        "--requests", type=int, default=PAPER_DEFAULTS.num_requests
+    )
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    sweep = commands.add_parser(
+        "sweep", help="Figure-5-style channel sweep"
+    )
+    _add_instance_arguments(sweep)
+    sweep.add_argument(
+        "--algorithms",
+        type=lambda text: [part.strip() for part in text.split(",")],
+        default=["pamad", "m-pb", "opt"],
+        help="comma-separated scheduler names",
+    )
+    sweep.add_argument("--points", type=int, default=12)
+    sweep.add_argument(
+        "--requests", type=int, default=PAPER_DEFAULTS.num_requests
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    profile = commands.add_parser(
+        "profile", help="structural profile of a generated program"
+    )
+    _add_instance_arguments(profile)
+    profile.add_argument(
+        "--algorithm", default="pamad", choices=list(SCHEDULERS)
+    )
+    profile.add_argument(
+        "--channels",
+        type=int,
+        default=None,
+        help="channels to use (default: Theorem-3.1 minimum)",
+    )
+    profile.set_defaults(handler=_cmd_profile)
+
+    experiment = commands.add_parser(
+        "experiment", help="run a registered experiment"
+    )
+    experiment.add_argument(
+        "experiment_id", help="e.g. FIG5D (see 'experiments')"
+    )
+    experiment.add_argument("--requests", type=int, default=None)
+    experiment.add_argument("--seed", type=int, default=None)
+    experiment.add_argument(
+        "--markdown", action="store_true", help="emit Markdown tables"
+    )
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    listing = commands.add_parser(
+        "experiments", help="list registered experiments"
+    )
+    listing.set_defaults(handler=_cmd_experiments)
+
+    figure = commands.add_parser(
+        "figure", help="render an experiment as an ASCII chart"
+    )
+    figure.add_argument(
+        "experiment_id", help="e.g. FIG5D (channel-sweep experiments plot)"
+    )
+    figure.add_argument("--requests", type=int, default=None)
+    figure.add_argument(
+        "--log", action="store_true", default=True,
+        help="log-scale the y axis (default)",
+    )
+    figure.add_argument(
+        "--linear", dest="log", action="store_false",
+        help="linear y axis",
+    )
+    figure.set_defaults(handler=_cmd_figure)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Theorem 3.1 — the minimum number of channels for a valid program.
+
+A *valid broadcast program* (Section 3.1) must broadcast every page of
+group ``G_i`` at least once in any window of ``t_i`` consecutive slots.
+Each page of ``G_i`` therefore consumes at least ``1/t_i`` of one channel's
+bandwidth, and the whole instance needs
+
+    N  =  ceil( sum_i  P_i / t_i )
+
+channels.  (The paper's Equation (1) typesets per-group ceilings, but its
+own worked example computes ``ceil(2/2 + 3/4) = 2`` — the ceiling of the
+*sum* — and SUSC demonstrably succeeds with that count, so this module
+implements the example's reading.  ``per_group_ceiling_bound`` exposes the
+coarser per-group-ceiling value for comparison.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.pages import ProblemInstance
+
+__all__ = [
+    "channel_load",
+    "minimum_channels",
+    "per_group_ceiling_bound",
+    "ChannelPlan",
+    "plan_channels",
+]
+
+
+def channel_load(instance: ProblemInstance) -> float:
+    """The exact bandwidth demand ``sum_i P_i / t_i`` in channel units.
+
+    This is the quantity whose ceiling is Theorem 3.1's bound; it is also
+    the natural x-axis normaliser for the insufficient-channel experiments
+    (the paper's "1/5 of the minimally sufficient channels" observation).
+    """
+    return sum(
+        group.size / group.expected_time for group in instance.groups
+    )
+
+
+def minimum_channels(instance: ProblemInstance) -> int:
+    """Theorem 3.1: minimum channels for a valid program.
+
+    ``N = ceil(sum_i P_i / t_i)``, computed in exact rational arithmetic so
+    float rounding can never return ``N ± 1`` (the group times are powers of
+    a common ratio, so a single common denominator of ``t_h`` suffices).
+    """
+    t_h = instance.max_expected_time
+    numerator = sum(
+        group.size * (t_h // group.expected_time)
+        for group in instance.groups
+    )
+    return -(-numerator // t_h)  # ceil for positive ints
+
+
+def per_group_ceiling_bound(instance: ProblemInstance) -> int:
+    """The coarser ``sum_i ceil(P_i / t_i)`` reading of Equation (1).
+
+    Always >= :func:`minimum_channels`; exposed so the two readings can be
+    compared empirically (see ``benchmarks/bench_susc_scaling.py``).
+    """
+    return sum(
+        math.ceil(group.size / group.expected_time)
+        for group in instance.groups
+    )
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """Capacity analysis of an instance against an available channel count.
+
+    Attributes:
+        required: Theorem 3.1 minimum channel count ``N``.
+        available: Channels the system actually provides (``N_real``).
+        load: Exact fractional demand ``sum P_i / t_i``.
+        sufficient: Whether SUSC applies (``available >= required``).
+        utilisation: ``load / available`` — above 1.0 means delay is
+            unavoidable and PAMAD's frequency reduction kicks in.
+        slack_slots: Free slots per ``t_h`` window when sufficient
+            (``available * t_h - sum P_i * t_h / t_i``), else 0.
+    """
+
+    required: int
+    available: int
+    load: float
+    sufficient: bool
+    utilisation: float
+    slack_slots: int
+
+
+def plan_channels(instance: ProblemInstance, available: int) -> ChannelPlan:
+    """Compare an instance's demand to an available channel budget.
+
+    This is the decision point of the whole system: ``sufficient`` routes
+    to SUSC (zero delay), otherwise to PAMAD (minimum average delay).
+    """
+    required = minimum_channels(instance)
+    load = channel_load(instance)
+    t_h = instance.max_expected_time
+    demand_slots = sum(
+        group.size * (t_h // group.expected_time)
+        for group in instance.groups
+    )
+    sufficient = available >= required
+    slack = available * t_h - demand_slots if sufficient else 0
+    return ChannelPlan(
+        required=required,
+        available=available,
+        load=load,
+        sufficient=sufficient,
+        utilisation=load / available if available > 0 else float("inf"),
+        slack_slots=slack,
+    )

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the broadcast-scheduling library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes the paper's
+algorithms can hit (invalid problem instances, insufficient channels for
+SUSC, placement overflows, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InsufficientChannelsError",
+    "SchedulingError",
+    "SlotConflictError",
+    "ProgramValidationError",
+    "SearchSpaceError",
+    "WorkloadError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """A problem instance violates the paper's structural assumptions.
+
+    Raised for empty groups, non-positive expected times, expected times
+    that do not sit on a geometric ladder ``t_{i+1} = c * t_i``, duplicate
+    page identifiers, and similar malformed inputs.
+    """
+
+
+class InsufficientChannelsError(ReproError):
+    """SUSC was asked to schedule with fewer channels than Theorem 3.1 allows.
+
+    The exception carries both the requested and the required channel count
+    so callers can fall back to PAMAD with a meaningful message.
+    """
+
+    def __init__(self, provided: int, required: int) -> None:
+        self.provided = provided
+        self.required = required
+        super().__init__(
+            f"{provided} channel(s) provided but Theorem 3.1 requires at "
+            f"least {required}; use PAMAD for the insufficient-channel case"
+        )
+
+
+class SchedulingError(ReproError):
+    """A scheduling algorithm failed to place a page.
+
+    For SUSC under sufficient channels this indicates a bug (Theorem 3.2
+    guarantees a free slot); the message carries the page and search window
+    involved so the violation is debuggable.
+    """
+
+
+class SlotConflictError(SchedulingError):
+    """An assignment tried to overwrite an occupied broadcast slot."""
+
+
+class ProgramValidationError(ReproError):
+    """A broadcast program failed the validity conditions of Section 3.1."""
+
+
+class SearchSpaceError(ReproError):
+    """A frequency search was given an empty or unbounded search space."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload generator received inconsistent parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

@@ -1,0 +1,255 @@
+"""PAMAD broadcast-frequency derivation (Section 4.3, Algorithm 3).
+
+With insufficient channels a valid program is impossible, so PAMAD reduces
+how often pages are broadcast and spreads the resulting delay evenly.  The
+search space of per-group frequencies is ``r^n``-large, so the paper
+derives frequencies *stage by stage*:
+
+* Stage 1 is trivial — within a ``t_1`` horizon, broadcasting ``G_1`` once
+  suffices (``S_1 = 1`` so far).
+* Stage ``i`` (horizon ``t_i``) broadcasts the whole stage-``(i-1)`` content
+  ``r_{i-1}`` times plus ``G_i`` once, and picks the ``r_{i-1}`` minimising
+  the stage's average group delay ``D'_i`` (the literal Equation-2 form —
+  see :mod:`repro.core.delay`).
+* After stage ``h``: ``S_i = prod(r_i .. r_{h-1})`` and ``S_h = 1``.
+
+Every group is broadcast at least once per major cycle (the paper's lower
+bound restriction), so no page ever starves.
+
+The same staged family (frequency vectors expressible as suffix products of
+an ``r`` vector) is what the OPT baseline searches jointly; the helpers for
+stage evaluation and the ``r`` upper bound live here so both share one
+implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.delay import paper_group_delay
+from repro.core.errors import SearchSpaceError
+from repro.core.pages import ProblemInstance
+
+__all__ = [
+    "FrequencyAssignment",
+    "stage_frequencies",
+    "stage_delay",
+    "r_upper_bound",
+    "frequencies_from_r",
+    "pamad_frequencies",
+    "sufficient_channel_frequencies",
+]
+
+
+@dataclass(frozen=True)
+class FrequencyAssignment:
+    """Per-group broadcast frequencies plus the derivation trace.
+
+    Attributes:
+        frequencies: Final ``(S_1, ..., S_h)``.
+        r_values: The staged multipliers ``(r_1, ..., r_{h-1})`` (empty for
+            ``h = 1``); ``S_i = prod(r_i..r_{h-1})``.
+        num_channels: ``N_real`` the derivation targeted.
+        stage_delays: ``D'_i`` achieved at each stage ``i = 2..h`` (empty
+            for ``h = 1``); useful for tracing the progressive search.
+        predicted_delay: The final-stage paper-model delay ``D'_h`` of the
+            chosen frequencies (0 when the frequencies fully satisfy all
+            expected times).
+    """
+
+    frequencies: tuple[int, ...]
+    r_values: tuple[int, ...]
+    num_channels: int
+    stage_delays: tuple[float, ...]
+    predicted_delay: float
+
+    def slots_for(self, sizes: Sequence[int]) -> int:
+        """``F = sum S_i P_i`` — content slots of one major cycle."""
+        return sum(s * p for s, p in zip(self.frequencies, sizes))
+
+    def cycle_length(self, sizes: Sequence[int]) -> int:
+        """Equation (8): ``t_major = ceil(F / N_real)``."""
+        return math.ceil(self.slots_for(sizes) / self.num_channels)
+
+
+def frequencies_from_r(r_values: Sequence[int], h: int) -> tuple[int, ...]:
+    """Expand staged multipliers into final frequencies.
+
+    ``S_i = prod_{j=i}^{h-1} r_j`` for ``i < h`` and ``S_h = 1``.
+    """
+    if len(r_values) != h - 1:
+        raise SearchSpaceError(
+            f"need {h - 1} r-values for h={h} groups, got {len(r_values)}"
+        )
+    frequencies = [1] * h
+    product = 1
+    for i in range(h - 2, -1, -1):
+        product *= r_values[i]
+        frequencies[i] = product
+    return tuple(frequencies)
+
+
+def stage_frequencies(
+    r_values: Sequence[int], stage: int
+) -> tuple[int, ...]:
+    """Frequencies *within* stage ``i`` (groups ``1..stage``).
+
+    At stage ``i`` the content of stage ``i-1`` repeats ``r_{i-1}`` times
+    and ``G_i`` appears once, so group ``j``'s stage frequency is
+    ``prod_{k=j}^{i-1} r_k`` (and 1 for ``j = i``).
+    """
+    if len(r_values) < stage - 1:
+        raise SearchSpaceError(
+            f"stage {stage} needs {stage - 1} r-values, got {len(r_values)}"
+        )
+    return frequencies_from_r(list(r_values[: stage - 1]), stage)
+
+
+def stage_delay(
+    r_values: Sequence[int],
+    stage: int,
+    sizes: Sequence[int],
+    times: Sequence[int],
+    num_channels: int,
+    objective=paper_group_delay,
+) -> float:
+    """``D'_stage`` — the paper's staged average group delay.
+
+    Evaluates the objective (Equation (2) literal form by default) over
+    groups ``1..stage`` with the stage's own cycle length
+    ``ceil(F_stage / N_real)`` (Equations 4/6).  The ABL2 ablation passes
+    :func:`repro.core.delay.normalized_group_delay` instead.
+    """
+    frequencies = stage_frequencies(r_values, stage)
+    return objective(
+        frequencies,
+        sizes[:stage],
+        times[:stage],
+        num_channels,
+    )
+
+
+def r_upper_bound(
+    r_values: Sequence[int],
+    stage: int,
+    sizes: Sequence[int],
+    times: Sequence[int],
+    num_channels: int,
+) -> int:
+    """Algorithm 3's loop bound for ``r_{stage-1}``.
+
+    ``ceil((N_real * t_i - P_i) / F_{i-1})`` where ``F_{i-1}`` is the slot
+    count of one repetition of the stage-``(i-1)`` content: repeating the
+    previous content more often than fills the ``t_i`` horizon cannot
+    reduce anyone's delay, it only inflates the cycle.  Clamped to at least
+    1 so the search space is never empty.
+    """
+    previous = stage_frequencies(r_values, stage - 1)
+    f_prev = sum(s * p for s, p in zip(previous, sizes[: stage - 1]))
+    capacity = num_channels * times[stage - 1] - sizes[stage - 1]
+    if capacity <= 0:
+        return 1
+    return max(1, math.ceil(capacity / f_prev))
+
+
+def pamad_frequencies(
+    instance: ProblemInstance,
+    num_channels: int,
+    objective=paper_group_delay,
+) -> FrequencyAssignment:
+    """Algorithm 3: derive ``(S_1..S_h)`` by progressive stage search.
+
+    At each stage the candidate ``r`` minimising the stage delay is
+    committed (ties break toward the *smallest* ``r`` — same delay for less
+    bandwidth, which also matches the worked example's choice of stopping
+    at the first zero-delay multiplier).
+
+    Args:
+        instance: The problem instance (any channel count is accepted; with
+            sufficient channels the search naturally returns frequencies
+            with zero predicted delay).
+        num_channels: ``N_real`` — channels actually available.
+        objective: Stage objective; defaults to the paper-literal
+            Equation (2) (the ABL2 ablation passes the normalised variant).
+
+    Returns:
+        The chosen :class:`FrequencyAssignment`.
+    """
+    if num_channels <= 0:
+        raise SearchSpaceError(
+            f"num_channels must be positive, got {num_channels}"
+        )
+    sizes = instance.group_sizes
+    times = instance.expected_times
+    h = instance.h
+
+    r_values: list[int] = []
+    stage_delays: list[float] = []
+    for stage in range(2, h + 1):
+        bound = r_upper_bound(
+            r_values, stage, sizes, times, num_channels
+        )
+        best_r = 1
+        best_delay = math.inf
+        for candidate in range(1, bound + 1):
+            delay = stage_delay(
+                [*r_values, candidate],
+                stage,
+                sizes,
+                times,
+                num_channels,
+                objective=objective,
+            )
+            if delay < best_delay - 1e-12:
+                best_r, best_delay = candidate, delay
+            if best_delay == 0.0:
+                # The paper's example logic: once a multiplier satisfies the
+                # stage without delay, larger ones "need not be considered".
+                break
+        r_values.append(best_r)
+        stage_delays.append(best_delay)
+
+    frequencies = frequencies_from_r(r_values, h)
+    predicted = objective(
+        frequencies, sizes, times, num_channels
+    )
+    return FrequencyAssignment(
+        frequencies=frequencies,
+        r_values=tuple(r_values),
+        num_channels=num_channels,
+        stage_delays=tuple(stage_delays),
+        predicted_delay=predicted,
+    )
+
+
+def sufficient_channel_frequencies(
+    instance: ProblemInstance, num_channels: int
+) -> FrequencyAssignment:
+    """The frequencies a *valid* program uses: ``S_i = t_h / t_i``.
+
+    This is what SUSC implicitly broadcasts per ``t_h`` cycle, and what the
+    m-PB baseline keeps even when channels are insufficient (stretching the
+    cycle instead of thinning the frequencies).
+    """
+    t_h = instance.max_expected_time
+    frequencies = tuple(
+        -(-t_h // group.expected_time) for group in instance.groups
+    )
+    predicted = paper_group_delay(
+        frequencies,
+        instance.group_sizes,
+        instance.expected_times,
+        num_channels,
+    )
+    return FrequencyAssignment(
+        frequencies=frequencies,
+        r_values=tuple(
+            frequencies[i] // frequencies[i + 1]
+            for i in range(instance.h - 1)
+        ),
+        num_channels=num_channels,
+        stage_delays=(),
+        predicted_delay=predicted,
+    )

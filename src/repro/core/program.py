@@ -1,0 +1,329 @@
+"""The multi-channel broadcast program ``B`` (Section 3.2).
+
+A broadcast program is conceptually a 2-D array: each row is a broadcast
+channel, each column is a time slot, and the whole grid repeats cyclically
+with period ``cycle_length`` (the paper's major cycle ``t_major``; ``t_h``
+for SUSC programs).  A cell holds at most one page id.
+
+Indexing convention: **0-based** channels and slots throughout the code
+(the paper is 1-based; :meth:`BroadcastProgram.render` shows 1-based labels
+so its output can be compared against the paper's Figure 2 directly).
+
+The grid is deliberately a plain list-of-lists rather than a numpy array:
+cells hold optional page ids, programs are small (``N x t_major``), and the
+schedulers probe single cells far more often than they scan rows.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.core.errors import InvalidInstanceError, SlotConflictError
+
+__all__ = ["SlotRef", "BroadcastProgram"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class SlotRef:
+    """A reference to one cell of a broadcast program.
+
+    Ordering is (slot, channel): earlier airtime first, which is the order
+    clients experience and the order placement algorithms scan columns.
+    """
+
+    slot: int
+    channel: int
+
+    def __str__(self) -> str:
+        return f"(ch={self.channel}, slot={self.slot})"
+
+
+class BroadcastProgram:
+    """A cyclic ``num_channels x cycle_length`` broadcast schedule.
+
+    The program owns its grid; schedulers fill it through :meth:`assign`,
+    which refuses to overwrite an occupied cell so double-placement bugs
+    surface immediately instead of silently corrupting the schedule.
+    """
+
+    def __init__(self, num_channels: int, cycle_length: int) -> None:
+        if num_channels <= 0:
+            raise InvalidInstanceError(
+                f"num_channels must be positive, got {num_channels}"
+            )
+        if cycle_length <= 0:
+            raise InvalidInstanceError(
+                f"cycle_length must be positive, got {cycle_length}"
+            )
+        self._num_channels = num_channels
+        self._cycle_length = cycle_length
+        self._grid: list[list[int | None]] = [
+            [None] * cycle_length for _ in range(num_channels)
+        ]
+        # page_id -> sorted-on-demand list of SlotRef; kept as the single
+        # source of truth for appearance queries.
+        self._appearances: dict[int, list[SlotRef]] = {}
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    @property
+    def num_channels(self) -> int:
+        """Number of broadcast channels (grid rows)."""
+        return self._num_channels
+
+    @property
+    def cycle_length(self) -> int:
+        """Major-cycle length ``t_major`` in slots (grid columns)."""
+        return self._cycle_length
+
+    @property
+    def total_slots(self) -> int:
+        """Total number of cells in one cycle."""
+        return self._num_channels * self._cycle_length
+
+    # ------------------------------------------------------------------
+    # Cell access
+    # ------------------------------------------------------------------
+
+    def _check_cell(self, channel: int, slot: int) -> None:
+        if not 0 <= channel < self._num_channels:
+            raise InvalidInstanceError(
+                f"channel {channel} out of range 0..{self._num_channels - 1}"
+            )
+        if not 0 <= slot < self._cycle_length:
+            raise InvalidInstanceError(
+                f"slot {slot} out of range 0..{self._cycle_length - 1}"
+            )
+
+    def get(self, channel: int, slot: int) -> int | None:
+        """Return the page id at a cell, or ``None`` if the cell is free."""
+        self._check_cell(channel, slot)
+        return self._grid[channel][slot]
+
+    def is_free(self, channel: int, slot: int) -> bool:
+        """True if the cell holds no page."""
+        return self.get(channel, slot) is None
+
+    def assign(self, channel: int, slot: int, page_id: int) -> None:
+        """Place ``page_id`` at ``(channel, slot)``.
+
+        Raises:
+            SlotConflictError: If the cell is already occupied.
+        """
+        self._check_cell(channel, slot)
+        occupant = self._grid[channel][slot]
+        if occupant is not None:
+            raise SlotConflictError(
+                f"slot (ch={channel}, slot={slot}) already holds page "
+                f"{occupant}; cannot place page {page_id}"
+            )
+        self._grid[channel][slot] = page_id
+        self._appearances.setdefault(page_id, []).append(
+            SlotRef(slot=slot, channel=channel)
+        )
+
+    def clear(self, channel: int, slot: int) -> int | None:
+        """Remove and return the page at a cell (``None`` if it was free)."""
+        self._check_cell(channel, slot)
+        occupant = self._grid[channel][slot]
+        if occupant is not None:
+            self._grid[channel][slot] = None
+            refs = self._appearances[occupant]
+            refs.remove(SlotRef(slot=slot, channel=channel))
+            if not refs:
+                del self._appearances[occupant]
+        return occupant
+
+    # ------------------------------------------------------------------
+    # Scans used by the schedulers
+    # ------------------------------------------------------------------
+
+    def free_slot_in_channel_window(
+        self, channel: int, window: int
+    ) -> int | None:
+        """First free slot index in ``channel`` among slots ``0..window-1``.
+
+        This is the inner scan of the paper's GetAvailableSlot (Algorithm 2):
+        the window is the page's expected time ``t_i``.
+        """
+        limit = min(window, self._cycle_length)
+        row = self._grid[channel]
+        for slot in range(limit):
+            if row[slot] is None:
+                return slot
+        return None
+
+    def free_channel_in_column(self, slot: int) -> int | None:
+        """First channel with a free cell in column ``slot`` (Algorithm 4 scan)."""
+        self._check_cell(0, slot)
+        for channel in range(self._num_channels):
+            if self._grid[channel][slot] is None:
+                return channel
+        return None
+
+    def free_cells(self) -> Iterator[SlotRef]:
+        """Iterate over all free cells in (slot, channel) order."""
+        for slot in range(self._cycle_length):
+            for channel in range(self._num_channels):
+                if self._grid[channel][slot] is None:
+                    yield SlotRef(slot=slot, channel=channel)
+
+    def occupancy(self) -> float:
+        """Fraction of cells holding a page."""
+        used = self.total_slots - sum(
+            row.count(None) for row in self._grid
+        )
+        return used / self.total_slots
+
+    # ------------------------------------------------------------------
+    # Appearance queries (the client's view)
+    # ------------------------------------------------------------------
+
+    def page_ids(self) -> set[int]:
+        """All page ids appearing at least once in the program."""
+        return set(self._appearances)
+
+    def appearances(self, page_id: int) -> list[SlotRef]:
+        """All cells holding ``page_id``, sorted by airtime."""
+        return sorted(self._appearances.get(page_id, []))
+
+    def appearance_slots(self, page_id: int) -> list[int]:
+        """Sorted slot indices at which ``page_id`` is broadcast.
+
+        A page may appear on any channel; a client with the program index
+        tunes to whichever channel carries the next appearance, so only the
+        slot (column) matters for waiting time.
+        """
+        return sorted({ref.slot for ref in self._appearances.get(page_id, [])})
+
+    def broadcast_count(self, page_id: int) -> int:
+        """Number of appearances of ``page_id`` in one cycle (``s_{i,j}``)."""
+        return len(self._appearances.get(page_id, []))
+
+    def page_counts(self) -> Counter[int]:
+        """Appearance count per page id."""
+        return Counter(
+            {page_id: len(refs) for page_id, refs in self._appearances.items()}
+        )
+
+    def cyclic_gaps(self, page_id: int) -> list[int]:
+        """Cyclic gaps between consecutive appearances of ``page_id``.
+
+        The gaps partition the cycle: they always sum to ``cycle_length``.
+        A page appearing once has a single gap equal to the whole cycle.
+        """
+        slots = self.appearance_slots(page_id)
+        if not slots:
+            raise InvalidInstanceError(
+                f"page {page_id} does not appear in the program"
+            )
+        if len(slots) == 1:
+            return [self._cycle_length]
+        gaps = [b - a for a, b in zip(slots, slots[1:])]
+        gaps.append(self._cycle_length - slots[-1] + slots[0])
+        return gaps
+
+    def wait_time(self, page_id: int, arrival: float) -> float:
+        """Time from ``arrival`` until the next broadcast start of ``page_id``.
+
+        ``arrival`` is a (possibly fractional) time in ``[0, cycle_length)``;
+        a client arriving exactly when the page starts waits zero.
+        """
+        slots = self.appearance_slots(page_id)
+        if not slots:
+            raise InvalidInstanceError(
+                f"page {page_id} does not appear in the program"
+            )
+        if not 0 <= arrival < self._cycle_length:
+            arrival %= self._cycle_length
+        for slot in slots:
+            if slot >= arrival:
+                return slot - arrival
+        return slots[0] + self._cycle_length - arrival
+
+    # ------------------------------------------------------------------
+    # Serialisation and rendering
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation of the program."""
+        return {
+            "num_channels": self._num_channels,
+            "cycle_length": self._cycle_length,
+            "grid": [list(row) for row in self._grid],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BroadcastProgram":
+        """Rebuild a program produced by :meth:`to_dict`."""
+        program = cls(
+            num_channels=int(data["num_channels"]),
+            cycle_length=int(data["cycle_length"]),
+        )
+        grid: Sequence[Sequence[int | None]] = data["grid"]
+        if len(grid) != program.num_channels:
+            raise InvalidInstanceError(
+                f"grid has {len(grid)} rows, expected {program.num_channels}"
+            )
+        for channel, row in enumerate(grid):
+            if len(row) != program.cycle_length:
+                raise InvalidInstanceError(
+                    f"grid row {channel} has {len(row)} slots, expected "
+                    f"{program.cycle_length}"
+                )
+            for slot, page_id in enumerate(row):
+                if page_id is not None:
+                    program.assign(channel, slot, int(page_id))
+        return program
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "BroadcastProgram":
+        """Deserialise a program from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def render(self, cell_width: int | None = None) -> str:
+        """Pretty-print the grid in the style of the paper's Figure 2.
+
+        Rows are channels, columns are time slots (labelled 1-based like the
+        paper), empty cells show ``.``.
+        """
+        if cell_width is None:
+            widest = max(
+                (len(str(pid)) for pid in self._appearances), default=1
+            )
+            cell_width = max(widest, len(str(self._cycle_length))) + 1
+        lines = []
+        header = "time".rjust(6) + "".join(
+            str(slot + 1).rjust(cell_width)
+            for slot in range(self._cycle_length)
+        )
+        lines.append(header)
+        for channel, row in enumerate(self._grid):
+            cells = "".join(
+                (str(page) if page is not None else ".").rjust(cell_width)
+                for page in row
+            )
+            lines.append(f"ch{channel + 1}".rjust(6) + cells)
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BroadcastProgram):
+            return NotImplemented
+        return self._grid == other._grid
+
+    def __repr__(self) -> str:
+        return (
+            f"BroadcastProgram(channels={self._num_channels}, "
+            f"cycle={self._cycle_length}, "
+            f"pages={len(self._appearances)}, "
+            f"occupancy={self.occupancy():.2f})"
+        )

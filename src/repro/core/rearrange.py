@@ -1,0 +1,247 @@
+"""Expected-time rearrangement (Section 2).
+
+Clients attach arbitrary expected times to pages; scheduling against
+arbitrary deadlines is intractable, so the paper rounds every expected time
+*down* onto a geometric ladder ``base * ratio^k``.  The paper's example:
+expected times ``(2, 3, 4, 6, 9)`` become ``(2, 2, 4, 4, 8)`` with
+``base = 2`` and ``ratio = 2`` — each new time is the largest ladder value
+not exceeding the original, so the client's requirement still holds while
+the scheduling problem collapses to ``h`` groups.
+
+Two costs matter when choosing the ladder:
+
+* **waste** — ``sum(t - t')``: how much earlier than necessary pages are
+  promised (slots spent broadcasting sooner than clients need);
+* **load** — ``sum(1/t' - 1/t)``: the extra *channel bandwidth* the rounding
+  demands, which via Theorem 3.1 is what actually inflates the minimum
+  channel count.
+
+:func:`rearrange` applies a fixed ladder; :func:`best_base` searches all
+feasible bases for the one minimising either cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.pages import ProblemInstance, instance_from_counts
+
+__all__ = [
+    "ladder_value",
+    "Rearrangement",
+    "rearrange",
+    "best_base",
+    "instance_from_expected_times",
+]
+
+
+def ladder_value(time: float, base: int, ratio: int) -> int:
+    """Largest ladder value ``base * ratio^k`` (k >= 0) not exceeding ``time``.
+
+    Args:
+        time: The original expected time; must be >= ``base``.
+        base: The smallest ladder rung ``t_1``.
+        ratio: The ladder ratio ``c`` (positive integer; 1 collapses the
+            ladder to the single value ``base``).
+
+    Raises:
+        InvalidInstanceError: If ``time < base`` (the ladder has no rung at
+            or below the requirement) or parameters are non-positive.
+    """
+    if base <= 0 or ratio <= 0:
+        raise InvalidInstanceError(
+            f"ladder base and ratio must be positive, got base={base}, "
+            f"ratio={ratio}"
+        )
+    if time < base:
+        raise InvalidInstanceError(
+            f"expected time {time} is below the ladder base {base}; "
+            "no rearranged deadline can satisfy it"
+        )
+    if ratio == 1:
+        return base
+    rung = base
+    while rung * ratio <= time:
+        rung *= ratio
+    return rung
+
+
+@dataclass(frozen=True)
+class Rearrangement:
+    """The result of rounding expected times onto a geometric ladder.
+
+    Attributes:
+        base: Ladder base ``t_1``.
+        ratio: Ladder ratio ``c``.
+        assigned: Per input key, the rearranged (rounded-down) expected time.
+        original: Per input key, the original expected time.
+    """
+
+    base: int
+    ratio: int
+    assigned: Mapping[Hashable, int]
+    original: Mapping[Hashable, float]
+
+    @property
+    def group_times(self) -> tuple[int, ...]:
+        """The occupied ladder rungs ``t_1 < t_2 < ... < t_h``.
+
+        Only rungs actually used by some page are groups; the ladder ratio
+        between *consecutive occupied* rungs may therefore be a power of
+        ``ratio``.  :func:`instance_from_expected_times` densifies this back
+        to a strict ``c``-ladder when building a
+        :class:`~repro.core.pages.ProblemInstance`.
+        """
+        return tuple(sorted(set(self.assigned.values())))
+
+    @property
+    def waste(self) -> float:
+        """Total slack introduced by rounding: ``sum(t - t')``."""
+        return sum(
+            self.original[key] - value for key, value in self.assigned.items()
+        )
+
+    @property
+    def load_increase(self) -> float:
+        """Extra per-slot bandwidth demanded by rounding: ``sum(1/t' - 1/t)``.
+
+        By Theorem 3.1 the minimum channel count is
+        ``ceil(sum 1/t')`` summed over pages, so this is the rounding's true
+        channel cost.
+        """
+        return sum(
+            1.0 / value - 1.0 / self.original[key]
+            for key, value in self.assigned.items()
+        )
+
+    def satisfies_requirements(self) -> bool:
+        """True iff every assigned time is <= its original expected time."""
+        return all(
+            value <= self.original[key]
+            for key, value in self.assigned.items()
+        )
+
+
+def rearrange(
+    expected_times: Mapping[Hashable, float] | Sequence[float],
+    ratio: int = 2,
+    base: int | None = None,
+) -> Rearrangement:
+    """Round expected times down onto a ``base * ratio^k`` ladder.
+
+    Args:
+        expected_times: Either a mapping ``key -> expected time`` or a plain
+            sequence (keys then default to positional indices).
+        ratio: Ladder ratio ``c`` (default 2, the paper's running choice).
+        base: Ladder base; defaults to ``floor(min(expected_times))`` — the
+            largest base guaranteed to sit at or below every requirement.
+
+    Returns:
+        A :class:`Rearrangement`; ``assigned[k] <= original[k]`` always
+        holds (clients never wait longer than they asked).
+    """
+    if not isinstance(expected_times, Mapping):
+        expected_times = {i: t for i, t in enumerate(expected_times)}
+    if not expected_times:
+        raise InvalidInstanceError("no expected times to rearrange")
+    for key, time in expected_times.items():
+        if time <= 0:
+            raise InvalidInstanceError(
+                f"expected time for {key!r} must be positive, got {time}"
+            )
+    if base is None:
+        base = int(min(expected_times.values()))
+    assigned = {
+        key: ladder_value(time, base=base, ratio=ratio)
+        for key, time in expected_times.items()
+    }
+    return Rearrangement(
+        base=base,
+        ratio=ratio,
+        assigned=assigned,
+        original=dict(expected_times),
+    )
+
+
+def best_base(
+    expected_times: Mapping[Hashable, float] | Sequence[float],
+    ratio: int = 2,
+    objective: str = "load",
+) -> Rearrangement:
+    """Search every feasible ladder base for the cheapest rearrangement.
+
+    Feasible bases are ``1 .. floor(min(expected_times))``; with integer
+    slot-granularity times that search is exact and small.
+
+    Args:
+        expected_times: As for :func:`rearrange`.
+        ratio: Ladder ratio ``c``.
+        objective: ``"load"`` minimises the channel-bandwidth increase
+            (the cost Theorem 3.1 cares about); ``"waste"`` minimises total
+            deadline slack.
+
+    Returns:
+        The :class:`Rearrangement` with the minimum objective; ties break
+        toward the larger base (coarser ladder, fewer groups).
+    """
+    if objective not in ("load", "waste"):
+        raise InvalidInstanceError(
+            f"objective must be 'load' or 'waste', got {objective!r}"
+        )
+    if not isinstance(expected_times, Mapping):
+        expected_times = {i: t for i, t in enumerate(expected_times)}
+    if not expected_times:
+        raise InvalidInstanceError("no expected times to rearrange")
+    max_base = int(min(expected_times.values()))
+    if max_base < 1:
+        raise InvalidInstanceError(
+            "expected times below one slot cannot be scheduled"
+        )
+    best: Rearrangement | None = None
+    best_cost = float("inf")
+    for base in range(1, max_base + 1):
+        candidate = rearrange(expected_times, ratio=ratio, base=base)
+        cost = (
+            candidate.load_increase
+            if objective == "load"
+            else candidate.waste
+        )
+        if cost <= best_cost:
+            best, best_cost = candidate, cost
+    assert best is not None  # the loop ran at least once
+    return best
+
+
+def instance_from_expected_times(
+    expected_times: Mapping[Hashable, float] | Sequence[float],
+    ratio: int = 2,
+    base: int | None = None,
+) -> tuple[ProblemInstance, dict[Hashable, int]]:
+    """Build a schedulable :class:`ProblemInstance` from raw expected times.
+
+    Applies :func:`rearrange` and groups pages by their (occupied) ladder
+    rung.  Rungs are powers of ``ratio`` times the base, so consecutive
+    occupied rungs always divide evenly — exactly what
+    :class:`ProblemInstance` requires — even when intermediate rungs happen
+    to be empty.
+
+    Returns:
+        ``(instance, page_id_map)`` where ``page_id_map`` maps each input
+        key to the page id used inside the instance.
+    """
+    result = rearrange(expected_times, ratio=ratio, base=base)
+    rungs = list(result.group_times)
+    ordered_keys = sorted(
+        result.assigned, key=lambda key: (result.assigned[key], str(key))
+    )
+    sizes = [
+        sum(1 for key in ordered_keys if result.assigned[key] == rung)
+        for rung in rungs
+    ]
+    instance = instance_from_counts(sizes, rungs)
+    page_id_map = {
+        key: page_id for page_id, key in enumerate(ordered_keys, start=1)
+    }
+    return instance, page_id_map

@@ -1,0 +1,19 @@
+"""Air indexing: (1, m) selective tuning over broadcast programs."""
+
+from repro.indexing.index import (
+    INDEX_SLOT,
+    AccessResult,
+    IndexedProgram,
+    build_indexed_program,
+)
+from repro.indexing.tuning import EnergyCost, EnergyModel, sweep_index_factor
+
+__all__ = [
+    "INDEX_SLOT",
+    "AccessResult",
+    "EnergyCost",
+    "EnergyModel",
+    "IndexedProgram",
+    "build_indexed_program",
+    "sweep_index_factor",
+]

@@ -1,0 +1,240 @@
+"""Adaptive rescheduling under drifting client deadlines (experiment EXT6).
+
+The paper's traffic scenario implies deadlines *change*: an accident
+alert is extremely urgent at first and decays as traffic reroutes.  The
+static pipeline (estimate once, schedule once) goes stale.  This module
+closes the loop:
+
+* a :class:`DeadlineDrift` process evolves each page's true client
+  deadline over time (multiplicative drift, clamped to a range);
+* clients keep piggybacking reports into a
+  :class:`~repro.sim.estimator.DeadlineEstimator`;
+* an :class:`AdaptiveScheduler` periodically rebuilds the instance from
+  fresh estimates and regenerates the program (PAMAD on a fixed channel
+  budget);
+* the simulation measures the *true-deadline* miss ratio of the program
+  in force at each epoch, with and without adaptation.
+
+This is deliberately a discrete-epoch model (rebuild every ``period``
+slots) — exactly how a broadcast server would run it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.errors import SimulationError
+from repro.core.pamad import schedule_pamad
+from repro.core.program import BroadcastProgram
+from repro.core.rearrange import instance_from_expected_times
+from repro.sim.estimator import DeadlineEstimator
+
+__all__ = [
+    "DeadlineDrift",
+    "EpochReport",
+    "AdaptiveScheduler",
+    "run_adaptive_simulation",
+]
+
+
+@dataclass
+class DeadlineDrift:
+    """A bounded multiplicative random walk over per-page deadlines.
+
+    Attributes:
+        deadlines: Current true deadline per page key.
+        volatility: Per-epoch log-scale step size.
+        floor: Smallest allowed deadline (>= 1 slot).
+        ceiling: Largest allowed deadline.
+    """
+
+    deadlines: dict
+    volatility: float = 0.25
+    floor: float = 2.0
+    ceiling: float = 512.0
+
+    def __post_init__(self) -> None:
+        if self.floor < 1:
+            raise SimulationError(f"floor must be >= 1, got {self.floor}")
+        if self.ceiling <= self.floor:
+            raise SimulationError(
+                f"ceiling {self.ceiling} must exceed floor {self.floor}"
+            )
+        if self.volatility < 0:
+            raise SimulationError(
+                f"volatility must be >= 0, got {self.volatility}"
+            )
+
+    def step(self, rng: random.Random) -> None:
+        """Advance every page's deadline one epoch."""
+        for key in self.deadlines:
+            factor = 2.0 ** rng.uniform(-self.volatility, self.volatility)
+            value = self.deadlines[key] * factor
+            self.deadlines[key] = min(self.ceiling, max(self.floor, value))
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """Measurement of one epoch.
+
+    Attributes:
+        epoch: Epoch index (0-based).
+        miss_ratio: Fraction of sampled accesses whose wait exceeded the
+            *current true* deadline of the requested page.
+        average_excess: Mean wait beyond the true deadline (slots).
+        rescheduled: Whether the scheduler regenerated the program at the
+            start of this epoch.
+    """
+
+    epoch: int
+    miss_ratio: float
+    average_excess: float
+    rescheduled: bool
+
+
+class AdaptiveScheduler:
+    """Rebuilds the broadcast program from fresh deadline estimates.
+
+    Args:
+        num_channels: Fixed channel budget for every rebuild.
+        quantile: Estimator percentile (conservative deadlines).
+        ratio: Rearrangement ladder ratio.
+        window: Number of recent reports kept per page (older reports
+            age out so estimates can track drift).
+    """
+
+    def __init__(
+        self,
+        num_channels: int,
+        quantile: float = 0.1,
+        ratio: int = 2,
+        window: int = 40,
+    ) -> None:
+        if num_channels < 1:
+            raise SimulationError(
+                f"num_channels must be >= 1, got {num_channels}"
+            )
+        if window < 1:
+            raise SimulationError(f"window must be >= 1, got {window}")
+        self._num_channels = num_channels
+        self._quantile = quantile
+        self._ratio = ratio
+        self._window = window
+        self._reports: dict = {}
+
+    def observe(self, page_key, deadline: float) -> None:
+        """Fold in one piggybacked report (sliding window per page)."""
+        bucket = self._reports.setdefault(page_key, [])
+        bucket.append(deadline)
+        if len(bucket) > self._window:
+            del bucket[: len(bucket) - self._window]
+
+    def rebuild(self) -> tuple[BroadcastProgram, Mapping]:
+        """Produce a fresh program from the current report windows.
+
+        Returns:
+            ``(program, key_to_deadline_promised)`` where the mapping
+            gives the rearranged deadline promised to each page key.
+        """
+        if not self._reports:
+            raise SimulationError("no reports to schedule from")
+        estimator = DeadlineEstimator()
+        for key, bucket in self._reports.items():
+            for deadline in bucket:
+                estimator.observe(key, deadline)
+        estimates = estimator.estimates(self._quantile)
+        instance, mapping = instance_from_expected_times(
+            estimates, ratio=self._ratio
+        )
+        schedule = schedule_pamad(instance, self._num_channels)
+        promised = {
+            key: instance.page(page_id).expected_time
+            for key, page_id in mapping.items()
+        }
+        self._last_mapping = mapping
+        self._last_instance = instance
+        return schedule.program, promised
+
+    @property
+    def page_id_of(self) -> Mapping:
+        """Key -> page id mapping of the most recent rebuild."""
+        return self._last_mapping
+
+
+def run_adaptive_simulation(
+    initial_deadlines: Mapping,
+    num_channels: int,
+    epochs: int = 12,
+    accesses_per_epoch: int = 400,
+    reports_per_epoch: int = 5,
+    volatility: float = 0.25,
+    rebuild_every: int = 1,
+    seed: int = 0,
+) -> list[EpochReport]:
+    """Simulate drifting deadlines with periodic rescheduling.
+
+    Args:
+        initial_deadlines: Page key -> starting true deadline.
+        num_channels: Fixed channel budget.
+        epochs: Number of drift epochs to simulate.
+        accesses_per_epoch: Sampled client accesses per epoch (measure).
+        reports_per_epoch: Piggybacked reports per page per epoch.
+        volatility: Drift step size (0 = static deadlines).
+        rebuild_every: Rebuild period in epochs; ``0`` disables
+            adaptation entirely (schedule once, never again).
+        seed: RNG seed.
+
+    Returns:
+        One :class:`EpochReport` per epoch.
+    """
+    if epochs < 1:
+        raise SimulationError(f"epochs must be >= 1, got {epochs}")
+    rng = random.Random(seed)
+    drift = DeadlineDrift(
+        deadlines=dict(initial_deadlines), volatility=volatility
+    )
+    scheduler = AdaptiveScheduler(num_channels=num_channels)
+    keys = list(drift.deadlines)
+
+    def report_all() -> None:
+        for key in keys:
+            true = drift.deadlines[key]
+            for _ in range(reports_per_epoch):
+                scheduler.observe(key, true * rng.uniform(1.0, 1.3))
+
+    report_all()
+    program, _promised = scheduler.rebuild()
+    mapping = dict(scheduler.page_id_of)
+
+    reports: list[EpochReport] = []
+    for epoch in range(epochs):
+        rescheduled = False
+        if epoch > 0:
+            drift.step(rng)
+            report_all()
+            if rebuild_every and epoch % rebuild_every == 0:
+                program, _promised = scheduler.rebuild()
+                mapping = dict(scheduler.page_id_of)
+                rescheduled = True
+
+        misses = 0
+        excess_total = 0.0
+        for _ in range(accesses_per_epoch):
+            key = rng.choice(keys)
+            arrival = rng.random() * program.cycle_length
+            wait = program.wait_time(mapping[key], arrival)
+            excess = wait - drift.deadlines[key]
+            if excess > 0:
+                misses += 1
+                excess_total += excess
+        reports.append(
+            EpochReport(
+                epoch=epoch,
+                miss_ratio=misses / accesses_per_epoch,
+                average_excess=excess_total / accesses_per_epoch,
+                rescheduled=rescheduled,
+            )
+        )
+    return reports

@@ -1,0 +1,153 @@
+"""Expected-time acquisition — the piggyback/probing front end (Section 1).
+
+The paper assumes each page's expected time is known and points at
+piggybacking and probing techniques for obtaining it.  This module closes
+that loop so the library is usable end to end on raw client feedback:
+
+* **piggybacking** — every client request carries the client's deadline for
+  the page; the server folds each observation in as it arrives.
+* **probing** — the server samples only a fraction of clients per round
+  (cheaper uplink usage), modelled here by a seeded Bernoulli filter.
+
+Per page, the estimator keeps the observed deadlines and exposes a
+percentile-based summary: the ``q``-quantile deadline is the expected time
+that satisfies a ``(1 - q)`` share of the reporting clients.  Feeding the
+estimates through :func:`repro.core.rearrange.instance_from_expected_times`
+yields a schedulable instance.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.errors import SimulationError
+from repro.core.pages import ProblemInstance
+from repro.core.rearrange import instance_from_expected_times
+
+__all__ = ["DeadlineEstimator", "ProbingCollector"]
+
+
+@dataclass
+class DeadlineEstimator:
+    """Aggregates client-reported deadlines into per-page expected times."""
+
+    _samples: dict[Hashable, list[float]] = field(default_factory=dict)
+
+    def observe(self, page_key: Hashable, deadline: float) -> None:
+        """Fold in one piggybacked deadline report.
+
+        Raises:
+            SimulationError: If the deadline is not positive.
+        """
+        if deadline <= 0:
+            raise SimulationError(
+                f"reported deadline must be positive, got {deadline}"
+            )
+        self._samples.setdefault(page_key, []).append(deadline)
+
+    @property
+    def num_pages(self) -> int:
+        """Pages with at least one observation."""
+        return len(self._samples)
+
+    def observation_count(self, page_key: Hashable) -> int:
+        """Observations recorded for one page."""
+        return len(self._samples.get(page_key, []))
+
+    def estimate(self, page_key: Hashable, quantile: float = 0.1) -> float:
+        """Percentile estimate of one page's expected time.
+
+        ``quantile = 0.1`` picks a deadline at least as tight as 90% of the
+        reporting clients' — conservative, so almost everyone is served in
+        time; ``0.5`` is the median client.
+
+        Raises:
+            SimulationError: If the page has no observations or the
+                quantile is outside ``(0, 1]``.
+        """
+        if not 0 < quantile <= 1:
+            raise SimulationError(
+                f"quantile must be in (0, 1], got {quantile}"
+            )
+        samples = self._samples.get(page_key)
+        if not samples:
+            raise SimulationError(
+                f"no deadline observations for page {page_key!r}"
+            )
+        ordered = sorted(samples)
+        index = max(0, math.ceil(quantile * len(ordered)) - 1)
+        return ordered[index]
+
+    def estimates(self, quantile: float = 0.1) -> dict[Hashable, float]:
+        """Percentile estimates for every observed page."""
+        return {
+            key: self.estimate(key, quantile) for key in self._samples
+        }
+
+    def to_instance(
+        self,
+        quantile: float = 0.1,
+        ratio: int = 2,
+        base: int | None = None,
+    ) -> tuple[ProblemInstance, dict[Hashable, int]]:
+        """Build a schedulable instance from the current estimates.
+
+        Applies the Section-2 rearrangement to the percentile estimates.
+
+        Returns:
+            ``(instance, page_id_map)`` as from
+            :func:`instance_from_expected_times`.
+        """
+        if not self._samples:
+            raise SimulationError("no observations to build an instance from")
+        return instance_from_expected_times(
+            self.estimates(quantile), ratio=ratio, base=base
+        )
+
+
+class ProbingCollector:
+    """A sampling front end over :class:`DeadlineEstimator`.
+
+    Models the probing technique: only a fraction of client reports are
+    actually solicited (saving uplink bandwidth); the rest are discarded
+    before reaching the estimator.
+    """
+
+    def __init__(
+        self,
+        estimator: DeadlineEstimator,
+        probe_probability: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < probe_probability <= 1:
+            raise SimulationError(
+                f"probe_probability must be in (0, 1], got "
+                f"{probe_probability}"
+            )
+        self._estimator = estimator
+        self._probability = probe_probability
+        self._rng = random.Random(seed)
+        self._offered = 0
+        self._collected = 0
+
+    @property
+    def offered(self) -> int:
+        """Client reports presented to the collector."""
+        return self._offered
+
+    @property
+    def collected(self) -> int:
+        """Reports actually forwarded to the estimator."""
+        return self._collected
+
+    def offer(self, page_key: Hashable, deadline: float) -> bool:
+        """Maybe probe one client; returns True if the report was taken."""
+        self._offered += 1
+        if self._rng.random() <= self._probability:
+            self._estimator.observe(page_key, deadline)
+            self._collected += 1
+            return True
+        return False

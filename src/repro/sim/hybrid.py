@@ -1,0 +1,152 @@
+"""Hybrid push/pull simulation (experiment EXT1).
+
+Reproduces the paper's Section-1/Section-4 congestion argument end to end:
+clients prefer the broadcast channel, but
+
+* a client whose next-broadcast wait exceeds its patience (its page's
+  expected time, optionally scaled) abandons the air and pulls the page
+  from the on-demand server instead, and
+* a client whose page is not broadcast at all (dropped by the
+  :mod:`repro.baselines.drop` strategy) has no choice but to pull.
+
+The on-demand server is a finite-capacity FCFS queue
+(:mod:`repro.sim.ondemand`), so spilled demand shows up as queueing delay
+and utilisation — exactly the degradation the paper argues PAMAD avoids by
+keeping *every* page on the air with bounded extra delay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import SimulationError
+from repro.core.pages import ProblemInstance
+from repro.core.program import BroadcastProgram
+from repro.sim.events import EventLoop
+from repro.sim.metrics import StreamingStats
+from repro.sim.ondemand import OnDemandServer, OnDemandStats
+
+__all__ = ["HybridConfig", "HybridResult", "simulate_hybrid"]
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Parameters of a hybrid push/pull simulation.
+
+    Attributes:
+        arrival_rate: Client arrivals per slot (Poisson process).
+        horizon: Simulated time in slots.
+        patience_factor: A client tolerates waits up to
+            ``patience_factor * expected_time`` before switching to the
+            on-demand channel (1.0 = the paper's impatience model).
+        ondemand_servers: Parallel pull channels.
+        ondemand_service_time: Slots to serve one pull request.
+        seed: RNG seed for arrivals and page choice.
+    """
+
+    arrival_rate: float = 2.0
+    horizon: float = 2000.0
+    patience_factor: float = 1.0
+    ondemand_servers: int = 1
+    ondemand_service_time: float = 1.0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class HybridResult:
+    """Outcome of a hybrid simulation.
+
+    Attributes:
+        total_clients: Clients that arrived within the horizon.
+        broadcast_served: Clients served from the air within patience.
+        spilled: Clients that pulled from the on-demand channel.
+        spill_ratio: ``spilled / total_clients``.
+        broadcast_wait: Streaming stats of broadcast waits (served-on-air
+            clients only).
+        ondemand: Queue statistics of the pull channel.
+    """
+
+    total_clients: int
+    broadcast_served: int
+    spilled: int
+    spill_ratio: float
+    broadcast_wait: StreamingStats
+    ondemand: OnDemandStats
+
+
+def simulate_hybrid(
+    program: BroadcastProgram,
+    instance: ProblemInstance,
+    config: HybridConfig = HybridConfig(),
+) -> HybridResult:
+    """Run the hybrid push/pull system for the configured horizon.
+
+    Clients arrive Poisson at ``config.arrival_rate``, each requesting a
+    uniformly random page of ``instance``.  Pages absent from ``program``
+    (dropped pages) always spill to the on-demand server; present pages
+    spill only when the wait to their next broadcast exceeds the client's
+    patience.
+
+    Returns:
+        A :class:`HybridResult` with broadcast and on-demand statistics.
+    """
+    if config.arrival_rate <= 0:
+        raise SimulationError(
+            f"arrival_rate must be positive, got {config.arrival_rate}"
+        )
+    if config.horizon <= 0:
+        raise SimulationError(
+            f"horizon must be positive, got {config.horizon}"
+        )
+
+    rng = random.Random(config.seed)
+    loop = EventLoop()
+    server = OnDemandServer(
+        loop,
+        num_servers=config.ondemand_servers,
+        service_time=config.ondemand_service_time,
+    )
+    page_ids = [page.page_id for page in instance.pages()]
+    broadcast_pages = program.page_ids()
+
+    broadcast_wait = StreamingStats()
+    counters = {"total": 0, "broadcast": 0, "spilled": 0}
+
+    def client_arrives() -> None:
+        counters["total"] += 1
+        page = instance.page(rng.choice(page_ids))
+        now = loop.now
+        patience = config.patience_factor * page.expected_time
+        if page.page_id in broadcast_pages:
+            wait = program.wait_time(
+                page.page_id, now % program.cycle_length
+            )
+            if wait <= patience:
+                counters["broadcast"] += 1
+                broadcast_wait.add(wait)
+                return
+        counters["spilled"] += 1
+        server.submit(page.page_id)
+
+    def schedule_next_arrival() -> None:
+        gap = rng.expovariate(config.arrival_rate)
+        when = loop.now + gap
+        if when <= config.horizon:
+            loop.schedule_at(
+                when,
+                lambda: (client_arrives(), schedule_next_arrival()),
+            )
+
+    schedule_next_arrival()
+    loop.run()  # drain: lets the on-demand queue finish its backlog
+
+    total = counters["total"]
+    return HybridResult(
+        total_clients=total,
+        broadcast_served=counters["broadcast"],
+        spilled=counters["spilled"],
+        spill_ratio=counters["spilled"] / total if total else 0.0,
+        broadcast_wait=broadcast_wait,
+        ondemand=server.stats(horizon=config.horizon),
+    )

@@ -1,0 +1,127 @@
+"""Streaming metric containers shared by the simulators.
+
+Measurements in this library can involve hundreds of thousands of samples
+(request streams, queue events), so statistics are accumulated in a single
+pass with Welford's algorithm rather than by storing samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.errors import SimulationError
+
+__all__ = ["StreamingStats", "TimeWeightedStats"]
+
+
+@dataclass
+class StreamingStats:
+    """Single-pass mean/variance/extrema accumulator (Welford).
+
+    Attributes:
+        count: Number of samples observed.
+        mean: Running mean.
+        minimum: Smallest sample (``inf`` before any sample).
+        maximum: Largest sample (``-inf`` before any sample).
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the running statistics."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0 with fewer than 2 samples."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean; 0 before the first sample."""
+        if self.count == 0:
+            return 0.0
+        return self.stdev / math.sqrt(self.count)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the mean (default 95%)."""
+        half = z * self.stderr
+        return (self.mean - half, self.mean + half)
+
+    def merge(self, other: "StreamingStats") -> "StreamingStats":
+        """Combine two accumulators (parallel Welford merge)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / total
+        )
+        self.mean = (
+            self.mean * self.count + other.mean * other.count
+        ) / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+
+@dataclass
+class TimeWeightedStats:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Used for queue lengths and server utilisation: call :meth:`observe`
+    with the *current* value whenever it is about to change.
+    """
+
+    last_time: float = 0.0
+    last_value: float = 0.0
+    _area: float = field(default=0.0, repr=False)
+    _started: bool = field(default=False, repr=False)
+
+    def observe(self, time: float, value: float) -> None:
+        """Record that the signal had ``last_value`` until ``time``."""
+        if self._started:
+            if time < self.last_time:
+                raise SimulationError(
+                    f"time went backwards: {time} < {self.last_time}"
+                )
+            self._area += self.last_value * (time - self.last_time)
+        self._started = True
+        self.last_time = time
+        self.last_value = value
+
+    def average_until(self, time: float) -> float:
+        """Time-weighted mean of the signal over ``[0, time]``."""
+        if not self._started or time <= 0:
+            return 0.0
+        area = self._area + self.last_value * max(0.0, time - self.last_time)
+        return area / time

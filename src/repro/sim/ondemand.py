@@ -1,0 +1,144 @@
+"""On-demand (pull) channel substrate.
+
+The paper's motivation (Section 1): clients whose broadcast wait exceeds
+their patience switch to an *on-demand* uplink channel, and "too often and
+too many such actions could seriously congest the on-demand channels".
+This module provides that substrate: a multi-server FCFS queue in which
+each pull request occupies one server for one page-transmission time.
+
+It is used by :mod:`repro.sim.hybrid` to reproduce the congestion argument
+quantitatively (experiment EXT1), and it stands alone as a queueing
+simulator (arrival processes are supplied by the caller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Deque
+
+from collections import deque
+
+from repro.core.errors import SimulationError
+from repro.sim.events import EventLoop
+from repro.sim.metrics import StreamingStats, TimeWeightedStats
+
+__all__ = ["OnDemandStats", "OnDemandServer"]
+
+
+@dataclass(frozen=True)
+class OnDemandStats:
+    """Aggregate measurements of an on-demand channel.
+
+    Attributes:
+        served: Requests fully served.
+        mean_response_time: Mean sojourn time (queueing + service).
+        mean_queue_length: Time-averaged number of waiting requests.
+        utilisation: Time-averaged fraction of busy servers.
+        max_queue_length: Peak backlog observed.
+    """
+
+    served: int
+    mean_response_time: float
+    mean_queue_length: float
+    utilisation: float
+    max_queue_length: int
+
+
+@dataclass
+class _PullRequest:
+    page_id: int
+    submitted_at: float
+
+
+class OnDemandServer:
+    """A multi-server FCFS pull service attached to an event loop.
+
+    Args:
+        loop: The simulation's event loop (shared with other components).
+        num_servers: Parallel on-demand channels (paper: a scarce resource).
+        service_time: Time to transmit one page on a pull channel; the
+            natural unit is 1.0 (one broadcast slot).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        num_servers: int = 1,
+        service_time: float = 1.0,
+    ) -> None:
+        if num_servers < 1:
+            raise SimulationError(
+                f"need at least one server, got {num_servers}"
+            )
+        if service_time <= 0:
+            raise SimulationError(
+                f"service_time must be positive, got {service_time}"
+            )
+        self._loop = loop
+        self._num_servers = num_servers
+        self._service_time = service_time
+        self._queue: Deque[_PullRequest] = deque()
+        self._busy = 0
+        self._response = StreamingStats()
+        self._queue_length = TimeWeightedStats()
+        self._busy_servers = TimeWeightedStats()
+        self._max_queue = 0
+
+    @property
+    def backlog(self) -> int:
+        """Requests currently waiting (excluding those in service)."""
+        return len(self._queue)
+
+    @property
+    def busy_servers(self) -> int:
+        """Servers currently transmitting."""
+        return self._busy
+
+    def submit(self, page_id: int) -> None:
+        """Enqueue a pull request at the current simulation time."""
+        now = self._loop.now
+        self._queue.append(_PullRequest(page_id=page_id, submitted_at=now))
+        self._queue_length.observe(now, len(self._queue))
+        self._try_dispatch()
+        # Only requests still waiting after dispatch count as backlog: a
+        # request taken straight into service never queued.
+        self._max_queue = max(self._max_queue, len(self._queue))
+
+    def _try_dispatch(self) -> None:
+        while self._queue and self._busy < self._num_servers:
+            request = self._queue.popleft()
+            now = self._loop.now
+            self._queue_length.observe(now, len(self._queue))
+            self._busy_servers.observe(now, self._busy)
+            self._busy += 1
+            self._busy_servers.observe(now, self._busy)
+            self._loop.schedule_after(
+                self._service_time,
+                lambda req=request: self._complete(req),
+            )
+
+    def _complete(self, request: _PullRequest) -> None:
+        now = self._loop.now
+        self._busy_servers.observe(now, self._busy)
+        self._busy -= 1
+        self._busy_servers.observe(now, self._busy)
+        self._response.add(now - request.submitted_at)
+        self._try_dispatch()
+
+    def stats(self, horizon: float | None = None) -> OnDemandStats:
+        """Snapshot the collected statistics.
+
+        Args:
+            horizon: Observation window end for the time-weighted averages;
+                defaults to the loop's current time.
+        """
+        end = self._loop.now if horizon is None else horizon
+        return OnDemandStats(
+            served=self._response.count,
+            mean_response_time=self._response.mean,
+            mean_queue_length=self._queue_length.average_until(end),
+            utilisation=(
+                self._busy_servers.average_until(end) / self._num_servers
+            ),
+            max_queue_length=self._max_queue,
+        )

@@ -1,0 +1,47 @@
+"""Workload generation: Figure-3 distributions, instances, request streams."""
+
+from repro.workload.distributions import (
+    DISTRIBUTION_NAMES,
+    apportion,
+    group_sizes,
+    l_skewed_sizes,
+    normal_sizes,
+    s_skewed_sizes,
+    uniform_sizes,
+)
+from repro.workload.generator import (
+    PAPER_DEFAULTS,
+    PaperParameters,
+    paper_expected_times,
+    paper_instance,
+    random_instance,
+)
+from repro.workload.requests import (
+    Request,
+    generate_requests,
+    uniform_access_model,
+    zipf_access_model,
+)
+from repro.workload.trace import RequestTrace, record_trace, replay_trace
+
+__all__ = [
+    "DISTRIBUTION_NAMES",
+    "PAPER_DEFAULTS",
+    "PaperParameters",
+    "Request",
+    "RequestTrace",
+    "apportion",
+    "generate_requests",
+    "group_sizes",
+    "l_skewed_sizes",
+    "normal_sizes",
+    "paper_expected_times",
+    "paper_instance",
+    "random_instance",
+    "record_trace",
+    "replay_trace",
+    "s_skewed_sizes",
+    "uniform_access_model",
+    "uniform_sizes",
+    "zipf_access_model",
+]

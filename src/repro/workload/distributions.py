@@ -1,0 +1,156 @@
+"""Group-size distributions (Figure 3).
+
+The paper's broadcast data generator spreads ``n = 1000`` pages over
+``h = 8`` groups following one of four *group size distributions*:
+``normal``, ``S-skewed``, ``L-skewed`` and ``uniform``.  The paper only
+shows their shapes graphically; we read them as:
+
+* ``uniform`` — every group the same size;
+* ``normal`` — a discretised bell centred on the middle groups;
+* ``s-skewed`` — mass concentrated on the **s**mall-expected-time groups
+  (``P_i`` decreasing in ``i``): most pages are urgent;
+* ``l-skewed`` — mass concentrated on the **l**arge-expected-time groups
+  (``P_i`` increasing in ``i``): most pages are relaxed.
+
+All distributions produce *exactly* ``n`` pages with every group non-empty
+(the paper's groups are all drawn non-empty), using largest-remainder
+rounding so the shape survives integer truncation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.core.errors import WorkloadError
+
+__all__ = [
+    "DISTRIBUTION_NAMES",
+    "uniform_sizes",
+    "normal_sizes",
+    "s_skewed_sizes",
+    "l_skewed_sizes",
+    "group_sizes",
+    "apportion",
+]
+
+
+def apportion(weights: Sequence[float], total: int) -> list[int]:
+    """Split ``total`` items over groups proportionally to ``weights``.
+
+    Uses the largest-remainder (Hamilton) method with a floor of one item
+    per group, so the returned sizes sum to exactly ``total`` and no group
+    is empty.
+
+    Raises:
+        WorkloadError: If ``total < len(weights)`` (cannot keep every group
+            non-empty) or any weight is non-positive.
+    """
+    if total < len(weights):
+        raise WorkloadError(
+            f"cannot place {total} pages into {len(weights)} non-empty groups"
+        )
+    if not weights:
+        raise WorkloadError("no groups to apportion over")
+    if any(w <= 0 for w in weights):
+        raise WorkloadError(f"weights must be positive, got {list(weights)}")
+
+    weight_sum = sum(weights)
+    # Reserve one page per group up front, apportion the remainder.
+    remainder_total = total - len(weights)
+    raw = [w / weight_sum * remainder_total for w in weights]
+    sizes = [1 + math.floor(value) for value in raw]
+    leftover = total - sum(sizes)
+    fractions = sorted(
+        range(len(weights)),
+        key=lambda i: (raw[i] - math.floor(raw[i])),
+        reverse=True,
+    )
+    for index in fractions[:leftover]:
+        sizes[index] += 1
+    return sizes
+
+
+def uniform_sizes(n: int, h: int) -> list[int]:
+    """Equal group sizes (Figure 3 ``uniform``)."""
+    return apportion([1.0] * h, n)
+
+
+def normal_sizes(n: int, h: int, sigma_fraction: float = 0.25) -> list[int]:
+    """Bell-shaped sizes centred on the middle groups (Figure 3 ``normal``).
+
+    Args:
+        n: Total pages.
+        h: Number of groups.
+        sigma_fraction: Standard deviation as a fraction of ``h`` (0.25
+            gives a clearly peaked but non-degenerate bell for ``h = 8``).
+    """
+    if sigma_fraction <= 0:
+        raise WorkloadError(
+            f"sigma_fraction must be positive, got {sigma_fraction}"
+        )
+    centre = (h + 1) / 2.0
+    sigma = sigma_fraction * h
+    weights = [
+        math.exp(-((i - centre) ** 2) / (2.0 * sigma * sigma))
+        for i in range(1, h + 1)
+    ]
+    return apportion(weights, n)
+
+
+def s_skewed_sizes(n: int, h: int, decay: float = 0.6) -> list[int]:
+    """Sizes decreasing in the group index (mass on small expected times).
+
+    Geometric weights ``decay^(i-1)``: with the default 0.6 and ``h = 8``
+    the first group is ~36x the last, a pronounced skew like Figure 3.
+    """
+    if not 0 < decay < 1:
+        raise WorkloadError(f"decay must be in (0, 1), got {decay}")
+    weights = [decay ** (i - 1) for i in range(1, h + 1)]
+    return apportion(weights, n)
+
+
+def l_skewed_sizes(n: int, h: int, decay: float = 0.6) -> list[int]:
+    """Sizes increasing in the group index (mass on large expected times).
+
+    The mirror image of :func:`s_skewed_sizes`.
+    """
+    if not 0 < decay < 1:
+        raise WorkloadError(f"decay must be in (0, 1), got {decay}")
+    weights = [decay ** (h - i) for i in range(1, h + 1)]
+    return apportion(weights, n)
+
+
+_DISTRIBUTIONS: dict[str, Callable[[int, int], list[int]]] = {
+    "uniform": uniform_sizes,
+    "normal": normal_sizes,
+    "s-skewed": s_skewed_sizes,
+    "l-skewed": l_skewed_sizes,
+}
+
+DISTRIBUTION_NAMES: tuple[str, ...] = tuple(_DISTRIBUTIONS)
+
+
+def group_sizes(name: str, n: int, h: int) -> list[int]:
+    """Group sizes for a named Figure-3 distribution.
+
+    Args:
+        name: One of :data:`DISTRIBUTION_NAMES` (case-insensitive; the
+            aliases ``sskewed`` / ``lskewed`` / ``s_skewed`` etc. are
+            accepted).
+        n: Total pages.
+        h: Number of groups.
+    """
+    key = name.strip().lower().replace("_", "-")
+    if key in ("sskewed", "sskew", "s-skew"):
+        key = "s-skewed"
+    if key in ("lskewed", "lskew", "l-skew"):
+        key = "l-skewed"
+    try:
+        builder = _DISTRIBUTIONS[key]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown distribution {name!r}; choose from "
+            f"{', '.join(DISTRIBUTION_NAMES)}"
+        ) from None
+    return builder(n, h)

@@ -1,0 +1,110 @@
+"""Broadcast data generator (Section 5).
+
+Builds the problem instances the paper evaluates on: ``n`` pages over
+``h`` groups whose sizes follow a Figure-3 distribution and whose expected
+times follow the Figure-4 defaults ``t_i = 4, 8, 16, ..., 512``
+(a ratio-2 geometric ladder starting at 4).
+
+Also provides a seeded random-instance generator used by the property
+tests: arbitrary (but structurally valid) ladders and sizes exercise the
+schedulers far from the paper's defaults.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import WorkloadError
+from repro.core.pages import ProblemInstance, instance_from_counts
+from repro.workload.distributions import group_sizes
+
+__all__ = [
+    "PAPER_DEFAULTS",
+    "PaperParameters",
+    "paper_expected_times",
+    "paper_instance",
+    "random_instance",
+]
+
+
+@dataclass(frozen=True)
+class PaperParameters:
+    """The Figure-4 default experimental parameters.
+
+    Attributes:
+        n: Total number of pages (paper: 1000).
+        h: Number of groups (paper: 8).
+        base_time: ``t_1`` (paper: 4).
+        ratio: Ladder ratio ``c`` (paper: 2 — times 4..512).
+        num_requests: Monte-Carlo request count per measurement (paper: 3000).
+    """
+
+    n: int = 1000
+    h: int = 8
+    base_time: int = 4
+    ratio: int = 2
+    num_requests: int = 3000
+
+    @property
+    def expected_times(self) -> tuple[int, ...]:
+        """``(4, 8, 16, 32, 64, 128, 256, 512)`` for the defaults."""
+        return paper_expected_times(
+            h=self.h, base_time=self.base_time, ratio=self.ratio
+        )
+
+
+PAPER_DEFAULTS = PaperParameters()
+
+
+def paper_expected_times(
+    h: int = 8, base_time: int = 4, ratio: int = 2
+) -> tuple[int, ...]:
+    """The geometric expected-time ladder ``base_time * ratio^(i-1)``."""
+    if h <= 0:
+        raise WorkloadError(f"h must be positive, got {h}")
+    if base_time <= 0 or ratio <= 0:
+        raise WorkloadError(
+            f"base_time and ratio must be positive, got {base_time}, {ratio}"
+        )
+    return tuple(base_time * ratio**i for i in range(h))
+
+
+def paper_instance(
+    distribution: str,
+    params: PaperParameters = PAPER_DEFAULTS,
+) -> ProblemInstance:
+    """Build one of the paper's evaluation instances.
+
+    Args:
+        distribution: A Figure-3 distribution name (``uniform``,
+            ``normal``, ``s-skewed``, ``l-skewed``).
+        params: Experimental parameters; defaults to Figure 4's values.
+
+    Returns:
+        A 1000-page, 8-group instance (for the defaults) ready for any
+        scheduler in the library.
+    """
+    sizes = group_sizes(distribution, n=params.n, h=params.h)
+    return instance_from_counts(sizes, params.expected_times)
+
+
+def random_instance(
+    rng: random.Random,
+    max_groups: int = 5,
+    max_group_size: int = 30,
+    max_base_time: int = 6,
+    max_ratio: int = 3,
+) -> ProblemInstance:
+    """A structurally valid random instance for property/fuzz tests.
+
+    Draws ``h``, the ladder base and ratio, and per-group sizes from the
+    given RNG.  Every instance returned satisfies the Section-2
+    assumptions, so schedulers must handle it without error.
+    """
+    h = rng.randint(1, max_groups)
+    base = rng.randint(1, max_base_time)
+    ratio = rng.randint(2, max_ratio) if h > 1 else 1
+    sizes = [rng.randint(1, max_group_size) for _ in range(h)]
+    times = [base * ratio**i for i in range(h)]
+    return instance_from_counts(sizes, times)

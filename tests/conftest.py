@@ -1,0 +1,33 @@
+"""Shared fixtures: the paper's canonical instances and helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.pages import ProblemInstance, instance_from_counts
+
+
+@pytest.fixture
+def fig2_instance() -> ProblemInstance:
+    """The Section 4.4 worked example: P=(3,5,3), t=(2,4,8)."""
+    return instance_from_counts([3, 5, 3], [2, 4, 8])
+
+
+@pytest.fixture
+def sec31_instance() -> ProblemInstance:
+    """The Section 3.1 example: P=(2,3), t=(2,4), N=2."""
+    return instance_from_counts([2, 3], [2, 4])
+
+
+@pytest.fixture
+def single_group_instance() -> ProblemInstance:
+    """Degenerate h=1 instance."""
+    return instance_from_counts([4], [3])
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for tests that need randomness."""
+    return random.Random(12345)

@@ -1,0 +1,80 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii_plot import line_chart
+from repro.core.errors import ReproError
+
+
+SERIES = {
+    "a": [(1, 10.0), (2, 5.0), (3, 1.0)],
+    "b": [(1, 100.0), (2, 50.0), (3, 20.0)],
+}
+
+
+class TestLineChart:
+    def test_contains_title_and_legend(self):
+        chart = line_chart(SERIES, title="demo")
+        assert chart.splitlines()[0] == "demo"
+        assert "o a" in chart
+        assert "x b" in chart
+
+    def test_marks_present(self):
+        chart = line_chart(SERIES)
+        assert chart.count("o") >= 3
+        assert chart.count("x") >= 3
+
+    def test_axis_labels(self):
+        chart = line_chart(SERIES)
+        assert "1" in chart  # x-min
+        assert "3" in chart  # x-max
+        assert "100" in chart  # y-max label
+
+    def test_log_scale_labels(self):
+        chart = line_chart(SERIES, log_y=True)
+        assert "(log y" in chart
+        assert "100" in chart
+
+    def test_log_scale_clamps_zeros(self):
+        series = {"a": [(1, 0.0), (2, 10.0)]}
+        chart = line_chart(series, log_y=True)
+        assert "zeros clamped" in chart
+
+    def test_dimensions(self):
+        chart = line_chart(SERIES, width=40, height=10, title="t")
+        lines = chart.splitlines()
+        # title + height rows + axis + x labels + legend
+        assert len(lines) == 1 + 10 + 1 + 1 + 1
+
+    def test_first_series_wins_contested_cells(self):
+        series = {"first": [(1, 5.0)], "second": [(1, 5.0)]}
+        chart = line_chart(series)
+        assert "o" in chart
+        # the contested cell shows the first series' mark, not the second's
+        plot_rows = [line for line in chart.splitlines() if "|" in line]
+        assert not any("x" in row for row in plot_rows)
+
+    def test_single_point_series(self):
+        chart = line_chart({"a": [(5, 2.0)]})
+        assert "o" in chart
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ReproError):
+            line_chart({})
+        with pytest.raises(ReproError):
+            line_chart({"a": []})
+
+    def test_too_many_series_rejected(self):
+        many = {str(i): [(1, 1.0)] for i in range(9)}
+        with pytest.raises(ReproError, match="at most"):
+            line_chart(many)
+
+    def test_too_small_area_rejected(self):
+        with pytest.raises(ReproError):
+            line_chart(SERIES, width=2, height=2)
+
+    def test_all_zero_log_rejected(self):
+        with pytest.raises(ReproError, match="positive"):
+            line_chart({"a": [(1, 0.0)]}, log_y=True)

@@ -1,0 +1,83 @@
+"""Tests for program structural statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.programstats import jain_fairness, profile_program
+from repro.core.errors import InvalidInstanceError
+from repro.core.pamad import schedule_pamad
+from repro.core.program import BroadcastProgram
+from repro.core.susc import schedule_susc
+
+
+class TestJainFairness:
+    def test_equal_values_are_fair(self):
+        assert jain_fairness([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_dominant_value(self):
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_bounds(self):
+        values = [1.0, 2.0, 5.0, 0.5]
+        index = jain_fairness(values)
+        assert 1 / len(values) <= index <= 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInstanceError):
+            jain_fairness([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidInstanceError):
+            jain_fairness([1.0, -1.0])
+
+
+class TestProfileProgram:
+    def test_susc_profile_margins_non_negative(self, fig2_instance):
+        schedule = schedule_susc(fig2_instance)
+        profile = profile_program(schedule.program, fig2_instance)
+        assert profile.cycle_length == 8
+        assert profile.num_channels == 4
+        for share in profile.shares:
+            assert share.safety_margin >= 0
+        assert profile.delay_fairness == 1.0  # zero delay for everyone
+
+    def test_bandwidth_shares_sum_to_one(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 3)
+        profile = profile_program(schedule.program, fig2_instance)
+        assert sum(
+            share.bandwidth_share for share in profile.shares
+        ) == pytest.approx(1.0)
+
+    def test_urgent_groups_get_super_proportional_bandwidth(self):
+        """PAMAD gives per-page bandwidth inversely related to t_i."""
+        from repro.workload.generator import paper_instance
+
+        instance = paper_instance("uniform")
+        schedule = schedule_pamad(instance, 13)
+        profile = profile_program(schedule.program, instance)
+        per_page_slots = [
+            share.slots / share.pages for share in profile.shares
+        ]
+        assert per_page_slots == sorted(per_page_slots, reverse=True)
+
+    def test_gap_statistics(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 3)
+        profile = profile_program(schedule.program, fig2_instance)
+        for share in profile.shares:
+            assert share.mean_gap <= share.max_gap
+            assert share.max_gap <= schedule.program.cycle_length
+
+    def test_missing_page_rejected(self, fig2_instance):
+        program = BroadcastProgram(num_channels=1, cycle_length=4)
+        program.assign(0, 0, 1)
+        with pytest.raises(InvalidInstanceError, match="missing"):
+            profile_program(program, fig2_instance)
+
+    def test_insufficient_channels_show_negative_margin(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 1)
+        profile = profile_program(schedule.program, fig2_instance)
+        assert any(share.safety_margin < 0 for share in profile.shares)

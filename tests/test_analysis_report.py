@@ -1,0 +1,80 @@
+"""Unit tests for result tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import Table, format_value
+from repro.core.errors import ReproError
+
+
+class TestFormatValue:
+    def test_integers_pass_through(self):
+        assert format_value(42) == "42"
+
+    def test_floats_rounded(self):
+        assert format_value(3.14159, precision=3) == "3.14"
+
+    def test_whole_floats_lose_point(self):
+        assert format_value(4.0) == "4"
+
+    def test_nan_is_dash(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_bool_is_yes_no(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_strings_pass_through(self):
+        assert format_value("pamad") == "pamad"
+
+
+class TestTable:
+    def _table(self):
+        table = Table(title="demo", columns=["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row(10, float("nan"))
+        return table
+
+    def test_add_row_validates_width(self):
+        table = Table(title="demo", columns=["a", "b"])
+        with pytest.raises(ReproError, match="columns"):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = self._table()
+        assert table.column("a") == [1, 10]
+
+    def test_column_unknown(self):
+        with pytest.raises(ReproError, match="no column"):
+            self._table().column("z")
+
+    def test_render_contains_everything(self):
+        table = self._table()
+        table.notes.append("a footnote")
+        text = table.render()
+        assert "demo" in text
+        assert "2.5" in text
+        assert "note: a footnote" in text
+
+    def test_render_alignment(self):
+        lines = self._table().render().splitlines()
+        header, rows = lines[1], lines[3:]
+        assert len(header) == len(rows[0])
+
+    def test_markdown_shape(self):
+        text = self._table().to_markdown()
+        lines = text.strip().splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_csv_roundtrip_values(self):
+        text = self._table().to_csv()
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+
+    def test_empty_table_renders(self):
+        table = Table(title="empty", columns=["x"])
+        assert "empty" in table.render()

@@ -1,0 +1,90 @@
+"""Unit tests for the summary-statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    geometric_mean,
+    ratio_of_means,
+    relative_difference,
+    summarize,
+)
+from repro.core.errors import SimulationError
+
+
+class TestSummarize:
+    def test_basic_summary(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == 2.5
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.stdev == 0.0
+        assert summary.median == 7.0
+
+    def test_median_interpolation(self):
+        assert summarize([1.0, 2.0, 10.0]).median == 2.0
+        assert summarize([1.0, 3.0]).median == 2.0
+
+    def test_stdev_matches_statistics(self):
+        import statistics
+
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert summarize(values).stdev == pytest.approx(
+            statistics.stdev(values)
+        )
+
+    def test_confidence_interval_brackets_mean(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        low, high = summary.confidence_interval()
+        assert low < summary.mean < high
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            summarize([])
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity_on_constant(self):
+        assert geometric_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(SimulationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            geometric_mean([])
+
+
+class TestRelativeDifference:
+    def test_positive_difference(self):
+        assert relative_difference(12.0, 10.0) == pytest.approx(0.2)
+
+    def test_negative_difference(self):
+        assert relative_difference(8.0, 10.0) == pytest.approx(-0.2)
+
+    def test_zero_reference_zero_value(self):
+        assert relative_difference(0.0, 0.0) == 0.0
+
+    def test_zero_reference_nonzero_value(self):
+        assert relative_difference(1.0, 0.0) == math.inf
+
+
+class TestRatioOfMeans:
+    def test_known_ratio(self):
+        assert ratio_of_means([4.0, 6.0], [1.0, 1.0]) == pytest.approx(5.0)
+
+    def test_zero_denominator(self):
+        with pytest.raises(SimulationError):
+            ratio_of_means([1.0], [0.0])

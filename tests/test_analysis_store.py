@@ -1,0 +1,135 @@
+"""Tests for the persistent result store and run diffing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.analysis.store import (
+    CellChange,
+    ExperimentRecord,
+    ResultStore,
+    diff_records,
+)
+from repro.core.errors import ReproError
+
+
+def _table(value=1.0) -> Table:
+    table = Table(title="demo", columns=["channels", "avgd"])
+    table.add_row(1, value)
+    table.add_row(2, value / 2)
+    table.notes.append("a note")
+    return table
+
+
+def _record(run_id="r1", value=1.0) -> ExperimentRecord:
+    return ExperimentRecord(
+        experiment_id="FIG5D",
+        run_id=run_id,
+        tables=(_table(value),),
+        parameters={"seed": 0},
+        metadata={"note": "test"},
+    )
+
+
+class TestTableSerialisation:
+    def test_roundtrip(self):
+        table = _table()
+        clone = Table.from_dict(table.to_dict())
+        assert clone.title == table.title
+        assert list(clone.columns) == list(table.columns)
+        assert clone.rows == table.rows
+        assert clone.notes == table.notes
+
+
+class TestResultStore:
+    def test_save_and_load(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(_record())
+        assert path.exists()
+        loaded = store.load("FIG5D", "r1")
+        assert loaded.experiment_id == "FIG5D"
+        assert loaded.tables[0].rows == _table().rows
+        assert loaded.parameters == {"seed": 0}
+
+    def test_no_silent_overwrite(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(_record())
+        with pytest.raises(ReproError, match="already exists"):
+            store.save(_record())
+        store.save(_record(value=2.0), overwrite=True)
+        assert store.load("FIG5D", "r1").tables[0].rows[0][1] == 2.0
+
+    def test_missing_record(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ReproError, match="no stored record"):
+            store.load("FIG5D", "nope")
+
+    def test_runs_listing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(_record("a"))
+        store.save(_record("b"))
+        other = ExperimentRecord(
+            experiment_id="FIG2", run_id="a", tables=(_table(),)
+        )
+        store.save(other)
+        assert store.runs() == [("FIG2", "a"), ("FIG5D", "a"), ("FIG5D", "b")]
+        assert store.runs("FIG5D") == [("FIG5D", "a"), ("FIG5D", "b")]
+
+    def test_run_id_validation(self, tmp_path):
+        store = ResultStore(tmp_path)
+        bad = ExperimentRecord(
+            experiment_id="FIG5D", run_id="../evil", tables=(_table(),)
+        )
+        with pytest.raises(ReproError, match="must match"):
+            store.save(bad)
+
+
+class TestDiffRecords:
+    def test_identical_runs_have_no_changes(self):
+        assert diff_records(_record(), _record("r2")) == []
+
+    def test_changed_cells_reported(self):
+        changes = diff_records(_record(), _record("r2", value=2.0))
+        assert len(changes) == 2
+        assert changes[0] == CellChange(
+            table="demo", row=0, column="avgd", before=1.0, after=2.0
+        )
+
+    def test_relative_tolerance_absorbs_noise(self):
+        changes = diff_records(
+            _record(), _record("r2", value=1.04), rel_tol=0.05
+        )
+        assert changes == []
+
+    def test_experiment_mismatch_rejected(self):
+        other = ExperimentRecord(
+            experiment_id="FIG2", run_id="x", tables=(_table(),)
+        )
+        with pytest.raises(ReproError, match="cannot diff"):
+            diff_records(_record(), other)
+
+    def test_shape_mismatch_rejected(self):
+        reshaped = Table(title="demo", columns=["channels", "avgd"])
+        reshaped.add_row(1, 1.0)
+        other = ExperimentRecord(
+            experiment_id="FIG5D", run_id="x", tables=(reshaped,)
+        )
+        with pytest.raises(ReproError, match="row count"):
+            diff_records(_record(), other)
+
+    def test_end_to_end_with_registry(self, tmp_path):
+        """Store and diff two real FIG4 runs (deterministic tables)."""
+        from repro.analysis.experiments import run_experiment
+
+        store = ResultStore(tmp_path)
+        first = ExperimentRecord(
+            "FIG4", "run1", tuple(run_experiment("FIG4"))
+        )
+        second = ExperimentRecord(
+            "FIG4", "run2", tuple(run_experiment("FIG4"))
+        )
+        store.save(first)
+        store.save(second)
+        reloaded = store.load("FIG4", "run1")
+        assert diff_records(reloaded, second) == []

@@ -1,0 +1,137 @@
+"""Tests for the numpy-vectorised measurement engine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.vectorized import (
+    batch_measure,
+    program_average_delay_fast,
+    program_delay_vector,
+)
+from repro.core.delay import page_average_delay, program_average_delay
+from repro.core.errors import SimulationError
+from repro.core.pamad import schedule_pamad
+from repro.core.susc import schedule_susc
+from repro.workload.generator import paper_instance, random_instance
+from repro.workload.requests import zipf_access_model
+
+
+class TestProgramDelayVector:
+    def test_matches_scalar_model_exactly(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        vector = program_delay_vector(schedule.program, fig2_instance)
+        for page in fig2_instance.pages():
+            scalar = page_average_delay(
+                schedule.program, page.page_id, page.expected_time
+            )
+            assert vector[page.page_id] == pytest.approx(scalar, abs=1e-12)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_scalar_on_random_instances(self, seed):
+        rng = random.Random(seed)
+        instance = random_instance(rng)
+        channels = rng.randint(1, 4)
+        schedule = schedule_pamad(instance, channels)
+        vector = program_delay_vector(schedule.program, instance)
+        for page in instance.pages():
+            scalar = page_average_delay(
+                schedule.program, page.page_id, page.expected_time
+            )
+            assert vector[page.page_id] == pytest.approx(scalar, abs=1e-9)
+
+    def test_zero_on_valid_program(self, fig2_instance):
+        schedule = schedule_susc(fig2_instance)
+        vector = program_delay_vector(schedule.program, fig2_instance)
+        assert all(value == 0.0 for value in vector.values())
+
+
+class TestProgramAverageDelayFast:
+    def test_matches_scalar_uniform(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        assert program_average_delay_fast(
+            schedule.program, fig2_instance
+        ) == pytest.approx(
+            program_average_delay(schedule.program, fig2_instance)
+        )
+
+    def test_matches_scalar_weighted(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        zipf = zipf_access_model(fig2_instance)
+        assert program_average_delay_fast(
+            schedule.program, fig2_instance, zipf
+        ) == pytest.approx(
+            program_average_delay(schedule.program, fig2_instance, zipf)
+        )
+
+    def test_paper_scale_agreement(self):
+        instance = paper_instance("uniform")
+        schedule = schedule_pamad(instance, 13)
+        assert program_average_delay_fast(
+            schedule.program, instance
+        ) == pytest.approx(schedule.average_delay)
+
+
+class TestBatchMeasure:
+    def test_deterministic(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        a = batch_measure(schedule.program, fig2_instance, seed=3)
+        b = batch_measure(schedule.program, fig2_instance, seed=3)
+        assert a.average_delay == b.average_delay
+
+    def test_zero_on_valid_program(self, fig2_instance):
+        schedule = schedule_susc(fig2_instance)
+        result = batch_measure(schedule.program, fig2_instance,
+                               num_requests=2000, seed=0)
+        assert result.average_delay == 0.0
+        assert result.miss_ratio == 0.0
+
+    def test_converges_to_analytic(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        result = batch_measure(schedule.program, fig2_instance,
+                               num_requests=200_000, seed=1)
+        assert result.average_delay == pytest.approx(
+            schedule.average_delay, rel=0.05
+        )
+
+    def test_agrees_with_scalar_simulator_statistically(self, fig2_instance):
+        """Different RNG streams, same distribution: the two Monte-Carlo
+        paths must agree within joint sampling error."""
+        from repro.sim.clients import measure_program
+
+        schedule = schedule_pamad(fig2_instance, 2)
+        fast = batch_measure(schedule.program, fig2_instance,
+                             num_requests=50_000, seed=2)
+        scalar = measure_program(schedule.program, fig2_instance,
+                                 num_requests=50_000, seed=2)
+        assert fast.average_delay == pytest.approx(
+            scalar.average_delay, rel=0.1
+        )
+        assert fast.miss_ratio == pytest.approx(
+            scalar.miss_ratio, abs=0.02
+        )
+
+    def test_weighted_access(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        probabilities = {p.page_id: 0.0 for p in fig2_instance.pages()}
+        probabilities[1] = 1.0
+        result = batch_measure(
+            schedule.program, fig2_instance, num_requests=1000,
+            seed=0, access_probabilities=probabilities,
+        )
+        # All requests hit page 1 (t=2): delay equals page 1's analytic
+        # value in expectation.
+        expected = page_average_delay(schedule.program, 1, 2)
+        assert result.average_delay == pytest.approx(expected, rel=0.3)
+
+    def test_wait_at_least_delay(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        result = batch_measure(schedule.program, fig2_instance, seed=0)
+        assert result.average_wait >= result.average_delay
+
+    def test_rejects_zero_requests(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        with pytest.raises(SimulationError):
+            batch_measure(schedule.program, fig2_instance, num_requests=0)

@@ -1,0 +1,118 @@
+"""Tests for the broadcast-disks baseline (Acharya'95)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.broadcast_disks import schedule_broadcast_disks
+from repro.core.errors import SearchSpaceError
+from repro.core.pages import instance_from_counts
+from repro.workload.generator import paper_instance
+from repro.workload.requests import zipf_access_model
+
+
+class TestDiskPartition:
+    def test_disks_cover_all_pages_once(self, fig2_instance):
+        schedule = schedule_broadcast_disks(fig2_instance, 2, num_disks=3)
+        all_pages = [pid for disk in schedule.disks for pid in disk]
+        assert sorted(all_pages) == list(range(1, 12))
+
+    def test_hot_disks_smaller(self):
+        instance = paper_instance("uniform")
+        schedule = schedule_broadcast_disks(instance, 4, num_disks=3)
+        sizes = [len(disk) for disk in schedule.disks]
+        assert sizes == sorted(sizes)
+
+    def test_access_probabilities_order_hot_pages_first(self, fig2_instance):
+        probabilities = {pid: 0.01 for pid in range(1, 12)}
+        probabilities[7] = 0.9  # make page 7 by far the hottest
+        schedule = schedule_broadcast_disks(
+            fig2_instance, 2, access_probabilities=probabilities,
+            num_disks=3,
+        )
+        assert schedule.disks[0][0] == 7
+
+    def test_num_disks_clamped_to_pages(self):
+        instance = instance_from_counts([2], [4])
+        schedule = schedule_broadcast_disks(instance, 1, num_disks=5)
+        assert len(schedule.disks) <= 2
+
+
+class TestFrequencies:
+    def test_default_geometric_frequencies(self, fig2_instance):
+        schedule = schedule_broadcast_disks(fig2_instance, 2, num_disks=3)
+        assert schedule.relative_frequencies == (4, 2, 1)
+
+    def test_counts_match_relative_frequencies(self, fig2_instance):
+        schedule = schedule_broadcast_disks(fig2_instance, 2, num_disks=3)
+        counts = schedule.program.page_counts()
+        for disk, frequency in zip(
+            schedule.disks, schedule.relative_frequencies
+        ):
+            for page_id in disk:
+                assert counts[page_id] == frequency
+
+    def test_custom_frequencies(self, fig2_instance):
+        schedule = schedule_broadcast_disks(
+            fig2_instance, 2, num_disks=2, relative_frequencies=(3, 1)
+        )
+        counts = schedule.program.page_counts()
+        for page_id in schedule.disks[0]:
+            assert counts[page_id] == 3
+
+    def test_increasing_frequencies_rejected(self, fig2_instance):
+        with pytest.raises(SearchSpaceError, match="non-increasing"):
+            schedule_broadcast_disks(
+                fig2_instance, 2, num_disks=2, relative_frequencies=(1, 2)
+            )
+
+    def test_frequency_count_mismatch_rejected(self, fig2_instance):
+        with pytest.raises(SearchSpaceError):
+            schedule_broadcast_disks(
+                fig2_instance, 2, num_disks=3, relative_frequencies=(2, 1)
+            )
+
+    def test_zero_frequency_rejected(self, fig2_instance):
+        with pytest.raises(SearchSpaceError):
+            schedule_broadcast_disks(
+                fig2_instance, 2, num_disks=2, relative_frequencies=(2, 0)
+            )
+
+
+class TestParameters:
+    def test_bad_channels(self, fig2_instance):
+        with pytest.raises(SearchSpaceError):
+            schedule_broadcast_disks(fig2_instance, 0)
+
+    def test_bad_num_disks(self, fig2_instance):
+        with pytest.raises(SearchSpaceError):
+            schedule_broadcast_disks(fig2_instance, 2, num_disks=0)
+
+    def test_single_disk_is_flat(self, fig2_instance):
+        schedule = schedule_broadcast_disks(fig2_instance, 2, num_disks=1)
+        counts = schedule.program.page_counts()
+        assert all(count == 1 for count in counts.values())
+
+
+class TestObjectiveDissociation:
+    """Each scheduler wins the metric it was designed for."""
+
+    def test_disks_win_zipf_wait_pamad_wins_deadline_delay(self):
+        from repro.core.delay import program_average_wait
+        from repro.core.pamad import schedule_pamad
+
+        instance = paper_instance("uniform")
+        zipf = zipf_access_model(instance, theta=0.8)
+        channels = 13
+        disks = schedule_broadcast_disks(
+            instance, channels, access_probabilities=zipf
+        )
+        pamad = schedule_pamad(instance, channels)
+        disks_wait = program_average_wait(
+            disks.program, instance, access_probabilities=zipf
+        )
+        pamad_wait = program_average_wait(
+            pamad.program, instance, access_probabilities=zipf
+        )
+        assert disks_wait < pamad_wait          # BD's home metric
+        assert pamad.average_delay < disks.average_delay  # paper's metric

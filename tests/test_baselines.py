@@ -1,0 +1,214 @@
+"""Unit tests for the comparison algorithms (m-PB, OPT, drop, flat)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.drop import schedule_drop
+from repro.baselines.flat import schedule_flat
+from repro.baselines.mpb import schedule_mpb
+from repro.baselines.opt import (
+    brute_force_frequencies,
+    opt_frequencies,
+    schedule_opt,
+)
+from repro.core.bounds import minimum_channels
+from repro.core.delay import paper_group_delay, program_average_delay
+from repro.core.errors import SearchSpaceError, WorkloadError
+from repro.core.frequencies import pamad_frequencies
+from repro.core.pages import instance_from_counts
+from repro.core.validate import validate_program
+from repro.workload.generator import random_instance
+
+
+class TestMpb:
+    def test_keeps_sufficient_channel_frequencies(self, fig2_instance):
+        schedule = schedule_mpb(fig2_instance, 3)
+        assert schedule.assignment.frequencies == (4, 2, 1)
+
+    def test_cycle_stretches_beyond_th(self, fig2_instance):
+        """Insufficient channels + fixed frequencies = longer major cycle."""
+        schedule = schedule_mpb(fig2_instance, 3)
+        assert schedule.program.cycle_length == 9  # ceil(25/3) > t_h = 8
+
+    def test_valid_program_under_sufficient_channels(self, fig2_instance):
+        schedule = schedule_mpb(fig2_instance, 4)
+        # cycle ceil(25/4) = 7 < 8: every page appears at least once per
+        # t_i window, so the program is valid.
+        assert validate_program(schedule.program, fig2_instance).ok
+
+    def test_every_page_kept(self, fig2_instance):
+        schedule = schedule_mpb(fig2_instance, 1)
+        assert schedule.program.page_ids() == {
+            page.page_id for page in fig2_instance.pages()
+        }
+
+    def test_pamad_beats_mpb_when_insufficient(self, fig2_instance):
+        from repro.core.pamad import schedule_pamad
+
+        for channels in (1, 2, 3):
+            mpb = schedule_mpb(fig2_instance, channels)
+            pamad = schedule_pamad(fig2_instance, channels)
+            assert pamad.average_delay <= mpb.average_delay + 1e-9
+
+
+class TestOptFrequencies:
+    def test_never_worse_than_pamad(self):
+        """OPT searches the staged family jointly; greedy PAMAD commits."""
+        for seed in range(15):
+            rng = random.Random(seed)
+            instance = random_instance(rng, max_groups=4)
+            channels = rng.randint(1, 4)
+            opt = opt_frequencies(instance, channels)
+            pamad = pamad_frequencies(instance, channels)
+            assert opt.predicted_delay <= pamad.predicted_delay + 1e-9
+
+    def test_fig2_matches_pamad(self, fig2_instance):
+        opt = opt_frequencies(fig2_instance, 3)
+        assert opt.frequencies == (4, 2, 1)
+        assert opt.predicted_delay == pytest.approx(0.0417, abs=1e-4)
+
+    def test_single_group(self, single_group_instance):
+        opt = opt_frequencies(single_group_instance, 1)
+        assert opt.frequencies == (1,)
+
+    def test_max_r_caps_search(self, fig2_instance):
+        capped = opt_frequencies(fig2_instance, 3, max_r=1)
+        assert capped.frequencies == (1, 1, 1)
+
+    def test_zero_channels_rejected(self, fig2_instance):
+        with pytest.raises(SearchSpaceError):
+            opt_frequencies(fig2_instance, 0)
+
+    def test_zero_delay_at_sufficient_channels(self, fig2_instance):
+        opt = opt_frequencies(fig2_instance, 4)
+        assert opt.predicted_delay == 0.0
+
+
+class TestBruteForce:
+    def test_never_worse_than_staged_family(self):
+        for seed in range(10):
+            rng = random.Random(100 + seed)
+            instance = random_instance(rng, max_groups=3, max_group_size=12)
+            channels = rng.randint(1, 3)
+            brute = brute_force_frequencies(instance, channels, cap=10)
+            opt = opt_frequencies(instance, channels)
+            assert brute.predicted_delay <= opt.predicted_delay + 1e-9
+
+    def test_custom_objective(self, fig2_instance):
+        from repro.core.delay import normalized_group_delay
+
+        result = brute_force_frequencies(
+            fig2_instance, 3, cap=6, objective=normalized_group_delay
+        )
+        assert result.predicted_delay >= 0
+
+    def test_search_space_guard(self):
+        instance = instance_from_counts([1] * 10, [2**i for i in range(1, 11)])
+        with pytest.raises(SearchSpaceError, match="brute force"):
+            brute_force_frequencies(instance, 2, cap=8)
+
+    def test_last_frequency_pinned_to_one(self, fig2_instance):
+        result = brute_force_frequencies(fig2_instance, 3, cap=6)
+        assert result.frequencies[-1] == 1
+
+
+class TestScheduleOpt:
+    def test_end_to_end(self, fig2_instance):
+        schedule = schedule_opt(fig2_instance, 3)
+        assert schedule.program.cycle_length == 9
+        assert schedule.average_delay == pytest.approx(
+            program_average_delay(schedule.program, fig2_instance)
+        )
+
+    def test_predicted_consistent_with_eq2(self, fig2_instance):
+        schedule = schedule_opt(fig2_instance, 3)
+        recomputed = paper_group_delay(
+            schedule.assignment.frequencies,
+            fig2_instance.group_sizes,
+            fig2_instance.expected_times,
+            3,
+        )
+        assert schedule.assignment.predicted_delay == pytest.approx(recomputed)
+
+
+class TestDrop:
+    def test_no_drops_when_sufficient(self, fig2_instance):
+        schedule = schedule_drop(fig2_instance, 4)
+        assert schedule.dropped_pages == ()
+        assert schedule.kept_instance.n == fig2_instance.n
+
+    def test_drops_until_bound_met(self, fig2_instance):
+        schedule = schedule_drop(fig2_instance, 3)
+        assert minimum_channels(schedule.kept_instance) <= 3
+        assert len(schedule.dropped_pages) > 0
+
+    def test_kept_program_is_valid(self, fig2_instance):
+        schedule = schedule_drop(fig2_instance, 2)
+        assert validate_program(
+            schedule.program, schedule.kept_instance
+        ).ok
+
+    def test_fewest_drops_removes_urgent_pages_first(self, fig2_instance):
+        schedule = schedule_drop(fig2_instance, 3, policy="fewest-drops")
+        assert all(
+            page.group_index == 1 for page in schedule.dropped_pages
+        )
+
+    def test_keep_urgent_drops_relaxed_pages_first(self, fig2_instance):
+        schedule = schedule_drop(fig2_instance, 3, policy="keep-urgent")
+        assert all(
+            page.group_index == 3 for page in schedule.dropped_pages
+        )
+
+    def test_fewest_drops_is_actually_fewest(self, fig2_instance):
+        fewest = schedule_drop(fig2_instance, 2, policy="fewest-drops")
+        urgent = schedule_drop(fig2_instance, 2, policy="keep-urgent")
+        assert len(fewest.dropped_pages) <= len(urgent.dropped_pages)
+
+    def test_dropped_fraction(self, fig2_instance):
+        schedule = schedule_drop(fig2_instance, 3)
+        assert schedule.dropped_fraction == pytest.approx(
+            len(schedule.dropped_pages) / 11
+        )
+
+    def test_unknown_policy_rejected(self, fig2_instance):
+        with pytest.raises(WorkloadError, match="policy"):
+            schedule_drop(fig2_instance, 3, policy="random")
+
+    def test_one_channel_extreme(self, fig2_instance):
+        schedule = schedule_drop(fig2_instance, 1)
+        assert minimum_channels(schedule.kept_instance) <= 1
+        assert validate_program(
+            schedule.program, schedule.kept_instance
+        ).ok
+
+    def test_gapped_kept_ladder_schedules(self):
+        # keep-urgent on a tight budget may empty the middle group.
+        instance = instance_from_counts([6, 2, 8], [2, 4, 8])
+        schedule = schedule_drop(instance, 1, policy="keep-urgent")
+        assert validate_program(
+            schedule.program, schedule.kept_instance
+        ).ok
+
+
+class TestFlat:
+    def test_every_page_once(self, fig2_instance):
+        schedule = schedule_flat(fig2_instance, 2)
+        counts = schedule.program.page_counts()
+        assert all(count == 1 for count in counts.values())
+        assert len(counts) == 11
+
+    def test_cycle_length(self, fig2_instance):
+        schedule = schedule_flat(fig2_instance, 2)
+        assert schedule.program.cycle_length == 6  # ceil(11/2)
+
+    def test_deadline_aware_schedulers_beat_flat(self, fig2_instance):
+        from repro.core.pamad import schedule_pamad
+
+        for channels in (1, 2):
+            flat = schedule_flat(fig2_instance, channels)
+            pamad = schedule_pamad(fig2_instance, channels)
+            assert pamad.average_delay <= flat.average_delay + 1e-9

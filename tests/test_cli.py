@@ -1,0 +1,167 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPlan:
+    def test_insufficient_recommends_pamad(self, capsys):
+        code = main(["plan", "--sizes", "3,5,3", "--times", "2,4,8",
+                     "--channels", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "minimum channels   : 4" in out
+        assert "PAMAD" in out
+
+    def test_sufficient_recommends_susc(self, capsys):
+        code = main(["plan", "--sizes", "3,5,3", "--times", "2,4,8",
+                     "--channels", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SUSC" in out
+
+    def test_workload_shortcut(self, capsys):
+        code = main(["plan", "--workload", "uniform", "--channels", "10"])
+        assert code == 0
+        assert "minimum channels" in capsys.readouterr().out
+
+    def test_missing_instance_is_an_error(self, capsys):
+        code = main(["plan", "--channels", "2"])
+        assert code == 2
+        assert "specify an instance" in capsys.readouterr().err
+
+
+class TestSchedule:
+    def test_susc_render(self, capsys):
+        code = main(["schedule", "--sizes", "3,5,3", "--times", "2,4,8",
+                     "--render"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "valid broadcast program" in out
+        assert "ch1" in out
+
+    def test_susc_insufficient_channels_errors(self, capsys):
+        code = main(["schedule", "--sizes", "3,5,3", "--times", "2,4,8",
+                     "--channels", "3"])
+        assert code == 2
+        assert "Theorem 3.1 requires at least 4" in capsys.readouterr().err
+
+    def test_pamad_json_output(self, capsys):
+        code = main(["schedule", "--sizes", "3,5,3", "--times", "2,4,8",
+                     "--algorithm", "pamad", "--channels", "3", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out.splitlines()[-1])
+        assert payload["num_channels"] == 3
+        assert payload["cycle_length"] == 9
+
+    def test_invalid_program_reported(self, capsys):
+        code = main(["schedule", "--sizes", "3,5,3", "--times", "2,4,8",
+                     "--algorithm", "pamad", "--channels", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "invalid" in out
+
+
+class TestEvaluate:
+    def test_reports_both_measurements(self, capsys):
+        code = main(["evaluate", "--sizes", "3,5,3", "--times", "2,4,8",
+                     "--algorithm", "pamad", "--channels", "2",
+                     "--requests", "300"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "AvgD (analytic)" in out
+        assert "AvgD (simulated)" in out
+        assert "deadline misses" in out
+
+
+class TestSweep:
+    def test_small_sweep(self, capsys):
+        code = main(["sweep", "--sizes", "3,5,3", "--times", "2,4,8",
+                     "--algorithms", "pamad,m-pb", "--requests", "100"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pamad" in out
+        assert "m-pb" in out
+
+
+class TestProfile:
+    def test_profile_renders_group_table(self, capsys):
+        code = main(["profile", "--sizes", "3,5,3", "--times", "2,4,8",
+                     "--algorithm", "pamad", "--channels", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-group structure" in out
+        assert "delay fairness" in out
+        assert "margin" in out
+
+    def test_profile_defaults_to_minimum_channels(self, capsys):
+        code = main(["profile", "--sizes", "3,5,3", "--times", "2,4,8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "on 4 channels" in out
+
+
+class TestExperiments:
+    def test_listing(self, capsys):
+        code = main(["experiments"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FIG5D" in out
+        assert "EXT1" in out
+
+    def test_run_fig4(self, capsys):
+        code = main(["experiment", "FIG4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "number of requests" in out
+
+    def test_markdown_flag(self, capsys):
+        code = main(["experiment", "FIG4", "--markdown"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.lstrip().startswith("|")
+
+    def test_unknown_experiment(self, capsys):
+        code = main(["experiment", "FIG99"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestFigure:
+    def test_channel_sweep_renders_chart(self, capsys):
+        code = main(["figure", "FIG5B", "--requests", "200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "o pamad" in out
+        assert "x m-pb" in out
+        assert "(log y" in out
+
+    def test_linear_axis_flag(self, capsys):
+        code = main(["figure", "ABL5", "--linear"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(log y" not in out
+
+    def test_non_sweep_experiment_falls_back_to_table(self, capsys):
+        code = main(["figure", "FIG4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "number of requests" in out
+
+    def test_unknown_experiment(self, capsys):
+        code = main(["figure", "NOPE"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestParsing:
+    def test_bad_int_list(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["plan", "--sizes", "a,b", "--times", "2,4",
+                  "--channels", "1"])

@@ -1,0 +1,218 @@
+"""Unit tests for the delay models (Sections 4.1-4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.delay import (
+    even_spread_page_delay,
+    normalized_group_delay,
+    page_average_delay,
+    page_average_wait,
+    page_miss_probability,
+    paper_group_delay,
+    program_average_delay,
+    program_average_wait,
+    program_miss_probability,
+    uniform_access_probabilities,
+)
+from repro.core.errors import InvalidInstanceError
+from repro.core.pages import instance_from_counts
+from repro.core.program import BroadcastProgram
+
+
+def _program_with_slots(cycle, placements):
+    """Build a program with one channel per page: {page_id: [slots]}."""
+    program = BroadcastProgram(
+        num_channels=len(placements), cycle_length=cycle
+    )
+    for channel, (page_id, slots) in enumerate(placements.items()):
+        for slot in slots:
+            program.assign(channel, slot, page_id)
+    return program
+
+
+class TestPageAverageDelay:
+    def test_no_delay_when_gaps_fit(self):
+        program = _program_with_slots(8, {1: [0, 4]})
+        assert page_average_delay(program, 1, expected_time=4) == 0.0
+
+    def test_single_gap_formula(self):
+        # One appearance in a cycle of 8, t=4: delay = (8-4)^2 / (2*8) = 1.
+        program = _program_with_slots(8, {1: [0]})
+        assert page_average_delay(program, 1, expected_time=4) == pytest.approx(1.0)
+
+    def test_uneven_gaps_sum(self):
+        # slots 0 and 2 in cycle 8: gaps 2 and 6; t=3 -> only 6 exceeds.
+        program = _program_with_slots(8, {1: [0, 2]})
+        expected = (6 - 3) ** 2 / (2 * 8)
+        assert page_average_delay(program, 1, expected_time=3) == pytest.approx(expected)
+
+    def test_monotone_in_expected_time(self):
+        program = _program_with_slots(16, {1: [0, 5]})
+        delays = [
+            page_average_delay(program, 1, expected_time=t) for t in (1, 3, 7, 11)
+        ]
+        assert delays == sorted(delays, reverse=True)
+
+
+class TestPageAverageWait:
+    def test_even_gaps(self):
+        # gaps of 4 in a cycle of 8: wait = sum g^2/(2T) = 32/16 = 2.
+        program = _program_with_slots(8, {1: [0, 4]})
+        assert page_average_wait(program, 1) == pytest.approx(2.0)
+
+    def test_wait_at_least_delay(self):
+        program = _program_with_slots(8, {1: [0]})
+        wait = page_average_wait(program, 1)
+        delay = page_average_delay(program, 1, expected_time=3)
+        assert wait >= delay
+
+
+class TestPageMissProbability:
+    def test_zero_when_valid(self):
+        program = _program_with_slots(8, {1: [0, 4]})
+        assert page_miss_probability(program, 1, 4) == 0.0
+
+    def test_single_appearance(self):
+        # gap 8, t=4: P(miss) = (8-4)/8 = 0.5.
+        program = _program_with_slots(8, {1: [0]})
+        assert page_miss_probability(program, 1, 4) == pytest.approx(0.5)
+
+    def test_bounded_by_one(self):
+        program = _program_with_slots(8, {1: [0]})
+        assert page_miss_probability(program, 1, 1) <= 1.0
+
+
+class TestProgramAggregates:
+    @pytest.fixture
+    def instance(self):
+        return instance_from_counts([1, 1], [2, 4])
+
+    @pytest.fixture
+    def program(self):
+        # page 1 (t=2) at 0,4 (gaps 4); page 2 (t=4) at 0 (gap 8).
+        return _program_with_slots(8, {1: [0, 4], 2: [0]})
+
+    def test_uniform_weighting(self, instance, program):
+        d1 = page_average_delay(program, 1, 2)
+        d2 = page_average_delay(program, 2, 4)
+        assert program_average_delay(program, instance) == pytest.approx(
+            (d1 + d2) / 2
+        )
+
+    def test_explicit_probabilities(self, instance, program):
+        probabilities = {1: 0.9, 2: 0.1}
+        d1 = page_average_delay(program, 1, 2)
+        d2 = page_average_delay(program, 2, 4)
+        assert program_average_delay(
+            program, instance, probabilities
+        ) == pytest.approx(0.9 * d1 + 0.1 * d2)
+
+    def test_probabilities_must_sum_to_one(self, instance, program):
+        with pytest.raises(InvalidInstanceError, match="sum"):
+            program_average_delay(program, instance, {1: 0.5, 2: 0.1})
+
+    def test_uniform_access_probabilities_helper(self, instance):
+        probabilities = uniform_access_probabilities(instance)
+        assert probabilities == {1: 0.5, 2: 0.5}
+
+    def test_program_average_wait(self, instance, program):
+        w1 = page_average_wait(program, 1)
+        w2 = page_average_wait(program, 2)
+        assert program_average_wait(program, instance) == pytest.approx(
+            (w1 + w2) / 2
+        )
+
+    def test_program_miss_probability(self, instance, program):
+        m1 = page_miss_probability(program, 1, 2)
+        m2 = page_miss_probability(program, 2, 4)
+        assert program_miss_probability(program, instance) == pytest.approx(
+            (m1 + m2) / 2
+        )
+
+
+class TestPaperGroupDelay:
+    """The Equation-2 literal model against the Figure 2(b) numbers."""
+
+    SIZES = (3, 5, 3)
+    TIMES = (2, 4, 8)
+
+    def test_step2_r1_equals_1(self):
+        value = paper_group_delay((1, 1), self.SIZES[:2], self.TIMES[:2], 3)
+        assert value == pytest.approx(0.125, abs=1e-9)  # paper rounds to 0.12
+
+    def test_step2_r1_equals_2(self):
+        value = paper_group_delay((2, 1), self.SIZES[:2], self.TIMES[:2], 3)
+        assert value == 0.0
+
+    def test_step3_r2_equals_1(self):
+        value = paper_group_delay((2, 1, 1), self.SIZES, self.TIMES, 3)
+        assert value == pytest.approx(0.1548, abs=1e-4)  # paper: 0.15
+
+    def test_step3_r2_equals_2(self):
+        value = paper_group_delay((4, 2, 1), self.SIZES, self.TIMES, 3)
+        assert value == pytest.approx(0.0417, abs=1e-4)  # paper: 0.04
+
+    def test_zero_under_sufficient_frequencies_and_channels(self):
+        # With 4 channels (the Theorem-3.1 minimum) and valid frequencies
+        # S = t_h/t_i the delay model must report zero.
+        value = paper_group_delay((4, 2, 1), self.SIZES, self.TIMES, 4)
+        assert value == 0.0
+
+    def test_negative_factors_never_create_delay(self):
+        # Over-broadcasting a relaxed group: both (spacing - t) factors go
+        # negative; the clamp must keep the contribution at zero.
+        value = paper_group_delay((1, 1), (1, 1), (100, 200), 5)
+        assert value == 0.0
+
+    def test_explicit_cycle_length(self):
+        default = paper_group_delay((1, 1), self.SIZES[:2], self.TIMES[:2], 1)
+        stretched = paper_group_delay(
+            (1, 1), self.SIZES[:2], self.TIMES[:2], 1, cycle_length=100
+        )
+        assert stretched > default
+
+    def test_vector_length_mismatch(self):
+        with pytest.raises(InvalidInstanceError):
+            paper_group_delay((1,), self.SIZES, self.TIMES, 3)
+
+    def test_frequency_below_one_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            paper_group_delay((0, 1, 1), self.SIZES, self.TIMES, 3)
+
+    def test_channels_must_be_positive(self):
+        with pytest.raises(InvalidInstanceError):
+            paper_group_delay((1, 1, 1), self.SIZES, self.TIMES, 0)
+
+
+class TestNormalizedGroupDelay:
+    def test_zero_when_valid(self):
+        assert normalized_group_delay((4, 2, 1), (3, 5, 3), (2, 4, 8), 4) == 0.0
+
+    def test_at_most_literal_when_gap_exceeds_one(self):
+        # Dividing a positive excess^2 by gap > excess shrinks it relative
+        # to the un-normalised product when spacing_real ~ spacing_cycle.
+        literal = paper_group_delay((1, 1, 1), (3, 5, 3), (2, 4, 8), 1)
+        normalized = normalized_group_delay((1, 1, 1), (3, 5, 3), (2, 4, 8), 1)
+        assert normalized <= literal
+
+    def test_positive_when_insufficient(self):
+        assert normalized_group_delay((1, 1), (10, 10), (2, 4), 1) > 0
+
+
+class TestEvenSpreadPageDelay:
+    def test_zero_when_gap_fits(self):
+        assert even_spread_page_delay(8, frequency=4, expected_time=2) == 0.0
+
+    def test_matches_formula(self):
+        # gap = 10, t = 4: (10-4)^2 / (2*10) = 1.8
+        assert even_spread_page_delay(10, 1, 4) == pytest.approx(1.8)
+
+    def test_floor_gap(self):
+        # cycle 9, frequency 2: gap = 4; t = 4 -> no delay.
+        assert even_spread_page_delay(9, 2, 4) == 0.0
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(InvalidInstanceError):
+            even_spread_page_delay(8, 0, 2)

@@ -1,0 +1,129 @@
+"""Integration tests: full workflows across modules."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    instance_from_counts,
+    minimum_channels,
+    plan_channels,
+    program_average_delay,
+    schedule_pamad,
+    schedule_susc,
+)
+from repro.baselines import schedule_drop, schedule_mpb, schedule_opt
+from repro.core.program import BroadcastProgram
+from repro.core.validate import validate_program
+from repro.sim import (
+    DeadlineEstimator,
+    HybridConfig,
+    measure_program,
+    simulate_hybrid,
+)
+from repro.workload import paper_instance
+
+
+class TestPlanThenSchedule:
+    """The dispatcher workflow the package docstring advertises."""
+
+    def test_sufficient_path(self, fig2_instance):
+        plan = plan_channels(fig2_instance, available=5)
+        assert plan.sufficient
+        schedule = schedule_susc(fig2_instance, num_channels=5)
+        assert validate_program(schedule.program, fig2_instance).ok
+        measurement = measure_program(
+            schedule.program, fig2_instance, num_requests=500, seed=0
+        )
+        assert measurement.average_delay == 0.0
+
+    def test_insufficient_path(self, fig2_instance):
+        plan = plan_channels(fig2_instance, available=2)
+        assert not plan.sufficient
+        schedule = schedule_pamad(fig2_instance, 2)
+        measurement = measure_program(
+            schedule.program, fig2_instance, num_requests=500, seed=0
+        )
+        assert measurement.average_delay > 0
+
+
+class TestSerializationRoundtrip:
+    def test_program_survives_json(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 3)
+        clone = BroadcastProgram.from_json(schedule.program.to_json())
+        assert program_average_delay(
+            clone, fig2_instance
+        ) == pytest.approx(schedule.average_delay)
+
+
+class TestRawDeadlinesToBroadcast:
+    """Client reports -> estimator -> rearrangement -> SUSC -> replay."""
+
+    def test_end_to_end(self):
+        rng = random.Random(5)
+        estimator = DeadlineEstimator()
+        true_deadlines = {f"page-{i}": rng.uniform(3, 40) for i in range(30)}
+        for key, deadline in true_deadlines.items():
+            for _ in range(5):
+                estimator.observe(key, deadline * rng.uniform(1.0, 1.4))
+        instance, mapping = estimator.to_instance(quantile=0.1)
+        schedule = schedule_susc(instance)
+        assert validate_program(schedule.program, instance).ok
+        measurement = measure_program(
+            schedule.program, instance, num_requests=1000, seed=1
+        )
+        assert measurement.average_delay == 0.0
+        # Every client's true deadline is met by the scheduled bound:
+        # estimate (min report) <= true deadline * 1.0 scaling.
+        for key in true_deadlines:
+            page = instance.page(mapping[key])
+            assert page.expected_time <= true_deadlines[key] * 1.4
+
+
+class TestAlgorithmOrdering:
+    """On the paper workload: OPT <= PAMAD << m-PB for predicted delay."""
+
+    @pytest.mark.parametrize("distribution", ["uniform", "l-skewed"])
+    def test_ordering_holds(self, distribution):
+        instance = paper_instance(distribution)
+        channels = max(2, minimum_channels(instance) // 6)
+        opt = schedule_opt(instance, channels)
+        pamad = schedule_pamad(instance, channels)
+        mpb = schedule_mpb(instance, channels)
+        assert (
+            opt.assignment.predicted_delay
+            <= pamad.assignment.predicted_delay + 1e-9
+        )
+        assert pamad.average_delay < mpb.average_delay
+
+
+class TestDropSpillStory:
+    def test_drop_spills_exactly_dropped_fraction(self, fig2_instance):
+        drop = schedule_drop(fig2_instance, 2)
+        result = simulate_hybrid(
+            drop.program,
+            fig2_instance,
+            HybridConfig(arrival_rate=1.0, horizon=2000.0, seed=9),
+        )
+        # Kept pages are served validly (no spill); only requests for
+        # dropped pages spill, so the spill ratio estimates the dropped
+        # fraction.
+        assert result.spill_ratio == pytest.approx(
+            drop.dropped_fraction, abs=0.05
+        )
+
+
+class TestCrossModelConsistency:
+    def test_analytic_equals_simulation_in_expectation(self, fig2_instance):
+        for channels in (1, 2, 3):
+            schedule = schedule_pamad(fig2_instance, channels)
+            measurement = measure_program(
+                schedule.program,
+                fig2_instance,
+                num_requests=60_000,
+                seed=channels,
+            )
+            low, high = measurement.confidence_interval(z=4.0)
+            assert low <= schedule.average_delay <= high

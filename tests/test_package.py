@@ -1,0 +1,83 @@
+"""Package-level contract tests: exports, error hierarchy, versioning."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+import repro.analysis
+import repro.baselines
+import repro.core
+import repro.indexing
+import repro.sim
+import repro.workload
+from repro.core import errors
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            repro.core,
+            repro.baselines,
+            repro.workload,
+            repro.sim,
+            repro.indexing,
+            repro.analysis,
+        ],
+    )
+    def test_subpackage_all_names_resolve(self, module):
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_headline_api_importable_from_root(self):
+        # The functions the README quickstart uses.
+        assert callable(repro.instance_from_counts)
+        assert callable(repro.plan_channels)
+        assert callable(repro.schedule_susc)
+        assert callable(repro.schedule_pamad)
+
+
+class TestErrorHierarchy:
+    ALL_ERRORS = [
+        errors.InvalidInstanceError,
+        errors.InsufficientChannelsError,
+        errors.SchedulingError,
+        errors.SlotConflictError,
+        errors.ProgramValidationError,
+        errors.SearchSpaceError,
+        errors.WorkloadError,
+        errors.SimulationError,
+    ]
+
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, errors.ReproError)
+
+    def test_slot_conflict_is_a_scheduling_error(self):
+        assert issubclass(errors.SlotConflictError, errors.SchedulingError)
+
+    def test_value_error_compatibility(self):
+        """Instance/workload validation failures also read as ValueError
+        for callers using stdlib idioms."""
+        assert issubclass(errors.InvalidInstanceError, ValueError)
+        assert issubclass(errors.WorkloadError, ValueError)
+
+    def test_insufficient_channels_carries_counts(self):
+        error = errors.InsufficientChannelsError(provided=2, required=5)
+        assert error.provided == 2
+        assert error.required == 5
+        assert "2" in str(error) and "5" in str(error)
+
+    def test_one_except_clause_catches_everything(self, fig2_instance):
+        from repro.core.susc import schedule_susc
+
+        with pytest.raises(errors.ReproError):
+            schedule_susc(fig2_instance, num_channels=1)

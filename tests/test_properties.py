@@ -1,0 +1,359 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These encode the DESIGN.md section-6 invariants: the theorems and
+structural guarantees that must hold for *every* valid input, not just the
+paper's examples.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.mpb import schedule_mpb
+from repro.core.bounds import channel_load, minimum_channels
+from repro.core.delay import (
+    page_average_delay,
+    paper_group_delay,
+    program_average_delay,
+)
+from repro.core.frequencies import frequencies_from_r, pamad_frequencies
+from repro.core.pages import ProblemInstance, instance_from_counts
+from repro.core.pamad import place_by_frequency, schedule_pamad
+from repro.core.rearrange import ladder_value, rearrange
+from repro.core.susc import schedule_susc
+from repro.core.validate import validate_program
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def instances(draw, max_groups=4, max_size=15, max_base=4, max_ratio=3):
+    """Structurally valid problem instances on uniform ladders."""
+    h = draw(st.integers(1, max_groups))
+    base = draw(st.integers(1, max_base))
+    ratio = draw(st.integers(2, max_ratio)) if h > 1 else 1
+    sizes = draw(
+        st.lists(st.integers(1, max_size), min_size=h, max_size=h)
+    )
+    times = [base * ratio**i for i in range(h)]
+    return instance_from_counts(sizes, times)
+
+
+@st.composite
+def instances_with_channels(draw):
+    """An instance plus a channel count in 1..minimum."""
+    instance = draw(instances())
+    channels = draw(st.integers(1, minimum_channels(instance)))
+    return instance, channels
+
+
+# ----------------------------------------------------------------------
+# Rearrangement invariants
+# ----------------------------------------------------------------------
+
+
+class TestRearrangeProperties:
+    @given(
+        time=st.integers(1, 10_000),
+        base=st.integers(1, 50),
+        ratio=st.integers(1, 5),
+    )
+    def test_ladder_value_is_maximal_rung_below(self, time, base, ratio):
+        assume(time >= base)
+        value = ladder_value(time, base, ratio)
+        assert value <= time
+        # value is a rung
+        quotient = value / base
+        k = round(math.log(quotient, ratio)) if ratio > 1 else 0
+        assert base * ratio**k == value
+        # and the next rung is too large
+        if ratio > 1:
+            assert value * ratio > time
+
+    @given(
+        times=st.lists(st.integers(1, 500), min_size=1, max_size=30),
+        ratio=st.integers(2, 4),
+    )
+    def test_rearrange_never_violates_requirements(self, times, ratio):
+        result = rearrange(times, ratio=ratio)
+        assert result.satisfies_requirements()
+        assert result.waste >= 0
+        assert result.load_increase >= -1e-12
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.1 / SUSC invariants
+# ----------------------------------------------------------------------
+
+
+class TestSuscProperties:
+    @given(instance=instances())
+    @settings(max_examples=60, deadline=None)
+    def test_susc_valid_at_exact_bound(self, instance):
+        """Theorems 3.1 + 3.2: SUSC succeeds with the minimum channels and
+        its program passes both validity conditions."""
+        schedule = schedule_susc(instance)
+        assert schedule.num_channels == minimum_channels(instance)
+        report = validate_program(schedule.program, instance)
+        assert report.ok, report.summary()
+
+    @given(instance=instances())
+    @settings(max_examples=60, deadline=None)
+    def test_bound_is_ceiling_of_load(self, instance):
+        load = channel_load(instance)
+        bound = minimum_channels(instance)
+        assert bound - 1 < load <= bound + 1e-9
+
+    @given(instance=instances())
+    @settings(max_examples=40, deadline=None)
+    def test_theorem_33_periodicity(self, instance):
+        schedule = schedule_susc(instance)
+        for page in instance.pages():
+            refs = schedule.program.appearances(page.page_id)
+            assert len({ref.channel for ref in refs}) == 1
+            slots = [ref.slot for ref in refs]
+            for k, slot in enumerate(slots):
+                assert slot == slots[0] + k * page.expected_time
+
+    @given(instance=instances())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_program_has_zero_delay(self, instance):
+        schedule = schedule_susc(instance)
+        assert program_average_delay(schedule.program, instance) == 0.0
+
+    @given(instance=instances())
+    @settings(max_examples=60, deadline=None)
+    def test_cursor_optimisation_is_equivalent(self, instance):
+        """The paper's 3.2 search optimisation must not change the
+        program, only the search cost."""
+        naive = schedule_susc(instance)
+        optimized = schedule_susc(instance, optimized=True)
+        assert naive.program == optimized.program
+        assert naive.first_slots == optimized.first_slots
+
+
+# ----------------------------------------------------------------------
+# Frequency and placement invariants
+# ----------------------------------------------------------------------
+
+
+class TestFrequencyProperties:
+    @given(pair=instances_with_channels())
+    @settings(max_examples=60, deadline=None)
+    def test_pamad_frequencies_well_formed(self, pair):
+        instance, channels = pair
+        assignment = pamad_frequencies(instance, channels)
+        frequencies = assignment.frequencies
+        assert len(frequencies) == instance.h
+        assert all(s >= 1 for s in frequencies)
+        assert frequencies[-1] == 1
+        # suffix-product structure
+        assert frequencies == frequencies_from_r(
+            list(assignment.r_values), instance.h
+        )
+
+    @given(
+        r_values=st.lists(st.integers(1, 5), min_size=0, max_size=5),
+    )
+    def test_frequencies_from_r_products(self, r_values):
+        h = len(r_values) + 1
+        frequencies = frequencies_from_r(r_values, h)
+        assert frequencies[-1] == 1
+        for i in range(h - 1):
+            assert frequencies[i] == frequencies[i + 1] * r_values[i]
+
+    @given(pair=instances_with_channels())
+    @settings(max_examples=50, deadline=None)
+    def test_placement_counts_and_cycle(self, pair):
+        """Algorithm 4: every page exactly S_i times, cycle per Eq. 8."""
+        instance, channels = pair
+        assignment = pamad_frequencies(instance, channels)
+        result = place_by_frequency(
+            instance, assignment.frequencies, channels
+        )
+        slots = sum(
+            s * p
+            for s, p in zip(assignment.frequencies, instance.group_sizes)
+        )
+        assert result.program.cycle_length == math.ceil(slots / channels)
+        counts = result.program.page_counts()
+        for page in instance.pages():
+            assert counts[page.page_id] == assignment.frequencies[
+                page.group_index - 1
+            ]
+
+    @given(pair=instances_with_channels())
+    @settings(max_examples=30, deadline=None)
+    def test_pamad_never_starves_a_page(self, pair):
+        instance, channels = pair
+        schedule = schedule_pamad(instance, channels)
+        assert schedule.program.page_ids() == {
+            page.page_id for page in instance.pages()
+        }
+
+    @given(pair=instances_with_channels())
+    @settings(max_examples=30, deadline=None)
+    def test_mpb_matches_valid_frequencies(self, pair):
+        instance, channels = pair
+        schedule = schedule_mpb(instance, channels)
+        t_h = instance.max_expected_time
+        expected = tuple(
+            math.ceil(t_h / t) for t in instance.expected_times
+        )
+        assert schedule.assignment.frequencies == expected
+
+
+# ----------------------------------------------------------------------
+# Delay-model invariants
+# ----------------------------------------------------------------------
+
+
+class TestDelayProperties:
+    @given(pair=instances_with_channels())
+    @settings(max_examples=50, deadline=None)
+    def test_measured_delay_non_negative(self, pair):
+        instance, channels = pair
+        schedule = schedule_pamad(instance, channels)
+        assert schedule.average_delay >= 0.0
+        for page in instance.pages():
+            assert (
+                page_average_delay(
+                    schedule.program, page.page_id, page.expected_time
+                )
+                >= 0.0
+            )
+
+    @given(
+        frequencies=st.lists(st.integers(1, 8), min_size=1, max_size=5),
+        sizes=st.lists(st.integers(1, 20), min_size=1, max_size=5),
+        channels=st.integers(1, 10),
+    )
+    def test_paper_objective_non_negative(self, frequencies, sizes, channels):
+        h = min(len(frequencies), len(sizes))
+        frequencies, sizes = frequencies[:h], sizes[:h]
+        times = [2 * 2**i for i in range(h)]
+        value = paper_group_delay(frequencies, sizes, times, channels)
+        assert value >= 0.0
+
+    @given(pair=instances_with_channels())
+    @settings(max_examples=25, deadline=None)
+    def test_vectorized_equals_scalar(self, pair):
+        """The numpy engine is a pure re-implementation of the scalar
+        reference; they must agree on every instance."""
+        from repro.analysis.vectorized import program_delay_vector
+
+        instance, channels = pair
+        schedule = schedule_pamad(instance, channels)
+        vector = program_delay_vector(schedule.program, instance)
+        for page in instance.pages():
+            scalar = page_average_delay(
+                schedule.program, page.page_id, page.expected_time
+            )
+            assert abs(vector[page.page_id] - scalar) < 1e-9
+
+    @given(pair=instances_with_channels())
+    @settings(max_examples=30, deadline=None)
+    def test_zero_delay_iff_valid(self, pair):
+        """A program has zero AvgD exactly when it is valid (gap-wise)."""
+        instance, channels = pair
+        schedule = schedule_pamad(instance, channels)
+        report = validate_program(schedule.program, instance)
+        delay = program_average_delay(schedule.program, instance)
+        gap_ok = all(
+            max(schedule.program.cyclic_gaps(page.page_id))
+            <= page.expected_time
+            for page in instance.pages()
+        )
+        assert (delay == 0.0) == gap_ok
+        if report.ok:
+            assert delay == 0.0
+
+
+# ----------------------------------------------------------------------
+# Serialisation round-trips
+# ----------------------------------------------------------------------
+
+
+class TestSerialisationProperties:
+    @given(pair=instances_with_channels())
+    @settings(max_examples=30, deadline=None)
+    def test_program_json_roundtrip(self, pair):
+        from repro.core.program import BroadcastProgram
+
+        instance, channels = pair
+        original = schedule_pamad(instance, channels).program
+        clone = BroadcastProgram.from_json(original.to_json())
+        assert clone == original
+        for page in instance.pages():
+            assert clone.appearance_slots(
+                page.page_id
+            ) == original.appearance_slots(page.page_id)
+
+    @given(
+        instance=instances(),
+        count=st.integers(1, 50),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_trace_roundtrip(self, instance, count, seed, tmp_path_factory):
+        from repro.workload.trace import RequestTrace, record_trace
+
+        trace = record_trace(instance, count, seed=seed)
+        path = tmp_path_factory.mktemp("traces") / "t.jsonl"
+        trace.dump(path)
+        loaded = RequestTrace.load(path)
+        program = schedule_pamad(instance, 1).program
+        assert list(loaded.requests_for(program)) == list(
+            trace.requests_for(program)
+        )
+
+
+# ----------------------------------------------------------------------
+# Indexing invariants
+# ----------------------------------------------------------------------
+
+
+class TestIndexingProperties:
+    @given(
+        instance=instances(max_groups=3, max_size=8),
+        m=st.integers(1, 4),
+        arrival_numerator=st.integers(0, 99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_access_time_accounting(self, instance, m, arrival_numerator):
+        """tuning + doze == access and all three are non-negative, for
+        any page, any arrival, any replication factor."""
+        from repro.indexing import IndexedProgram
+
+        program = schedule_susc(instance).program
+        indexed = IndexedProgram(program, m=m)
+        arrival = (
+            arrival_numerator / 100.0
+        ) * indexed.cycle_length
+        page = next(instance.pages())
+        result = indexed.access(page.page_id, arrival)
+        assert result.access_time >= 0
+        assert result.tuning_time >= 0
+        assert result.doze_time >= -1e-9
+        assert abs(
+            result.access_time
+            - (result.tuning_time + result.doze_time)
+        ) < 1e-9
+
+    @given(instance=instances(max_groups=3, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_index_insertion_preserves_counts(self, instance):
+        from repro.indexing import IndexedProgram
+
+        program = schedule_susc(instance).program
+        indexed = IndexedProgram(program, m=2)
+        for page in instance.pages():
+            assert indexed.expanded_program.broadcast_count(
+                page.page_id
+            ) == program.broadcast_count(page.page_id)

@@ -1,0 +1,155 @@
+"""Unit tests for the expected-time rearrangement (Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.rearrange import (
+    best_base,
+    instance_from_expected_times,
+    ladder_value,
+    rearrange,
+)
+
+
+class TestLadderValue:
+    @pytest.mark.parametrize(
+        "time,expected",
+        [(2, 2), (3, 2), (4, 4), (6, 4), (9, 8), (8, 8), (15, 8), (16, 16)],
+    )
+    def test_paper_example_rungs(self, time, expected):
+        assert ladder_value(time, base=2, ratio=2) == expected
+
+    def test_below_base_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="below the ladder"):
+            ladder_value(1, base=2, ratio=2)
+
+    def test_ratio_one_collapses_to_base(self):
+        assert ladder_value(100, base=3, ratio=1) == 3
+
+    def test_non_positive_parameters_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            ladder_value(4, base=0, ratio=2)
+        with pytest.raises(InvalidInstanceError):
+            ladder_value(4, base=2, ratio=0)
+
+    def test_ratio_three(self):
+        assert ladder_value(26, base=1, ratio=3) == 9
+        assert ladder_value(27, base=1, ratio=3) == 27
+
+
+class TestRearrange:
+    def test_paper_example(self):
+        """Times (2,3,4,6,9) become (2,2,4,4,8) with base 2 ratio 2."""
+        result = rearrange([2, 3, 4, 6, 9], ratio=2)
+        assert result.base == 2
+        assert [result.assigned[i] for i in range(5)] == [2, 2, 4, 4, 8]
+        assert result.group_times == (2, 4, 8)
+
+    def test_requirements_always_satisfied(self):
+        result = rearrange([5, 7, 11, 13, 100], ratio=2)
+        assert result.satisfies_requirements()
+
+    def test_mapping_input_keeps_keys(self):
+        # default base is min(times) = 3, so the ladder is 3, 6, 12, ...
+        result = rearrange({"stock": 3, "traffic": 9}, ratio=2)
+        assert result.assigned["stock"] == 3
+        assert result.assigned["traffic"] == 6
+
+    def test_explicit_base(self):
+        result = rearrange([4, 6], ratio=2, base=3)
+        assert result.assigned[0] == 3
+        assert result.assigned[1] == 6
+
+    def test_waste_accounting(self):
+        result = rearrange([2, 3, 4, 6, 9], ratio=2)
+        # waste = (2-2)+(3-2)+(4-4)+(6-4)+(9-8) = 4
+        assert result.waste == pytest.approx(4.0)
+
+    def test_load_increase_positive_when_rounding_down(self):
+        result = rearrange([3], ratio=2, base=2)
+        assert result.load_increase == pytest.approx(1 / 2 - 1 / 3)
+
+    def test_no_rounding_means_no_cost(self):
+        result = rearrange([2, 4, 8], ratio=2)
+        assert result.waste == 0
+        assert result.load_increase == pytest.approx(0.0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="no expected times"):
+            rearrange([])
+
+    def test_non_positive_time_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="positive"):
+            rearrange([2, 0])
+
+
+class TestBestBase:
+    def test_searches_all_bases(self):
+        # Times all multiples of 3: base 3 wastes nothing, base 2 does.
+        result = best_base([3, 6, 12], ratio=2)
+        assert result.base == 3
+        assert result.waste == 0
+
+    def test_load_objective_minimises_bandwidth(self):
+        times = [5, 7, 9, 11]
+        chosen = best_base(times, ratio=2, objective="load")
+        for base in range(1, 6):
+            other = rearrange(times, ratio=2, base=base)
+            assert chosen.load_increase <= other.load_increase + 1e-12
+
+    def test_waste_objective_minimises_slack(self):
+        times = [5, 7, 9, 11]
+        chosen = best_base(times, ratio=2, objective="waste")
+        for base in range(1, 6):
+            other = rearrange(times, ratio=2, base=base)
+            assert chosen.waste <= other.waste + 1e-12
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="objective"):
+            best_base([2, 4], objective="speed")
+
+    def test_ties_prefer_larger_base(self):
+        # Any base from 1..4 gives zero cost on exact powers ladder of 4.
+        result = best_base([4, 8, 16], ratio=2)
+        assert result.base == 4
+
+    def test_sub_slot_times_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            best_base([0.5, 4.0], ratio=2)
+
+
+class TestInstanceFromExpectedTimes:
+    def test_paper_example_instance(self):
+        instance, mapping = instance_from_expected_times(
+            {"a": 2, "b": 3, "c": 4, "d": 6, "e": 9}, ratio=2
+        )
+        assert instance.group_sizes == (2, 2, 1)
+        assert instance.expected_times == (2, 4, 8)
+        assert len(mapping) == 5
+        assert sorted(mapping.values()) == [1, 2, 3, 4, 5]
+
+    def test_mapping_respects_rearranged_deadline(self):
+        instance, mapping = instance_from_expected_times(
+            {"a": 9, "b": 2}, ratio=2
+        )
+        page = instance.page(mapping["a"])
+        assert page.expected_time <= 9
+        page_b = instance.page(mapping["b"])
+        assert page_b.expected_time <= 2
+
+    def test_gapped_rungs_are_fine(self):
+        # Times 2 and 9 occupy rungs 2 and 8 (rung 4 empty): still valid.
+        instance, _mapping = instance_from_expected_times([2, 9], ratio=2)
+        assert instance.expected_times == (2, 8)
+
+    def test_sequence_input(self):
+        instance, mapping = instance_from_expected_times([4, 4, 8])
+        assert instance.group_sizes == (2, 1)
+        assert set(mapping) == {0, 1, 2}
+
+    def test_single_time(self):
+        instance, _ = instance_from_expected_times([5])
+        assert instance.h == 1
+        assert instance.expected_times == (5,)

@@ -1,0 +1,152 @@
+"""Tests for client-side caching (LRU vs PIX)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.pamad import schedule_pamad
+from repro.sim.cache import ClientCache, simulate_caching
+from repro.workload.generator import paper_instance
+from repro.workload.requests import zipf_access_model
+
+
+class TestClientCacheLru:
+    def test_insert_and_contains(self):
+        cache = ClientCache(capacity=2)
+        cache.insert(1, now=0.0)
+        assert 1 in cache
+        assert 2 not in cache
+        assert len(cache) == 1
+
+    def test_lru_evicts_oldest(self):
+        cache = ClientCache(capacity=2)
+        cache.insert(1, now=0.0)
+        cache.insert(2, now=1.0)
+        cache.insert(3, now=2.0)  # evicts 1
+        assert 1 not in cache
+        assert 2 in cache and 3 in cache
+
+    def test_touch_refreshes_recency(self):
+        cache = ClientCache(capacity=2)
+        cache.insert(1, now=0.0)
+        cache.insert(2, now=1.0)
+        cache.touch(1, now=2.0)
+        cache.insert(3, now=3.0)  # now 2 is the LRU victim
+        assert 1 in cache
+        assert 2 not in cache
+
+    def test_reinsert_updates_time(self):
+        cache = ClientCache(capacity=2)
+        cache.insert(1, now=0.0)
+        cache.insert(2, now=1.0)
+        cache.insert(1, now=2.0)
+        cache.insert(3, now=3.0)
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_zero_capacity_caches_nothing(self):
+        cache = ClientCache(capacity=0)
+        cache.insert(1, now=0.0)
+        assert 1 not in cache
+
+
+class TestClientCachePix:
+    SCORES = {1: 0.5, 2: 0.2, 3: 0.01, 4: 0.9}
+
+    def test_evicts_lowest_score(self):
+        cache = ClientCache(capacity=2, policy="pix", pix_scores=self.SCORES)
+        cache.insert(1, now=0.0)
+        cache.insert(3, now=1.0)
+        cache.insert(4, now=2.0)  # evicts 3 (score 0.01)
+        assert 3 not in cache
+        assert 1 in cache and 4 in cache
+
+    def test_rejects_unworthy_newcomer(self):
+        """PIX never evicts a page to admit a less valuable one."""
+        cache = ClientCache(capacity=2, policy="pix", pix_scores=self.SCORES)
+        cache.insert(1, now=0.0)
+        cache.insert(4, now=1.0)
+        cache.insert(3, now=2.0)  # score 0.01 < both residents: rejected
+        assert 3 not in cache
+        assert len(cache) == 2
+
+    def test_requires_scores(self):
+        with pytest.raises(SimulationError, match="pix_scores"):
+            ClientCache(capacity=2, policy="pix")
+
+    def test_unknown_policy(self):
+        with pytest.raises(SimulationError, match="policy"):
+            ClientCache(capacity=2, policy="fifo")
+
+    def test_negative_capacity(self):
+        with pytest.raises(SimulationError):
+            ClientCache(capacity=-1)
+
+
+class TestSimulateCaching:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        instance = paper_instance("uniform")
+        program = schedule_pamad(instance, 13).program
+        zipf = zipf_access_model(instance, theta=0.9)
+        return instance, program, zipf
+
+    def test_deterministic(self, setup):
+        instance, program, zipf = setup
+        kwargs = dict(capacity=20, num_clients=4,
+                      requests_per_client=30, seed=7)
+        a = simulate_caching(program, instance, zipf, **kwargs)
+        b = simulate_caching(program, instance, zipf, **kwargs)
+        assert a.hit_ratio == b.hit_ratio
+        assert a.average_wait == b.average_wait
+
+    def test_zero_capacity_never_hits(self, setup):
+        instance, program, zipf = setup
+        result = simulate_caching(
+            program, instance, zipf, capacity=0,
+            num_clients=3, requests_per_client=30, seed=0,
+        )
+        assert result.hit_ratio == 0.0
+        assert result.average_wait == pytest.approx(result.uncached_wait)
+
+    def test_bigger_cache_hits_more(self, setup):
+        instance, program, zipf = setup
+        small = simulate_caching(
+            program, instance, zipf, capacity=10,
+            num_clients=6, requests_per_client=50, seed=1,
+        )
+        large = simulate_caching(
+            program, instance, zipf, capacity=300,
+            num_clients=6, requests_per_client=50, seed=1,
+        )
+        assert large.hit_ratio > small.hit_ratio
+
+    def test_pix_beats_lru_at_small_capacity(self, setup):
+        """The broadcast-disks caching result."""
+        instance, program, zipf = setup
+        lru = simulate_caching(
+            program, instance, zipf, capacity=10, policy="lru",
+            num_clients=8, requests_per_client=60, seed=3,
+        )
+        pix = simulate_caching(
+            program, instance, zipf, capacity=10, policy="pix",
+            num_clients=8, requests_per_client=60, seed=3,
+        )
+        assert pix.hit_ratio > lru.hit_ratio
+
+    def test_hits_reduce_wait(self, setup):
+        instance, program, zipf = setup
+        result = simulate_caching(
+            program, instance, zipf, capacity=200,
+            num_clients=6, requests_per_client=50, seed=2,
+        )
+        assert result.hit_ratio > 0
+        assert result.average_wait < result.uncached_wait
+
+    def test_bad_think_time(self, setup):
+        instance, program, zipf = setup
+        with pytest.raises(SimulationError):
+            simulate_caching(
+                program, instance, zipf, capacity=10,
+                mean_think_time=0.0,
+            )

@@ -1,0 +1,112 @@
+"""Tests for the Monte-Carlo client measurement harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.pamad import schedule_pamad
+from repro.core.susc import schedule_susc
+from repro.sim.clients import measure_program, replay_requests
+from repro.workload.requests import Request
+
+
+class TestMeasureProgram:
+    def test_valid_program_has_zero_delay(self, fig2_instance):
+        schedule = schedule_susc(fig2_instance)
+        result = measure_program(schedule.program, fig2_instance,
+                                 num_requests=2000, seed=0)
+        assert result.average_delay == 0.0
+        assert result.miss_ratio == 0.0
+
+    def test_deterministic_given_seed(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        a = measure_program(schedule.program, fig2_instance, seed=5)
+        b = measure_program(schedule.program, fig2_instance, seed=5)
+        assert a.average_delay == b.average_delay
+        assert a.miss_ratio == b.miss_ratio
+
+    def test_different_seeds_differ(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        a = measure_program(schedule.program, fig2_instance, seed=1)
+        b = measure_program(schedule.program, fig2_instance, seed=2)
+        assert a.average_delay != b.average_delay
+
+    def test_converges_to_analytic_model(self, fig2_instance):
+        """The simulator and the closed-form model measure the same thing."""
+        schedule = schedule_pamad(fig2_instance, 2)
+        result = measure_program(schedule.program, fig2_instance,
+                                 num_requests=120_000, seed=11)
+        low, high = result.confidence_interval(z=3.5)
+        assert low <= schedule.average_delay <= high
+
+    def test_wait_at_least_delay(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        result = measure_program(schedule.program, fig2_instance, seed=0)
+        assert result.average_wait >= result.average_delay
+
+    def test_group_breakdown_covers_requested_groups(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        result = measure_program(schedule.program, fig2_instance,
+                                 num_requests=3000, seed=0)
+        assert set(result.group_delay) == {1, 2, 3}
+        assert all(value >= 0 for value in result.group_delay.values())
+
+    def test_request_count_recorded(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        result = measure_program(schedule.program, fig2_instance,
+                                 num_requests=123, seed=0)
+        assert result.num_requests == 123
+
+
+class TestReplayRequests:
+    def test_explicit_requests(self, fig2_instance):
+        schedule = schedule_susc(fig2_instance)
+        requests = [Request(page_id=1, arrival=0.0),
+                    Request(page_id=1, arrival=1.5)]
+        result = replay_requests(schedule.program, fig2_instance, requests)
+        assert result.num_requests == 2
+        assert result.average_delay == 0.0
+
+    def test_delay_computed_per_expected_time(self, fig2_instance):
+        # Build a degenerate single-channel program to control waits:
+        from repro.core.program import BroadcastProgram
+
+        program = BroadcastProgram(num_channels=1, cycle_length=11)
+        for slot, page in enumerate(range(1, 12)):
+            program.assign(0, slot, page)
+        # page 1 (t=2) appears at slot 0 only; arriving at 1.0 waits 10.
+        result = replay_requests(
+            program, fig2_instance, [Request(page_id=1, arrival=1.0)]
+        )
+        assert result.average_wait == pytest.approx(10.0)
+        assert result.average_delay == pytest.approx(8.0)  # 10 - t(=2)
+        assert result.miss_ratio == 1.0
+
+    def test_empty_stream_rejected(self, fig2_instance):
+        schedule = schedule_susc(fig2_instance)
+        with pytest.raises(SimulationError, match="empty"):
+            replay_requests(schedule.program, fig2_instance, [])
+
+    def test_unbroadcast_page_rejected(self, fig2_instance):
+        from repro.core.program import BroadcastProgram
+
+        program = BroadcastProgram(num_channels=1, cycle_length=4)
+        program.assign(0, 0, 1)
+        with pytest.raises(SimulationError, match="never"):
+            replay_requests(
+                program, fig2_instance, [Request(page_id=2, arrival=0.0)]
+            )
+
+    def test_zipf_access_probabilities(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        from repro.workload.requests import zipf_access_model
+
+        result = measure_program(
+            schedule.program,
+            fig2_instance,
+            num_requests=2000,
+            seed=0,
+            access_probabilities=zipf_access_model(fig2_instance),
+        )
+        assert result.num_requests == 2000

@@ -1,0 +1,119 @@
+"""Tests for the piggyback/probing expected-time estimation front end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.estimator import DeadlineEstimator, ProbingCollector
+
+
+class TestDeadlineEstimator:
+    def test_observe_and_count(self):
+        estimator = DeadlineEstimator()
+        estimator.observe("stock", 4.0)
+        estimator.observe("stock", 6.0)
+        estimator.observe("news", 10.0)
+        assert estimator.num_pages == 2
+        assert estimator.observation_count("stock") == 2
+        assert estimator.observation_count("missing") == 0
+
+    def test_rejects_non_positive_deadline(self):
+        estimator = DeadlineEstimator()
+        with pytest.raises(SimulationError):
+            estimator.observe("x", 0)
+
+    def test_quantile_estimates(self):
+        estimator = DeadlineEstimator()
+        for deadline in range(1, 11):  # 1..10
+            estimator.observe("p", float(deadline))
+        assert estimator.estimate("p", quantile=0.1) == 1.0
+        assert estimator.estimate("p", quantile=0.5) == 5.0
+        assert estimator.estimate("p", quantile=1.0) == 10.0
+
+    def test_low_quantile_is_conservative(self):
+        estimator = DeadlineEstimator()
+        for deadline in (3.0, 5.0, 20.0):
+            estimator.observe("p", deadline)
+        assert estimator.estimate("p", 0.1) <= estimator.estimate("p", 0.9)
+
+    def test_estimate_requires_observations(self):
+        estimator = DeadlineEstimator()
+        with pytest.raises(SimulationError, match="no deadline"):
+            estimator.estimate("p")
+
+    def test_bad_quantile_rejected(self):
+        estimator = DeadlineEstimator()
+        estimator.observe("p", 1.0)
+        with pytest.raises(SimulationError, match="quantile"):
+            estimator.estimate("p", quantile=0.0)
+
+    def test_estimates_all_pages(self):
+        estimator = DeadlineEstimator()
+        estimator.observe("a", 4.0)
+        estimator.observe("b", 8.0)
+        estimates = estimator.estimates()
+        assert set(estimates) == {"a", "b"}
+
+    def test_to_instance_builds_schedulable_ladder(self):
+        """End to end: client reports -> estimates -> instance -> SUSC."""
+        from repro.core.susc import schedule_susc
+        from repro.core.validate import validate_program
+
+        estimator = DeadlineEstimator()
+        reports = {
+            "stock-aapl": [2.2, 2.5, 3.0],
+            "stock-goog": [3.0, 3.5],
+            "traffic-i5": [5.0, 6.0, 9.0],
+            "weather": [9.0, 12.0],
+        }
+        for key, deadlines in reports.items():
+            for deadline in deadlines:
+                estimator.observe(key, deadline)
+        instance, mapping = estimator.to_instance(quantile=0.1)
+        assert set(mapping) == set(reports)
+        schedule = schedule_susc(instance)
+        assert validate_program(schedule.program, instance).ok
+        # Every page's scheduled deadline is at least as tight as the
+        # most demanding reporting client's (10th percentile).
+        for key, deadlines in reports.items():
+            page = instance.page(mapping[key])
+            assert page.expected_time <= min(deadlines)
+
+    def test_to_instance_without_observations(self):
+        with pytest.raises(SimulationError):
+            DeadlineEstimator().to_instance()
+
+
+class TestProbingCollector:
+    def test_full_probability_collects_everything(self):
+        estimator = DeadlineEstimator()
+        collector = ProbingCollector(estimator, probe_probability=1.0)
+        for _ in range(20):
+            collector.offer("p", 3.0)
+        assert collector.offered == 20
+        assert collector.collected == 20
+        assert estimator.observation_count("p") == 20
+
+    def test_sampling_reduces_collection(self):
+        estimator = DeadlineEstimator()
+        collector = ProbingCollector(
+            estimator, probe_probability=0.1, seed=7
+        )
+        for _ in range(1000):
+            collector.offer("p", 3.0)
+        assert 50 < collector.collected < 200  # ~100 expected
+
+    def test_deterministic_given_seed(self):
+        def run():
+            estimator = DeadlineEstimator()
+            collector = ProbingCollector(
+                estimator, probe_probability=0.3, seed=11
+            )
+            return [collector.offer("p", 2.0) for _ in range(50)]
+
+        assert run() == run()
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(SimulationError):
+            ProbingCollector(DeadlineEstimator(), probe_probability=0.0)

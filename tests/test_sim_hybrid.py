@@ -1,0 +1,107 @@
+"""Tests for the hybrid push/pull simulation (EXT1 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.drop import schedule_drop
+from repro.core.errors import SimulationError
+from repro.core.pamad import schedule_pamad
+from repro.core.susc import schedule_susc
+from repro.sim.hybrid import HybridConfig, simulate_hybrid
+
+
+CONFIG = HybridConfig(arrival_rate=1.0, horizon=1500.0, seed=3)
+
+
+class TestSpillBehaviour:
+    def test_valid_program_never_spills(self, fig2_instance):
+        """With patience = expected time and a valid program, every wait is
+        within patience, so the on-demand channel stays idle."""
+        schedule = schedule_susc(fig2_instance)
+        result = simulate_hybrid(schedule.program, fig2_instance, CONFIG)
+        assert result.spilled == 0
+        assert result.spill_ratio == 0.0
+        assert result.ondemand.served == 0
+        assert result.broadcast_served == result.total_clients
+
+    def test_insufficient_channels_spill(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 1)
+        result = simulate_hybrid(schedule.program, fig2_instance, CONFIG)
+        assert result.spilled > 0
+        assert result.ondemand.served == result.spilled
+
+    def test_dropped_pages_always_spill(self, fig2_instance):
+        drop = schedule_drop(fig2_instance, 2)
+        result = simulate_hybrid(drop.program, fig2_instance, CONFIG)
+        # Some requests target dropped pages; they must all spill.
+        assert result.spilled > 0
+
+    def test_patience_factor_reduces_spill(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 1)
+        strict = simulate_hybrid(
+            schedule.program, fig2_instance,
+            HybridConfig(arrival_rate=1.0, horizon=1500.0,
+                         patience_factor=1.0, seed=3),
+        )
+        lenient = simulate_hybrid(
+            schedule.program, fig2_instance,
+            HybridConfig(arrival_rate=1.0, horizon=1500.0,
+                         patience_factor=5.0, seed=3),
+        )
+        assert lenient.spill_ratio <= strict.spill_ratio
+
+    def test_counts_are_consistent(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        result = simulate_hybrid(schedule.program, fig2_instance, CONFIG)
+        assert (
+            result.broadcast_served + result.spilled == result.total_clients
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, fig2_instance):
+        schedule = schedule_pamad(fig2_instance, 2)
+        a = simulate_hybrid(schedule.program, fig2_instance, CONFIG)
+        b = simulate_hybrid(schedule.program, fig2_instance, CONFIG)
+        assert a.total_clients == b.total_clients
+        assert a.spilled == b.spilled
+        assert a.ondemand.mean_response_time == pytest.approx(
+            b.ondemand.mean_response_time
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_rate(self, fig2_instance):
+        schedule = schedule_susc(fig2_instance)
+        with pytest.raises(SimulationError):
+            simulate_hybrid(
+                schedule.program, fig2_instance,
+                HybridConfig(arrival_rate=0.0),
+            )
+
+    def test_rejects_bad_horizon(self, fig2_instance):
+        schedule = schedule_susc(fig2_instance)
+        with pytest.raises(SimulationError):
+            simulate_hybrid(
+                schedule.program, fig2_instance,
+                HybridConfig(horizon=0.0),
+            )
+
+
+class TestCongestionStory:
+    def test_more_channels_less_congestion(self, fig2_instance):
+        """The paper's core argument: broadcast capacity shields the
+        on-demand channel."""
+        utilisations = []
+        for channels in (1, 2, 4):
+            if channels < 4:
+                schedule = schedule_pamad(fig2_instance, channels)
+            else:
+                schedule = schedule_susc(fig2_instance, num_channels=4)
+            result = simulate_hybrid(
+                schedule.program, fig2_instance, CONFIG
+            )
+            utilisations.append(result.ondemand.utilisation)
+        assert utilisations[0] >= utilisations[1] >= utilisations[2]
+        assert utilisations[2] == 0.0

@@ -1,0 +1,109 @@
+"""Unit tests for the streaming statistics containers."""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.metrics import StreamingStats, TimeWeightedStats
+
+
+class TestStreamingStats:
+    def test_empty(self):
+        stats = StreamingStats()
+        assert stats.count == 0
+        assert stats.variance == 0.0
+        assert stats.stderr == 0.0
+
+    def test_single_sample(self):
+        stats = StreamingStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+        assert stats.minimum == stats.maximum == 5.0
+
+    def test_matches_statistics_module(self, rng):
+        samples = [rng.gauss(10, 3) for _ in range(500)]
+        stats = StreamingStats()
+        for value in samples:
+            stats.add(value)
+        assert stats.mean == pytest.approx(statistics.fmean(samples))
+        assert stats.variance == pytest.approx(statistics.variance(samples))
+        assert stats.minimum == min(samples)
+        assert stats.maximum == max(samples)
+
+    def test_confidence_interval_brackets_mean(self):
+        stats = StreamingStats()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            stats.add(value)
+        low, high = stats.confidence_interval()
+        assert low < stats.mean < high
+
+    def test_merge_equals_sequential(self, rng):
+        samples = [rng.random() for _ in range(200)]
+        combined = StreamingStats()
+        for value in samples:
+            combined.add(value)
+        left, right = StreamingStats(), StreamingStats()
+        for value in samples[:80]:
+            left.add(value)
+        for value in samples[80:]:
+            right.add(value)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.variance == pytest.approx(combined.variance)
+        assert left.minimum == combined.minimum
+        assert left.maximum == combined.maximum
+
+    def test_merge_with_empty_is_identity(self):
+        stats = StreamingStats()
+        stats.add(1.0)
+        stats.merge(StreamingStats())
+        assert stats.count == 1
+        empty = StreamingStats()
+        empty.merge(stats)
+        assert empty.count == 1
+        assert empty.mean == 1.0
+
+
+class TestTimeWeightedStats:
+    def test_constant_signal(self):
+        stats = TimeWeightedStats()
+        stats.observe(0.0, 3.0)
+        assert stats.average_until(10.0) == pytest.approx(3.0)
+
+    def test_step_signal(self):
+        stats = TimeWeightedStats()
+        stats.observe(0.0, 0.0)
+        stats.observe(5.0, 10.0)  # value was 0 until t=5, then 10
+        assert stats.average_until(10.0) == pytest.approx(5.0)
+
+    def test_unobserved_is_zero(self):
+        stats = TimeWeightedStats()
+        assert stats.average_until(10.0) == 0.0
+
+    def test_time_cannot_go_backwards(self):
+        stats = TimeWeightedStats()
+        stats.observe(5.0, 1.0)
+        with pytest.raises(SimulationError, match="backwards"):
+            stats.observe(4.0, 2.0)
+
+    def test_average_at_zero_horizon(self):
+        stats = TimeWeightedStats()
+        stats.observe(0.0, 7.0)
+        assert stats.average_until(0.0) == 0.0
+
+    def test_queue_length_style_usage(self):
+        # queue: 0 until t=1, 1 until t=3, 2 until t=4, 0 afterwards
+        stats = TimeWeightedStats()
+        stats.observe(0.0, 0)
+        stats.observe(1.0, 1)
+        stats.observe(3.0, 2)
+        stats.observe(4.0, 0)
+        # integral = 0*1 + 1*2 + 2*1 + 0*2 = 4 over 6 time units
+        assert stats.average_until(6.0) == pytest.approx(4 / 6)

@@ -1,0 +1,147 @@
+"""Tests for multi-page (set) requests and completion times."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.pamad import schedule_pamad
+from repro.core.program import BroadcastProgram
+from repro.core.susc import schedule_susc
+from repro.sim.multipage import (
+    average_completion_time,
+    completion_time,
+    measure_set_requests,
+    sample_page_sets,
+)
+
+
+@pytest.fixture
+def simple_program():
+    """Single channel: pages 1..4 in slots 0..3, cycle 4."""
+    program = BroadcastProgram(num_channels=1, cycle_length=4)
+    for slot, page in enumerate([1, 2, 3, 4]):
+        program.assign(0, slot, page)
+    return program
+
+
+class TestCompletionTime:
+    def test_single_page_equals_wait(self, simple_program):
+        assert completion_time(simple_program, [3], 0.0) == 2.0
+        assert completion_time(simple_program, [1], 0.5) == 3.5
+
+    def test_two_pages_in_order(self, simple_program):
+        # Arrive at 0: page 1 at 0, page 3 at 2 -> completion 2.
+        assert completion_time(simple_program, [1, 3], 0.0) == 2.0
+
+    def test_order_does_not_matter(self, simple_program):
+        assert completion_time(simple_program, [3, 1], 0.0) == (
+            completion_time(simple_program, [1, 3], 0.0)
+        )
+
+    def test_wraparound(self, simple_program):
+        # Arrive at 2.5: page 2 next airs at slot 1 of the next cycle.
+        assert completion_time(simple_program, [2], 2.5) == 2.5
+
+    def test_superset_takes_longer(self, simple_program):
+        small = completion_time(simple_program, [1, 2], 0.2)
+        large = completion_time(simple_program, [1, 2, 4], 0.2)
+        assert large >= small
+
+    def test_conflicting_slots_cost_extra(self):
+        """Two needed pages airing in the same slot on different channels:
+        a single tuner catches one and waits a cycle for the other."""
+        program = BroadcastProgram(num_channels=2, cycle_length=3)
+        program.assign(0, 0, 1)
+        program.assign(1, 0, 2)
+        program.assign(0, 1, 3)
+        elapsed = completion_time(program, [1, 2], 0.0)
+        assert elapsed >= 3.0  # must span into the next cycle
+
+    def test_empty_set_rejected(self, simple_program):
+        with pytest.raises(SimulationError, match="empty"):
+            completion_time(simple_program, [], 0.0)
+
+    def test_missing_page_rejected(self, simple_program):
+        with pytest.raises(SimulationError, match="never broadcast"):
+            completion_time(simple_program, [9], 0.0)
+
+
+class TestAverageCompletionTime:
+    def test_single_page_matches_wait_model(self, simple_program):
+        # Mean wait for one page in a cycle of 4 with one appearance:
+        # gaps of 4 -> 4^2/(2*4) = 2.
+        value = average_completion_time(
+            simple_program, [1], samples_per_slot=8
+        )
+        assert value == pytest.approx(2.0, abs=0.26)
+
+    def test_monotone_in_set_size(self, fig2_instance):
+        program = schedule_pamad(fig2_instance, 3).program
+        means = [
+            average_completion_time(program, list(range(1, 1 + k)))
+            for k in (1, 2, 4)
+        ]
+        assert means == sorted(means)
+
+
+class TestSamplePageSets:
+    def test_shapes_and_membership(self, fig2_instance, rng):
+        sets = sample_page_sets(fig2_instance, 3, 20, rng)
+        assert len(sets) == 20
+        valid_ids = {p.page_id for p in fig2_instance.pages()}
+        for page_set in sets:
+            assert len(page_set) == 3
+            assert len(set(page_set)) == 3
+            assert set(page_set) <= valid_ids
+
+    def test_within_group_sets(self, fig2_instance, rng):
+        sets = sample_page_sets(
+            fig2_instance, 2, 30, rng, within_group=True
+        )
+        for page_set in sets:
+            groups = {
+                fig2_instance.page(page_id).group_index
+                for page_id in page_set
+            }
+            assert len(groups) == 1
+
+    def test_set_size_clamped_to_group(self, fig2_instance, rng):
+        sets = sample_page_sets(
+            fig2_instance, 10, 10, rng, within_group=True
+        )
+        for page_set in sets:
+            assert len(page_set) <= 5  # largest group has 5 pages
+
+    def test_bad_set_size(self, fig2_instance, rng):
+        with pytest.raises(SimulationError):
+            sample_page_sets(fig2_instance, 0, 5, rng)
+
+
+class TestMeasureSetRequests:
+    def test_deterministic(self, fig2_instance):
+        program = schedule_pamad(fig2_instance, 3).program
+        a = measure_set_requests(program, fig2_instance, seed=4)
+        b = measure_set_requests(program, fig2_instance, seed=4)
+        assert a.mean_completion == b.mean_completion
+
+    def test_valid_program_bounded_by_cycle_span(self, fig2_instance):
+        program = schedule_susc(fig2_instance).program
+        result = measure_set_requests(
+            program, fig2_instance, set_size=3, num_requests=300, seed=0
+        )
+        # 3 sequential downloads can never exceed 3 cycles + set size.
+        assert result.mean_completion < 3 * program.cycle_length + 3
+        assert result.num_requests == 300
+
+    def test_larger_sets_take_longer(self, fig2_instance):
+        program = schedule_pamad(fig2_instance, 2).program
+        small = measure_set_requests(
+            program, fig2_instance, set_size=1, num_requests=400, seed=1
+        )
+        large = measure_set_requests(
+            program, fig2_instance, set_size=4, num_requests=400, seed=1
+        )
+        assert large.mean_completion > small.mean_completion

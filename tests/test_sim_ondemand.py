@@ -1,0 +1,111 @@
+"""Unit tests for the on-demand (pull) queue substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim.events import EventLoop
+from repro.sim.ondemand import OnDemandServer
+
+
+def _make(num_servers=1, service_time=1.0):
+    loop = EventLoop()
+    return loop, OnDemandServer(
+        loop, num_servers=num_servers, service_time=service_time
+    )
+
+
+class TestConstruction:
+    def test_rejects_zero_servers(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            OnDemandServer(loop, num_servers=0)
+
+    def test_rejects_zero_service_time(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            OnDemandServer(loop, service_time=0)
+
+
+class TestSingleServer:
+    def test_single_request(self):
+        loop, server = _make()
+        loop.schedule_at(0.0, lambda: server.submit(1))
+        loop.run()
+        stats = server.stats()
+        assert stats.served == 1
+        assert stats.mean_response_time == pytest.approx(1.0)
+
+    def test_back_to_back_requests_queue(self):
+        loop, server = _make()
+        loop.schedule_at(0.0, lambda: server.submit(1))
+        loop.schedule_at(0.0, lambda: server.submit(2))
+        loop.run()
+        stats = server.stats()
+        assert stats.served == 2
+        # responses: 1.0 and 2.0 -> mean 1.5
+        assert stats.mean_response_time == pytest.approx(1.5)
+        assert stats.max_queue_length == 1
+
+    def test_spaced_requests_do_not_queue(self):
+        loop, server = _make()
+        for t in (0.0, 2.0, 4.0):
+            loop.schedule_at(t, lambda: server.submit(1))
+        loop.run()
+        stats = server.stats()
+        assert stats.mean_response_time == pytest.approx(1.0)
+        assert stats.max_queue_length == 0
+
+    def test_utilisation(self):
+        loop, server = _make()
+        loop.schedule_at(0.0, lambda: server.submit(1))
+        loop.run(until=4.0)
+        # busy 1 of 4 time units
+        assert server.stats(horizon=4.0).utilisation == pytest.approx(0.25)
+
+
+class TestMultiServer:
+    def test_parallel_service(self):
+        loop, server = _make(num_servers=2)
+        loop.schedule_at(0.0, lambda: server.submit(1))
+        loop.schedule_at(0.0, lambda: server.submit(2))
+        loop.run()
+        stats = server.stats()
+        assert stats.served == 2
+        assert stats.mean_response_time == pytest.approx(1.0)
+
+    def test_third_request_waits(self):
+        loop, server = _make(num_servers=2)
+        for page in (1, 2, 3):
+            loop.schedule_at(0.0, lambda p=page: server.submit(p))
+        loop.run()
+        # responses 1, 1, 2 -> mean 4/3
+        assert server.stats().mean_response_time == pytest.approx(4 / 3)
+
+    def test_backlog_and_busy_introspection(self):
+        loop, server = _make(num_servers=1)
+        observed = {}
+
+        def check():
+            observed["backlog"] = server.backlog
+            observed["busy"] = server.busy_servers
+
+        for page in (1, 2, 3):
+            loop.schedule_at(0.0, lambda p=page: server.submit(p))
+        loop.schedule_at(0.5, check)
+        loop.run()
+        assert observed == {"backlog": 2, "busy": 1}
+
+
+class TestQueueMetrics:
+    def test_mean_queue_length_saturated(self):
+        """Three simultaneous arrivals, one server: queue is 2 for the
+        first service, 1 for the second, 0 for the third."""
+        loop, server = _make()
+        for page in (1, 2, 3):
+            loop.schedule_at(0.0, lambda p=page: server.submit(p))
+        loop.run()
+        stats = server.stats(horizon=3.0)
+        assert stats.mean_queue_length == pytest.approx(1.0)
+        assert stats.max_queue_length == 2

@@ -1,0 +1,132 @@
+"""Unit tests for the SUSC algorithm (Section 3.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bounds import minimum_channels
+from repro.core.delay import program_average_delay
+from repro.core.errors import InsufficientChannelsError
+from repro.core.pages import instance_from_counts
+from repro.core.susc import schedule_susc
+from repro.core.validate import validate_program
+from repro.workload.generator import random_instance
+
+
+class TestBasics:
+    def test_fig2_instance_uses_minimum_channels(self, fig2_instance):
+        schedule = schedule_susc(fig2_instance)
+        assert schedule.num_channels == 4
+
+    def test_cycle_is_t_h(self, fig2_instance):
+        schedule = schedule_susc(fig2_instance)
+        assert schedule.program.cycle_length == 8
+
+    def test_program_is_valid(self, fig2_instance):
+        schedule = schedule_susc(fig2_instance)
+        assert validate_program(schedule.program, fig2_instance).ok
+
+    def test_zero_average_delay(self, fig2_instance):
+        schedule = schedule_susc(fig2_instance)
+        assert program_average_delay(schedule.program, fig2_instance) == 0.0
+
+    def test_sec31_instance(self, sec31_instance):
+        schedule = schedule_susc(sec31_instance)
+        assert schedule.num_channels == 2
+        assert validate_program(schedule.program, sec31_instance).ok
+
+    def test_single_group(self, single_group_instance):
+        schedule = schedule_susc(single_group_instance)
+        assert validate_program(
+            schedule.program, single_group_instance
+        ).ok
+
+    def test_insufficient_channels_rejected(self, fig2_instance):
+        with pytest.raises(InsufficientChannelsError) as excinfo:
+            schedule_susc(fig2_instance, num_channels=3)
+        assert excinfo.value.provided == 3
+        assert excinfo.value.required == 4
+
+    def test_extra_channels_accepted(self, fig2_instance):
+        schedule = schedule_susc(fig2_instance, num_channels=6)
+        assert schedule.num_channels == 6
+        assert validate_program(schedule.program, fig2_instance).ok
+
+
+class TestPlacementStructure:
+    def test_every_page_broadcast_ceil_th_over_ti_times(self, fig2_instance):
+        schedule = schedule_susc(fig2_instance)
+        program = schedule.program
+        for page in fig2_instance.pages():
+            expected_count = -(-8 // page.expected_time)
+            assert program.broadcast_count(page.page_id) == expected_count
+
+    def test_theorem_33_periodic_same_channel(self, fig2_instance):
+        """Every appearance of a page is in its first slot's channel at
+        offsets k * t_i (Theorem 3.3)."""
+        schedule = schedule_susc(fig2_instance)
+        program = schedule.program
+        for page in fig2_instance.pages():
+            refs = program.appearances(page.page_id)
+            first = schedule.first_slots[page.page_id]
+            channels = {ref.channel for ref in refs}
+            assert channels == {first.channel}
+            slots = [ref.slot for ref in refs]
+            assert slots == [
+                first.slot + k * page.expected_time
+                for k in range(len(slots))
+            ]
+
+    def test_first_slot_within_expected_time(self, fig2_instance):
+        """GetAvailableSlot's window (Theorem 3.2 / condition 1)."""
+        schedule = schedule_susc(fig2_instance)
+        for page in fig2_instance.pages():
+            assert schedule.first_slots[page.page_id].slot < page.expected_time
+
+    def test_urgent_pages_scheduled_first(self, fig2_instance):
+        """Group 1 pages occupy the earliest slots of channel 0."""
+        schedule = schedule_susc(fig2_instance)
+        page = schedule.program.get(0, 0)
+        assert fig2_instance.page(page).group_index == 1
+
+
+class TestRandomisedValidity:
+    """Theorem 3.2 in practice: SUSC never fails at the exact bound."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_instances_schedule_at_bound(self, seed):
+        instance = random_instance(random.Random(seed))
+        schedule = schedule_susc(instance)
+        assert schedule.num_channels == minimum_channels(instance)
+        report = validate_program(schedule.program, instance)
+        assert report.ok, report.summary()
+
+    @pytest.mark.parametrize("seed", range(25, 35))
+    def test_gapped_ladders_schedule_at_bound(self, seed):
+        rng = random.Random(seed)
+        # Build a divisibility (not uniform) ladder: 2, 8, 16 style.
+        times, current = [], rng.randint(1, 3)
+        for _ in range(rng.randint(2, 4)):
+            times.append(current)
+            current *= rng.choice([2, 4])
+        sizes = [rng.randint(1, 15) for _ in times]
+        instance = instance_from_counts(sizes, times)
+        schedule = schedule_susc(instance)
+        assert validate_program(schedule.program, instance).ok
+
+
+class TestTightness:
+    def test_bound_is_tight_for_full_load(self):
+        """An instance with integer load cannot fit in one fewer channel:
+        there are exactly N * t_h page-slots to place."""
+        instance = instance_from_counts([4, 8], [2, 4])  # load = 4 exactly
+        schedule = schedule_susc(instance)
+        assert schedule.num_channels == 4
+        assert schedule.program.occupancy() == 1.0
+
+    def test_occupancy_reflects_slack(self, fig2_instance):
+        schedule = schedule_susc(fig2_instance)
+        # 25 of 32 slots used (load 3.125 on 4 channels over 8 slots).
+        assert schedule.program.occupancy() == pytest.approx(25 / 32)

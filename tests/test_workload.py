@@ -1,0 +1,216 @@
+"""Unit tests for the workload package (distributions, instances, requests)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.workload.distributions import (
+    DISTRIBUTION_NAMES,
+    apportion,
+    group_sizes,
+    l_skewed_sizes,
+    normal_sizes,
+    s_skewed_sizes,
+    uniform_sizes,
+)
+from repro.workload.generator import (
+    PAPER_DEFAULTS,
+    PaperParameters,
+    paper_expected_times,
+    paper_instance,
+    random_instance,
+)
+from repro.workload.requests import (
+    generate_requests,
+    uniform_access_model,
+    zipf_access_model,
+)
+
+
+class TestApportion:
+    def test_exact_total(self):
+        assert sum(apportion([1, 2, 3], 100)) == 100
+
+    def test_proportionality(self):
+        sizes = apportion([1, 1, 2], 400)
+        assert sizes == [100, 100, 200]
+
+    def test_every_group_nonempty(self):
+        sizes = apportion([1000, 1, 1], 5)
+        assert all(size >= 1 for size in sizes)
+        assert sum(sizes) == 5
+
+    def test_too_few_items(self):
+        with pytest.raises(WorkloadError, match="non-empty"):
+            apportion([1, 1, 1], 2)
+
+    def test_rejects_non_positive_weights(self):
+        with pytest.raises(WorkloadError, match="positive"):
+            apportion([1, 0], 10)
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(WorkloadError):
+            apportion([], 10)
+
+
+class TestDistributions:
+    @pytest.mark.parametrize("name", DISTRIBUTION_NAMES)
+    def test_totals_are_exact(self, name):
+        sizes = group_sizes(name, n=1000, h=8)
+        assert sum(sizes) == 1000
+        assert len(sizes) == 8
+        assert all(size >= 1 for size in sizes)
+
+    def test_uniform_is_flat(self):
+        assert uniform_sizes(1000, 8) == [125] * 8
+
+    def test_normal_peaks_in_middle(self):
+        sizes = normal_sizes(1000, 8)
+        assert max(sizes) in (sizes[3], sizes[4])
+        assert sizes[0] < sizes[3]
+        assert sizes == sizes[::-1]  # symmetric bell
+
+    def test_s_skewed_decreases(self):
+        sizes = s_skewed_sizes(1000, 8)
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_l_skewed_increases(self):
+        sizes = l_skewed_sizes(1000, 8)
+        assert sizes == sorted(sizes)
+
+    def test_skews_are_mirror_images(self):
+        assert s_skewed_sizes(1000, 8) == l_skewed_sizes(1000, 8)[::-1]
+
+    def test_name_aliases(self):
+        assert group_sizes("S_SKEWED", 100, 4) == group_sizes(
+            "s-skewed", 100, 4
+        )
+        assert group_sizes("lskew", 100, 4) == group_sizes("l-skewed", 100, 4)
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError, match="unknown distribution"):
+            group_sizes("bimodal", 100, 4)
+
+    def test_invalid_decay(self):
+        with pytest.raises(WorkloadError):
+            s_skewed_sizes(100, 4, decay=1.5)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(WorkloadError):
+            normal_sizes(100, 4, sigma_fraction=0)
+
+
+class TestPaperParameters:
+    def test_defaults_match_figure4(self):
+        assert PAPER_DEFAULTS.n == 1000
+        assert PAPER_DEFAULTS.h == 8
+        assert PAPER_DEFAULTS.num_requests == 3000
+        assert PAPER_DEFAULTS.expected_times == (
+            4, 8, 16, 32, 64, 128, 256, 512,
+        )
+
+    def test_expected_times_builder(self):
+        assert paper_expected_times(h=3, base_time=2, ratio=3) == (2, 6, 18)
+
+    def test_expected_times_rejects_bad_h(self):
+        with pytest.raises(WorkloadError):
+            paper_expected_times(h=0)
+
+    def test_custom_parameters(self):
+        params = PaperParameters(n=100, h=4, base_time=2, ratio=2)
+        instance = paper_instance("uniform", params)
+        assert instance.n == 100
+        assert instance.expected_times == (2, 4, 8, 16)
+
+
+class TestPaperInstance:
+    @pytest.mark.parametrize("name", DISTRIBUTION_NAMES)
+    def test_builds_all_distributions(self, name):
+        instance = paper_instance(name)
+        assert instance.n == 1000
+        assert instance.h == 8
+        assert instance.expected_times == PAPER_DEFAULTS.expected_times
+
+
+class TestRandomInstance:
+    def test_deterministic_given_seed(self):
+        a = random_instance(random.Random(7))
+        b = random_instance(random.Random(7))
+        assert a.group_sizes == b.group_sizes
+        assert a.expected_times == b.expected_times
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_always_structurally_valid(self, seed):
+        instance = random_instance(random.Random(seed))
+        assert instance.h >= 1
+        assert instance.n >= 1
+        # construction succeeded, so the ladder constraints hold.
+
+
+class TestAccessModels:
+    def test_uniform_model(self, fig2_instance):
+        model = uniform_access_model(fig2_instance)
+        assert len(model) == 11
+        assert sum(model.values()) == pytest.approx(1.0)
+        assert len(set(model.values())) == 1
+
+    def test_zipf_sums_to_one(self, fig2_instance):
+        model = zipf_access_model(fig2_instance, theta=0.8)
+        assert sum(model.values()) == pytest.approx(1.0)
+
+    def test_zipf_is_rank_decreasing(self, fig2_instance):
+        model = zipf_access_model(fig2_instance, theta=0.8)
+        ordered = [model[p.page_id] for p in fig2_instance.pages()]
+        assert ordered == sorted(ordered, reverse=True)
+
+    def test_zipf_theta_zero_is_uniform(self, fig2_instance):
+        model = zipf_access_model(fig2_instance, theta=0.0)
+        assert all(
+            math.isclose(p, 1 / 11) for p in model.values()
+        )
+
+    def test_zipf_rejects_negative_theta(self, fig2_instance):
+        with pytest.raises(WorkloadError):
+            zipf_access_model(fig2_instance, theta=-1)
+
+
+class TestGenerateRequests:
+    def test_count_and_ranges(self, fig2_instance, rng):
+        requests = list(
+            generate_requests(fig2_instance, cycle_length=9,
+                              num_requests=500, rng=rng)
+        )
+        assert len(requests) == 500
+        page_ids = {p.page_id for p in fig2_instance.pages()}
+        for request in requests:
+            assert request.page_id in page_ids
+            assert 0 <= request.arrival < 9
+
+    def test_deterministic_given_seed(self, fig2_instance):
+        a = list(generate_requests(
+            fig2_instance, 9, 50, random.Random(3)))
+        b = list(generate_requests(
+            fig2_instance, 9, 50, random.Random(3)))
+        assert a == b
+
+    def test_weighted_requests_respect_model(self, fig2_instance, rng):
+        model = {p.page_id: 0.0 for p in fig2_instance.pages()}
+        model[1] = 1.0
+        requests = list(generate_requests(
+            fig2_instance, 9, 100, rng, access_probabilities=model))
+        assert all(request.page_id == 1 for request in requests)
+
+    def test_zero_requests(self, fig2_instance, rng):
+        assert list(generate_requests(fig2_instance, 9, 0, rng)) == []
+
+    def test_negative_requests_rejected(self, fig2_instance, rng):
+        with pytest.raises(WorkloadError):
+            list(generate_requests(fig2_instance, 9, -1, rng))
+
+    def test_bad_cycle_rejected(self, fig2_instance, rng):
+        with pytest.raises(WorkloadError):
+            list(generate_requests(fig2_instance, 0, 5, rng))
