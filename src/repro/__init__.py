@@ -32,6 +32,17 @@ Quick start::
     )
     print(schedule.program.render())
 
+For repeated or production-scale work, drive everything through the
+engine facade instead — cached scheduling, parallel sweeps, and a JSON
+run manifest per call::
+
+    from repro import BroadcastEngine
+
+    engine = BroadcastEngine(workers=4)
+    schedule = engine.schedule(instance, "pamad", channels=3)
+    sweep = engine.sweep(instance, algorithms=("pamad", "m-pb", "opt"))
+    print(sweep.manifest.to_json())
+
 Subpackages:
 
 * :mod:`repro.core` — data model, bounds, SUSC, PAMAD, delay models.
@@ -39,6 +50,8 @@ Subpackages:
 * :mod:`repro.workload` — Figure-3 distributions and request streams.
 * :mod:`repro.sim` — client replay, on-demand queueing, hybrid push/pull.
 * :mod:`repro.analysis` — sweeps, statistics, experiment registry.
+* :mod:`repro.engine` — the BroadcastEngine facade: scheduler registry
+  (plugin API), program cache, parallel sweep executor, telemetry.
 """
 
 from repro.core import (
@@ -69,12 +82,65 @@ from repro.core import (
     schedule_susc,
     validate_program,
 )
+from repro.engine import (
+    BroadcastEngine,
+    EngineEvaluation,
+    RunManifest,
+    ScheduleResult,
+    SweepPoint,
+    SweepResult,
+    available_schedulers,
+    default_engine,
+    get_scheduler,
+    register_scheduler,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# Deprecated aliases served (with a warning) by ``__getattr__`` below;
+# each maps to its replacement in the engine API.
+_DEPRECATED_ALIASES = {
+    "SCHEDULERS": (
+        "repro.engine.available_schedulers / register_scheduler",
+        lambda: __import__(
+            "repro.analysis.sweep", fromlist=["SCHEDULERS"]
+        ).SCHEDULERS,
+    ),
+    "channel_sweep": (
+        "repro.BroadcastEngine.sweep",
+        lambda: __import__(
+            "repro.analysis.sweep", fromlist=["channel_sweep"]
+        ).channel_sweep,
+    ),
+}
+
+
+def __getattr__(name: str):
+    try:
+        replacement, loader = _DEPRECATED_ALIASES[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import warnings
+
+    warnings.warn(
+        f"repro.{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return loader()
+
 
 __all__ = [
+    "BroadcastEngine",
     "BroadcastProgram",
     "ChannelPlan",
+    "EngineEvaluation",
+    "RunManifest",
+    "ScheduleResult",
+    "SweepPoint",
+    "SweepResult",
     "FrequencyAssignment",
     "Group",
     "InsufficientChannelsError",
@@ -89,7 +155,11 @@ __all__ = [
     "ValidationReport",
     "__version__",
     "assert_valid_program",
+    "available_schedulers",
     "channel_load",
+    "default_engine",
+    "get_scheduler",
+    "register_scheduler",
     "instance_from_counts",
     "instance_from_expected_times",
     "minimum_channels",

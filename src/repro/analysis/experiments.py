@@ -44,7 +44,6 @@ from typing import Callable, Mapping
 
 from repro.analysis.report import Table
 from repro.analysis.sweep import (
-    channel_sweep,
     default_channel_points,
     sweep_table,
 )
@@ -206,27 +205,37 @@ def _fig5_runner(distribution: str):
         max_points: int = 12,
         seed: int = 0,
         algorithms=("pamad", "m-pb", "opt"),
+        workers: int | None = None,
         **_overrides,
     ) -> list[Table]:
+        from repro.engine import default_engine
+
         instance = paper_instance(distribution)
         n_min = minimum_channels(instance)
-        points = channel_sweep(
+        result = default_engine().sweep(
             instance,
             algorithms=algorithms,
             channel_points=default_channel_points(n_min, max_points),
             num_requests=num_requests,
             seed=seed,
+            workers=workers,
         )
         table = sweep_table(
-            points,
+            result.points,
             title=(
                 f"Figure 5 ({distribution}): AvgD vs channels "
                 f"(N_min={n_min})"
             ),
         )
+        cache = result.manifest.cache_run
         table.notes.append(
             f"minimum sufficient channels: {n_min}; "
             f"{num_requests} requests per cell, seed={seed}"
+        )
+        table.notes.append(
+            f"engine run {result.manifest.run_id}: "
+            f"{result.manifest.executor['mode']} executor, "
+            f"cache {cache.hits} hits / {cache.misses} misses"
         )
         return [table]
 

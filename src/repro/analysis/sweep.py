@@ -1,32 +1,37 @@
-"""Parameter sweeps — the engine behind the Figure-5 reproduction.
+"""Parameter sweeps — thin compatibility layer over the BroadcastEngine.
 
 The paper's evaluation sweeps the channel count from 1 up to the minimum
-sufficient number and plots AvgD for PAMAD, m-PB and OPT.  This module
-provides the scheduler registry, the channel-point selection, and the
-sweep loop that measures each (algorithm, channel-count) cell both
-analytically (exact expectation) and by Monte-Carlo replay (the paper's
-3000-request methodology).
+sufficient number and plots AvgD for PAMAD, m-PB and OPT.  The heavy
+lifting now lives in :mod:`repro.engine`: the scheduler registry is the
+engine's public plugin API (:func:`repro.engine.register_scheduler`),
+the sweep loop is :meth:`repro.engine.BroadcastEngine.sweep` (cached,
+optionally parallel, manifest-emitting), and this module keeps the
+historical entry points stable:
+
+* :data:`SCHEDULERS` — **deprecated** read-only view of the engine
+  registry; register new schedulers via
+  :func:`repro.engine.register_scheduler` instead of mutating it.
+* :func:`get_scheduler` — delegates to the registry (alias-aware; the
+  ``"mpb"`` spelling now lives in the registry's alias table).
+* :func:`channel_sweep` — runs on the process-wide default engine and
+  returns the classic ``list[SweepPoint]``.
+* :func:`sweep_table` — unchanged pivoting of points into a table.
 """
 
 from __future__ import annotations
 
 import math
-import time
-from dataclasses import dataclass
-from typing import Callable, Mapping, Protocol, Sequence
+from typing import Iterator, Mapping, Sequence
 
-from repro.baselines.broadcast_disks import schedule_broadcast_disks
-from repro.baselines.flat import schedule_flat
-from repro.baselines.mpb import schedule_mpb
-from repro.baselines.online import schedule_online
-from repro.baselines.opt import schedule_opt
-from repro.core.bounds import minimum_channels
-from repro.core.errors import ReproError
-from repro.core.pages import ProblemInstance
-from repro.core.pamad import schedule_pamad
-from repro.core.program import BroadcastProgram
 from repro.analysis.report import Table
-from repro.sim.clients import measure_program
+from repro.core.pages import ProblemInstance
+from repro.engine.executor import SweepPoint, default_channel_points
+from repro.engine.facade import BroadcastEngine, default_engine
+from repro.engine.registry import (
+    Scheduler,
+    default_registry,
+)
+from repro.engine.registry import get_scheduler as _registry_get_scheduler
 
 __all__ = [
     "SCHEDULERS",
@@ -38,83 +43,43 @@ __all__ = [
 ]
 
 
-class _ScheduleLike(Protocol):
-    program: BroadcastProgram
-    average_delay: float
+class _RegistryView(Mapping):
+    """Read-only live view of the engine's scheduler registry.
+
+    Exists so legacy ``SCHEDULERS[...]`` / ``list(SCHEDULERS)`` call
+    sites keep working; mutation goes through
+    :func:`repro.engine.register_scheduler`.
+    """
+
+    def __getitem__(self, name: str) -> Scheduler:
+        return default_registry().get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(default_registry().names())
+
+    def __len__(self) -> int:
+        return len(default_registry())
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name in default_registry()
+
+    def __repr__(self) -> str:
+        return f"SCHEDULERS({', '.join(default_registry().names())})"
 
 
-Scheduler = Callable[[ProblemInstance, int], _ScheduleLike]
-
-SCHEDULERS: Mapping[str, Scheduler] = {
-    "pamad": schedule_pamad,
-    "m-pb": schedule_mpb,
-    "opt": schedule_opt,
-    "flat": schedule_flat,
-    "disks": schedule_broadcast_disks,
-    "online": schedule_online,
-}
+#: Deprecated alias — use :func:`repro.engine.register_scheduler` /
+#: :func:`repro.engine.available_schedulers` instead.
+SCHEDULERS: Mapping[str, Scheduler] = _RegistryView()
 
 
 def get_scheduler(name: str) -> Scheduler:
-    """Look up a scheduler by registry name (case-insensitive)."""
-    key = name.strip().lower()
-    if key == "mpb":
-        key = "m-pb"
-    try:
-        return SCHEDULERS[key]
-    except KeyError:
-        raise ReproError(
-            f"unknown scheduler {name!r}; choose from "
-            f"{', '.join(SCHEDULERS)}"
-        ) from None
+    """Look up a scheduler by registry name or alias (case-insensitive).
 
-
-def default_channel_points(
-    n_min: int, max_points: int = 12
-) -> list[int]:
-    """Channel counts to sweep: 1 .. n_min, geometrically thinned.
-
-    Small counts are where the curves move (the paper's "1/5 of the
-    minimum" observation), so points are dense at the low end —
-    geometric spacing from 1 to ``n_min`` with both endpoints included.
+    Deprecated alias of :func:`repro.engine.get_scheduler`; unknown
+    names raise :class:`~repro.core.errors.ReproError` listing the
+    registered schedulers in sorted order.
     """
-    if n_min < 1:
-        raise ReproError(f"n_min must be >= 1, got {n_min}")
-    if n_min <= max_points:
-        return list(range(1, n_min + 1))
-    points = {1, n_min}
-    factor = n_min ** (1.0 / (max_points - 1))
-    value = 1.0
-    while len(points) < max_points:
-        value *= factor
-        candidate = min(n_min, max(1, round(value)))
-        points.add(candidate)
-        if candidate >= n_min:
-            break
-    return sorted(points)
-
-
-@dataclass(frozen=True)
-class SweepPoint:
-    """One measured (algorithm, channel-count) cell of a sweep.
-
-    Attributes:
-        algorithm: Registry name of the scheduler.
-        channels: ``N_real`` given to it.
-        analytic_delay: Exact expected AvgD of the generated program.
-        simulated_delay: Monte-Carlo AvgD (paper methodology).
-        miss_ratio: Fraction of simulated requests past their deadline.
-        cycle_length: Major-cycle length of the generated program.
-        elapsed_seconds: Wall time to schedule (the OPT-is-slow point).
-    """
-
-    algorithm: str
-    channels: int
-    analytic_delay: float
-    simulated_delay: float
-    miss_ratio: float
-    cycle_length: int
-    elapsed_seconds: float
+    return _registry_get_scheduler(name)
 
 
 def channel_sweep(
@@ -123,8 +88,14 @@ def channel_sweep(
     channel_points: Sequence[int] | None = None,
     num_requests: int = 3000,
     seed: int = 0,
+    workers: int | None = None,
+    engine: BroadcastEngine | None = None,
 ) -> list[SweepPoint]:
     """Measure AvgD over a grid of channel counts and algorithms.
+
+    Runs on the process-wide :func:`~repro.engine.default_engine` (so
+    repeated sweeps hit its program cache) unless an explicit engine is
+    given.
 
     Args:
         instance: The workload (e.g. a Figure-3 paper instance).
@@ -133,37 +104,22 @@ def channel_sweep(
             :func:`default_channel_points` up to the Theorem-3.1 minimum.
         num_requests: Monte-Carlo stream length per cell (paper: 3000).
         seed: Base RNG seed; each cell derives its own deterministic seed.
+        workers: Optional pool width (>1 fans cells across processes;
+            results are bit-identical to the serial order).
+        engine: Optional engine override (isolated cache/telemetry).
 
     Returns:
         All sweep points, ordered by (channel count, algorithm order).
     """
-    if channel_points is None:
-        channel_points = default_channel_points(minimum_channels(instance))
-    schedulers = [(name, get_scheduler(name)) for name in algorithms]
-    points: list[SweepPoint] = []
-    for channels in channel_points:
-        for order, (name, scheduler) in enumerate(schedulers):
-            started = time.perf_counter()
-            schedule = scheduler(instance, channels)
-            elapsed = time.perf_counter() - started
-            measurement = measure_program(
-                schedule.program,
-                instance,
-                num_requests=num_requests,
-                seed=seed * 1_000_003 + channels * 101 + order,
-            )
-            points.append(
-                SweepPoint(
-                    algorithm=name,
-                    channels=channels,
-                    analytic_delay=schedule.average_delay,
-                    simulated_delay=measurement.average_delay,
-                    miss_ratio=measurement.miss_ratio,
-                    cycle_length=schedule.program.cycle_length,
-                    elapsed_seconds=elapsed,
-                )
-            )
-    return points
+    result = (engine or default_engine()).sweep(
+        instance,
+        algorithms=algorithms,
+        channel_points=channel_points,
+        num_requests=num_requests,
+        seed=seed,
+        workers=workers,
+    )
+    return list(result.points)
 
 
 def sweep_table(

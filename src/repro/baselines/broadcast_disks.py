@@ -68,6 +68,17 @@ class BroadcastDisksSchedule:
     average_delay: float
     average_wait: float
 
+    @property
+    def meta(self) -> dict:
+        """Scheduler diagnostics (the ScheduleResult protocol's ``meta``)."""
+        return {
+            "scheduler": "disks",
+            "num_channels": self.num_channels,
+            "num_disks": len(self.disks),
+            "relative_frequencies": list(self.relative_frequencies),
+            "average_wait": self.average_wait,
+        }
+
 
 def _lcm(values: Sequence[int]) -> int:
     result = 1

@@ -53,6 +53,27 @@ class DropSchedule:
     dropped_pages: tuple[Page, ...]
     dropped_fraction: float
 
+    @property
+    def average_delay(self) -> float:
+        """Analytic AvgD over the *kept* pages (zero — SUSC output).
+
+        Dropped pages never appear on the air, so this is the broadcast
+        side's metric only; the on-demand spill is what EXT1 measures.
+        """
+        from repro.core.delay import program_average_delay
+
+        return program_average_delay(self.program, self.kept_instance)
+
+    @property
+    def meta(self) -> dict:
+        """Scheduler diagnostics (the ScheduleResult protocol's ``meta``)."""
+        return {
+            "scheduler": "drop",
+            "num_channels": self.num_channels,
+            "dropped_pages": len(self.dropped_pages),
+            "dropped_fraction": self.dropped_fraction,
+        }
+
 
 def _drop_order(instance: ProblemInstance, policy: str) -> list[Group]:
     if policy == "fewest-drops":

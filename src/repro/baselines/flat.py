@@ -28,6 +28,15 @@ class FlatSchedule:
     num_channels: int
     average_delay: float
 
+    @property
+    def meta(self) -> dict:
+        """Scheduler diagnostics (the ScheduleResult protocol's ``meta``)."""
+        return {
+            "scheduler": "flat",
+            "num_channels": self.num_channels,
+            "cycle_length": self.program.cycle_length,
+        }
+
 
 def schedule_flat(
     instance: ProblemInstance, num_channels: int

@@ -53,6 +53,16 @@ class MpbSchedule:
     window_misses: int
     average_delay: float
 
+    @property
+    def meta(self) -> dict:
+        """Scheduler diagnostics (the ScheduleResult protocol's ``meta``)."""
+        return {
+            "scheduler": "m-pb",
+            "num_channels": self.num_channels,
+            "frequencies": list(self.assignment.frequencies),
+            "window_misses": self.window_misses,
+        }
+
 
 def schedule_mpb(
     instance: ProblemInstance, num_channels: int

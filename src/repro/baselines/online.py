@@ -66,6 +66,16 @@ class OnlineSchedule:
     exact_orbit: bool
     average_delay: float
 
+    @property
+    def meta(self) -> dict:
+        """Scheduler diagnostics (the ScheduleResult protocol's ``meta``)."""
+        return {
+            "scheduler": "online",
+            "num_channels": self.num_channels,
+            "horizon": self.horizon,
+            "exact_orbit": self.exact_orbit,
+        }
+
 
 def _simulate(
     instance: ProblemInstance, num_channels: int, horizon: int

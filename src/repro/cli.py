@@ -1,6 +1,12 @@
 """Command-line interface: ``repro-air`` (or ``python -m repro``).
 
-Subcommands map one-to-one onto the library's public workflow:
+Every scheduling subcommand drives the
+:class:`~repro.engine.BroadcastEngine` facade — one code path for
+plan → schedule → validate → measure, with program caching, optional
+parallel sweeps (``--workers``) and a structured JSON run manifest
+(``--manifest PATH``) on every engine-backed command.
+
+Subcommands:
 
 * ``plan`` — Theorem-3.1 capacity analysis for an instance.
 * ``schedule`` — run any registered scheduler and print the program.
@@ -10,6 +16,7 @@ Subcommands map one-to-one onto the library's public workflow:
 * ``profile`` — per-group structural profile of a generated program.
 * ``experiment`` — run a registered experiment (FIG2 .. EXT8).
 * ``experiments`` — list the registry.
+* ``schedulers`` — list the scheduler registry (plugin API).
 
 Instances are given either as ``--sizes 3,5,3 --times 2,4,8`` or as a
 named paper workload ``--workload uniform``.
@@ -18,22 +25,17 @@ named paper workload ``--workload uniform``.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Sequence
 
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
-from repro.analysis.sweep import (
-    SCHEDULERS,
-    channel_sweep,
-    default_channel_points,
-    get_scheduler,
-    sweep_table,
-)
-from repro.core.bounds import minimum_channels, plan_channels
+from repro.analysis.sweep import default_channel_points, sweep_table
+from repro.core.bounds import minimum_channels
 from repro.core.errors import ReproError
 from repro.core.pages import ProblemInstance, instance_from_counts
 from repro.core.validate import validate_program
-from repro.sim.clients import measure_program
+from repro.engine import default_engine, default_registry
 from repro.workload.distributions import DISTRIBUTION_NAMES
 from repro.workload.generator import PAPER_DEFAULTS, paper_instance
 
@@ -67,6 +69,15 @@ def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_manifest_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help="write the engine's JSON run manifest to PATH",
+    )
+
+
 def _resolve_instance(args: argparse.Namespace) -> ProblemInstance:
     if args.workload:
         return paper_instance(args.workload)
@@ -78,9 +89,22 @@ def _resolve_instance(args: argparse.Namespace) -> ProblemInstance:
     )
 
 
+def _write_manifest(args: argparse.Namespace) -> None:
+    """Dump the last run manifest when ``--manifest PATH`` was given."""
+    path = getattr(args, "manifest", None)
+    if not path:
+        return
+    manifest = default_engine().last_manifest
+    if manifest is None:
+        return
+    pathlib.Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(manifest.to_json() + "\n")
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     instance = _resolve_instance(args)
-    plan = plan_channels(instance, available=args.channels)
+    plan = default_engine().plan(instance, available=args.channels)
     print(instance)
     print(f"channel load       : {plan.load:.4f}")
     print(f"minimum channels   : {plan.required}")
@@ -92,19 +116,15 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print("recommendation     : SUSC (zero delay)")
     else:
         print("recommendation     : PAMAD (minimum average delay)")
+    _write_manifest(args)
     return 0
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
     instance = _resolve_instance(args)
-    if args.algorithm == "susc":
-        from repro.core.susc import schedule_susc
-
-        schedule = schedule_susc(instance, num_channels=args.channels)
-    else:
-        scheduler = get_scheduler(args.algorithm)
-        channels = args.channels or minimum_channels(instance)
-        schedule = scheduler(instance, channels)
+    schedule = default_engine().schedule(
+        instance, args.algorithm, channels=args.channels
+    )
     program = schedule.program
     report = validate_program(program, instance)
     print(repr(program))
@@ -113,22 +133,23 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         print(program.render())
     if args.json:
         print(program.to_json())
+    _write_manifest(args)
     return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     instance = _resolve_instance(args)
-    scheduler = get_scheduler(args.algorithm)
-    schedule = scheduler(instance, args.channels)
-    measurement = measure_program(
-        schedule.program,
+    evaluation = default_engine().evaluate(
         instance,
+        args.algorithm,
+        channels=args.channels,
         num_requests=args.requests,
         seed=args.seed,
     )
+    schedule, measurement = evaluation.schedule, evaluation.measurement
     low, high = measurement.confidence_interval()
-    print(f"algorithm          : {args.algorithm}")
-    print(f"channels           : {args.channels}")
+    print(f"algorithm          : {evaluation.algorithm}")
+    print(f"channels           : {evaluation.channels}")
     print(f"cycle length       : {schedule.program.cycle_length}")
     print(f"AvgD (analytic)    : {schedule.average_delay:.4f}")
     print(
@@ -137,29 +158,37 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     )
     print(f"mean wait          : {measurement.average_wait:.4f}")
     print(f"deadline misses    : {measurement.miss_ratio:.3%}")
+    _write_manifest(args)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     instance = _resolve_instance(args)
     n_min = minimum_channels(instance)
-    points = channel_sweep(
+    result = default_engine().sweep(
         instance,
         algorithms=args.algorithms,
         channel_points=default_channel_points(n_min, args.points),
         num_requests=args.requests,
         seed=args.seed,
+        workers=args.workers,
     )
     table = sweep_table(
-        points, title=f"AvgD vs channels (N_min={n_min})"
+        result.points, title=f"AvgD vs channels (N_min={n_min})"
+    )
+    cache = result.manifest.cache_run
+    table.notes.append(
+        f"executor: {result.manifest.executor['mode']} "
+        f"(workers={result.manifest.executor['workers']}); "
+        f"cache: {cache.hits} hits / {cache.misses} misses"
     )
     print(table.render())
+    _write_manifest(args)
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.analysis.ascii_plot import line_chart
-    from repro.analysis.experiments import run_experiment
 
     overrides = {}
     if args.requests is not None:
@@ -192,9 +221,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.analysis.report import Table
 
     instance = _resolve_instance(args)
-    scheduler = get_scheduler(args.algorithm)
-    channels = args.channels or minimum_channels(instance)
-    schedule = scheduler(instance, channels)
+    schedule = default_engine().schedule(
+        instance, args.algorithm, channels=args.channels
+    )
+    channels = schedule.meta.get("num_channels", args.channels)
     profile = profile_program(schedule.program, instance)
     print(
         f"{args.algorithm} on {channels} channels: cycle "
@@ -229,6 +259,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         overrides["num_requests"] = args.requests
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if getattr(args, "workers", None):
+        overrides["workers"] = args.workers
     for table in run_experiment(args.experiment_id, **overrides):
         print(table.render() if not args.markdown else table.to_markdown())
     return 0
@@ -244,8 +276,25 @@ def _cmd_experiments(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schedulers(_args: argparse.Namespace) -> int:
+    registry = default_registry()
+    aliases_by_target: dict[str, list[str]] = {}
+    for alias, target in registry.aliases().items():
+        aliases_by_target.setdefault(target, []).append(alias)
+    width = max(len(name) for name in registry.names())
+    for name, fn in registry.items():
+        aliases = aliases_by_target.get(name, [])
+        suffix = f"  (aliases: {', '.join(sorted(aliases))})" if aliases else ""
+        print(
+            f"{name.ljust(width)}  {fn.__module__}.{fn.__qualname__}{suffix}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
+    registry = default_registry()
+    scheduler_names = sorted([*registry.names(), *registry.aliases()])
     parser = argparse.ArgumentParser(
         prog="repro-air",
         description=(
@@ -262,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument(
         "--channels", type=int, default=1, help="channels available"
     )
+    _add_manifest_argument(plan)
     plan.set_defaults(handler=_cmd_plan)
 
     schedule = commands.add_parser(
@@ -271,8 +321,8 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument(
         "--algorithm",
         default="susc",
-        choices=["susc", *SCHEDULERS],
-        help="scheduler to run",
+        choices=scheduler_names,
+        help="scheduler to run (see 'schedulers')",
     )
     schedule.add_argument(
         "--channels",
@@ -286,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument(
         "--json", action="store_true", help="print the program as JSON"
     )
+    _add_manifest_argument(schedule)
     schedule.set_defaults(handler=_cmd_schedule)
 
     evaluate = commands.add_parser(
@@ -293,13 +344,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_instance_arguments(evaluate)
     evaluate.add_argument(
-        "--algorithm", default="pamad", choices=list(SCHEDULERS)
+        "--algorithm", default="pamad", choices=scheduler_names
     )
     evaluate.add_argument("--channels", type=int, required=True)
     evaluate.add_argument(
         "--requests", type=int, default=PAPER_DEFAULTS.num_requests
     )
     evaluate.add_argument("--seed", type=int, default=0)
+    _add_manifest_argument(evaluate)
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     sweep = commands.add_parser(
@@ -317,6 +369,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--requests", type=int, default=PAPER_DEFAULTS.num_requests
     )
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan sweep cells across N processes (1 = serial)",
+    )
+    _add_manifest_argument(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     profile = commands.add_parser(
@@ -324,7 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_instance_arguments(profile)
     profile.add_argument(
-        "--algorithm", default="pamad", choices=list(SCHEDULERS)
+        "--algorithm", default="pamad", choices=scheduler_names
     )
     profile.add_argument(
         "--channels",
@@ -343,6 +402,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--requests", type=int, default=None)
     experiment.add_argument("--seed", type=int, default=None)
     experiment.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for sweep-based experiments",
+    )
+    experiment.add_argument(
         "--markdown", action="store_true", help="emit Markdown tables"
     )
     experiment.set_defaults(handler=_cmd_experiment)
@@ -351,6 +416,11 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="list registered experiments"
     )
     listing.set_defaults(handler=_cmd_experiments)
+
+    schedulers = commands.add_parser(
+        "schedulers", help="list the scheduler registry (plugin API)"
+    )
+    schedulers.set_defaults(handler=_cmd_schedulers)
 
     figure = commands.add_parser(
         "figure", help="render an experiment as an ASCII chart"

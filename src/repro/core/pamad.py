@@ -227,6 +227,17 @@ class PamadSchedule:
     window_misses: int
     average_delay: float
 
+    @property
+    def meta(self) -> dict:
+        """Scheduler diagnostics (the ScheduleResult protocol's ``meta``)."""
+        return {
+            "scheduler": "pamad",
+            "num_channels": self.num_channels,
+            "frequencies": list(self.assignment.frequencies),
+            "predicted_delay": self.assignment.predicted_delay,
+            "window_misses": self.window_misses,
+        }
+
 
 def schedule_pamad(
     instance: ProblemInstance,

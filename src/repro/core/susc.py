@@ -48,6 +48,28 @@ class SuscSchedule:
     num_channels: int
     first_slots: dict[int, SlotRef]
 
+    @property
+    def average_delay(self) -> float:
+        """Analytic AvgD of the program — zero for any valid SUSC output.
+
+        Computed (not assumed) so SUSC satisfies the same
+        :class:`~repro.engine.registry.ScheduleResult` protocol as every
+        other scheduler.
+        """
+        from repro.core.delay import program_average_delay
+
+        return program_average_delay(self.program, self.instance)
+
+    @property
+    def meta(self) -> dict:
+        """Scheduler diagnostics (the ScheduleResult protocol's ``meta``)."""
+        return {
+            "scheduler": "susc",
+            "num_channels": self.num_channels,
+            "cycle_length": self.program.cycle_length,
+            "occupancy": self.program.occupancy(),
+        }
+
 
 def _get_available_slot(
     program: BroadcastProgram, page: Page

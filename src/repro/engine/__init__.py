@@ -1,0 +1,77 @@
+"""repro.engine — the cached, parallel, observable scheduling facade.
+
+This package is the production face of the library: every entry point
+(CLI, experiment registry, sweep harness, benchmarks) drives scheduling
+through :class:`BroadcastEngine` instead of re-wiring
+plan → schedule → validate → measure by hand.
+
+* :mod:`repro.engine.registry` — the public scheduler plugin API
+  (:func:`register_scheduler`, :func:`get_scheduler`, alias table).
+* :mod:`repro.engine.cache` — memoised scheduling keyed by canonical
+  instance fingerprints, with hit/miss accounting.
+* :mod:`repro.engine.executor` — (scheduler × channels) sweep cells
+  fanned across a :mod:`concurrent.futures` pool, deterministically.
+* :mod:`repro.engine.telemetry` — counters, stage timers, and the
+  structured JSON run manifest emitted by every engine call.
+* :mod:`repro.engine.facade` — :class:`BroadcastEngine` itself.
+"""
+
+from repro.engine.cache import (
+    CachedSchedule,
+    CacheStats,
+    ProgramCache,
+    instance_fingerprint,
+    program_key,
+)
+from repro.engine.executor import (
+    EXECUTOR_MODES,
+    SweepPoint,
+    default_channel_points,
+)
+from repro.engine.facade import (
+    BroadcastEngine,
+    EngineEvaluation,
+    SweepResult,
+    default_engine,
+)
+from repro.engine.registry import (
+    ScheduleResult,
+    Scheduler,
+    SchedulerRegistry,
+    available_schedulers,
+    default_registry,
+    get_scheduler,
+    register_scheduler,
+)
+from repro.engine.telemetry import (
+    MANIFEST_VERSION,
+    RunManifest,
+    Telemetry,
+    describe_instance,
+)
+
+__all__ = [
+    "BroadcastEngine",
+    "CacheStats",
+    "CachedSchedule",
+    "EXECUTOR_MODES",
+    "EngineEvaluation",
+    "MANIFEST_VERSION",
+    "ProgramCache",
+    "RunManifest",
+    "ScheduleResult",
+    "Scheduler",
+    "SchedulerRegistry",
+    "SweepPoint",
+    "SweepResult",
+    "Telemetry",
+    "available_schedulers",
+    "default_channel_points",
+    "default_engine",
+    "default_registry",
+    "describe_instance",
+    "get_scheduler",
+    "instance_fingerprint",
+    "program_key",
+    "register_scheduler",
+]

@@ -1,0 +1,190 @@
+"""Program cache — memoised scheduling keyed by instance fingerprints.
+
+Scheduling is deterministic: the same instance, scheduler and channel
+count always produce the same program.  Sweeps and experiment grids
+re-visit identical (instance, scheduler, channels) cells constantly —
+e.g. a repeated ``FIG5D`` run, or ``evaluate`` after ``schedule`` — so
+the engine memoises schedule results behind a canonical *fingerprint*
+and counts hits/misses for the run manifest.
+
+The fingerprint covers everything the program depends on: group sizes,
+expected times, the page-id layout, the canonical scheduler name (plus
+the callable's identity, so re-registering a name under ``replace=True``
+does not serve stale programs), and the channel count.  Measurement
+results are *not* cached — they are cheap relative to search-based
+schedulers (OPT especially) and depend on seeds the caller controls.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.pages import ProblemInstance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.engine.registry import ScheduleResult, Scheduler
+
+__all__ = [
+    "instance_fingerprint",
+    "program_key",
+    "CachedSchedule",
+    "CacheStats",
+    "ProgramCache",
+]
+
+
+def instance_fingerprint(instance: ProblemInstance) -> str:
+    """A short canonical digest of an instance's schedulable content.
+
+    Two instances with the same group sizes, expected times and page-id
+    layout are interchangeable for every scheduler in the library; the
+    digest folds all three so cached programs (which embed page ids) are
+    never served to a differently-numbered instance.
+    """
+    payload = repr(
+        (
+            instance.group_sizes,
+            instance.expected_times,
+            tuple(page.page_id for page in instance.pages()),
+        )
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def program_key(
+    instance: ProblemInstance,
+    scheduler_name: str,
+    channels: int,
+    scheduler: "Scheduler | None" = None,
+) -> tuple:
+    """The cache key for one (instance, scheduler, channels) cell."""
+    identity = (
+        f"{getattr(scheduler, '__module__', '')}."
+        f"{getattr(scheduler, '__qualname__', repr(scheduler))}"
+        if scheduler is not None
+        else ""
+    )
+    return (
+        instance_fingerprint(instance),
+        scheduler_name,
+        identity,
+        int(channels),
+    )
+
+
+@dataclass(frozen=True)
+class CachedSchedule:
+    """One cache entry: the schedule plus the wall time it originally took.
+
+    ``elapsed_seconds`` is replayed into :class:`SweepPoint` rows on cache
+    hits, which keeps repeated sweeps bit-identical (a hit costs ~0s but
+    *reports* the true scheduling cost, which is the quantity the
+    OPT-is-slow analyses care about).
+    """
+
+    schedule: "ScheduleResult"
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of cache accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Accounting accrued since ``earlier`` (entries stay absolute)."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+            entries=self.entries,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "hit_ratio": round(self.hit_ratio, 4),
+        }
+
+
+@dataclass
+class ProgramCache:
+    """A bounded, thread-safe LRU cache of schedule results.
+
+    Attributes:
+        max_entries: Eviction threshold; ``0`` disables caching entirely
+            (every lookup is a miss, nothing is stored).
+    """
+
+    max_entries: int = 256
+    _data: "OrderedDict[tuple, CachedSchedule]" = field(
+        default_factory=OrderedDict, repr=False
+    )
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _hits: int = 0
+    _misses: int = 0
+    _evictions: int = 0
+
+    def get(self, key: tuple) -> CachedSchedule | None:
+        """Look up a cell, counting the hit/miss and refreshing LRU order."""
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: tuple, entry: CachedSchedule) -> None:
+        """Insert a cell, evicting the least-recently-used past the bound."""
+        if self.max_entries <= 0:
+            return
+        with self._lock:
+            self._data[key] = entry
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._data),
+            )
+
+    def clear(self) -> None:
+        """Drop every entry (the counters keep accumulating)."""
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._data

@@ -1,0 +1,210 @@
+"""Sweep cell execution — serial, threaded, or across a process pool.
+
+A sweep is a grid of independent (scheduler, channel-count) *cells*;
+each cell schedules (unless the engine's cache already holds the
+program) and then Monte-Carlo measures the result.  Cells carry their
+own derived seeds, so the outcome of a cell is a pure function of its
+spec — which is what makes fanning them across a
+:mod:`concurrent.futures` pool safe: results are collected back in
+submission order and are bit-identical to a serial run.
+
+The process pool is the default for ``workers > 1`` (scheduling and
+replay are CPU-bound pure Python; threads only help on the margins),
+with automatic serial fallback when the pool cannot be built or the
+cell specs cannot be pickled (e.g. a scheduler registered as a lambda).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+from repro.core.pages import ProblemInstance
+from repro.engine.cache import CachedSchedule
+from repro.engine.registry import Scheduler
+from repro.sim.clients import measure_program
+
+__all__ = [
+    "SweepPoint",
+    "default_channel_points",
+    "CellSpec",
+    "CellResult",
+    "run_cells",
+    "EXECUTOR_MODES",
+]
+
+EXECUTOR_MODES = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured (algorithm, channel-count) cell of a sweep.
+
+    Attributes:
+        algorithm: Registry name of the scheduler.
+        channels: ``N_real`` given to it.
+        analytic_delay: Exact expected AvgD of the generated program.
+        simulated_delay: Monte-Carlo AvgD (paper methodology).
+        miss_ratio: Fraction of simulated requests past their deadline.
+        cycle_length: Major-cycle length of the generated program.
+        elapsed_seconds: Wall time to schedule (the OPT-is-slow point).
+            On an engine cache hit this replays the originally measured
+            time, so repeated sweeps stay bit-identical.
+    """
+
+    algorithm: str
+    channels: int
+    analytic_delay: float
+    simulated_delay: float
+    miss_ratio: float
+    cycle_length: int
+    elapsed_seconds: float
+
+
+def default_channel_points(n_min: int, max_points: int = 12) -> list[int]:
+    """Channel counts to sweep: 1 .. n_min, geometrically thinned.
+
+    Small counts are where the curves move (the paper's "1/5 of the
+    minimum" observation), so points are dense at the low end —
+    geometric spacing from 1 to ``n_min`` with both endpoints included.
+    """
+    if n_min < 1:
+        raise ReproError(f"n_min must be >= 1, got {n_min}")
+    if n_min <= max_points:
+        return list(range(1, n_min + 1))
+    points = {1, n_min}
+    factor = n_min ** (1.0 / (max_points - 1))
+    value = 1.0
+    while len(points) < max_points:
+        value *= factor
+        candidate = min(n_min, max(1, round(value)))
+        points.add(candidate)
+        if candidate >= n_min:
+            break
+    return sorted(points)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Everything one sweep cell needs, resolved up front in the parent.
+
+    ``seed`` is the cell's fully derived RNG seed (the sweep-level
+    formula lives in the facade), and ``cached`` carries a cache hit so
+    workers skip scheduling entirely.
+    """
+
+    algorithm: str
+    scheduler: Scheduler
+    channels: int
+    instance: ProblemInstance
+    num_requests: int
+    seed: int
+    cached: CachedSchedule | None = None
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One executed cell: the sweep point plus cache-insertion payload.
+
+    ``schedule`` is populated only for freshly computed cells — cache
+    hits return ``None`` there so nothing is pickled back needlessly.
+    """
+
+    point: SweepPoint
+    schedule: object | None
+    elapsed_seconds: float
+
+
+def execute_cell(spec: CellSpec) -> CellResult:
+    """Run one cell to completion (schedule unless cached, then measure)."""
+    if spec.cached is not None:
+        schedule = spec.cached.schedule
+        elapsed = spec.cached.elapsed_seconds
+        fresh = False
+    else:
+        started = time.perf_counter()
+        schedule = spec.scheduler(spec.instance, spec.channels)
+        elapsed = time.perf_counter() - started
+        fresh = True
+    measurement = measure_program(
+        schedule.program,
+        spec.instance,
+        num_requests=spec.num_requests,
+        seed=spec.seed,
+    )
+    point = SweepPoint(
+        algorithm=spec.algorithm,
+        channels=spec.channels,
+        analytic_delay=schedule.average_delay,
+        simulated_delay=measurement.average_delay,
+        miss_ratio=measurement.miss_ratio,
+        cycle_length=schedule.program.cycle_length,
+        elapsed_seconds=elapsed,
+    )
+    return CellResult(
+        point=point,
+        schedule=schedule if fresh else None,
+        elapsed_seconds=elapsed,
+    )
+
+
+def _run_serial(specs: list[CellSpec]) -> list[CellResult]:
+    return [execute_cell(spec) for spec in specs]
+
+
+def run_cells(
+    specs: list[CellSpec],
+    workers: int = 1,
+    mode: str = "process",
+) -> tuple[list[CellResult], str]:
+    """Execute every cell, preserving spec order in the results.
+
+    Args:
+        specs: The grid, in the order results must come back.
+        workers: Pool width; ``<= 1`` runs serially.
+        mode: ``"process"`` (default), ``"thread"``, or ``"serial"``.
+
+    Returns:
+        ``(results, effective_mode)`` — the mode actually used, which is
+        ``"serial"`` whenever the pool path was skipped or fell back.
+
+    Raises:
+        ReproError: For unknown modes.  Scheduler/measurement errors
+            propagate unchanged; only pool-infrastructure failures
+            (unpicklable specs, broken pools, fork limits) trigger the
+            silent serial fallback.
+    """
+    if mode not in EXECUTOR_MODES:
+        raise ReproError(
+            f"unknown executor mode {mode!r}; choose from "
+            f"{', '.join(EXECUTOR_MODES)}"
+        )
+    if mode == "serial" or workers <= 1 or len(specs) <= 1:
+        return _run_serial(specs), "serial"
+    pool_cls = ProcessPoolExecutor if mode == "process" else ThreadPoolExecutor
+    try:
+        with pool_cls(max_workers=min(workers, len(specs))) as pool:
+            futures: list[Future] = [
+                pool.submit(execute_cell, spec) for spec in specs
+            ]
+            return [future.result() for future in futures], mode
+    except (
+        pickle.PicklingError,
+        AttributeError,
+        TypeError,
+        BrokenExecutor,
+        OSError,
+        RuntimeError,
+    ):
+        # Pool infrastructure failed (unpicklable scheduler, fork limits,
+        # missing multiprocessing support); the cells themselves are pure,
+        # so rerun the full grid serially.
+        return _run_serial(specs), "serial"

@@ -1,0 +1,497 @@
+"""BroadcastEngine — the single entry point for plan/schedule/evaluate/sweep.
+
+Every workflow in the repo (CLI subcommands, the experiment registry,
+the sweep harness, benchmarks) goes through this facade.  It composes
+the three engine services:
+
+* the **scheduler registry** (:mod:`repro.engine.registry`) — public
+  plugin API, alias-aware name resolution;
+* the **program cache** (:mod:`repro.engine.cache`) — memoised
+  scheduling keyed by instance fingerprints, with hit/miss accounting;
+* the **observability layer** (:mod:`repro.engine.telemetry`) —
+  counters, stage timers, and a structured JSON run manifest emitted by
+  every call.
+
+Sweeps additionally fan their (scheduler × channel-count) grid across a
+:mod:`concurrent.futures` pool (:mod:`repro.engine.executor`) with
+deterministic result ordering and automatic serial fallback.
+
+Typical use::
+
+    from repro.engine import BroadcastEngine
+
+    engine = BroadcastEngine(workers=4)
+    schedule = engine.schedule(instance, "pamad", channels=13)
+    result = engine.sweep(instance, algorithms=("pamad", "m-pb", "opt"))
+    print(result.manifest.to_json())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.core.bounds import ChannelPlan, minimum_channels, plan_channels
+from repro.core.errors import ReproError
+from repro.core.pages import ProblemInstance
+from repro.engine.cache import (
+    CachedSchedule,
+    CacheStats,
+    ProgramCache,
+    program_key,
+)
+from repro.engine.executor import (
+    EXECUTOR_MODES,
+    CellSpec,
+    SweepPoint,
+    default_channel_points,
+    run_cells,
+)
+from repro.engine.registry import (
+    ScheduleResult,
+    SchedulerRegistry,
+    default_registry,
+)
+from repro.engine.telemetry import (
+    RunManifest,
+    Telemetry,
+    describe_instance,
+)
+from repro.sim.clients import MeasurementResult, measure_program
+
+__all__ = [
+    "BroadcastEngine",
+    "EngineEvaluation",
+    "SweepResult",
+    "default_engine",
+]
+
+
+@dataclass(frozen=True)
+class EngineEvaluation:
+    """Outcome of :meth:`BroadcastEngine.evaluate` — schedule + replay."""
+
+    algorithm: str
+    channels: int
+    schedule: ScheduleResult
+    measurement: MeasurementResult
+    manifest: RunManifest
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of :meth:`BroadcastEngine.sweep`.
+
+    Iterating or indexing a ``SweepResult`` yields its points, so it is
+    a drop-in for the old bare ``list[SweepPoint]`` in most call sites.
+    """
+
+    points: tuple[SweepPoint, ...]
+    manifest: RunManifest
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, index):
+        return self.points[index]
+
+
+@dataclass
+class BroadcastEngine:
+    """The cached, parallel, observable scheduling facade.
+
+    Attributes:
+        registry: Scheduler name → callable registry (defaults to the
+            process-wide registry, so plugins registered via
+            :func:`repro.engine.register_scheduler` are visible).
+        cache: Program cache shared by every call on this engine.
+        telemetry: Counter/timer accumulator snapshotted into manifests.
+        workers: Default pool width for sweeps (1 = serial).
+        executor: Default pool flavour: ``"process"``, ``"thread"`` or
+            ``"serial"``.
+        manifest_dir: When set, every manifest is additionally written to
+            ``<manifest_dir>/run-<id>.json``.
+        keep_manifests: Upper bound on the in-memory manifest history.
+    """
+
+    registry: SchedulerRegistry = field(default_factory=default_registry)
+    cache: ProgramCache = field(default_factory=ProgramCache)
+    telemetry: Telemetry = field(default_factory=Telemetry)
+    workers: int = 1
+    executor: str = "process"
+    manifest_dir: str | Path | None = None
+    keep_manifests: int = 64
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTOR_MODES:
+            raise ReproError(
+                f"unknown executor mode {self.executor!r}; choose from "
+                f"{', '.join(EXECUTOR_MODES)}"
+            )
+        self._manifests: list[RunManifest] = []
+        self._run_counter = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Manifest plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def manifests(self) -> tuple[RunManifest, ...]:
+        """Manifests of every call on this engine, oldest first."""
+        return tuple(self._manifests)
+
+    @property
+    def last_manifest(self) -> RunManifest | None:
+        return self._manifests[-1] if self._manifests else None
+
+    def cache_stats(self) -> CacheStats:
+        """Lifetime cache accounting for this engine."""
+        return self.cache.stats()
+
+    def _next_run_id(self) -> int:
+        with self._lock:
+            self._run_counter += 1
+            return self._run_counter
+
+    def _emit_manifest(
+        self,
+        *,
+        operation: str,
+        instance: ProblemInstance,
+        parameters: Mapping[str, object],
+        schedulers: Sequence[str],
+        channels: Sequence[int],
+        executor: Mapping[str, object],
+        cache_before: CacheStats,
+        telemetry_before: Mapping[str, dict],
+        results: Mapping[str, object],
+    ) -> RunManifest:
+        cache_total = self.cache.stats()
+        run_share = Telemetry.delta(self.telemetry.snapshot(), telemetry_before)
+        manifest = RunManifest(
+            run_id=self._next_run_id(),
+            operation=operation,
+            created_at=time.time(),
+            instance=describe_instance(instance),
+            parameters=dict(parameters),
+            schedulers=tuple(schedulers),
+            channels=tuple(channels),
+            executor=dict(executor),
+            cache_run=cache_total.delta(cache_before),
+            cache_total=cache_total,
+            timings=run_share["timers"],
+            counters=run_share["counters"],
+            results=dict(results),
+        )
+        with self._lock:
+            self._manifests.append(manifest)
+            if len(self._manifests) > self.keep_manifests:
+                del self._manifests[: -self.keep_manifests]
+        if self.manifest_dir is not None:
+            directory = Path(self.manifest_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"run-{manifest.run_id:04d}.json"
+            path.write_text(manifest.to_json() + "\n")
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Cached scheduling core
+    # ------------------------------------------------------------------
+
+    def _resolve_channels(
+        self, instance: ProblemInstance, channels: int | None
+    ) -> int:
+        if channels is None:
+            return minimum_channels(instance)
+        if channels < 1:
+            raise ReproError(f"channels must be >= 1, got {channels}")
+        return channels
+
+    def _schedule_cached(
+        self, instance: ProblemInstance, algorithm: str, channels: int
+    ) -> tuple[ScheduleResult, float, bool]:
+        """Schedule through the cache.
+
+        Returns:
+            ``(schedule, elapsed_seconds, hit)`` where ``elapsed_seconds``
+            is the original scheduling wall time (replayed on hits).
+        """
+        name = self.registry.resolve(algorithm)
+        scheduler = self.registry.get(name)
+        key = program_key(instance, name, channels, scheduler)
+        entry = self.cache.get(key)
+        if entry is not None:
+            self.telemetry.incr("cache.hits")
+            return entry.schedule, entry.elapsed_seconds, True
+        self.telemetry.incr("cache.misses")
+        started = time.perf_counter()
+        with self.telemetry.timer("schedule"):
+            schedule = scheduler(instance, channels)
+        elapsed = time.perf_counter() - started
+        self.cache.put(key, CachedSchedule(schedule, elapsed))
+        return schedule, elapsed, False
+
+    # ------------------------------------------------------------------
+    # Public workflow
+    # ------------------------------------------------------------------
+
+    def plan(
+        self, instance: ProblemInstance, available: int = 1
+    ) -> ChannelPlan:
+        """Theorem-3.1 capacity analysis (manifested, never cached)."""
+        cache_before = self.cache.stats()
+        telemetry_before = self.telemetry.snapshot()
+        with self.telemetry.timer("plan"):
+            plan = plan_channels(instance, available=available)
+        self._emit_manifest(
+            operation="plan",
+            instance=instance,
+            parameters={"available": available},
+            schedulers=(),
+            channels=(available,),
+            executor={"mode": "serial", "workers": 1, "fallback": False},
+            cache_before=cache_before,
+            telemetry_before=telemetry_before,
+            results={
+                "required": plan.required,
+                "sufficient": plan.sufficient,
+                "load": plan.load,
+                "utilisation": plan.utilisation,
+            },
+        )
+        return plan
+
+    def schedule(
+        self,
+        instance: ProblemInstance,
+        algorithm: str,
+        channels: int | None = None,
+    ) -> ScheduleResult:
+        """Run (or fetch from cache) one scheduler on one channel count.
+
+        Args:
+            instance: The workload.
+            algorithm: Registry name or alias (``"susc"``, ``"pamad"``,
+                ``"mpb"``, ...).
+            channels: ``N_real``; defaults to the Theorem-3.1 minimum.
+
+        Returns:
+            The scheduler's native result — always a
+            :class:`~repro.engine.registry.ScheduleResult`.  Cache hits
+            return the identical object.
+        """
+        resolved = self._resolve_channels(instance, channels)
+        name = self.registry.resolve(algorithm)
+        cache_before = self.cache.stats()
+        telemetry_before = self.telemetry.snapshot()
+        schedule, elapsed, hit = self._schedule_cached(
+            instance, name, resolved
+        )
+        self._emit_manifest(
+            operation="schedule",
+            instance=instance,
+            parameters={"algorithm": name, "channels": resolved},
+            schedulers=(name,),
+            channels=(resolved,),
+            executor={"mode": "serial", "workers": 1, "fallback": False},
+            cache_before=cache_before,
+            telemetry_before=telemetry_before,
+            results={
+                "cache_hit": hit,
+                "elapsed_seconds": round(elapsed, 6),
+                "cycle_length": schedule.program.cycle_length,
+                "average_delay": schedule.average_delay,
+                "meta": dict(schedule.meta),
+            },
+        )
+        return schedule
+
+    def evaluate(
+        self,
+        instance: ProblemInstance,
+        algorithm: str,
+        channels: int | None = None,
+        num_requests: int = 3000,
+        seed: int = 0,
+        access_probabilities: Mapping[int, float] | None = None,
+    ) -> EngineEvaluation:
+        """Schedule (cached) then Monte-Carlo measure one configuration."""
+        resolved = self._resolve_channels(instance, channels)
+        name = self.registry.resolve(algorithm)
+        cache_before = self.cache.stats()
+        telemetry_before = self.telemetry.snapshot()
+        schedule, _, hit = self._schedule_cached(instance, name, resolved)
+        with self.telemetry.timer("measure"):
+            measurement = measure_program(
+                schedule.program,
+                instance,
+                num_requests=num_requests,
+                seed=seed,
+                access_probabilities=access_probabilities,
+            )
+        manifest = self._emit_manifest(
+            operation="evaluate",
+            instance=instance,
+            parameters={
+                "algorithm": name,
+                "channels": resolved,
+                "num_requests": num_requests,
+                "seed": seed,
+            },
+            schedulers=(name,),
+            channels=(resolved,),
+            executor={"mode": "serial", "workers": 1, "fallback": False},
+            cache_before=cache_before,
+            telemetry_before=telemetry_before,
+            results={
+                "cache_hit": hit,
+                "analytic_delay": schedule.average_delay,
+                "simulated_delay": measurement.average_delay,
+                "miss_ratio": measurement.miss_ratio,
+            },
+        )
+        return EngineEvaluation(
+            algorithm=name,
+            channels=resolved,
+            schedule=schedule,
+            measurement=measurement,
+            manifest=manifest,
+        )
+
+    def sweep(
+        self,
+        instance: ProblemInstance,
+        algorithms: Sequence[str] = ("pamad", "m-pb", "opt"),
+        channel_points: Sequence[int] | None = None,
+        num_requests: int = 3000,
+        seed: int = 0,
+        workers: int | None = None,
+        executor: str | None = None,
+    ) -> SweepResult:
+        """Measure AvgD over a (scheduler × channel-count) grid.
+
+        The grid fans across a worker pool when ``workers > 1``; cells
+        are seeded individually (``seed * 1_000_003 + channels * 101 +
+        column``, the historical formula), so parallel, serial and
+        repeated runs all produce bit-identical points.
+
+        Args:
+            instance: The workload (e.g. a Figure-3 paper instance).
+            algorithms: Registry names/aliases to compare.
+            channel_points: Channel counts; defaults to
+                :func:`default_channel_points` up to the Theorem-3.1
+                minimum.
+            num_requests: Monte-Carlo stream length per cell.
+            seed: Base RNG seed.
+            workers: Pool width for this call (default: the engine's).
+            executor: Pool flavour for this call (default: the engine's).
+
+        Returns:
+            A :class:`SweepResult` with points ordered by
+            (channel count, algorithm order) and the run manifest.
+        """
+        if channel_points is None:
+            channel_points = default_channel_points(
+                minimum_channels(instance)
+            )
+        pool_width = self.workers if workers is None else workers
+        pool_mode = self.executor if executor is None else executor
+        names = [self.registry.resolve(name) for name in algorithms]
+        schedulers = [(name, self.registry.get(name)) for name in names]
+        cache_before = self.cache.stats()
+        telemetry_before = self.telemetry.snapshot()
+
+        specs: list[CellSpec] = []
+        keys: list[tuple] = []
+        with self.telemetry.timer("sweep.prepare"):
+            for channels in channel_points:
+                for order, (name, scheduler) in enumerate(schedulers):
+                    key = program_key(instance, name, channels, scheduler)
+                    entry = self.cache.get(key)
+                    self.telemetry.incr(
+                        "cache.hits" if entry is not None else "cache.misses"
+                    )
+                    keys.append(key)
+                    specs.append(
+                        CellSpec(
+                            algorithm=name,
+                            scheduler=scheduler,
+                            channels=channels,
+                            instance=instance,
+                            num_requests=num_requests,
+                            seed=seed * 1_000_003 + channels * 101 + order,
+                            cached=entry,
+                        )
+                    )
+
+        with self.telemetry.timer("sweep.execute"):
+            results, effective_mode = run_cells(
+                specs, workers=pool_width, mode=pool_mode
+            )
+
+        points: list[SweepPoint] = []
+        for key, cell in zip(keys, results):
+            points.append(cell.point)
+            if cell.schedule is not None:
+                self.cache.put(
+                    key, CachedSchedule(cell.schedule, cell.elapsed_seconds)
+                )
+                self.telemetry.record_timing(
+                    "schedule", cell.elapsed_seconds
+                )
+        self.telemetry.incr("sweep.cells", len(specs))
+
+        manifest = self._emit_manifest(
+            operation="sweep",
+            instance=instance,
+            parameters={
+                "algorithms": list(names),
+                "channel_points": [int(c) for c in channel_points],
+                "num_requests": num_requests,
+                "seed": seed,
+            },
+            schedulers=names,
+            channels=[int(c) for c in channel_points],
+            executor={
+                "mode": effective_mode,
+                "workers": max(1, pool_width),
+                "fallback": effective_mode != pool_mode
+                and pool_mode != "serial"
+                and pool_width > 1
+                and len(specs) > 1,
+            },
+            cache_before=cache_before,
+            telemetry_before=telemetry_before,
+            results={
+                "cells": len(points),
+                "total_schedule_seconds": round(
+                    sum(p.elapsed_seconds for p in points), 6
+                ),
+            },
+        )
+        return SweepResult(points=tuple(points), manifest=manifest)
+
+
+_DEFAULT_ENGINE: BroadcastEngine | None = None
+_DEFAULT_ENGINE_LOCK = threading.Lock()
+
+
+def default_engine() -> BroadcastEngine:
+    """The process-wide engine behind the legacy helpers and the CLI.
+
+    Lazily constructed; shares the process-wide scheduler registry, so
+    plugins registered via :func:`repro.engine.register_scheduler` are
+    immediately sweepable.
+    """
+    global _DEFAULT_ENGINE
+    with _DEFAULT_ENGINE_LOCK:
+        if _DEFAULT_ENGINE is None:
+            _DEFAULT_ENGINE = BroadcastEngine()
+        return _DEFAULT_ENGINE

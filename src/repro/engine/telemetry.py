@@ -1,0 +1,177 @@
+"""Observability layer: counters, stage timers and JSON run manifests.
+
+Every :class:`~repro.engine.facade.BroadcastEngine` call produces a
+:class:`RunManifest` — a structured, JSON-serialisable record of what
+ran (operation, scheduler(s), channels, instance fingerprint), how it
+ran (executor mode, worker count, per-stage timings) and what the cache
+did (hits/misses for the run and for the engine's lifetime).  Manifests
+are the machine-readable audit trail of an engine process: the CLI can
+write them next to results, and regression tooling can diff them.
+
+Manifest schema (``manifest_version`` 1)::
+
+    {
+      "manifest_version": 1,
+      "run_id": 3,                      # per-engine monotonic counter
+      "operation": "sweep",             # plan | schedule | evaluate | sweep
+      "created_at": 1754512345.123,     # unix seconds
+      "instance": {
+        "fingerprint": "a1b2...",       # canonical digest (cache key part)
+        "groups": 8, "pages": 1000,
+        "group_sizes": [...], "expected_times": [...]
+      },
+      "parameters": {...},              # operation-specific inputs
+      "schedulers": ["pamad", "m-pb"],  # canonical registry names
+      "channels": [1, 2, 4],            # count(s) the run touched
+      "executor": {"mode": "process", "workers": 4, "fallback": false},
+      "cache": {"run": {...}, "total": {...}},   # CacheStats dicts
+      "timings": {"schedule": {"seconds": 0.81, "calls": 6}, ...},
+      "counters": {"cells": 6, ...},
+      "results": {...}                  # operation-specific summary
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.core.pages import ProblemInstance
+from repro.engine.cache import CacheStats, instance_fingerprint
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "Telemetry",
+    "RunManifest",
+    "describe_instance",
+]
+
+MANIFEST_VERSION = 1
+
+
+class Telemetry:
+    """Accumulating counters and wall-clock stage timers.
+
+    The engine owns one instance and snapshots it into every manifest;
+    :meth:`snapshot` deltas let a single run report only its own share.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._timers: dict[str, dict[str, float]] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Bump a named counter."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def record_timing(self, name: str, seconds: float) -> None:
+        """Fold an externally-measured duration into a named timer."""
+        timer = self._timers.setdefault(name, {"seconds": 0.0, "calls": 0})
+        timer["seconds"] += seconds
+        timer["calls"] += 1
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block into the named timer."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_timing(name, time.perf_counter() - started)
+
+    def counters(self) -> dict[str, int]:
+        return dict(self._counters)
+
+    def timers(self) -> dict[str, dict[str, float]]:
+        return {
+            name: {
+                "seconds": round(timer["seconds"], 6),
+                "calls": int(timer["calls"]),
+            }
+            for name, timer in self._timers.items()
+        }
+
+    def snapshot(self) -> dict:
+        """Both tables, as plain JSON-ready dicts."""
+        return {"counters": self.counters(), "timers": self.timers()}
+
+    @staticmethod
+    def delta(
+        after: Mapping[str, dict], before: Mapping[str, dict]
+    ) -> dict:
+        """Per-run share of two :meth:`snapshot` results."""
+        counters = {
+            name: value - before["counters"].get(name, 0)
+            for name, value in after["counters"].items()
+        }
+        timers = {}
+        for name, timer in after["timers"].items():
+            prior = before["timers"].get(name, {"seconds": 0.0, "calls": 0})
+            timers[name] = {
+                "seconds": round(timer["seconds"] - prior["seconds"], 6),
+                "calls": timer["calls"] - prior["calls"],
+            }
+        return {
+            "counters": {k: v for k, v in counters.items() if v},
+            "timers": {k: v for k, v in timers.items() if v["calls"]},
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._timers.clear()
+
+
+def describe_instance(instance: ProblemInstance) -> dict:
+    """The instance block of a manifest (fingerprint + shape)."""
+    return {
+        "fingerprint": instance_fingerprint(instance),
+        "groups": instance.h,
+        "pages": instance.n,
+        "group_sizes": list(instance.group_sizes),
+        "expected_times": list(instance.expected_times),
+    }
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """One engine call, fully described (see the module docstring schema)."""
+
+    run_id: int
+    operation: str
+    created_at: float
+    instance: Mapping[str, object]
+    parameters: Mapping[str, object]
+    schedulers: tuple[str, ...]
+    channels: tuple[int, ...]
+    executor: Mapping[str, object]
+    cache_run: CacheStats
+    cache_total: CacheStats
+    timings: Mapping[str, Mapping[str, float]]
+    counters: Mapping[str, int]
+    results: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "manifest_version": MANIFEST_VERSION,
+            "run_id": self.run_id,
+            "operation": self.operation,
+            "created_at": self.created_at,
+            "instance": dict(self.instance),
+            "parameters": dict(self.parameters),
+            "schedulers": list(self.schedulers),
+            "channels": list(self.channels),
+            "executor": dict(self.executor),
+            "cache": {
+                "run": self.cache_run.as_dict(),
+                "total": self.cache_total.as_dict(),
+            },
+            "timings": {k: dict(v) for k, v in self.timings.items()},
+            "counters": dict(self.counters),
+            "results": dict(self.results),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)

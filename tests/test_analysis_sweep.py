@@ -19,7 +19,7 @@ from repro.core.errors import ReproError
 class TestSchedulerRegistry:
     def test_known_names(self):
         assert set(SCHEDULERS) == {
-            "pamad", "m-pb", "opt", "flat", "disks", "online",
+            "pamad", "m-pb", "opt", "flat", "disks", "online", "susc",
         }
 
     def test_lookup_case_insensitive(self):
@@ -31,6 +31,15 @@ class TestSchedulerRegistry:
     def test_unknown_name(self):
         with pytest.raises(ReproError, match="unknown scheduler"):
             get_scheduler("magic")
+
+    def test_unknown_name_lists_sorted_choices(self):
+        with pytest.raises(ReproError) as excinfo:
+            get_scheduler("magic")
+        listed = str(excinfo.value).split("choose from ")[1].split(", ")
+        assert listed == sorted(listed)
+
+    def test_registry_view_is_sorted(self):
+        assert list(SCHEDULERS) == sorted(SCHEDULERS)
 
 
 class TestDefaultChannelPoints:

@@ -1,0 +1,381 @@
+"""Tests for the BroadcastEngine facade and its engine services.
+
+Covers the registry plugin API, program-cache hit/miss semantics,
+parallel-vs-serial sweep equivalence, and the run-manifest schema.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import InsufficientChannelsError, ReproError
+from repro.core.pages import instance_from_counts
+from repro.core.pamad import schedule_pamad
+from repro.engine import (
+    MANIFEST_VERSION,
+    BroadcastEngine,
+    ProgramCache,
+    ScheduleResult,
+    SchedulerRegistry,
+    available_schedulers,
+    default_registry,
+    get_scheduler,
+    instance_fingerprint,
+    program_key,
+    register_scheduler,
+)
+from repro.engine.cache import CachedSchedule
+from repro.sim.clients import measure_program
+
+
+def _custom_scheduler(instance, num_channels):
+    """A module-level plugin scheduler (picklable for process pools)."""
+    return schedule_pamad(instance, num_channels)
+
+
+# ----------------------------------------------------------------------
+# Registry / plugin API
+# ----------------------------------------------------------------------
+
+
+class TestSchedulerRegistry:
+    def test_builtins_registered_and_sorted(self):
+        names = available_schedulers()
+        assert names == tuple(sorted(names))
+        assert {"pamad", "m-pb", "opt", "susc"} <= set(names)
+
+    def test_mpb_alias_lives_in_alias_table(self):
+        registry = default_registry()
+        assert registry.aliases().get("mpb") == "m-pb"
+        assert registry.get("mpb") is registry.get("m-pb")
+
+    def test_register_plugin_with_alias(self):
+        registry = SchedulerRegistry()
+        registry.register("mine", _custom_scheduler, aliases=("my-sched",))
+        assert registry.get("mine") is _custom_scheduler
+        assert registry.get("MY-SCHED") is _custom_scheduler
+        assert registry.resolve("my-sched") == "mine"
+
+    def test_duplicate_name_rejected_without_replace(self):
+        registry = SchedulerRegistry()
+        registry.register("mine", _custom_scheduler)
+        with pytest.raises(ReproError, match="already registered"):
+            registry.register("mine", _custom_scheduler)
+        registry.register("mine", _custom_scheduler, replace=True)
+
+    def test_alias_to_unknown_target_rejected(self):
+        registry = SchedulerRegistry()
+        with pytest.raises(ReproError, match="unknown scheduler"):
+            registry.alias("x", "ghost")
+
+    def test_unregister_drops_aliases(self):
+        registry = SchedulerRegistry()
+        registry.register("mine", _custom_scheduler, aliases=("m1", "m2"))
+        registry.unregister("m1")
+        assert "mine" not in registry
+        assert "m2" not in registry
+
+    def test_unknown_name_error_lists_sorted_names(self):
+        with pytest.raises(ReproError) as excinfo:
+            get_scheduler("magic")
+        listed = str(excinfo.value).split("choose from ")[1].split(", ")
+        assert listed == sorted(listed)
+
+    def test_register_scheduler_default_registry_roundtrip(self):
+        register_scheduler("tmp-plugin", _custom_scheduler)
+        try:
+            assert get_scheduler("tmp-plugin") is _custom_scheduler
+            assert "tmp-plugin" in available_schedulers()
+        finally:
+            default_registry().unregister("tmp-plugin")
+
+    def test_every_registered_scheduler_satisfies_protocol(
+        self, fig2_instance
+    ):
+        engine = BroadcastEngine()
+        for name in available_schedulers():
+            schedule = engine.schedule(fig2_instance, name, channels=4)
+            assert isinstance(schedule, ScheduleResult), name
+            assert schedule.program.cycle_length > 0, name
+            assert schedule.average_delay >= 0, name
+            assert schedule.meta["num_channels"] == 4, name
+
+
+# ----------------------------------------------------------------------
+# Program cache
+# ----------------------------------------------------------------------
+
+
+class TestProgramCache:
+    def test_same_fingerprint_returns_identical_object(self, fig2_instance):
+        engine = BroadcastEngine()
+        first = engine.schedule(fig2_instance, "pamad", channels=3)
+        second = engine.schedule(fig2_instance, "pamad", channels=3)
+        assert first is second
+        stats = engine.cache_stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+
+    def test_equal_instances_share_cache_entries(self):
+        engine = BroadcastEngine()
+        a = instance_from_counts([3, 5, 3], [2, 4, 8])
+        b = instance_from_counts([3, 5, 3], [2, 4, 8])
+        assert instance_fingerprint(a) == instance_fingerprint(b)
+        first = engine.schedule(a, "pamad", channels=3)
+        second = engine.schedule(b, "pamad", channels=3)
+        assert first is second
+
+    def test_different_channels_miss(self, fig2_instance):
+        engine = BroadcastEngine()
+        engine.schedule(fig2_instance, "pamad", channels=2)
+        engine.schedule(fig2_instance, "pamad", channels=3)
+        stats = engine.cache_stats()
+        assert stats.hits == 0
+        assert stats.misses == 2
+
+    def test_different_page_numbering_misses(self):
+        a = instance_from_counts([3, 5, 3], [2, 4, 8])
+        b = instance_from_counts([3, 5, 3], [2, 4, 8], first_page_id=100)
+        assert instance_fingerprint(a) != instance_fingerprint(b)
+
+    def test_different_scheduler_misses(self, fig2_instance):
+        engine = BroadcastEngine()
+        engine.schedule(fig2_instance, "pamad", channels=3)
+        engine.schedule(fig2_instance, "m-pb", channels=3)
+        assert engine.cache_stats().hits == 0
+
+    def test_lru_eviction_respects_bound(self, fig2_instance):
+        cache = ProgramCache(max_entries=2)
+        schedule = schedule_pamad(fig2_instance, 3)
+        for channels in (1, 2, 3):
+            cache.put(
+                program_key(fig2_instance, "pamad", channels),
+                CachedSchedule(schedule, 0.0),
+            )
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.evictions == 1
+        assert cache.get(program_key(fig2_instance, "pamad", 1)) is None
+
+    def test_zero_capacity_disables_caching(self, fig2_instance):
+        engine = BroadcastEngine(cache=ProgramCache(max_entries=0))
+        first = engine.schedule(fig2_instance, "pamad", channels=3)
+        second = engine.schedule(fig2_instance, "pamad", channels=3)
+        assert first is not second
+        assert engine.cache_stats().hits == 0
+
+
+# ----------------------------------------------------------------------
+# Sweeps: parallel == serial, repeated == cached
+# ----------------------------------------------------------------------
+
+
+SWEEP_KWARGS = dict(
+    algorithms=("pamad", "m-pb"),
+    channel_points=(1, 2, 3),
+    num_requests=200,
+    seed=7,
+)
+
+
+class TestEngineSweep:
+    def test_parallel_matches_serial_bit_identically(self, fig2_instance):
+        engine = BroadcastEngine()
+        serial = engine.sweep(fig2_instance, workers=1, **SWEEP_KWARGS)
+        parallel = engine.sweep(fig2_instance, workers=2, **SWEEP_KWARGS)
+        assert parallel.points == serial.points
+
+    def test_fresh_engines_produce_identical_tables(self, fig2_instance):
+        from repro.analysis.sweep import sweep_table
+
+        serial = BroadcastEngine().sweep(
+            fig2_instance, workers=1, **SWEEP_KWARGS
+        )
+        parallel = BroadcastEngine(workers=2).sweep(
+            fig2_instance, **SWEEP_KWARGS
+        )
+        table_s = sweep_table(serial.points, title="t")
+        table_p = sweep_table(parallel.points, title="t")
+        assert table_s.rows == table_p.rows
+
+    def test_repeated_sweep_hits_cache_and_is_identical(self, fig2_instance):
+        engine = BroadcastEngine()
+        first = engine.sweep(fig2_instance, **SWEEP_KWARGS)
+        second = engine.sweep(fig2_instance, **SWEEP_KWARGS)
+        assert second.points == first.points
+        assert first.manifest.cache_run.hits == 0
+        assert second.manifest.cache_run.hits == len(second.points)
+        assert second.manifest.cache_run.misses == 0
+
+    def test_points_ordered_by_channels_then_algorithm(self, fig2_instance):
+        result = BroadcastEngine().sweep(fig2_instance, **SWEEP_KWARGS)
+        observed = [(p.channels, p.algorithm) for p in result.points]
+        expected = [
+            (channels, name)
+            for channels in (1, 2, 3)
+            for name in ("pamad", "m-pb")
+        ]
+        assert observed == expected
+
+    def test_unpicklable_scheduler_falls_back_to_serial(self, fig2_instance):
+        registry = SchedulerRegistry()
+        registry.register("lam", lambda instance, n: schedule_pamad(instance, n))
+        registry.register("pamad", schedule_pamad)
+        engine = BroadcastEngine(registry=registry)
+        result = engine.sweep(
+            fig2_instance,
+            algorithms=("lam", "pamad"),
+            channel_points=(1, 2),
+            num_requests=100,
+            workers=2,
+        )
+        assert result.manifest.executor["mode"] == "serial"
+        assert result.manifest.executor["fallback"] is True
+        assert len(result.points) == 4
+
+    def test_channel_sweep_helper_delegates_to_engine(self, fig2_instance):
+        from repro.analysis.sweep import channel_sweep
+
+        engine = BroadcastEngine()
+        via_helper = channel_sweep(
+            fig2_instance, engine=engine, **SWEEP_KWARGS
+        )
+        direct = engine.sweep(fig2_instance, **SWEEP_KWARGS)
+        assert tuple(via_helper) == direct.points
+        assert engine.last_manifest.operation == "sweep"
+        assert engine.manifests[0].operation == "sweep"
+
+    def test_scheduler_errors_propagate(self, fig2_instance):
+        engine = BroadcastEngine()
+        with pytest.raises(InsufficientChannelsError):
+            engine.sweep(
+                fig2_instance,
+                algorithms=("susc",),
+                channel_points=(1,),
+                num_requests=50,
+            )
+
+
+# ----------------------------------------------------------------------
+# Evaluate / plan
+# ----------------------------------------------------------------------
+
+
+class TestEvaluateAndPlan:
+    def test_evaluate_matches_direct_measurement(self, fig2_instance):
+        engine = BroadcastEngine()
+        evaluation = engine.evaluate(
+            fig2_instance, "pamad", channels=3, num_requests=300, seed=5
+        )
+        expected = measure_program(
+            schedule_pamad(fig2_instance, 3).program,
+            fig2_instance,
+            num_requests=300,
+            seed=5,
+        )
+        assert evaluation.measurement.average_delay == expected.average_delay
+        assert evaluation.manifest.operation == "evaluate"
+
+    def test_evaluate_reuses_schedule_cache(self, fig2_instance):
+        engine = BroadcastEngine()
+        engine.schedule(fig2_instance, "pamad", channels=3)
+        evaluation = engine.evaluate(
+            fig2_instance, "pamad", channels=3, num_requests=100
+        )
+        assert evaluation.manifest.results["cache_hit"] is True
+
+    def test_plan_emits_manifest(self, fig2_instance):
+        engine = BroadcastEngine()
+        plan = engine.plan(fig2_instance, available=3)
+        assert plan.required == 4
+        manifest = engine.last_manifest
+        assert manifest.operation == "plan"
+        assert manifest.to_dict()["results"]["sufficient"] is False
+
+
+# ----------------------------------------------------------------------
+# Telemetry and manifests
+# ----------------------------------------------------------------------
+
+
+class TestRunManifest:
+    def test_manifest_schema(self, fig2_instance):
+        engine = BroadcastEngine()
+        result = engine.sweep(fig2_instance, **SWEEP_KWARGS)
+        payload = json.loads(result.manifest.to_json())
+        assert payload["manifest_version"] == MANIFEST_VERSION
+        assert payload["operation"] == "sweep"
+        assert payload["run_id"] == 1
+        assert payload["instance"]["fingerprint"] == instance_fingerprint(
+            fig2_instance
+        )
+        assert payload["instance"]["pages"] == 11
+        assert payload["schedulers"] == ["pamad", "m-pb"]
+        assert payload["channels"] == [1, 2, 3]
+        assert set(payload["executor"]) == {"mode", "workers", "fallback"}
+        for scope in ("run", "total"):
+            assert set(payload["cache"][scope]) == {
+                "hits", "misses", "evictions", "entries", "hit_ratio",
+            }
+        assert "sweep.execute" in payload["timings"]
+        assert payload["counters"]["sweep.cells"] == 6
+        assert payload["results"]["cells"] == 6
+
+    def test_run_ids_are_monotonic(self, fig2_instance):
+        engine = BroadcastEngine()
+        engine.plan(fig2_instance)
+        engine.schedule(fig2_instance, "pamad", channels=3)
+        assert [m.run_id for m in engine.manifests] == [1, 2]
+
+    def test_manifest_dir_writes_files(self, fig2_instance, tmp_path):
+        engine = BroadcastEngine(manifest_dir=tmp_path / "runs")
+        engine.schedule(fig2_instance, "pamad", channels=3)
+        files = sorted((tmp_path / "runs").glob("run-*.json"))
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text())
+        assert payload["operation"] == "schedule"
+        assert payload["results"]["meta"]["scheduler"] == "pamad"
+
+    def test_telemetry_counts_schedule_stages(self, fig2_instance):
+        engine = BroadcastEngine()
+        engine.schedule(fig2_instance, "pamad", channels=3)
+        engine.schedule(fig2_instance, "pamad", channels=3)
+        counters = engine.telemetry.counters()
+        assert counters["cache.misses"] == 1
+        assert counters["cache.hits"] == 1
+        timers = engine.telemetry.timers()
+        assert timers["schedule"]["calls"] == 1
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims
+# ----------------------------------------------------------------------
+
+
+class TestDeprecationShims:
+    def test_top_level_schedulers_alias_warns(self):
+        import repro
+
+        with pytest.warns(DeprecationWarning, match="register_scheduler"):
+            view = repro.SCHEDULERS
+        assert "pamad" in view
+
+    def test_top_level_channel_sweep_alias_warns(self):
+        import repro
+        from repro.analysis.sweep import channel_sweep
+
+        with pytest.warns(DeprecationWarning, match="BroadcastEngine.sweep"):
+            shim = repro.channel_sweep
+        assert shim is channel_sweep
+
+    def test_new_names_exported_from_root(self):
+        import repro
+
+        for name in (
+            "BroadcastEngine", "ScheduleResult", "register_scheduler",
+            "get_scheduler", "available_schedulers", "SweepPoint",
+            "SweepResult", "RunManifest", "default_engine",
+        ):
+            assert hasattr(repro, name), name
