@@ -49,9 +49,12 @@ Subpackages:
 * :mod:`repro.baselines` — m-PB, OPT, drop-pages, flat round-robin.
 * :mod:`repro.workload` — Figure-3 distributions and request streams.
 * :mod:`repro.sim` — client replay, on-demand queueing, hybrid push/pull.
+* :mod:`repro.resilience` — seeded fault timelines, recovery policies,
+  churn replay measurement.
 * :mod:`repro.analysis` — sweeps, statistics, experiment registry.
 * :mod:`repro.engine` — the BroadcastEngine facade: scheduler registry
-  (plugin API), program cache, parallel sweep executor, telemetry.
+  (plugin API), program cache, hardened parallel sweep executor
+  (timeout/retry/circuit-breaker), telemetry.
 """
 
 from repro.core import (
@@ -95,7 +98,7 @@ from repro.engine import (
     register_scheduler,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 # Deprecated aliases served (with a warning) by ``__getattr__`` below;
 # each maps to its replacement in the engine API.

@@ -29,6 +29,7 @@ EXT6   adaptive rescheduling under deadline drift
 EXT7   multi-page requests: completion time by scheduler
 EXT8   deadline-aware (PAMAD) vs access-time-aware (broadcast disks)
 EXT9   client caching: LRU vs PIX over a PAMAD program
+EXT10  recovery policies under increasing churn rates
 ABL4   naive vs cursor-optimised GetAvailableSlot (paper's 3.2 note)
 ABL5   offline PAMAD vs online least-slack (EDF) scheduling
 =====  ==============================================================
@@ -604,12 +605,12 @@ def _run_ext5(
     **_overrides,
 ) -> list[Table]:
     """Channel failures: keep broadcasting vs PAMAD reschedule."""
-    from repro.sim.faults import compare_failure_responses
+    from repro.resilience import compare_static_failure_sizes
 
     instance = paper_instance("uniform")
     program = schedule_pamad(instance, channels).program
     failure_sizes = [1, 2, 4, 8]
-    rows = compare_failure_responses(
+    rows = compare_static_failure_sizes(
         program, instance, [k for k in failure_sizes if k < channels]
     )
     table = Table(
@@ -892,6 +893,71 @@ def _run_ext9(
     return [table]
 
 
+def _run_ext10(
+    channels: int = 13,
+    horizon: int = 200,
+    fail_rates: tuple[float, ...] = (0.005, 0.01, 0.02, 0.04),
+    recover_rate: float = 0.1,
+    num_listeners: int = 300,
+    seed: int = 0,
+    **_overrides,
+) -> list[Table]:
+    """Recovery policies under increasing churn rates.
+
+    For each churn level a fresh Poisson fault plan is generated (same
+    seed, so levels differ only in rate) and replayed under every
+    built-in recovery policy; the listener streams are shared across
+    policies, so rows at one churn level are directly comparable.
+    """
+    from repro.resilience import compare_policies, poisson_churn_plan
+
+    instance = paper_instance("uniform")
+    table = Table(
+        title=(
+            f"EXT10: recovery policies vs churn "
+            f"({channels} channels, horizon {horizon})"
+        ),
+        columns=[
+            "fail rate",
+            "events",
+            "policy",
+            "reschedules",
+            "lost page-slots",
+            "violations",
+            "excess delay",
+            "shed peak",
+        ],
+    )
+    for fail_rate in fail_rates:
+        plan = poisson_churn_plan(
+            channels,
+            horizon=horizon,
+            seed=seed,
+            fail_rate=fail_rate,
+            recover_rate=recover_rate,
+            min_alive=max(1, channels // 4),
+        )
+        outcomes = compare_policies(
+            instance, plan, num_listeners=num_listeners, seed=seed
+        )
+        for outcome in outcomes:
+            table.add_row(
+                fail_rate,
+                len(plan.events),
+                outcome.policy,
+                outcome.reschedule_count,
+                round(outcome.pages_lost_time, 1),
+                round(outcome.violation_fraction, 4),
+                round(outcome.mean_excess_delay, 3),
+                outcome.shed_pages_peak,
+            )
+    table.notes.append(
+        "per-slot Bernoulli churn; listener streams are shared across "
+        "policies at each churn level, so rows are directly comparable"
+    )
+    return [table]
+
+
 EXPERIMENTS: Mapping[str, Experiment] = {
     experiment.experiment_id: experiment
     for experiment in [
@@ -970,6 +1036,9 @@ EXPERIMENTS: Mapping[str, Experiment] = {
         ),
         Experiment(
             "EXT9", "Client caching policies", "reproduction", _run_ext9
+        ),
+        Experiment(
+            "EXT10", "Resilience under churn", "reproduction", _run_ext10
         ),
     ]
 }

@@ -14,7 +14,9 @@ Subcommands:
   Monte-Carlo).
 * ``sweep`` — a Figure-5-style channel sweep on a named workload.
 * ``profile`` — per-group structural profile of a generated program.
-* ``experiment`` — run a registered experiment (FIG2 .. EXT8).
+* ``resilience`` — replay a (seeded or saved) fault timeline under
+  recovery policies and compare what clients experience.
+* ``experiment`` — run a registered experiment (FIG2 .. EXT10).
 * ``experiments`` — list the registry.
 * ``schedulers`` — list the scheduler registry (plugin API).
 
@@ -181,6 +183,68 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"executor: {result.manifest.executor['mode']} "
         f"(workers={result.manifest.executor['workers']}); "
         f"cache: {cache.hits} hits / {cache.misses} misses"
+    )
+    print(table.render())
+    _write_manifest(args)
+    return 0
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.analysis.report import Table
+    from repro.resilience import FaultPlan, poisson_churn_plan
+
+    instance = _resolve_instance(args)
+    channels = args.channels or minimum_channels(instance)
+    if args.trace:
+        plan = FaultPlan.load(args.trace)
+        if plan.num_channels != channels and args.channels:
+            raise ReproError(
+                f"--channels {args.channels} disagrees with the loaded "
+                f"trace ({plan.num_channels} channels); drop --channels "
+                "or regenerate the trace"
+            )
+    else:
+        plan = poisson_churn_plan(
+            channels,
+            horizon=args.horizon,
+            seed=args.seed,
+            fail_rate=args.fail_rate,
+            recover_rate=args.recover_rate,
+            loss_rate=args.loss_rate,
+        )
+    if args.save_trace:
+        plan.save(args.save_trace)
+    result = default_engine().resilience(
+        instance,
+        plan,
+        policies=args.policies,
+        num_listeners=args.listeners,
+        seed=args.seed,
+    )
+    print(
+        f"fault plan {plan.fingerprint()}: {plan.num_channels} channels, "
+        f"horizon {plan.horizon}, {len(plan.events)} events "
+        f"(min alive {plan.min_alive()})"
+    )
+    table = Table(
+        title="recovery policies under churn",
+        columns=[
+            "policy", "reschedules", "lost page-slots",
+            "violations", "excess delay", "shed peak",
+        ],
+    )
+    for outcome in result.outcomes:
+        table.add_row(
+            outcome.policy,
+            outcome.reschedule_count,
+            round(outcome.pages_lost_time, 1),
+            f"{outcome.violation_fraction:.3%}",
+            round(outcome.mean_excess_delay, 3),
+            outcome.shed_pages_peak,
+        )
+    table.notes.append(
+        f"{result.outcomes[0].listens} listens over "
+        f"{result.outcomes[0].epochs} epochs; seed {args.seed}"
     )
     print(table.render())
     _write_manifest(args)
@@ -392,6 +456,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="channels to use (default: Theorem-3.1 minimum)",
     )
     profile.set_defaults(handler=_cmd_profile)
+
+    resilience = commands.add_parser(
+        "resilience",
+        help="replay a fault timeline under recovery policies",
+    )
+    _add_instance_arguments(resilience)
+    resilience.add_argument(
+        "--channels",
+        type=int,
+        default=None,
+        help="pre-fault channel count (default: Theorem-3.1 minimum)",
+    )
+    resilience.add_argument(
+        "--policies",
+        type=lambda text: [
+            part.strip() for part in text.split(",") if part.strip()
+        ] or None,
+        default=None,
+        help=(
+            "comma-separated recovery policies (default: carry_on,"
+            "reschedule_full,reschedule_throttled,shed_load)"
+        ),
+    )
+    resilience.add_argument(
+        "--horizon", type=int, default=200,
+        help="fault-plan horizon in slots (generated plans)",
+    )
+    resilience.add_argument(
+        "--fail-rate", type=float, default=0.01,
+        help="per-slot per-channel failure probability",
+    )
+    resilience.add_argument(
+        "--recover-rate", type=float, default=0.1,
+        help="per-slot per-channel recovery probability",
+    )
+    resilience.add_argument(
+        "--loss-rate", type=float, default=0.0,
+        help="per-slot per-channel lossy-transmission probability",
+    )
+    resilience.add_argument("--seed", type=int, default=0)
+    resilience.add_argument(
+        "--listeners", type=int, default=400,
+        help="sampled client listens across the horizon",
+    )
+    resilience.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="replay a saved fault-trace JSON instead of generating one",
+    )
+    resilience.add_argument(
+        "--save-trace", metavar="PATH", default=None,
+        help="write the fault-trace JSON for later deterministic replay",
+    )
+    _add_manifest_argument(resilience)
+    resilience.set_defaults(handler=_cmd_resilience)
 
     experiment = commands.add_parser(
         "experiment", help="run a registered experiment"

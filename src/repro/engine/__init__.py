@@ -25,12 +25,16 @@ from repro.engine.cache import (
 )
 from repro.engine.executor import (
     EXECUTOR_MODES,
+    CellFailure,
+    ExecutionPolicy,
+    ExecutionReport,
     SweepPoint,
     default_channel_points,
 )
 from repro.engine.facade import (
     BroadcastEngine,
     EngineEvaluation,
+    ResilienceResult,
     SweepResult,
     default_engine,
 )
@@ -54,10 +58,14 @@ __all__ = [
     "BroadcastEngine",
     "CacheStats",
     "CachedSchedule",
+    "CellFailure",
     "EXECUTOR_MODES",
     "EngineEvaluation",
+    "ExecutionPolicy",
+    "ExecutionReport",
     "MANIFEST_VERSION",
     "ProgramCache",
+    "ResilienceResult",
     "RunManifest",
     "ScheduleResult",
     "Scheduler",

@@ -12,19 +12,33 @@ The process pool is the default for ``workers > 1`` (scheduling and
 replay are CPU-bound pure Python; threads only help on the margins),
 with automatic serial fallback when the pool cannot be built or the
 cell specs cannot be pickled (e.g. a scheduler registered as a lambda).
+
+Execution is *hardened*: a raising scheduler never poisons the rest of
+the grid.  Cell-level exceptions cross the pool boundary as values (the
+worker wraps them), so the parent can distinguish them from pool
+infrastructure failures; a failing cell is retried with exponential
+backoff up to :attr:`ExecutionPolicy.retries` times, a per-cell timeout
+bounds how long the parent waits in pool modes, and a per-algorithm
+circuit breaker stops burning attempts on a scheduler that keeps
+crashing — subsequent cells of that algorithm short-circuit to a
+structured :class:`CellFailure` instead of executing.  Failed cells come
+back as :class:`CellFailure` entries in the result list, in grid order,
+alongside the successful :class:`CellResult` entries.
 """
 
 from __future__ import annotations
 
 import pickle
 import time
+import traceback
 from concurrent.futures import (
     BrokenExecutor,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field, replace
 
 from repro.core.errors import ReproError
 from repro.core.pages import ProblemInstance
@@ -37,6 +51,9 @@ __all__ = [
     "default_channel_points",
     "CellSpec",
     "CellResult",
+    "CellFailure",
+    "ExecutionPolicy",
+    "ExecutionReport",
     "run_cells",
     "EXECUTOR_MODES",
 ]
@@ -116,11 +133,126 @@ class CellResult:
 
     ``schedule`` is populated only for freshly computed cells — cache
     hits return ``None`` there so nothing is pickled back needlessly.
+    ``attempts`` counts executions including retries (1 = first try).
     """
 
     point: SweepPoint
     schedule: object | None
     elapsed_seconds: float
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A cell that produced no result, as structured data.
+
+    Attributes:
+        algorithm: Registry name of the scheduler that failed.
+        channels: The cell's channel count.
+        error_type: Exception class name (or ``"TimeoutError"``).
+        message: The exception message (first line of context).
+        attempts: Executions burnt on this cell (0 when the circuit
+            breaker skipped it entirely).
+        circuit_open: True when the per-algorithm breaker suppressed
+            execution or retries for this cell.
+    """
+
+    algorithm: str
+    channels: int
+    error_type: str
+    message: str
+    attempts: int
+    circuit_open: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "channels": self.channels,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "circuit_open": self.circuit_open,
+        }
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Hardening knobs for a cell grid run.
+
+    Attributes:
+        timeout: Per-cell wait bound in seconds for pool modes (``None``
+            = wait forever).  Serial execution cannot be preempted, so
+            the timeout is ignored there.  A timed-out worker may still
+            be running; its result is simply no longer awaited.
+        retries: Extra attempts after a failed first execution.
+        backoff: Base of the exponential backoff sleep between attempts
+            (``backoff * 2**(attempt-1)`` seconds).
+        breaker_threshold: Consecutive final failures of one algorithm
+            that open its circuit; further cells of that algorithm are
+            failed structurally instead of executed/retried.  ``0``
+            disables the breaker.
+    """
+
+    timeout: float | None = None
+    retries: int = 1
+    backoff: float = 0.05
+    breaker_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ReproError(
+                f"timeout must be positive or None, got {self.timeout}"
+            )
+        if self.retries < 0:
+            raise ReproError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise ReproError(f"backoff must be >= 0, got {self.backoff}")
+        if self.breaker_threshold < 0:
+            raise ReproError(
+                f"breaker_threshold must be >= 0, got "
+                f"{self.breaker_threshold}"
+            )
+
+
+@dataclass
+class ExecutionReport:
+    """Accounting of one :func:`run_cells` call.
+
+    ``as_dict`` is the manifest's ``executor`` block (minus ``workers``,
+    which the facade adds).
+    """
+
+    mode: str
+    requested_mode: str
+    fallback: bool = False
+    retries: int = 0
+    cell_failures: int = 0
+    breaker_trips: int = 0
+    timeouts: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "fallback": self.fallback,
+            "retries": self.retries,
+            "cell_failures": self.cell_failures,
+            "breaker_trips": self.breaker_trips,
+            "timeouts": self.timeouts,
+        }
+
+
+@dataclass(frozen=True)
+class _CellError:
+    """A cell exception shipped across the pool boundary as a value.
+
+    Keeping scheduler/measurement exceptions as *values* is what lets
+    the parent tell them apart from pool infrastructure failures (which
+    raise out of ``future.result`` and trigger the serial fallback).
+    """
+
+    error_type: str
+    message: str
+    trace: str = ""
 
 
 def execute_cell(spec: CellSpec) -> CellResult:
@@ -156,46 +288,228 @@ def execute_cell(spec: CellSpec) -> CellResult:
     )
 
 
-def _run_serial(specs: list[CellSpec]) -> list[CellResult]:
-    return [execute_cell(spec) for spec in specs]
+def _guarded_execute(spec: CellSpec) -> CellResult | _CellError:
+    """Worker entry point: cell exceptions become picklable values."""
+    try:
+        return execute_cell(spec)
+    except Exception as error:  # noqa: BLE001 - the guard is the point
+        return _CellError(
+            error_type=type(error).__name__,
+            message=str(error),
+            trace=traceback.format_exc(limit=8),
+        )
+
+
+class _CircuitBreaker:
+    """Consecutive-failure breaker, one circuit per algorithm name."""
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+        self._consecutive: dict[str, int] = {}
+        self._open: set[str] = set()
+        self.trips = 0
+
+    def is_open(self, algorithm: str) -> bool:
+        return algorithm in self._open
+
+    def record_success(self, algorithm: str) -> None:
+        self._consecutive[algorithm] = 0
+
+    def record_failure(self, algorithm: str) -> None:
+        if not self.threshold or algorithm in self._open:
+            return
+        count = self._consecutive.get(algorithm, 0) + 1
+        self._consecutive[algorithm] = count
+        if count >= self.threshold:
+            self._open.add(algorithm)
+            self.trips += 1
+
+
+def _backoff_sleep(policy: ExecutionPolicy, attempt: int) -> None:
+    if policy.backoff > 0:
+        time.sleep(policy.backoff * 2 ** (attempt - 1))
+
+
+def _note(telemetry, name: str, amount: int = 1) -> None:
+    if telemetry is not None and amount:
+        telemetry.incr(name, amount)
+
+
+def _finalize(
+    spec: CellSpec,
+    error: _CellError,
+    attempts: int,
+    circuit_open: bool,
+    breaker: _CircuitBreaker,
+    report: ExecutionReport,
+    telemetry,
+) -> CellFailure:
+    """Record a cell's final failure and build its structured result."""
+    report.cell_failures += 1
+    _note(telemetry, "executor.cell_failures")
+    breaker_was_open = breaker.is_open(spec.algorithm)
+    breaker.record_failure(spec.algorithm)
+    return CellFailure(
+        algorithm=spec.algorithm,
+        channels=spec.channels,
+        error_type=error.error_type,
+        message=error.message,
+        attempts=attempts,
+        circuit_open=circuit_open or breaker_was_open,
+    )
+
+
+def _run_serial(
+    specs: list[CellSpec],
+    policy: ExecutionPolicy,
+    report: ExecutionReport,
+    telemetry,
+) -> list[CellResult | CellFailure]:
+    breaker = _CircuitBreaker(policy.breaker_threshold)
+    outcomes: list[CellResult | CellFailure] = []
+    for spec in specs:
+        if breaker.is_open(spec.algorithm):
+            outcomes.append(
+                _finalize(
+                    spec,
+                    _CellError(
+                        "CircuitOpen",
+                        f"circuit open for {spec.algorithm!r}; cell skipped",
+                    ),
+                    attempts=0,
+                    circuit_open=True,
+                    breaker=breaker,
+                    report=report,
+                    telemetry=telemetry,
+                )
+            )
+            continue
+        attempts = 0
+        while True:
+            attempts += 1
+            value = _guarded_execute(spec)
+            if isinstance(value, CellResult):
+                breaker.record_success(spec.algorithm)
+                outcomes.append(replace(value, attempts=attempts))
+                break
+            if attempts > policy.retries:
+                outcomes.append(
+                    _finalize(
+                        spec, value, attempts, False,
+                        breaker, report, telemetry,
+                    )
+                )
+                break
+            report.retries += 1
+            _note(telemetry, "executor.retries")
+            _backoff_sleep(policy, attempts)
+    report.breaker_trips = breaker.trips
+    _note(telemetry, "executor.breaker_trips", breaker.trips)
+    return outcomes
+
+
+def _run_pool(
+    specs: list[CellSpec],
+    workers: int,
+    mode: str,
+    policy: ExecutionPolicy,
+    report: ExecutionReport,
+    telemetry,
+) -> list[CellResult | CellFailure]:
+    pool_cls = ProcessPoolExecutor if mode == "process" else ThreadPoolExecutor
+    breaker = _CircuitBreaker(policy.breaker_threshold)
+    outcomes: list[CellResult | CellFailure] = []
+    with pool_cls(max_workers=min(workers, len(specs))) as pool:
+        futures: list[Future] = [
+            pool.submit(_guarded_execute, spec) for spec in specs
+        ]
+        for spec, future in zip(specs, futures):
+            # A circuit that opened on an earlier cell disables retries
+            # for this one; its future was already submitted, so a
+            # result that arrives anyway is still accepted.
+            circuit_open = breaker.is_open(spec.algorithm)
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    value = future.result(timeout=policy.timeout)
+                except FuturesTimeoutError:
+                    future.cancel()
+                    report.timeouts += 1
+                    _note(telemetry, "executor.timeouts")
+                    value = _CellError(
+                        "TimeoutError",
+                        f"cell exceeded the {policy.timeout}s budget",
+                    )
+                if isinstance(value, CellResult):
+                    breaker.record_success(spec.algorithm)
+                    outcomes.append(replace(value, attempts=attempts))
+                    break
+                if circuit_open or attempts > policy.retries:
+                    outcomes.append(
+                        _finalize(
+                            spec, value, attempts, circuit_open,
+                            breaker, report, telemetry,
+                        )
+                    )
+                    break
+                report.retries += 1
+                _note(telemetry, "executor.retries")
+                _backoff_sleep(policy, attempts)
+                future = pool.submit(_guarded_execute, spec)
+    report.breaker_trips = breaker.trips
+    _note(telemetry, "executor.breaker_trips", breaker.trips)
+    return outcomes
 
 
 def run_cells(
     specs: list[CellSpec],
     workers: int = 1,
     mode: str = "process",
-) -> tuple[list[CellResult], str]:
+    policy: ExecutionPolicy | None = None,
+    telemetry=None,
+) -> tuple[list[CellResult | CellFailure], ExecutionReport]:
     """Execute every cell, preserving spec order in the results.
 
     Args:
         specs: The grid, in the order results must come back.
         workers: Pool width; ``<= 1`` runs serially.
         mode: ``"process"`` (default), ``"thread"``, or ``"serial"``.
+        policy: Hardening knobs (timeout / retries / breaker); defaults
+            to :class:`ExecutionPolicy`'s defaults.
+        telemetry: Optional object with an ``incr(name, amount)`` method
+            (the engine's :class:`~repro.engine.telemetry.Telemetry`);
+            receives ``executor.retries`` / ``executor.cell_failures`` /
+            ``executor.breaker_trips`` / ``executor.timeouts`` counters.
 
     Returns:
-        ``(results, effective_mode)`` — the mode actually used, which is
-        ``"serial"`` whenever the pool path was skipped or fell back.
+        ``(outcomes, report)`` — outcomes mix :class:`CellResult` and
+        :class:`CellFailure` in spec order; the report carries the mode
+        actually used plus retry/failure/breaker accounting.
 
     Raises:
-        ReproError: For unknown modes.  Scheduler/measurement errors
-            propagate unchanged; only pool-infrastructure failures
-            (unpicklable specs, broken pools, fork limits) trigger the
-            silent serial fallback.
+        ReproError: For unknown modes.  Cell-level exceptions (a raising
+            scheduler, a measurement error) never propagate — they come
+            back as :class:`CellFailure` entries.  Only
+            pool-infrastructure failures (unpicklable specs, broken
+            pools, fork limits) trigger the silent serial fallback,
+            which reruns the full grid.
     """
     if mode not in EXECUTOR_MODES:
         raise ReproError(
             f"unknown executor mode {mode!r}; choose from "
             f"{', '.join(EXECUTOR_MODES)}"
         )
+    policy = policy or ExecutionPolicy()
     if mode == "serial" or workers <= 1 or len(specs) <= 1:
-        return _run_serial(specs), "serial"
-    pool_cls = ProcessPoolExecutor if mode == "process" else ThreadPoolExecutor
+        report = ExecutionReport(mode="serial", requested_mode=mode)
+        return _run_serial(specs, policy, report, telemetry), report
+    report = ExecutionReport(mode=mode, requested_mode=mode)
     try:
-        with pool_cls(max_workers=min(workers, len(specs))) as pool:
-            futures: list[Future] = [
-                pool.submit(execute_cell, spec) for spec in specs
-            ]
-            return [future.result() for future in futures], mode
+        return (
+            _run_pool(specs, workers, mode, policy, report, telemetry),
+            report,
+        )
     except (
         pickle.PicklingError,
         AttributeError,
@@ -206,5 +520,8 @@ def run_cells(
     ):
         # Pool infrastructure failed (unpicklable scheduler, fork limits,
         # missing multiprocessing support); the cells themselves are pure,
-        # so rerun the full grid serially.
-        return _run_serial(specs), "serial"
+        # so rerun the full grid serially with fresh accounting.
+        report = ExecutionReport(
+            mode="serial", requested_mode=mode, fallback=True
+        )
+        return _run_serial(specs, policy, report, telemetry), report

@@ -45,7 +45,9 @@ from repro.engine.cache import (
 )
 from repro.engine.executor import (
     EXECUTOR_MODES,
+    CellFailure,
     CellSpec,
+    ExecutionPolicy,
     SweepPoint,
     default_channel_points,
     run_cells,
@@ -65,9 +67,23 @@ from repro.sim.clients import MeasurementResult, measure_program
 __all__ = [
     "BroadcastEngine",
     "EngineEvaluation",
+    "ResilienceResult",
     "SweepResult",
     "default_engine",
 ]
+
+
+def _serial_executor_block() -> dict:
+    """The executor manifest block for operations that never pool."""
+    return {
+        "mode": "serial",
+        "workers": 1,
+        "fallback": False,
+        "retries": 0,
+        "cell_failures": 0,
+        "breaker_trips": 0,
+        "timeouts": 0,
+    }
 
 
 @dataclass(frozen=True)
@@ -82,15 +98,42 @@ class EngineEvaluation:
 
 
 @dataclass(frozen=True)
+class ResilienceResult:
+    """Outcome of :meth:`BroadcastEngine.resilience`.
+
+    Attributes:
+        plan: The fault plan that was replayed.
+        outcomes: One :class:`~repro.resilience.policies.ReplayOutcome`
+            per policy, in the order the policies were given.
+        manifest: The run manifest (operation ``"resilience"``).
+    """
+
+    plan: object
+    outcomes: tuple
+    manifest: RunManifest
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+
+@dataclass(frozen=True)
 class SweepResult:
     """Outcome of :meth:`BroadcastEngine.sweep`.
 
     Iterating or indexing a ``SweepResult`` yields its points, so it is
     a drop-in for the old bare ``list[SweepPoint]`` in most call sites.
+    Cells whose scheduler crashed (after retries / breaker handling in
+    the executor) are excluded from ``points`` and reported as
+    structured :class:`~repro.engine.executor.CellFailure` entries in
+    ``failures``.
     """
 
     points: tuple[SweepPoint, ...]
     manifest: RunManifest
+    failures: tuple[CellFailure, ...] = ()
 
     def __iter__(self):
         return iter(self.points)
@@ -115,6 +158,10 @@ class BroadcastEngine:
         workers: Default pool width for sweeps (1 = serial).
         executor: Default pool flavour: ``"process"``, ``"thread"`` or
             ``"serial"``.
+        execution: Hardening knobs applied to every sweep — per-cell
+            timeout (pool modes), bounded retries with exponential
+            backoff, and the per-algorithm circuit breaker (see
+            :class:`~repro.engine.executor.ExecutionPolicy`).
         manifest_dir: When set, every manifest is additionally written to
             ``<manifest_dir>/run-<id>.json``.
         keep_manifests: Upper bound on the in-memory manifest history.
@@ -125,6 +172,7 @@ class BroadcastEngine:
     telemetry: Telemetry = field(default_factory=Telemetry)
     workers: int = 1
     executor: str = "process"
+    execution: ExecutionPolicy = field(default_factory=ExecutionPolicy)
     manifest_dir: str | Path | None = None
     keep_manifests: int = 64
 
@@ -256,7 +304,7 @@ class BroadcastEngine:
             parameters={"available": available},
             schedulers=(),
             channels=(available,),
-            executor={"mode": "serial", "workers": 1, "fallback": False},
+            executor=_serial_executor_block(),
             cache_before=cache_before,
             telemetry_before=telemetry_before,
             results={
@@ -300,7 +348,7 @@ class BroadcastEngine:
             parameters={"algorithm": name, "channels": resolved},
             schedulers=(name,),
             channels=(resolved,),
-            executor={"mode": "serial", "workers": 1, "fallback": False},
+            executor=_serial_executor_block(),
             cache_before=cache_before,
             telemetry_before=telemetry_before,
             results={
@@ -347,7 +395,7 @@ class BroadcastEngine:
             },
             schedulers=(name,),
             channels=(resolved,),
-            executor={"mode": "serial", "workers": 1, "fallback": False},
+            executor=_serial_executor_block(),
             cache_before=cache_before,
             telemetry_before=telemetry_before,
             results={
@@ -374,6 +422,7 @@ class BroadcastEngine:
         seed: int = 0,
         workers: int | None = None,
         executor: str | None = None,
+        execution: ExecutionPolicy | None = None,
     ) -> SweepResult:
         """Measure AvgD over a (scheduler × channel-count) grid.
 
@@ -392,6 +441,8 @@ class BroadcastEngine:
             seed: Base RNG seed.
             workers: Pool width for this call (default: the engine's).
             executor: Pool flavour for this call (default: the engine's).
+            execution: Hardening policy for this call (default: the
+                engine's ``execution`` attribute).
 
         Returns:
             A :class:`SweepResult` with points ordered by
@@ -432,12 +483,20 @@ class BroadcastEngine:
                     )
 
         with self.telemetry.timer("sweep.execute"):
-            results, effective_mode = run_cells(
-                specs, workers=pool_width, mode=pool_mode
+            outcomes, report = run_cells(
+                specs,
+                workers=pool_width,
+                mode=pool_mode,
+                policy=self.execution if execution is None else execution,
+                telemetry=self.telemetry,
             )
 
         points: list[SweepPoint] = []
-        for key, cell in zip(keys, results):
+        failures: list[CellFailure] = []
+        for key, cell in zip(keys, outcomes):
+            if isinstance(cell, CellFailure):
+                failures.append(cell)
+                continue
             points.append(cell.point)
             if cell.schedule is not None:
                 self.cache.put(
@@ -448,6 +507,8 @@ class BroadcastEngine:
                 )
         self.telemetry.incr("sweep.cells", len(specs))
 
+        executor_block = report.as_dict()
+        executor_block["workers"] = max(1, pool_width)
         manifest = self._emit_manifest(
             operation="sweep",
             instance=instance,
@@ -459,24 +520,104 @@ class BroadcastEngine:
             },
             schedulers=names,
             channels=[int(c) for c in channel_points],
-            executor={
-                "mode": effective_mode,
-                "workers": max(1, pool_width),
-                "fallback": effective_mode != pool_mode
-                and pool_mode != "serial"
-                and pool_width > 1
-                and len(specs) > 1,
-            },
+            executor=executor_block,
             cache_before=cache_before,
             telemetry_before=telemetry_before,
             results={
                 "cells": len(points),
+                "failed_cells": len(failures),
+                "failures": [f.as_dict() for f in failures],
                 "total_schedule_seconds": round(
                     sum(p.elapsed_seconds for p in points), 6
                 ),
             },
         )
-        return SweepResult(points=tuple(points), manifest=manifest)
+        return SweepResult(
+            points=tuple(points),
+            manifest=manifest,
+            failures=tuple(failures),
+        )
+
+    def resilience(
+        self,
+        instance: ProblemInstance,
+        plan,
+        policies: Sequence[object] | None = None,
+        num_listeners: int = 400,
+        seed: int = 0,
+    ) -> ResilienceResult:
+        """Replay a fault plan under recovery policies (manifested).
+
+        Args:
+            instance: The workload being broadcast.
+            plan: A :class:`~repro.resilience.faultplan.FaultPlan`.
+            policies: Policy objects or registry names (see
+                :func:`repro.resilience.make_policy`); defaults to one of
+                each built-in policy.
+            num_listeners: Sampled client listens per replay.
+            seed: Base RNG seed for the listener streams.
+
+        Returns:
+            A :class:`ResilienceResult`; its manifest (operation
+            ``"resilience"``) records the plan fingerprint/provenance and
+            one result row per policy.
+        """
+        from repro.resilience.policies import (
+            default_policies,
+            make_policy,
+            replay_plan,
+        )
+
+        if policies is None:
+            chosen = default_policies()
+        else:
+            chosen = tuple(
+                make_policy(p) if isinstance(p, str) else p
+                for p in policies
+            )
+        cache_before = self.cache.stats()
+        telemetry_before = self.telemetry.snapshot()
+        outcomes = []
+        with self.telemetry.timer("resilience.replay"):
+            for policy in chosen:
+                outcomes.append(
+                    replay_plan(
+                        instance,
+                        plan,
+                        policy,
+                        num_listeners=num_listeners,
+                        seed=seed,
+                    )
+                )
+        self.telemetry.incr("resilience.replays", len(outcomes))
+
+        manifest = self._emit_manifest(
+            operation="resilience",
+            instance=instance,
+            parameters={
+                "policies": [p.name for p in chosen],
+                "num_listeners": num_listeners,
+                "seed": seed,
+                "plan": {
+                    "fingerprint": plan.fingerprint(),
+                    "num_channels": plan.num_channels,
+                    "horizon": plan.horizon,
+                    "events": len(plan.events),
+                    "meta": dict(plan.meta),
+                },
+            },
+            schedulers=(),
+            channels=(plan.num_channels,),
+            executor=_serial_executor_block(),
+            cache_before=cache_before,
+            telemetry_before=telemetry_before,
+            results={
+                "policies": [outcome.as_dict() for outcome in outcomes],
+            },
+        )
+        return ResilienceResult(
+            plan=plan, outcomes=tuple(outcomes), manifest=manifest
+        )
 
 
 _DEFAULT_ENGINE: BroadcastEngine | None = None

@@ -8,12 +8,13 @@ did (hits/misses for the run and for the engine's lifetime).  Manifests
 are the machine-readable audit trail of an engine process: the CLI can
 write them next to results, and regression tooling can diff them.
 
-Manifest schema (``manifest_version`` 1)::
+Manifest schema (``manifest_version`` 2)::
 
     {
-      "manifest_version": 1,
+      "manifest_version": 2,
       "run_id": 3,                      # per-engine monotonic counter
-      "operation": "sweep",             # plan | schedule | evaluate | sweep
+      "operation": "sweep",             # plan | schedule | evaluate |
+                                        #   sweep | resilience
       "created_at": 1754512345.123,     # unix seconds
       "instance": {
         "fingerprint": "a1b2...",       # canonical digest (cache key part)
@@ -23,12 +24,23 @@ Manifest schema (``manifest_version`` 1)::
       "parameters": {...},              # operation-specific inputs
       "schedulers": ["pamad", "m-pb"],  # canonical registry names
       "channels": [1, 2, 4],            # count(s) the run touched
-      "executor": {"mode": "process", "workers": 4, "fallback": false},
+      "executor": {
+        "mode": "process", "workers": 4, "fallback": false,
+        "retries": 0,                   # cell re-executions performed
+        "cell_failures": 0,             # cells that produced no result
+        "breaker_trips": 0,             # per-algorithm circuits opened
+        "timeouts": 0                   # per-cell timeout expiries
+      },
       "cache": {"run": {...}, "total": {...}},   # CacheStats dicts
       "timings": {"schedule": {"seconds": 0.81, "calls": 6}, ...},
       "counters": {"cells": 6, ...},
       "results": {...}                  # operation-specific summary
     }
+
+Version history — version 2 added the ``resilience`` operation and the
+executor hardening keys (``retries`` / ``cell_failures`` /
+``breaker_trips`` / ``timeouts``); :meth:`RunManifest.from_dict` parses
+both versions, defaulting the new keys to zero for version-1 documents.
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
+from repro.core.errors import ReproError
 from repro.core.pages import ProblemInstance
 from repro.engine.cache import CacheStats, instance_fingerprint
 
@@ -49,7 +62,16 @@ __all__ = [
     "describe_instance",
 ]
 
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
+
+#: Executor-block keys added in manifest version 2, with their defaults
+#: (applied when parsing version-1 documents).
+_EXECUTOR_V2_DEFAULTS = {
+    "retries": 0,
+    "cell_failures": 0,
+    "breaker_trips": 0,
+    "timeouts": 0,
+}
 
 
 class Telemetry:
@@ -175,3 +197,65 @@ class RunManifest:
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RunManifest":
+        """Parse a manifest document of any supported schema version.
+
+        Accepts version 1 and version 2 documents; the hardening keys
+        missing from version-1 executor blocks are defaulted to zero, so
+        consumers can rely on the version-2 shape either way.
+
+        Raises:
+            ReproError: For unknown (newer) versions or documents missing
+                required keys.
+        """
+        version = payload.get("manifest_version")
+        if not isinstance(version, int) or not 1 <= version <= MANIFEST_VERSION:
+            raise ReproError(
+                f"unsupported manifest_version {version!r}; this build "
+                f"reads versions 1..{MANIFEST_VERSION}"
+            )
+        try:
+            cache_block = payload.get("cache", {})
+            executor = dict(payload["executor"])
+            for key, default in _EXECUTOR_V2_DEFAULTS.items():
+                executor.setdefault(key, default)
+            return cls(
+                run_id=int(payload["run_id"]),
+                operation=str(payload["operation"]),
+                created_at=float(payload["created_at"]),
+                instance=dict(payload["instance"]),
+                parameters=dict(payload.get("parameters", {})),
+                schedulers=tuple(payload.get("schedulers", ())),
+                channels=tuple(
+                    int(c) for c in payload.get("channels", ())
+                ),
+                executor=executor,
+                cache_run=_cache_stats_from(cache_block.get("run", {})),
+                cache_total=_cache_stats_from(cache_block.get("total", {})),
+                timings={
+                    str(k): dict(v)
+                    for k, v in payload.get("timings", {}).items()
+                },
+                counters=dict(payload.get("counters", {})),
+                results=dict(payload.get("results", {})),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ReproError(
+                f"malformed manifest document: {error}"
+            ) from error
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        """Parse a manifest from its JSON serialisation."""
+        return cls.from_dict(json.loads(text))
+
+
+def _cache_stats_from(block: Mapping[str, object]) -> CacheStats:
+    return CacheStats(
+        hits=int(block.get("hits", 0)),
+        misses=int(block.get("misses", 0)),
+        evictions=int(block.get("evictions", 0)),
+        entries=int(block.get("entries", 0)),
+    )

@@ -1,56 +1,40 @@
-"""Channel-failure injection and recovery (experiment EXT5).
+"""Deprecated one-shot channel-failure API (experiment EXT5).
 
-Broadcast infrastructure loses transmitters: interference, equipment
-failure, reallocation of licensed spectrum.  This module answers the
-operational question the paper's static model leaves open — *what happens
-to the expected-time guarantees when ``k`` of the ``N`` channels go
-silent, and how much does rescheduling recover?*
+.. deprecated::
+    This module is the *static special case* of the fault-trace API in
+    :mod:`repro.resilience`: a single batch of channel failures at time
+    zero and exactly two responses (carry on vs full reschedule).  New
+    code should build a :class:`~repro.resilience.faultplan.FaultPlan`
+    (see :func:`~repro.resilience.faultplan.static_failure_plan` for this
+    exact shape) and replay it under a recovery policy with
+    :func:`~repro.resilience.policies.replay_plan`, which also handles
+    dynamic churn, lossy slots, throttling, and load shedding.
 
-Two responses are modelled:
-
-* **degraded** — keep broadcasting the old program on the surviving
-  channels (the failed rows simply disappear).  Pages whose copies all
-  lived on failed channels become unreachable; survivors keep their old
-  slots, so gaps are unchanged for them.
-* **reschedule** — regenerate the program with PAMAD on the surviving
-  channel count (every page back on the air, delay spread evenly).
-
-Comparing the two quantifies the value of failure-aware rescheduling.
+The original entry points remain as thin wrappers so existing callers
+keep working; each emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import Sequence
 
-from repro.core.delay import page_average_delay
-from repro.core.errors import SimulationError
 from repro.core.pages import ProblemInstance
-from repro.core.pamad import schedule_pamad
 from repro.core.program import BroadcastProgram
+from repro.resilience.degrade import (
+    DegradedProgram,
+    FailureComparison,
+    compare_static_failure_sizes,
+    silence_channels,
+)
+from repro.resilience.faultplan import static_failure_plan
 
-__all__ = ["DegradedProgram", "fail_channels", "FailureComparison", "compare_failure_responses"]
-
-
-@dataclass(frozen=True)
-class DegradedProgram:
-    """The old schedule carried on by the surviving channels.
-
-    Attributes:
-        program: The surviving grid (failed rows removed; cycle length
-            unchanged).
-        failed_channels: The channels that went silent.
-        lost_pages: Pages with no surviving appearance — unreachable on
-            the air until a reschedule.
-        average_delay: Mean excess wait over the *reachable* pages only
-            (unreachable pages would make it infinite; they are reported
-            separately because their clients leave the broadcast system).
-    """
-
-    program: BroadcastProgram
-    failed_channels: tuple[int, ...]
-    lost_pages: tuple[int, ...]
-    average_delay: float
+__all__ = [
+    "DegradedProgram",
+    "fail_channels",
+    "FailureComparison",
+    "compare_failure_responses",
+]
 
 
 def fail_channels(
@@ -58,89 +42,26 @@ def fail_channels(
     instance: ProblemInstance,
     failed: Sequence[int],
 ) -> DegradedProgram:
-    """Silence the given channels of a program.
+    """Silence the given channels of a program (deprecated wrapper).
 
-    Args:
-        program: The schedule in operation when the failure hits.
-        instance: Pages and expected times (for the delay accounting).
-        failed: Channel indices that stop transmitting.
-
-    Returns:
-        A :class:`DegradedProgram` over the surviving channels.
-
-    Raises:
-        SimulationError: If all channels fail or an index is out of range.
+    Equivalent to applying the failure batch of
+    :func:`~repro.resilience.faultplan.static_failure_plan` and carrying
+    on; use :func:`repro.resilience.silence_channels` directly.
     """
-    failed_set = set(failed)
-    for channel in failed_set:
-        if not 0 <= channel < program.num_channels:
-            raise SimulationError(
-                f"channel {channel} out of range 0.."
-                f"{program.num_channels - 1}"
-            )
-    survivors = [
-        channel
-        for channel in range(program.num_channels)
-        if channel not in failed_set
-    ]
-    if not survivors:
-        raise SimulationError("every channel failed; nothing left on air")
-
-    degraded = BroadcastProgram(
-        num_channels=len(survivors),
-        cycle_length=program.cycle_length,
+    warnings.warn(
+        "repro.sim.faults.fail_channels is deprecated; use "
+        "repro.resilience.silence_channels (or replay a FaultPlan)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    for new_row, old_row in enumerate(survivors):
-        for slot in range(program.cycle_length):
-            page = program.get(old_row, slot)
-            if page is not None:
-                degraded.assign(new_row, slot, page)
-
-    lost = tuple(
-        sorted(
-            page.page_id
-            for page in instance.pages()
-            if degraded.broadcast_count(page.page_id) == 0
-        )
-    )
-    reachable = [
-        page
-        for page in instance.pages()
-        if page.page_id not in set(lost)
-    ]
-    if reachable:
-        average = sum(
-            page_average_delay(degraded, page.page_id, page.expected_time)
-            for page in reachable
-        ) / len(reachable)
-    else:
-        average = float("inf")
-    return DegradedProgram(
-        program=degraded,
-        failed_channels=tuple(sorted(failed_set)),
-        lost_pages=lost,
-        average_delay=average,
-    )
-
-
-@dataclass(frozen=True)
-class FailureComparison:
-    """Degraded-vs-rescheduled outcome for one failure size.
-
-    Attributes:
-        failed_count: Channels lost.
-        surviving_channels: Channels still on air.
-        degraded_delay: Mean delay over reachable pages, old schedule.
-        degraded_lost_pages: Pages unreachable under the old schedule.
-        rescheduled_delay: Mean delay after a PAMAD reschedule (all pages
-            reachable by construction).
-    """
-
-    failed_count: int
-    surviving_channels: int
-    degraded_delay: float
-    degraded_lost_pages: int
-    rescheduled_delay: float
+    failed_list = list(failed)
+    if failed_list:
+        # Round-trip through the fault-trace API: the static plan *is*
+        # the legacy failure model, and its validation (range checks,
+        # duplicate collapse) now lives there.
+        plan = static_failure_plan(program.num_channels, failed_list)
+        failed_list = [event.channel for event in plan.structural_events()]
+    return silence_channels(program, instance, failed_list)
 
 
 def compare_failure_responses(
@@ -148,38 +69,17 @@ def compare_failure_responses(
     instance: ProblemInstance,
     failure_sizes: Sequence[int],
 ) -> list[FailureComparison]:
-    """Sweep failure sizes, comparing carry-on vs reschedule.
+    """Sweep one-shot failure sizes (deprecated wrapper).
 
-    Failures take the *highest-numbered* channels first (deterministic,
-    and SUSC packs urgent groups into low channels — so this is the
-    optimistic case for the degraded response; random failures would only
-    look worse).
-
-    Args:
-        program: The pre-failure schedule.
-        instance: The workload.
-        failure_sizes: Numbers of channels to fail (each < num_channels).
+    Use :func:`repro.resilience.compare_static_failure_sizes`, or replay
+    a churn :class:`~repro.resilience.faultplan.FaultPlan` under the
+    ``carry_on`` and ``reschedule_full`` policies for the dynamic
+    generalisation.
     """
-    rows: list[FailureComparison] = []
-    for count in failure_sizes:
-        if not 0 < count < program.num_channels:
-            raise SimulationError(
-                f"cannot fail {count} of {program.num_channels} channels"
-            )
-        failed = list(
-            range(program.num_channels - count, program.num_channels)
-        )
-        degraded = fail_channels(program, instance, failed)
-        rescheduled = schedule_pamad(
-            instance, program.num_channels - count
-        )
-        rows.append(
-            FailureComparison(
-                failed_count=count,
-                surviving_channels=program.num_channels - count,
-                degraded_delay=degraded.average_delay,
-                degraded_lost_pages=len(degraded.lost_pages),
-                rescheduled_delay=rescheduled.average_delay,
-            )
-        )
-    return rows
+    warnings.warn(
+        "repro.sim.faults.compare_failure_responses is deprecated; use "
+        "repro.resilience.compare_static_failure_sizes",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return compare_static_failure_sizes(program, instance, failure_sizes)

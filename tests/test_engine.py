@@ -16,7 +16,10 @@ from repro.core.pamad import schedule_pamad
 from repro.engine import (
     MANIFEST_VERSION,
     BroadcastEngine,
+    CellFailure,
+    ExecutionPolicy,
     ProgramCache,
+    RunManifest,
     ScheduleResult,
     SchedulerRegistry,
     available_schedulers,
@@ -33,6 +36,34 @@ from repro.sim.clients import measure_program
 def _custom_scheduler(instance, num_channels):
     """A module-level plugin scheduler (picklable for process pools)."""
     return schedule_pamad(instance, num_channels)
+
+
+def _crashing_scheduler(instance, num_channels):
+    """Always raises — exercises structured CellFailure isolation."""
+    raise ValueError("deliberate crash")
+
+
+_FLAKY_CALLS = {"count": 0}
+
+
+def _flaky_scheduler(instance, num_channels):
+    """Fails every odd call — exercises retry-with-backoff (serial)."""
+    _FLAKY_CALLS["count"] += 1
+    if _FLAKY_CALLS["count"] % 2 == 1:
+        raise RuntimeError("transient glitch")
+    return schedule_pamad(instance, num_channels)
+
+
+def _hardened_engine(**policy_kwargs):
+    """An engine with builtin schedulers plus the crashy test plugins."""
+    registry = SchedulerRegistry()
+    registry.register("pamad", schedule_pamad)
+    registry.register("boom", _crashing_scheduler)
+    registry.register("flaky", _flaky_scheduler)
+    policy_kwargs.setdefault("backoff", 0.0)
+    return BroadcastEngine(
+        registry=registry, execution=ExecutionPolicy(**policy_kwargs)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -247,15 +278,158 @@ class TestEngineSweep:
         assert engine.last_manifest.operation == "sweep"
         assert engine.manifests[0].operation == "sweep"
 
-    def test_scheduler_errors_propagate(self, fig2_instance):
+    def test_scheduler_errors_become_structured_failures(self, fig2_instance):
+        # SUSC below the Theorem-3.1 minimum raises; the hardened
+        # executor must isolate that cell instead of aborting the sweep.
+        engine = BroadcastEngine(
+            execution=ExecutionPolicy(retries=0, backoff=0.0)
+        )
+        result = engine.sweep(
+            fig2_instance,
+            algorithms=("pamad", "susc"),
+            channel_points=(1,),
+            num_requests=50,
+        )
+        assert [p.algorithm for p in result.points] == ["pamad"]
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.algorithm == "susc"
+        assert failure.error_type == InsufficientChannelsError.__name__
+        executor = result.manifest.executor
+        assert executor["cell_failures"] == 1
+        assert result.manifest.results["failed_cells"] == 1
+
+
+# ----------------------------------------------------------------------
+# Executor hardening: isolation, retries, breaker, schema compat
+# ----------------------------------------------------------------------
+
+
+class TestExecutorHardening:
+    def test_crashing_cell_does_not_poison_the_sweep(self, fig2_instance):
+        # The PR's acceptance scenario: one deliberately crashing
+        # scheduler cell; every other cell completes and the manifest
+        # records failure and retry counts.
+        engine = _hardened_engine(retries=1)
+        result = engine.sweep(
+            fig2_instance,
+            algorithms=("pamad", "boom"),
+            channel_points=(1, 2, 3),
+            num_requests=100,
+            workers=2,
+        )
+        assert [(p.algorithm, p.channels) for p in result.points] == [
+            ("pamad", 1), ("pamad", 2), ("pamad", 3),
+        ]
+        assert len(result.failures) == 3
+        assert all(f.algorithm == "boom" for f in result.failures)
+        assert all(f.error_type == "ValueError" for f in result.failures)
+        executor = result.manifest.executor
+        assert executor["cell_failures"] == 3
+        assert executor["retries"] >= 1
+        assert result.manifest.results["failed_cells"] == 3
+        assert [
+            f["algorithm"] for f in result.manifest.results["failures"]
+        ] == ["boom", "boom", "boom"]
+
+    def test_retry_recovers_a_transient_failure(self, fig2_instance):
+        _FLAKY_CALLS["count"] = 0
+        engine = _hardened_engine(retries=1)
+        result = engine.sweep(
+            fig2_instance,
+            algorithms=("flaky",),
+            channel_points=(2,),
+            num_requests=100,
+            workers=1,
+        )
+        assert len(result.points) == 1
+        assert not result.failures
+        assert result.manifest.executor["retries"] == 1
+        assert result.manifest.executor["cell_failures"] == 0
+
+    def test_circuit_breaker_opens_after_consecutive_failures(
+        self, fig2_instance
+    ):
+        engine = _hardened_engine(retries=0, breaker_threshold=2)
+        result = engine.sweep(
+            fig2_instance,
+            algorithms=("boom", "pamad"),
+            channel_points=(1, 2, 3, 4),
+            num_requests=100,
+            workers=1,
+        )
+        assert len(result.points) == 4  # pamad unaffected
+        assert len(result.failures) == 4
+        skipped = [f for f in result.failures if f.circuit_open]
+        assert [f.channels for f in skipped] == [3, 4]
+        assert all(f.attempts == 0 for f in skipped)
+        assert all(f.error_type == "CircuitOpen" for f in skipped)
+        assert result.manifest.executor["breaker_trips"] == 1
+
+    def test_breaker_disabled_at_threshold_zero(self, fig2_instance):
+        engine = _hardened_engine(retries=0, breaker_threshold=0)
+        result = engine.sweep(
+            fig2_instance,
+            algorithms=("boom",),
+            channel_points=(1, 2, 3),
+            num_requests=100,
+            workers=1,
+        )
+        assert all(not f.circuit_open for f in result.failures)
+        assert result.manifest.executor["breaker_trips"] == 0
+
+    def test_telemetry_counters_accumulate(self, fig2_instance):
+        engine = _hardened_engine(retries=1, breaker_threshold=2)
+        engine.sweep(
+            fig2_instance,
+            algorithms=("boom",),
+            channel_points=(1, 2, 3),
+            num_requests=100,
+            workers=1,
+        )
+        counters = engine.telemetry.counters()
+        assert counters["executor.cell_failures"] == 3
+        assert counters["executor.retries"] == 2  # 1 retry x 2 cells, third skipped
+        assert counters["executor.breaker_trips"] == 1
+
+    def test_execution_policy_validates(self):
+        with pytest.raises(ReproError, match="timeout"):
+            ExecutionPolicy(timeout=0)
+        with pytest.raises(ReproError, match="retries"):
+            ExecutionPolicy(retries=-1)
+        with pytest.raises(ReproError, match="backoff"):
+            ExecutionPolicy(backoff=-0.1)
+
+
+class TestManifestCompat:
+    def test_round_trip_through_from_dict(self, fig2_instance):
         engine = BroadcastEngine()
-        with pytest.raises(InsufficientChannelsError):
-            engine.sweep(
-                fig2_instance,
-                algorithms=("susc",),
-                channel_points=(1,),
-                num_requests=50,
-            )
+        result = engine.sweep(fig2_instance, **SWEEP_KWARGS)
+        parsed = RunManifest.from_dict(
+            json.loads(result.manifest.to_json())
+        )
+        assert parsed.operation == "sweep"
+        assert parsed.run_id == result.manifest.run_id
+        assert parsed.executor == dict(result.manifest.executor)
+        assert parsed.cache_total == result.manifest.cache_total
+
+    def test_version_1_documents_still_parse(self, fig2_instance):
+        engine = BroadcastEngine()
+        result = engine.sweep(fig2_instance, **SWEEP_KWARGS)
+        payload = json.loads(result.manifest.to_json())
+        payload["manifest_version"] = 1
+        for key in ("retries", "cell_failures", "breaker_trips", "timeouts"):
+            payload["executor"].pop(key, None)
+        parsed = RunManifest.from_dict(payload)
+        assert parsed.executor["retries"] == 0
+        assert parsed.executor["cell_failures"] == 0
+        assert parsed.executor["mode"] == payload["executor"]["mode"]
+
+    def test_unknown_versions_are_rejected(self):
+        with pytest.raises(ReproError, match="unsupported manifest_version"):
+            RunManifest.from_dict({"manifest_version": 99})
+        with pytest.raises(ReproError, match="unsupported manifest_version"):
+            RunManifest.from_dict({})
 
 
 # ----------------------------------------------------------------------
@@ -314,7 +488,10 @@ class TestRunManifest:
         assert payload["instance"]["pages"] == 11
         assert payload["schedulers"] == ["pamad", "m-pb"]
         assert payload["channels"] == [1, 2, 3]
-        assert set(payload["executor"]) == {"mode", "workers", "fallback"}
+        assert set(payload["executor"]) == {
+            "mode", "workers", "fallback",
+            "retries", "cell_failures", "breaker_trips", "timeouts",
+        }
         for scope in ("run", "total"):
             assert set(payload["cache"][scope]) == {
                 "hits", "misses", "evictions", "entries", "hit_ratio",

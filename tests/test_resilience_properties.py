@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) on the resilience layer.
+
+Two guarantees the robustness design leans on:
+
+* **Validity under full rescheduling** — whenever the surviving channel
+  count meets the Theorem-3.1 minimum, ``reschedule_full`` restores a
+  *valid* program (every cyclic gap within t_i, first appearance before
+  t_i): SUSC is used at-or-above the bound, so Theorem 3.2 applies after
+  every topology change, not just at start-up.
+* **Replay determinism** — a fault plan survives the JSON round trip
+  bit-for-bit, and replaying the reloaded plan produces an outcome equal
+  to the original, field for field.  This is what makes a saved trace a
+  reproducible experiment artefact.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import minimum_channels
+from repro.core.pages import instance_from_counts
+from repro.core.validate import validate_program
+from repro.resilience import (
+    FaultPlan,
+    RescheduleFull,
+    poisson_churn_plan,
+    replay_plan,
+)
+from repro.resilience.policies import AirState, _rebuild_program
+
+
+def _small_instance():
+    # P=(3,5,3), t=(2,4,8): minimum_channels == 4, SUSC-schedulable.
+    return instance_from_counts((3, 5, 3), (2, 4, 8))
+
+
+@st.composite
+def churn_plans(draw, num_channels, min_alive=1):
+    seed = draw(st.integers(0, 10_000))
+    horizon = draw(st.integers(5, 80))
+    fail_rate = draw(
+        st.floats(0.0, 0.3, allow_nan=False, allow_infinity=False)
+    )
+    recover_rate = draw(
+        st.floats(0.05, 0.5, allow_nan=False, allow_infinity=False)
+    )
+    loss_rate = draw(
+        st.floats(0.0, 0.05, allow_nan=False, allow_infinity=False)
+    )
+    return poisson_churn_plan(
+        num_channels,
+        horizon,
+        seed=seed,
+        fail_rate=fail_rate,
+        recover_rate=recover_rate,
+        loss_rate=loss_rate,
+        min_alive=min_alive,
+    )
+
+
+class TestRescheduleValidity:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_full_reschedule_restores_validity_on_sufficient_survivors(
+        self, data
+    ):
+        instance = _small_instance()
+        n_min = minimum_channels(instance)
+        plan = data.draw(
+            churn_plans(n_min + 2, min_alive=n_min), label="plan"
+        )
+        policy = RescheduleFull()
+        state = AirState(
+            alive=set(range(plan.num_channels)),
+            carrying=tuple(range(plan.num_channels)),
+            program=_rebuild_program(instance, plan.num_channels),
+            channels_at_last_reschedule=plan.num_channels,
+        )
+        batches: dict[int, list] = {}
+        for event in plan.structural_events():
+            batches.setdefault(event.time, []).append(event)
+        for time in sorted(batches):
+            batch = sorted(batches[time])
+            for event in batch:
+                if event.kind == "channel_fail":
+                    state.alive.discard(event.channel)
+                else:
+                    state.alive.add(event.channel)
+            policy.respond(state, batch, time, instance)
+            # min_alive >= n_min keeps the survivors at/above the
+            # Theorem-3.1 bound throughout, so every rebuilt program
+            # must satisfy both validity conditions of Theorem 3.2.
+            assert len(state.alive) >= n_min
+            report = validate_program(state.program, instance)
+            assert report.ok, report.summary()
+
+
+class TestReplayDeterminism:
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data(), seed=st.integers(0, 1_000))
+    def test_json_round_trip_then_replay_is_bit_identical(self, data, seed):
+        instance = _small_instance()
+        plan = data.draw(churn_plans(4), label="plan")
+        text = plan.to_json()
+        reloaded = FaultPlan.from_json(text)
+        assert reloaded == plan
+        assert reloaded.to_json() == text
+        assert reloaded.fingerprint() == plan.fingerprint()
+        original = replay_plan(
+            instance,
+            plan,
+            RescheduleFull(),
+            num_listeners=30,
+            seed=seed,
+        )
+        replayed = replay_plan(
+            instance,
+            reloaded,
+            RescheduleFull(),
+            num_listeners=30,
+            seed=seed,
+        )
+        assert original == replayed
