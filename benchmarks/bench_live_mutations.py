@@ -1,0 +1,113 @@
+"""Live service throughput — mutations/sec and full-replan latency.
+
+Not a paper figure: this benchmark pins the live runtime's two
+operational numbers.  (1) How many catalog mutations per second the
+service absorbs end-to-end (admission, incremental repair, SLO
+bookkeeping) on a mutation-heavy trace, and (2) the mean latency of a
+*full* SUSC/PAMAD re-plan, measured by replaying the same trace with
+admission disabled on a taut budget so every applied mutation forces
+one.  Results land in ``benchmarks/results/BENCH_live.json`` so
+EXPERIMENTS.md and CI can cite them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.core.pages import instance_from_counts
+from repro.live import LiveBroadcastService
+from repro.workload.mutations import generate_mutation_trace
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+
+HORIZON = 96 if FAST else 256
+MUTATIONS = 60 if FAST else 240
+LISTENERS = 80 if FAST else 400
+SEED = 0
+
+
+def _instance():
+    # Load 6.0 across a 4-rung ladder: big enough that a full re-plan
+    # costs real work, small enough to iterate on.
+    return instance_from_counts((6, 10, 14, 20), (4, 8, 16, 32))
+
+
+def _trace(instance):
+    return generate_mutation_trace(
+        instance,
+        seed=SEED,
+        horizon=HORIZON,
+        mutations=MUTATIONS,
+        listeners=LISTENERS,
+    )
+
+
+def test_live_mutation_throughput(benchmark):
+    instance = _instance()
+    trace = _trace(instance)
+
+    def run_both():
+        # Headroom run: budget slack favours incremental repair, so this
+        # measures steady-state mutation throughput.
+        started = time.perf_counter()
+        steady = LiveBroadcastService(
+            instance, trace, budget=8
+        ).run()
+        steady_seconds = time.perf_counter() - started
+
+        # Taut, open-door run: every applied mutation forces a full
+        # re-plan, isolating re-plan latency.
+        started = time.perf_counter()
+        taut = LiveBroadcastService(
+            instance, trace, budget=6, admission=False
+        ).run()
+        taut_seconds = time.perf_counter() - started
+        return steady, steady_seconds, taut, taut_seconds
+
+    steady, steady_seconds, taut, taut_seconds = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    mutations = steady.counters["mutations"]
+    assert mutations > 0
+    assert taut.counters["full_replans"] > 1
+
+    payload = {
+        "benchmark": "live_mutations",
+        "fast": FAST,
+        "trace": {
+            "fingerprint": trace.fingerprint(),
+            "horizon": HORIZON,
+            "mutations": len(trace.mutations()),
+            "listeners": len(trace.listeners()),
+        },
+        "steady": {
+            "budget": 8,
+            "elapsed_seconds": round(steady_seconds, 4),
+            "applied_mutations": mutations,
+            "mutations_per_second": round(
+                mutations / steady_seconds, 1
+            ),
+            "incremental_repairs": steady.counters[
+                "incremental_repairs"
+            ],
+            "full_replans": steady.counters["full_replans"],
+        },
+        "replan": {
+            "budget": 6,
+            "elapsed_seconds": round(taut_seconds, 4),
+            "full_replans": taut.counters["full_replans"],
+            "mean_latency_ms": round(
+                1000.0 * taut_seconds / taut.counters["full_replans"], 2
+            ),
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    rendered = json.dumps(payload, indent=2, sort_keys=True)
+    print(rendered)
+    (RESULTS_DIR / "BENCH_live.json").write_text(rendered + "\n")

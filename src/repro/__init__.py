@@ -51,6 +51,9 @@ Subpackages:
 * :mod:`repro.sim` — client replay, on-demand queueing, hybrid push/pull.
 * :mod:`repro.resilience` — seeded fault timelines, recovery policies,
   churn replay measurement.
+* :mod:`repro.live` — live broadcast runtime: mutation traces, admission
+  control against the Theorem-3.1 bound, incremental rescheduling, SLO
+  tracking, pull (LWF) baseline.
 * :mod:`repro.analysis` — sweeps, statistics, experiment registry.
 * :mod:`repro.engine` — the BroadcastEngine facade: scheduler registry
   (plugin API), program cache, hardened parallel sweep executor
@@ -85,9 +88,16 @@ from repro.core import (
     schedule_susc,
     validate_program,
 )
+from repro.live import (
+    LiveBroadcastService,
+    LiveCatalog,
+    MutationEvent,
+    MutationTrace,
+)
 from repro.engine import (
     BroadcastEngine,
     EngineEvaluation,
+    LiveServiceResult,
     RunManifest,
     ScheduleResult,
     SweepPoint,
@@ -98,7 +108,7 @@ from repro.engine import (
     register_scheduler,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 # Deprecated aliases served (with a warning) by ``__getattr__`` below;
 # each maps to its replacement in the engine API.
@@ -140,6 +150,11 @@ __all__ = [
     "BroadcastProgram",
     "ChannelPlan",
     "EngineEvaluation",
+    "LiveBroadcastService",
+    "LiveCatalog",
+    "LiveServiceResult",
+    "MutationEvent",
+    "MutationTrace",
     "RunManifest",
     "ScheduleResult",
     "SweepPoint",

@@ -16,7 +16,10 @@ Subcommands:
 * ``profile`` — per-group structural profile of a generated program.
 * ``resilience`` — replay a (seeded or saved) fault timeline under
   recovery policies and compare what clients experience.
-* ``experiment`` — run a registered experiment (FIG2 .. EXT10).
+* ``live`` — replay a (seeded or saved) catalog-mutation timeline
+  through the live service runtime: admission control, incremental
+  repair vs full re-plans, SLO miss tracking, pull-baseline comparison.
+* ``experiment`` — run a registered experiment (FIG2 .. EXT11).
 * ``experiments`` — list the registry.
 * ``schedulers`` — list the scheduler registry (plugin API).
 
@@ -248,6 +251,101 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     )
     print(table.render())
     _write_manifest(args)
+    return 0
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    from repro.analysis.report import Table
+    from repro.engine import BroadcastEngine
+    from repro.live import MutationTrace
+    from repro.workload.mutations import generate_mutation_trace
+
+    instance = _resolve_instance(args)
+    if args.trace:
+        trace = MutationTrace.load(args.trace)
+    else:
+        trace = generate_mutation_trace(
+            instance,
+            seed=args.seed,
+            horizon=args.horizon,
+            mutations=args.mutations,
+            listeners=args.listeners,
+        )
+    if args.save_trace:
+        trace.save(args.save_trace)
+
+    # A private engine per invocation: the live replay contract is that
+    # identical inputs produce byte-identical logs and manifests, which
+    # requires starting from pristine cache/telemetry/run-id state.
+    engine = BroadcastEngine()
+    result = engine.live(
+        instance,
+        trace,
+        budget=args.budget,
+        admission=not args.no_admission,
+        queue_limit=args.queue_limit,
+        slo_window=args.slo_window,
+        target_miss_rate=args.target_miss_rate,
+        replan_cooldown=args.cooldown,
+    )
+    report = result.report
+    pull = result.baseline
+
+    print(
+        f"mutation trace {trace.fingerprint()}: horizon {trace.horizon}, "
+        f"{len(trace.mutations())} mutations, "
+        f"{len(trace.listeners())} listeners"
+    )
+    print(
+        f"budget {report.budget} channels; admission "
+        f"{'on' if not args.no_admission else 'off'}; final catalog "
+        f"{len(report.catalog)} pages needing {report.final_required} "
+        f"channels ({'valid' if report.final_valid else 'degraded'})"
+    )
+    adm = report.admission
+    print(
+        f"admission: {adm['admitted']} admitted ({adm['drained']} via "
+        f"queue), {adm['queued']} queued, {adm['rejected']} rejected"
+    )
+    counters = report.counters
+    print(
+        f"rescheduling: {counters['incremental_repairs']} incremental "
+        f"repairs, {counters['full_replans']} full re-plans "
+        f"({counters['slo_replans']} SLO-triggered)"
+    )
+    table = Table(
+        title="deadline SLO: push runtime vs pull baseline (LWF)",
+        columns=["system", "listeners", "misses", "miss rate", "mean wait"],
+    )
+    table.add_row(
+        "live push",
+        report.slo["listeners"],
+        report.slo["misses"],
+        f"{report.slo['miss_rate']:.3%}",
+        round(report.slo["average_wait"], 3),
+    )
+    if pull is not None:
+        table.add_row(
+            "pull LWF",
+            pull.listeners,
+            pull.misses,
+            f"{pull.miss_rate:.3%}",
+            round(pull.average_wait, 3),
+        )
+    print(table.render())
+
+    if args.log:
+        path = pathlib.Path(args.log)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            report.event_log_json() + "\n", encoding="utf-8"
+        )
+    if args.manifest:
+        path = pathlib.Path(args.manifest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            result.manifest.to_json() + "\n", encoding="utf-8"
+        )
     return 0
 
 
@@ -510,6 +608,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_manifest_argument(resilience)
     resilience.set_defaults(handler=_cmd_resilience)
+
+    live = commands.add_parser(
+        "live",
+        help="replay a catalog-mutation timeline through the live runtime",
+    )
+    _add_instance_arguments(live)
+    live.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="channel budget (default: Theorem-3.1 minimum of the "
+        "initial catalog)",
+    )
+    live.add_argument("--seed", type=int, default=0)
+    live.add_argument(
+        "--horizon", type=int, default=64,
+        help="timeline length in slots (generated traces)",
+    )
+    live.add_argument(
+        "--mutations", type=int, default=20,
+        help="catalog mutations to draw (generated traces)",
+    )
+    live.add_argument(
+        "--listeners", type=int, default=60,
+        help="listener arrivals to draw (generated traces)",
+    )
+    live.add_argument(
+        "--no-admission", action="store_true",
+        help="apply every mutation regardless of the channel bound",
+    )
+    live.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="admission queue capacity for over-budget inserts",
+    )
+    live.add_argument(
+        "--slo-window", type=int, default=64,
+        help="rolling window (listeners) for the miss-rate SLO",
+    )
+    live.add_argument(
+        "--target-miss-rate", type=float, default=0.05,
+        help="rolling miss rate that triggers a corrective re-plan",
+    )
+    live.add_argument(
+        "--cooldown", type=int, default=8,
+        help="minimum slots between SLO-triggered re-plans",
+    )
+    live.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="replay a saved mutation-trace JSON instead of generating",
+    )
+    live.add_argument(
+        "--save-trace", metavar="PATH", default=None,
+        help="write the mutation-trace JSON for deterministic replay",
+    )
+    live.add_argument(
+        "--log", metavar="PATH", default=None,
+        help="write the structured event log (the determinism artifact)",
+    )
+    _add_manifest_argument(live)
+    live.set_defaults(handler=_cmd_live)
 
     experiment = commands.add_parser(
         "experiment", help="run a registered experiment"

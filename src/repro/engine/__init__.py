@@ -34,6 +34,7 @@ from repro.engine.executor import (
 from repro.engine.facade import (
     BroadcastEngine,
     EngineEvaluation,
+    LiveServiceResult,
     ResilienceResult,
     SweepResult,
     default_engine,
@@ -63,6 +64,7 @@ __all__ = [
     "EngineEvaluation",
     "ExecutionPolicy",
     "ExecutionReport",
+    "LiveServiceResult",
     "MANIFEST_VERSION",
     "ProgramCache",
     "ResilienceResult",

@@ -67,6 +67,7 @@ from repro.sim.clients import MeasurementResult, measure_program
 __all__ = [
     "BroadcastEngine",
     "EngineEvaluation",
+    "LiveServiceResult",
     "ResilienceResult",
     "SweepResult",
     "default_engine",
@@ -117,6 +118,28 @@ class ResilienceResult:
 
     def __len__(self) -> int:
         return len(self.outcomes)
+
+
+@dataclass(frozen=True)
+class LiveServiceResult:
+    """Outcome of :meth:`BroadcastEngine.live`.
+
+    Attributes:
+        report: The runtime's :class:`~repro.live.service.LiveReport`
+            (program, catalog, counters, decisions, event log).
+        baseline: The Longest-Wait-First pull replay of the same trace
+            (a :class:`~repro.live.baseline.PullOutcome`), or ``None``
+            when the baseline was skipped.
+        manifest: The run manifest (operation ``"live"``, schema v3 with
+            the ``service`` block filled in).  Emitted deterministically:
+            ``created_at`` is pinned to ``0.0`` and wall-clock timings
+            are dropped, so identical runs produce byte-identical
+            manifests.
+    """
+
+    report: object
+    baseline: object | None
+    manifest: RunManifest
 
 
 @dataclass(frozen=True)
@@ -220,13 +243,18 @@ class BroadcastEngine:
         cache_before: CacheStats,
         telemetry_before: Mapping[str, dict],
         results: Mapping[str, object],
+        service: Mapping[str, object] | None = None,
+        deterministic: bool = False,
     ) -> RunManifest:
         cache_total = self.cache.stats()
         run_share = Telemetry.delta(self.telemetry.snapshot(), telemetry_before)
         manifest = RunManifest(
             run_id=self._next_run_id(),
             operation=operation,
-            created_at=time.time(),
+            # Deterministic operations pin the timestamp and drop the
+            # wall-clock timers so identical inputs serialise to
+            # byte-identical manifests (the live replay contract).
+            created_at=0.0 if deterministic else time.time(),
             instance=describe_instance(instance),
             parameters=dict(parameters),
             schedulers=tuple(schedulers),
@@ -234,9 +262,10 @@ class BroadcastEngine:
             executor=dict(executor),
             cache_run=cache_total.delta(cache_before),
             cache_total=cache_total,
-            timings=run_share["timers"],
+            timings={} if deterministic else run_share["timers"],
             counters=run_share["counters"],
             results=dict(results),
+            service=dict(service or {}),
         )
         with self._lock:
             self._manifests.append(manifest)
@@ -617,6 +646,131 @@ class BroadcastEngine:
         )
         return ResilienceResult(
             plan=plan, outcomes=tuple(outcomes), manifest=manifest
+        )
+
+
+    def live(
+        self,
+        initial: ProblemInstance | Mapping[int, int],
+        trace,
+        *,
+        budget: int | None = None,
+        admission: bool = True,
+        queue_limit: int = 16,
+        slo_window: int = 64,
+        target_miss_rate: float = 0.05,
+        replan_cooldown: int = 8,
+        self_check: bool = False,
+        baseline: bool = True,
+    ) -> "LiveServiceResult":
+        """Replay a mutation trace through the live runtime (manifested).
+
+        Runs a :class:`~repro.live.service.LiveBroadcastService` on this
+        engine — full re-plans go through the program cache and land in
+        this engine's telemetry — then optionally replays the same trace
+        through the Longest-Wait-First pull baseline for comparison.
+
+        The manifest (operation ``"live"``, schema v3) is emitted
+        *deterministically*: ``created_at`` is pinned, wall-clock timers
+        are dropped, and every remaining field is a pure function of the
+        inputs, so two replays of the same trace on fresh engines are
+        byte-identical.
+
+        Args:
+            initial: Catalog on air at ``t=0`` — a
+                :class:`~repro.core.pages.ProblemInstance` or a plain
+                ``page_id -> expected_time`` mapping.
+            trace: A :class:`~repro.live.mutations.MutationTrace`.
+            budget: Channel budget; defaults to the Theorem-3.1
+                requirement of the initial catalog.
+            admission: Toggle SLO admission control (the EXT11 arms).
+            queue_limit: Admission queue capacity.
+            slo_window: Rolling miss-rate window width.
+            target_miss_rate: Rolling miss-rate threshold that triggers
+                a corrective re-plan.
+            replan_cooldown: Minimum slots between SLO-triggered
+                re-plans.
+            self_check: Validate the program after every applied
+                mutation (slow; meant for tests).
+            baseline: Also replay the trace through the pull baseline.
+
+        Returns:
+            A :class:`LiveServiceResult`.
+        """
+        from repro.live.baseline import replay_pull_lwf
+        from repro.live.catalog import LiveCatalog
+        from repro.live.service import LiveBroadcastService
+
+        instance = (
+            initial
+            if isinstance(initial, ProblemInstance)
+            else LiveCatalog(initial).to_instance()
+        )
+        cache_before = self.cache.stats()
+        telemetry_before = self.telemetry.snapshot()
+        service = LiveBroadcastService(
+            initial,
+            trace,
+            budget=budget,
+            engine=self,
+            admission=admission,
+            queue_limit=queue_limit,
+            slo_window=slo_window,
+            target_miss_rate=target_miss_rate,
+            replan_cooldown=replan_cooldown,
+            self_check=self_check,
+        )
+        with self.telemetry.timer("live.replay"):
+            report = service.run()
+        pull = (
+            replay_pull_lwf(initial, trace, budget=report.budget)
+            if baseline
+            else None
+        )
+
+        service_block = report.as_dict()
+        service_block["baseline"] = pull.as_dict() if pull else None
+        manifest = self._emit_manifest(
+            operation="live",
+            instance=instance,
+            parameters={
+                "budget": report.budget,
+                "admission": admission,
+                "queue_limit": queue_limit,
+                "slo_window": slo_window,
+                "target_miss_rate": target_miss_rate,
+                "replan_cooldown": replan_cooldown,
+                "trace": {
+                    "fingerprint": trace.fingerprint(),
+                    "horizon": trace.horizon,
+                    "events": len(trace.events),
+                    "meta": dict(trace.meta),
+                },
+            },
+            schedulers=("susc", "pamad"),
+            channels=(report.budget,),
+            executor=_serial_executor_block(),
+            cache_before=cache_before,
+            telemetry_before=telemetry_before,
+            results={
+                "miss_rate": report.slo["miss_rate"],
+                "listeners": report.counters["listeners"],
+                "mutations": report.counters["mutations"],
+                "incremental_repairs": report.counters[
+                    "incremental_repairs"
+                ],
+                "full_replans": report.counters["full_replans"],
+                "rejected": report.admission["rejected"],
+                "final_valid": report.final_valid,
+                "baseline_miss_rate": (
+                    pull.as_dict()["miss_rate"] if pull else None
+                ),
+            },
+            service=service_block,
+            deterministic=True,
+        )
+        return LiveServiceResult(
+            report=report, baseline=pull, manifest=manifest
         )
 
 

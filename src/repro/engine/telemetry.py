@@ -8,14 +8,15 @@ did (hits/misses for the run and for the engine's lifetime).  Manifests
 are the machine-readable audit trail of an engine process: the CLI can
 write them next to results, and regression tooling can diff them.
 
-Manifest schema (``manifest_version`` 2)::
+Manifest schema (``manifest_version`` 3)::
 
     {
-      "manifest_version": 2,
+      "manifest_version": 3,
       "run_id": 3,                      # per-engine monotonic counter
       "operation": "sweep",             # plan | schedule | evaluate |
-                                        #   sweep | resilience
-      "created_at": 1754512345.123,     # unix seconds
+                                        #   sweep | resilience | live
+      "created_at": 1754512345.123,     # unix seconds (0.0 when the
+                                        #   operation pins determinism)
       "instance": {
         "fingerprint": "a1b2...",       # canonical digest (cache key part)
         "groups": 8, "pages": 1000,
@@ -34,13 +35,19 @@ Manifest schema (``manifest_version`` 2)::
       "cache": {"run": {...}, "total": {...}},   # CacheStats dicts
       "timings": {"schedule": {"seconds": 0.81, "calls": 6}, ...},
       "counters": {"cells": 6, ...},
+      "service": {...},                 # live-runtime block (v3): trace
+                                        #   fingerprint, admission/SLO
+                                        #   summaries; {} otherwise
       "results": {...}                  # operation-specific summary
     }
 
 Version history — version 2 added the ``resilience`` operation and the
 executor hardening keys (``retries`` / ``cell_failures`` /
-``breaker_trips`` / ``timeouts``); :meth:`RunManifest.from_dict` parses
-both versions, defaulting the new keys to zero for version-1 documents.
+``breaker_trips`` / ``timeouts``); version 3 added the ``live``
+operation and the ``service`` block.  :meth:`RunManifest.from_dict`
+parses every version back to 1, defaulting the version-2 executor keys
+to zero and the version-3 ``service`` block to ``{}`` for older
+documents, so consumers can rely on the version-3 shape either way.
 """
 
 from __future__ import annotations
@@ -62,7 +69,7 @@ __all__ = [
     "describe_instance",
 ]
 
-MANIFEST_VERSION = 2
+MANIFEST_VERSION = 3
 
 #: Executor-block keys added in manifest version 2, with their defaults
 #: (applied when parsing version-1 documents).
@@ -174,6 +181,7 @@ class RunManifest:
     timings: Mapping[str, Mapping[str, float]]
     counters: Mapping[str, int]
     results: Mapping[str, object] = field(default_factory=dict)
+    service: Mapping[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -192,6 +200,7 @@ class RunManifest:
             },
             "timings": {k: dict(v) for k, v in self.timings.items()},
             "counters": dict(self.counters),
+            "service": dict(self.service),
             "results": dict(self.results),
         }
 
@@ -202,9 +211,10 @@ class RunManifest:
     def from_dict(cls, payload: Mapping[str, object]) -> "RunManifest":
         """Parse a manifest document of any supported schema version.
 
-        Accepts version 1 and version 2 documents; the hardening keys
-        missing from version-1 executor blocks are defaulted to zero, so
-        consumers can rely on the version-2 shape either way.
+        Accepts version 1, 2 and 3 documents; the hardening keys missing
+        from version-1 executor blocks default to zero and the
+        ``service`` block missing below version 3 defaults to ``{}``, so
+        consumers can rely on the version-3 shape either way.
 
         Raises:
             ReproError: For unknown (newer) versions or documents missing
@@ -240,6 +250,7 @@ class RunManifest:
                 },
                 counters=dict(payload.get("counters", {})),
                 results=dict(payload.get("results", {})),
+                service=dict(payload.get("service", {})),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ReproError(

@@ -1,0 +1,163 @@
+"""Longest Wait First — the online *pull* baseline for the live service.
+
+The push runtime answers "how well can a pre-planned cyclic program
+absorb churn?".  The natural alternative is to plan nothing: run a pull
+server that hears every request and, each slot, broadcasts on each of
+its channels the page whose pending requests have waited longest in
+aggregate — Longest Wait First, the classic online broadcast-scheduling
+heuristic analysed by Chekuri, Im & Moseley.  One broadcast satisfies
+*all* pending requests for that page (the broadcast economy of scale the
+paper builds on).
+
+EXT11 replays the same mutation trace through both systems and compares
+deadline-miss rates: LWF reacts instantly to demand but offers no
+deadline guarantee, while the push program guarantees the Theorem-3.1
+SLO for every admitted page at the price of rejecting load it cannot
+promise.
+
+The replay is exact and deterministic: slot-by-slot, FIFO within slots,
+no randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.errors import SimulationError
+from repro.core.pages import ProblemInstance
+from repro.live.catalog import LiveCatalog
+from repro.live.mutations import MutationTrace
+
+__all__ = ["PullOutcome", "replay_pull_lwf"]
+
+
+@dataclass(frozen=True, slots=True)
+class PullOutcome:
+    """Outcome of :func:`replay_pull_lwf` on one trace.
+
+    Attributes:
+        listeners: Requests replayed.
+        served: Requests answered within the horizon.
+        misses: Requests that waited past their promised deadline (or
+            were never answered / targeted a page not in the catalog).
+        broadcasts: Page transmissions performed.
+        total_wait: Summed wait of the served requests, in slots.
+    """
+
+    listeners: int
+    served: int
+    misses: int
+    broadcasts: int
+    total_wait: float
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.listeners if self.listeners else 0.0
+
+    @property
+    def average_wait(self) -> float:
+        return self.total_wait / self.served if self.served else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": "pull-lwf",
+            "listeners": self.listeners,
+            "served": self.served,
+            "misses": self.misses,
+            "miss_rate": round(self.miss_rate, 6),
+            "broadcasts": self.broadcasts,
+            "average_wait": round(self.average_wait, 6),
+        }
+
+
+def replay_pull_lwf(
+    initial: ProblemInstance | Mapping[int, int],
+    trace: MutationTrace,
+    *,
+    budget: int = 1,
+) -> PullOutcome:
+    """Replay ``trace`` through a Longest-Wait-First pull server.
+
+    Each integer slot ``s`` the server broadcasts, on each of its
+    ``budget`` channels, the page maximising the aggregate waiting time
+    of its pending requests (ties broken by smaller page id); the
+    broadcast serves every pending request for that page with wait
+    ``s - arrival``.  Catalog mutations apply unconditionally (a pull
+    server has no admission story): removals drop the page's pending
+    requests as misses, requests for unknown pages miss immediately, and
+    requests still pending at the horizon miss.
+
+    Args:
+        initial: Catalog on air at ``t=0``.
+        trace: The same mutation/listener timeline the push service
+            replays.
+        budget: Number of broadcast channels.
+
+    Returns:
+        A :class:`PullOutcome` with miss and wait accounting judged
+        against each listener's *promised* deadline.
+    """
+    if budget < 1:
+        raise SimulationError(f"budget must be >= 1, got {budget}")
+    catalog = LiveCatalog(initial)
+    pages = set(catalog.pages())
+
+    listeners = served = misses = broadcasts = 0
+    total_wait = 0.0
+    # page_id -> list of (arrival, promised deadline), arrival order.
+    pending: dict[int, list[tuple[float, int]]] = {}
+
+    events = iter(trace.events)
+    upcoming = next(events, None)
+
+    for slot in range(trace.horizon + 1):
+        # 1. Apply every event with time <= slot (FIFO within the slot).
+        while upcoming is not None and upcoming.time <= slot:
+            event = upcoming
+            upcoming = next(events, None)
+            if event.kind == "listener":
+                listeners += 1
+                if event.page_id in pages:
+                    pending.setdefault(event.page_id, []).append(
+                        (event.time, event.expected_time)
+                    )
+                else:
+                    misses += 1
+            elif event.kind == "page_insert":
+                pages.add(event.page_id)
+            elif event.kind == "page_remove":
+                pages.discard(event.page_id)
+                misses += len(pending.pop(event.page_id, ()))
+            # page_retune: promised deadlines travel with the listeners.
+        if slot == trace.horizon:
+            break
+        # 2. Broadcast the longest-aggregate-wait pages on each channel.
+        for _ in range(budget):
+            if not pending:
+                break
+            chosen = max(
+                pending,
+                key=lambda pid: (
+                    sum(slot - arrival for arrival, _ in pending[pid]),
+                    -pid,
+                ),
+            )
+            broadcasts += 1
+            for arrival, deadline in pending.pop(chosen):
+                wait = slot - arrival
+                served += 1
+                total_wait += wait
+                if wait > deadline:
+                    misses += 1
+
+    # 3. Whatever is still pending at the horizon never got served.
+    misses += sum(len(waiting) for waiting in pending.values())
+
+    return PullOutcome(
+        listeners=listeners,
+        served=served,
+        misses=misses,
+        broadcasts=broadcasts,
+        total_wait=total_wait,
+    )

@@ -1,0 +1,261 @@
+"""Mutation traces — seeded, replayable timelines of catalog churn.
+
+The paper schedules a *frozen* page catalog.  A live dissemination
+service does not get that luxury: pages are published and withdrawn
+while clients are tuned in, and operators retune expected times (they
+are client-facing deadlines — a service-level objective, not a constant).
+A :class:`MutationTrace` captures one such timeline as an explicit,
+ordered sequence of :class:`MutationEvent` items:
+
+* ``page_insert`` — a new page joins the catalog at ``time`` with the
+  given ``expected_time``;
+* ``page_remove`` — the page leaves the catalog at ``time``;
+* ``page_retune`` — the page's expected time changes to
+  ``expected_time`` at ``time`` (tightening or relaxing its deadline);
+* ``listener``    — a client tunes in at (fractional) ``time`` wanting
+  ``page_id``; ``expected_time`` records the deadline the client was
+  promised when the trace was generated, so deadline misses stay
+  attributable even when the service later rejects or retunes the page.
+
+Traces are value objects: the JSON round trip is exact, generators are
+pure functions of their seed (see
+:func:`repro.workload.mutations.generate_mutation_trace`), and the
+content fingerprint names a trace in run manifests — the same contract
+:class:`~repro.resilience.faultplan.FaultPlan` established for channel
+churn, applied to the catalog dimension.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from repro.core.errors import SimulationError
+
+__all__ = [
+    "MUTATION_KINDS",
+    "CATALOG_KINDS",
+    "MutationEvent",
+    "MutationTrace",
+    "scripted_trace",
+]
+
+#: Kinds that alter the page catalog (processed at integer slot times).
+CATALOG_KINDS = ("page_insert", "page_remove", "page_retune")
+
+MUTATION_KINDS = CATALOG_KINDS + ("listener",)
+
+
+def _event_sort_key(event: "MutationEvent") -> tuple:
+    return (event.time, event.kind, event.page_id)
+
+
+@dataclass(frozen=True, slots=True)
+class MutationEvent:
+    """One catalog mutation or listener arrival on the timeline.
+
+    Attributes:
+        time: When the event takes effect.  Catalog mutations happen at
+            integer slot boundaries; listener arrivals may be fractional
+            (clients do not arrive aligned to slots).
+        kind: One of :data:`MUTATION_KINDS`.
+        page_id: The page the event concerns.
+        expected_time: The deadline ``t_i`` carried by the event —
+            required for ``page_insert``/``page_retune`` (the new
+            deadline) and ``listener`` (the deadline promised at
+            generation time); must be omitted for ``page_remove``.
+    """
+
+    time: float
+    kind: str
+    page_id: int
+    expected_time: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in MUTATION_KINDS:
+            raise SimulationError(
+                f"unknown mutation kind {self.kind!r}; choose from "
+                f"{', '.join(MUTATION_KINDS)}"
+            )
+        if self.time < 0:
+            raise SimulationError(
+                f"mutation time must be >= 0, got {self.time}"
+            )
+        if self.page_id < 0:
+            raise SimulationError(
+                f"page_id must be >= 0, got {self.page_id}"
+            )
+        if self.kind in ("page_insert", "page_retune", "listener"):
+            if self.expected_time is None or self.expected_time <= 0:
+                raise SimulationError(
+                    f"{self.kind} at t={self.time} needs a positive "
+                    f"expected_time, got {self.expected_time}"
+                )
+        elif self.expected_time is not None:
+            raise SimulationError(
+                f"page_remove at t={self.time} must not carry an "
+                "expected_time"
+            )
+        if self.kind in CATALOG_KINDS and self.time != int(self.time):
+            raise SimulationError(
+                f"catalog mutation {self.kind} must land on an integer "
+                f"slot boundary, got t={self.time}"
+            )
+
+    def to_dict(self) -> dict:
+        payload = {
+            "time": self.time,
+            "kind": self.kind,
+            "page_id": self.page_id,
+        }
+        if self.expected_time is not None:
+            payload["expected_time"] = self.expected_time
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MutationEvent":
+        expected = data.get("expected_time")
+        return cls(
+            time=float(data["time"]),
+            kind=str(data["kind"]),
+            page_id=int(data["page_id"]),
+            expected_time=None if expected is None else int(expected),
+        )
+
+
+@dataclass(frozen=True)
+class MutationTrace:
+    """A replayable catalog-churn timeline.
+
+    Events are stored sorted by ``(time, kind, page_id)``; construction
+    validates kinds, the horizon, and uniqueness — the *semantic*
+    consistency of the stream (inserting an existing page, removing an
+    unknown one) is judged by the service replaying it, which records
+    such events as rejected rather than crashing.
+
+    Attributes:
+        horizon: Timeline length in slots; every event happens at
+            ``time < horizon``.
+        events: The sorted events.
+        meta: Free-form provenance (generator name, seed, rates) carried
+            through serialisation so a saved trace is self-describing.
+    """
+
+    horizon: int
+    events: tuple[MutationEvent, ...]
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise SimulationError(
+                f"trace horizon must be >= 1, got {self.horizon}"
+            )
+        ordered = tuple(sorted(self.events, key=_event_sort_key))
+        object.__setattr__(self, "events", ordered)
+        # Key-sorted so a generated trace and its JSON round trip embed
+        # identically in downstream manifests.
+        object.__setattr__(
+            self, "meta", dict(sorted(dict(self.meta).items()))
+        )
+        seen: set[tuple] = set()
+        for event in ordered:
+            if event.time >= self.horizon:
+                raise SimulationError(
+                    f"event at time {event.time} is beyond the horizon "
+                    f"{self.horizon}"
+                )
+            key = _event_sort_key(event)
+            if key in seen:
+                raise SimulationError(
+                    f"duplicate event {event.kind} for page "
+                    f"{event.page_id} at t={event.time}"
+                )
+            seen.add(key)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[MutationEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def mutations(self) -> tuple[MutationEvent, ...]:
+        """The catalog-changing events (inserts, removes, retunes)."""
+        return tuple(e for e in self.events if e.kind in CATALOG_KINDS)
+
+    def listeners(self) -> tuple[MutationEvent, ...]:
+        """The client-arrival events."""
+        return tuple(e for e in self.events if e.kind == "listener")
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "horizon": self.horizon,
+            "events": [event.to_dict() for event in self.events],
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MutationTrace":
+        return cls(
+            horizon=int(data["horizon"]),
+            events=tuple(
+                MutationEvent.from_dict(item)
+                for item in data.get("events", ())
+            ),
+            meta=dict(data.get("meta", {})),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MutationTrace":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        """Write the trace to ``path`` as JSON; returns the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MutationTrace":
+        """Read a trace previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def fingerprint(self) -> str:
+        """Stable content digest, suitable for run manifests."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def scripted_trace(
+    horizon: int,
+    events: Sequence[MutationEvent | tuple],
+    meta: Mapping[str, object] | None = None,
+) -> MutationTrace:
+    """Build a trace from explicit events.
+
+    Tuples are ``(time, kind, page_id)`` or
+    ``(time, kind, page_id, expected_time)``.
+    """
+    normalised = tuple(
+        event if isinstance(event, MutationEvent) else MutationEvent(*event)
+        for event in events
+    )
+    return MutationTrace(
+        horizon=horizon,
+        events=normalised,
+        meta=dict(meta or {"generator": "scripted"}),
+    )

@@ -1,0 +1,465 @@
+"""The live broadcast service — a runtime over the paper's batch planners.
+
+:class:`LiveBroadcastService` replays a :class:`~repro.live.mutations.
+MutationTrace` against a broadcast program, epoch by epoch, on the
+deterministic :class:`~repro.sim.events.EventLoop`.  Three layers react
+to each event:
+
+1. **Admission** (:mod:`repro.live.admission`) judges catalog mutations
+   against the Theorem-3.1 channel budget before they touch anything.
+2. **Incremental rescheduling** patches the running program in place
+   when the mutation leaves the bound slack — removals clear cells,
+   inserts look for a vacant periodic slot pattern — and falls back to a
+   full SUSC/PAMAD re-plan through :class:`~repro.engine.facade.
+   BroadcastEngine` (the PR-2 recovery decision: SUSC at or above the
+   bound, PAMAD below it) when no cheap repair exists.
+3. **SLO control** (:mod:`repro.live.slo`) replays listener arrivals
+   against the current program and forces a corrective re-plan when the
+   rolling deadline-miss rate breaches the target.
+
+Everything the service does lands in an append-only, JSON-friendly
+event log; replaying the same trace with the same seed produces a
+byte-identical log, which is the determinism contract the CI smoke job
+diffs against.
+
+Incremental insert, and why it is safe
+--------------------------------------
+For a page with expected time ``t`` joining a program with cycle ``L``:
+
+* ``t >= L``: one appearance anywhere suffices — every cyclic gap is
+  then exactly ``L <= t`` and the first appearance lands before ``t``.
+* ``t < L`` and ``t | L`` (automatic when expected times stay on one
+  divisibility ladder): appearances at columns ``o, o+t, o+2t, ...``
+  for any offset ``o < t`` give gaps of exactly ``t`` and a first
+  appearance before ``t``.  The repair scans offsets for one whose
+  columns all have a free channel; gaps depend only on columns, never on
+  which channel carries the page, so channels can differ per column.
+
+Existing pages are untouched either way, so a valid program stays valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+import json
+from typing import TYPE_CHECKING, Mapping
+
+from repro.core.errors import SimulationError
+from repro.core.pages import ProblemInstance
+from repro.core.program import BroadcastProgram
+from repro.core.validate import validate_program
+from repro.live.admission import AdmissionController, AdmissionDecision
+from repro.live.catalog import LiveCatalog
+from repro.live.mutations import MutationEvent, MutationTrace
+from repro.live.slo import SloTracker
+from repro.sim.events import EventLoop
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.facade import BroadcastEngine
+
+__all__ = ["LiveBroadcastService", "LiveReport"]
+
+
+@dataclass(frozen=True)
+class LiveReport:
+    """Outcome of one :meth:`LiveBroadcastService.run`.
+
+    Attributes:
+        horizon: Slots replayed.
+        budget: The channel budget the run was held to.
+        trace_fingerprint: Content digest of the replayed trace.
+        program: The program on air when the horizon was reached.
+        catalog: Final ``page_id -> expected_time`` mapping.
+        final_required: Theorem-3.1 requirement of the final catalog.
+        final_valid: Whether the final program is valid for the final
+            catalog (always False in degraded/PAMAD mode).
+        admission: Admission-controller summary block.
+        slo: SLO-tracker summary block.
+        counters: Runtime counters (repairs, replans, listeners, ...).
+        decisions: Every admission verdict, in event order.
+        event_log: The deterministic structured log, in event order.
+    """
+
+    horizon: int
+    budget: int
+    trace_fingerprint: str
+    program: BroadcastProgram
+    catalog: Mapping[int, int]
+    final_required: int
+    final_valid: bool
+    admission: Mapping[str, object]
+    slo: Mapping[str, object]
+    counters: Mapping[str, int]
+    decisions: tuple[AdmissionDecision, ...]
+    event_log: tuple[Mapping[str, object], ...]
+
+    def as_dict(self) -> dict:
+        """Manifest-ready summary (excludes the program grid and log)."""
+        return {
+            "horizon": self.horizon,
+            "budget": self.budget,
+            "trace_fingerprint": self.trace_fingerprint,
+            "final_pages": len(self.catalog),
+            "final_required": self.final_required,
+            "final_valid": self.final_valid,
+            "final_cycle_length": self.program.cycle_length,
+            "admission": dict(self.admission),
+            "slo": dict(self.slo),
+            "counters": {k: int(v) for k, v in sorted(self.counters.items())},
+        }
+
+    def event_log_json(self) -> str:
+        """The event log as canonical JSON (the determinism artifact)."""
+        return json.dumps(
+            list(self.event_log), indent=2, sort_keys=True
+        )
+
+
+class LiveBroadcastService:
+    """Replay a mutation trace against a continuously repaired program.
+
+    Args:
+        initial: The catalog on air at ``t=0`` — a
+            :class:`~repro.core.pages.ProblemInstance` or a plain
+            ``page_id -> expected_time`` mapping.
+        trace: The seeded mutation/listener timeline to replay.
+        budget: Channel budget ``N_real``; defaults to the Theorem-3.1
+            requirement of the initial catalog (a taut budget, so any
+            load-increasing mutation exercises admission control).
+        engine: Scheduling facade used for full re-plans; a private
+            engine is created when omitted, so repeated runs start from
+            identical cache and telemetry state.
+        admission: When False, every mutation is applied regardless of
+            the bound (the EXT11 control arm).
+        queue_limit: Admission queue capacity.
+        slo_window: Rolling window width for the miss-rate SLO.
+        target_miss_rate: Rolling miss-rate threshold that triggers a
+            corrective re-plan.
+        replan_cooldown: Minimum slots between SLO-triggered re-plans.
+        self_check: Validate the program against the live catalog after
+            every applied mutation while the budget covers the bound
+            (the property-test hook; raises on violation).
+    """
+
+    def __init__(
+        self,
+        initial: ProblemInstance | Mapping[int, int],
+        trace: MutationTrace,
+        *,
+        budget: int | None = None,
+        engine: "BroadcastEngine | None" = None,
+        admission: bool = True,
+        queue_limit: int = 16,
+        slo_window: int = 64,
+        target_miss_rate: float = 0.05,
+        replan_cooldown: int = 8,
+        self_check: bool = False,
+    ) -> None:
+        self.catalog = LiveCatalog(initial)
+        self.trace = trace
+        self.budget = (
+            self.catalog.required_channels() if budget is None else budget
+        )
+        if self.budget < 1:
+            raise SimulationError(
+                f"budget must be >= 1, got {self.budget}"
+            )
+        if engine is None:
+            # Imported lazily: repro.live must stay importable while the
+            # engine package (which reaches repro.workload -> this
+            # package) is itself still initialising.
+            from repro.engine.facade import BroadcastEngine
+
+            engine = BroadcastEngine()
+        self.engine = engine
+        self.admission = AdmissionController(
+            self.budget, queue_limit=queue_limit, enabled=admission
+        )
+        self.slo = SloTracker(
+            window=slo_window, target_miss_rate=target_miss_rate
+        )
+        if replan_cooldown < 0:
+            raise SimulationError(
+                f"replan_cooldown must be >= 0, got {replan_cooldown}"
+            )
+        self.replan_cooldown = replan_cooldown
+        self.self_check = self_check
+
+        self.program: BroadcastProgram | None = None
+        self.counters: dict[str, int] = {
+            "mutations": 0,
+            "incremental_repairs": 0,
+            "full_replans": 0,
+            "slo_replans": 0,
+            "queue_drains": 0,
+            "listeners": 0,
+            "misses": 0,
+        }
+        self._decisions: list[AdmissionDecision] = []
+        self._log: list[dict] = []
+        self._loop: EventLoop | None = None
+        self._last_slo_replan = float("-inf")
+
+    # ------------------------------------------------------------------
+    # Logging
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._loop.now if self._loop is not None else 0.0
+
+    def _record(self, entry_type: str, **details: object) -> None:
+        entry = {"t": self.now, "type": entry_type}
+        entry.update(details)
+        self._log.append(entry)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+        self.engine.telemetry.incr(f"live.{name}", amount)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def _full_replan(self, reason: str) -> None:
+        """Re-plan the whole catalog: SUSC at/above the bound, else PAMAD."""
+        instance = self.catalog.to_instance()
+        required = self.catalog.required_channels()
+        algorithm = "susc" if required <= self.budget else "pamad"
+        schedule = self.engine.schedule(
+            instance, algorithm, channels=self.budget
+        )
+        self.program = schedule.program
+        self._count("full_replans")
+        self._record(
+            "replan",
+            reason=reason,
+            algorithm=algorithm,
+            channels=self.budget,
+            required=required,
+            cycle_length=schedule.program.cycle_length,
+            pages=len(self.catalog),
+        )
+
+    def _try_place(self, page_id: int, expected_time: int) -> bool:
+        """Incremental insert: place ``page_id`` without moving any page."""
+        program = self.program
+        if program is None:
+            return False
+        cycle = program.cycle_length
+        if expected_time >= cycle:
+            for ref in program.free_cells():
+                program.assign(ref.channel, ref.slot, page_id)
+                return True
+            return False
+        if cycle % expected_time != 0:
+            # Off-ladder deadline: no periodic column pattern exists.
+            return False
+        period = expected_time
+        for offset in range(period):
+            columns = range(offset, cycle, period)
+            channels = []
+            for slot in columns:
+                channel = program.free_channel_in_column(slot)
+                if channel is None:
+                    break
+                channels.append((channel, slot))
+            else:
+                for channel, slot in channels:
+                    program.assign(channel, slot, page_id)
+                return True
+        return False
+
+    def _unplace(self, page_id: int) -> int:
+        """Clear every appearance of ``page_id``; returns cells freed."""
+        program = self.program
+        if program is None:
+            return 0
+        refs = program.appearances(page_id)
+        for ref in refs:
+            program.clear(ref.channel, ref.slot)
+        return len(refs)
+
+    def _self_check(self, context: str) -> None:
+        if not self.self_check or self.program is None:
+            return
+        if self.catalog.required_channels() > self.budget:
+            return  # degraded mode: validity is not promised
+        report = validate_program(self.program, self.catalog.to_instance())
+        if not report.ok:
+            raise SimulationError(
+                f"live program invalid after {context} at t={self.now}: "
+                f"{report.errors[:3]}"
+            )
+
+    # ------------------------------------------------------------------
+    # Mutation application
+    # ------------------------------------------------------------------
+
+    def _apply_insert(self, page_id: int, expected_time: int) -> None:
+        if self.catalog.required_channels() > self.budget:
+            # Degraded (admission off): PAMAD must re-weigh every page.
+            self._full_replan(f"insert-degraded:{page_id}")
+            return
+        if self._try_place(page_id, expected_time):
+            self._count("incremental_repairs")
+            self._record(
+                "repair", action="insert", page_id=page_id,
+                expected_time=expected_time,
+                appearances=self.program.broadcast_count(page_id),
+            )
+        else:
+            self._full_replan(f"insert-no-slack:{page_id}")
+
+    def _apply_remove(self, page_id: int) -> None:
+        freed = self._unplace(page_id)
+        self._count("incremental_repairs")
+        self._record(
+            "repair", action="remove", page_id=page_id, cells_freed=freed
+        )
+
+    def _apply_retune(self, page_id: int, expected_time: int) -> None:
+        program = self.program
+        if self.catalog.required_channels() > self.budget:
+            self._full_replan(f"retune-degraded:{page_id}")
+            return
+        if program is not None and program.broadcast_count(page_id) > 0:
+            slots = program.appearance_slots(page_id)
+            gaps = program.cyclic_gaps(page_id)
+            if max(gaps) <= expected_time and slots[0] < expected_time:
+                self._count("incremental_repairs")
+                self._record(
+                    "repair", action="retune-keep", page_id=page_id,
+                    expected_time=expected_time,
+                )
+                return
+            self._unplace(page_id)
+        if self._try_place(page_id, expected_time):
+            self._count("incremental_repairs")
+            self._record(
+                "repair", action="retune-replace", page_id=page_id,
+                expected_time=expected_time,
+                appearances=program.broadcast_count(page_id),
+            )
+        else:
+            self._full_replan(f"retune-no-slack:{page_id}")
+
+    def _drain_queue(self) -> None:
+        """Admit queued inserts that fit after a removal/relaxation."""
+        admitted, decisions = self.admission.drain(self.catalog, self.now)
+        for event, decision in zip(admitted, decisions):
+            self._decisions.append(decision)
+            self._record("admission", **decision.as_dict())
+            self.catalog.insert(event.page_id, event.expected_time)
+            self._count("queue_drains")
+            self._apply_insert(event.page_id, event.expected_time)
+            self._self_check(f"queue-drain:{event.page_id}")
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+
+    def _on_mutation(self, event: MutationEvent) -> None:
+        self._count("mutations")
+        if event.kind == "page_insert":
+            decision = self.admission.decide_insert(self.catalog, event)
+        elif event.kind == "page_remove":
+            decision = self.admission.decide_remove(self.catalog, event)
+        else:
+            decision = self.admission.decide_retune(self.catalog, event)
+        self._decisions.append(decision)
+        self._record("admission", **decision.as_dict())
+        if decision.verdict != "admitted":
+            return
+        if event.kind == "page_insert":
+            self.catalog.insert(event.page_id, event.expected_time)
+            self._apply_insert(event.page_id, event.expected_time)
+        elif event.kind == "page_remove":
+            self.catalog.remove(event.page_id)
+            self._apply_remove(event.page_id)
+        else:
+            self.catalog.retune(event.page_id, event.expected_time)
+            self._apply_retune(event.page_id, event.expected_time)
+        self._self_check(f"{event.kind}:{event.page_id}")
+        if event.kind in ("page_remove", "page_retune"):
+            self._drain_queue()
+
+    def _on_listener(self, event: MutationEvent) -> None:
+        self._count("listeners")
+        program = self.program
+        if program is None or program.broadcast_count(event.page_id) == 0:
+            wait: float | None = None
+        else:
+            wait = program.wait_time(
+                event.page_id, event.time % program.cycle_length
+            )
+        observation = self.slo.observe(
+            event.time, event.page_id, event.expected_time, wait
+        )
+        if observation.miss:
+            self._count("misses")
+        self._record(
+            "listener",
+            page_id=event.page_id,
+            expected_time=event.expected_time,
+            wait=wait,
+            miss=observation.miss,
+        )
+        if (
+            self.slo.breached()
+            and self.now - self._last_slo_replan >= self.replan_cooldown
+        ):
+            self._last_slo_replan = self.now
+            self._count("slo_replans")
+            self._record(
+                "slo_breach",
+                rolling_miss_rate=round(self.slo.rolling_miss_rate, 6),
+                target=self.slo.target_miss_rate,
+            )
+            self._full_replan("slo-breach")
+            self.slo.reset_window()
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+
+    def run(self) -> LiveReport:
+        """Replay the whole trace; returns the structured report."""
+        if self._loop is not None:
+            raise SimulationError(
+                "LiveBroadcastService.run() can only be called once; "
+                "build a new service to replay again"
+            )
+        self._loop = EventLoop()
+        self._full_replan("initial")
+        self._self_check("initial")
+        for event in self.trace:
+            handler = (
+                self._on_listener
+                if event.kind == "listener"
+                else self._on_mutation
+            )
+            self._loop.schedule_at(event.time, partial(handler, event))
+        self._loop.run(until=float(self.trace.horizon))
+        assert self.program is not None
+        final_required = self.catalog.required_channels()
+        final_valid = False
+        if final_required <= self.budget:
+            final_valid = validate_program(
+                self.program, self.catalog.to_instance()
+            ).ok
+        return LiveReport(
+            horizon=self.trace.horizon,
+            budget=self.budget,
+            trace_fingerprint=self.trace.fingerprint(),
+            program=self.program,
+            catalog=self.catalog.pages(),
+            final_required=final_required,
+            final_valid=final_valid,
+            admission=self.admission.as_dict(),
+            slo=self.slo.as_dict(),
+            counters=dict(self.counters),
+            decisions=tuple(self._decisions),
+            event_log=tuple(self._log),
+        )

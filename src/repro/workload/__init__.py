@@ -16,6 +16,7 @@ from repro.workload.generator import (
     paper_instance,
     random_instance,
 )
+from repro.workload.mutations import generate_mutation_trace
 from repro.workload.requests import (
     Request,
     generate_requests,
@@ -31,6 +32,7 @@ __all__ = [
     "Request",
     "RequestTrace",
     "apportion",
+    "generate_mutation_trace",
     "generate_requests",
     "group_sizes",
     "l_skewed_sizes",

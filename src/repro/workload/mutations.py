@@ -1,0 +1,169 @@
+"""Seeded mutation-stream generator for the live service runtime.
+
+Produces the churn timelines :class:`~repro.live.service.
+LiveBroadcastService` replays: page inserts, removals and expected-time
+retunes at integer slot boundaries, interleaved with fractional-time
+listener arrivals.  The generator is a pure function of its seed —
+identical arguments always yield the identical trace, which is what lets
+the CI smoke job diff two independent replays byte for byte.
+
+Structural guarantees:
+
+* new and retuned expected times are drawn from the *initial ladder* of
+  the instance, so every reachable catalog stays on one divisibility
+  ladder and :meth:`~repro.live.catalog.LiveCatalog.to_instance` always
+  succeeds;
+* kinds are drawn against a *shadow catalog* that applies every mutation
+  unconditionally (the trace never removes an unknown page or
+  re-inserts a live one), so the same trace is meaningful whether the
+  replaying service has admission control on or off;
+* listeners are attributed the deadline the shadow catalog promised at
+  their arrival time, so deadline misses stay well-defined even when the
+  service later rejects the page or retunes it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Mapping
+
+from repro.core.errors import WorkloadError
+from repro.core.pages import ProblemInstance
+
+# Deliberately the modules, not the repro.live package: keeps the
+# workload <-> live import graph acyclic.
+from repro.live.mutations import MutationEvent, MutationTrace
+
+__all__ = ["generate_mutation_trace"]
+
+#: Relative draw weights for the catalog mutation kinds.
+_KIND_WEIGHTS = (
+    ("page_insert", 0.45),
+    ("page_remove", 0.30),
+    ("page_retune", 0.25),
+)
+
+
+def generate_mutation_trace(
+    instance: ProblemInstance,
+    *,
+    seed: int = 0,
+    horizon: int = 64,
+    mutations: int = 20,
+    listeners: int = 60,
+    meta: Mapping[str, object] | None = None,
+) -> MutationTrace:
+    """Generate a seeded churn timeline for ``instance``.
+
+    Args:
+        instance: The catalog on air at ``t=0``; its expected-time
+            ladder is the pool new deadlines are drawn from.
+        seed: RNG seed; the trace is a pure function of all arguments.
+        horizon: Timeline length in slots (every event lands before it).
+        mutations: Number of catalog mutations to draw.
+        listeners: Number of listener arrivals to draw.
+        meta: Extra provenance merged into the trace ``meta`` block.
+
+    Returns:
+        A :class:`~repro.live.mutations.MutationTrace` whose ``meta``
+        records the generator name and all drawing parameters.
+    """
+    if horizon < 2:
+        raise WorkloadError(f"horizon must be >= 2, got {horizon}")
+    if mutations < 0 or listeners < 0:
+        raise WorkloadError(
+            f"mutations and listeners must be >= 0, got "
+            f"{mutations}, {listeners}"
+        )
+    rng = random.Random(seed)
+    ladder = sorted({page.expected_time for page in instance.pages()})
+    shadow: dict[int, int] = {
+        page.page_id: page.expected_time for page in instance.pages()
+    }
+    next_page_id = max(shadow) + 1
+
+    events: list[MutationEvent] = []
+    seen: set[tuple] = set()
+
+    # --- catalog mutations, drawn chronologically against the shadow ---
+    times = sorted(rng.randrange(1, horizon) for _ in range(mutations))
+    # (time, snapshot) checkpoints so listeners can be attributed the
+    # deadline in force at their arrival.
+    checkpoints: list[tuple[float, dict[int, int]]] = [(0.0, dict(shadow))]
+    for slot in times:
+        kinds = [k for k, _ in _KIND_WEIGHTS]
+        weights = [w for _, w in _KIND_WEIGHTS]
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        if kind == "page_remove" and len(shadow) <= 1:
+            kind = "page_insert"
+        if kind == "page_retune" and len(ladder) == 1:
+            kind = "page_insert"
+        if kind == "page_insert":
+            page_id = next_page_id
+            next_page_id += 1
+            expected = rng.choice(ladder)
+            event = MutationEvent(
+                time=float(slot),
+                kind="page_insert",
+                page_id=page_id,
+                expected_time=expected,
+            )
+            shadow[page_id] = expected
+        elif kind == "page_remove":
+            page_id = rng.choice(sorted(shadow))
+            event = MutationEvent(
+                time=float(slot), kind="page_remove", page_id=page_id
+            )
+            del shadow[page_id]
+        else:
+            page_id = rng.choice(sorted(shadow))
+            choices = [t for t in ladder if t != shadow[page_id]]
+            expected = rng.choice(choices) if choices else shadow[page_id]
+            event = MutationEvent(
+                time=float(slot),
+                kind="page_retune",
+                page_id=page_id,
+                expected_time=expected,
+            )
+            shadow[page_id] = expected
+        key = (event.time, event.kind, event.page_id)
+        if key in seen:
+            continue  # same page, same kind, same slot: drop the repeat
+        seen.add(key)
+        events.append(event)
+        checkpoints.append((float(slot), dict(shadow)))
+
+    # --- listeners, attributed the deadline in force at arrival --------
+    checkpoint_times = [t for t, _ in checkpoints]
+    for _ in range(listeners):
+        arrival = round(rng.uniform(0.0, horizon - 0.001), 3)
+        index = bisect.bisect_right(checkpoint_times, arrival) - 1
+        catalog_then = checkpoints[index][1]
+        page_id = rng.choice(sorted(catalog_then))
+        event = MutationEvent(
+            time=arrival,
+            kind="listener",
+            page_id=page_id,
+            expected_time=catalog_then[page_id],
+        )
+        key = (event.time, event.kind, event.page_id)
+        if key in seen:
+            continue
+        seen.add(key)
+        events.append(event)
+
+    trace_meta: dict[str, object] = {
+        "generator": "generate_mutation_trace",
+        "seed": seed,
+        "horizon": horizon,
+        "mutations": mutations,
+        "listeners": listeners,
+        "ladder": list(ladder),
+        "initial_pages": instance.n,
+    }
+    if meta:
+        trace_meta.update(dict(meta))
+    return MutationTrace(
+        horizon=horizon, events=tuple(events), meta=trace_meta
+    )

@@ -420,10 +420,49 @@ class TestManifestCompat:
         payload["manifest_version"] = 1
         for key in ("retries", "cell_failures", "breaker_trips", "timeouts"):
             payload["executor"].pop(key, None)
+        payload.pop("service", None)
         parsed = RunManifest.from_dict(payload)
         assert parsed.executor["retries"] == 0
         assert parsed.executor["cell_failures"] == 0
         assert parsed.executor["mode"] == payload["executor"]["mode"]
+        assert parsed.service == {}
+
+    def test_version_2_documents_still_parse(self, fig2_instance):
+        engine = BroadcastEngine()
+        result = engine.sweep(fig2_instance, **SWEEP_KWARGS)
+        payload = json.loads(result.manifest.to_json())
+        payload["manifest_version"] = 2
+        payload.pop("service", None)  # the block v3 introduced
+        parsed = RunManifest.from_dict(payload)
+        assert parsed.service == {}
+        assert parsed.executor == dict(result.manifest.executor)
+        assert parsed.cache_total == result.manifest.cache_total
+
+    def test_version_3_serialises_service_block(self, fig2_instance):
+        from repro.workload.mutations import generate_mutation_trace
+
+        trace = generate_mutation_trace(
+            fig2_instance, seed=3, horizon=24, mutations=4, listeners=6
+        )
+        result = BroadcastEngine().live(fig2_instance, trace)
+        payload = json.loads(result.manifest.to_json())
+        assert payload["manifest_version"] == 3
+        assert payload["operation"] == "live"
+        assert payload["service"]["trace_fingerprint"] == trace.fingerprint()
+        assert "admission" in payload["service"]
+        assert "slo" in payload["service"]
+
+    def test_version_3_round_trip_is_exact(self, fig2_instance):
+        from repro.workload.mutations import generate_mutation_trace
+
+        trace = generate_mutation_trace(
+            fig2_instance, seed=3, horizon=24, mutations=4, listeners=6
+        )
+        manifest = BroadcastEngine().live(fig2_instance, trace).manifest
+        parsed = RunManifest.from_json(manifest.to_json())
+        assert parsed.service == dict(manifest.service)
+        assert parsed.to_dict() == manifest.to_dict()
+        assert parsed.created_at == 0.0  # live manifests pin determinism
 
     def test_unknown_versions_are_rejected(self):
         with pytest.raises(ReproError, match="unsupported manifest_version"):

@@ -69,6 +69,31 @@ class TestFailChannels:
         assert degraded.failed_channels == (1,)
 
 
+class TestDeprecationShims:
+    """The repro.sim.faults wrappers must warn callers off (PR-2 shim)."""
+
+    def test_fail_channels_warns(self, susc_schedule, fig2_instance):
+        with pytest.warns(DeprecationWarning, match="fail_channels"):
+            fail_channels(susc_schedule.program, fig2_instance, [0])
+
+    def test_compare_failure_responses_warns(
+        self, susc_schedule, fig2_instance
+    ):
+        with pytest.warns(
+            DeprecationWarning, match="compare_failure_responses"
+        ):
+            compare_failure_responses(
+                susc_schedule.program, fig2_instance, [1]
+            )
+
+    def test_warnings_name_the_replacement(
+        self, susc_schedule, fig2_instance
+    ):
+        with pytest.warns(DeprecationWarning) as captured:
+            fail_channels(susc_schedule.program, fig2_instance, [])
+        assert "repro.resilience" in str(captured[0].message)
+
+
 class TestCompareResponses:
     def test_reschedule_never_loses_pages(self, susc_schedule, fig2_instance):
         rows = compare_failure_responses(
