@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Standalone driver for the core perf suite.
+
+Thin wrapper over :func:`repro.analysis.perfsuite.bench_command` — the
+same code path as ``repro-air bench`` — for running straight from a
+checkout without installing the package::
+
+    python benchmarks/run_suite.py                 # full mode, print only
+    python benchmarks/run_suite.py --quick         # CI smoke inputs
+    python benchmarks/run_suite.py \
+        --output benchmarks/results/BENCH_core.json
+    python benchmarks/run_suite.py --quick \
+        --check benchmarks/results/BENCH_core.json
+
+Exit status is non-zero when any entry misses its speedup floor or,
+with ``--check``, when the run regresses against the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+try:
+    from repro.analysis.perfsuite import bench_command
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+    from repro.analysis.perfsuite import bench_command
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "results" / "BENCH_core.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrunk inputs for CI smoke (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per entry; the minimum is reported",
+    )
+    parser.add_argument(
+        "--output",
+        nargs="?",
+        const=str(DEFAULT_OUTPUT),
+        help=(
+            "write the BENCH_core JSON payload; defaults to "
+            "benchmarks/results/BENCH_core.json when given without a value"
+        ),
+    )
+    parser.add_argument(
+        "--check",
+        help="compare against a committed BENCH_core baseline JSON",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed same-mode speedup drop vs the baseline (0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+    return bench_command(
+        quick=args.quick,
+        repeats=args.repeats,
+        output=args.output,
+        check=args.check,
+        max_regression=args.max_regression,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,446 @@
+"""The core performance suite behind ``repro-air bench``.
+
+Every fast path added to the scheduling core (the array kernels in
+:mod:`repro.core.fastpath`, the pruned searches in
+:mod:`repro.baselines.opt`, the appearance caches in
+:mod:`repro.core.program`, the live re-plan patcher in
+:mod:`repro.live.replan`) is pinned to its reference implementation by
+property tests — this module pins the *point* of those paths: the
+speedup.  :func:`run_suite` times each reference/fast pair and writes a
+machine-readable payload (``benchmarks/results/BENCH_core.json``) that
+future changes regress against.
+
+Design decisions:
+
+* **Ratios, not absolute times.**  Wall-clock depends on the machine;
+  the reference/fast *ratio* on the same machine in the same process is
+  stable enough to gate on.  Each entry also carries a ``floor`` — the
+  minimum speedup the fast path must deliver anywhere — so CI's quick
+  configs (smaller inputs, lower ratios) have an absolute bar even when
+  the committed baseline was produced by a full run.
+* **Best-of-N minimum timing.**  The minimum over repeats is the least
+  noisy estimator of the achievable time; means smear scheduler noise
+  into the ratio.
+* **Two modes.**  ``quick`` shrinks the inputs so the whole suite runs
+  in a couple of seconds for CI smoke; the full mode uses sweep-scale
+  inputs (the numbers quoted in README/DESIGN).  The payload records
+  which mode produced it, and :func:`compare_payloads` only applies the
+  relative-regression gate between same-mode payloads (floors always
+  apply).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro import __version__
+from repro.core.errors import SimulationError
+
+__all__ = [
+    "SCHEMA",
+    "SUITE_ENTRIES",
+    "run_suite",
+    "validate_payload",
+    "compare_payloads",
+    "bench_command",
+]
+
+SCHEMA = "repro-air/bench-core/v1"
+
+# name -> (floor, builder).  A builder maps quick -> (config, reference
+# thunk, fast thunk, inner-loop count); thunks are timed as `inner`
+# back-to-back calls and reported per call.
+_Builder = Callable[
+    [bool], tuple[dict, Callable[[], object], Callable[[], object], int]
+]
+
+
+def _build_susc_scaling(quick: bool):
+    from repro.core.pages import instance_from_counts
+    from repro.core.susc import schedule_susc
+
+    pages = 120 if quick else 150
+    times = (4, 8, 16, 32, 64, 128, 256, 512)
+    sizes = tuple(pages for _ in times)
+    instance = instance_from_counts(sizes, times)
+    config = {"pages": sum(sizes), "h": len(times), "validate": False}
+    return (
+        config,
+        lambda: schedule_susc(instance, validate=False, fast=False),
+        lambda: schedule_susc(instance, validate=False),
+        1,
+    )
+
+
+def _build_placement(quick: bool):
+    from repro.core.frequencies import pamad_frequencies
+    from repro.core.pamad import place_by_frequency
+    from repro.workload.generator import paper_instance
+
+    instance = paper_instance("uniform")
+    channels = 13
+    if quick:
+        from repro.core.pages import instance_from_counts
+
+        instance = instance_from_counts(
+            (80, 80, 80, 80), (4, 8, 16, 32)
+        )
+        channels = 8
+    frequencies = pamad_frequencies(instance, channels).frequencies
+    config = {
+        "pages": instance.n,
+        "h": instance.h,
+        "channels": channels,
+        "frequencies": list(frequencies),
+    }
+    return (
+        config,
+        lambda: place_by_frequency(
+            instance, frequencies, channels, fast=False
+        ),
+        lambda: place_by_frequency(instance, frequencies, channels),
+        1,
+    )
+
+
+def _build_sequential_placement(quick: bool):
+    from repro.core.frequencies import pamad_frequencies
+    from repro.core.pamad import place_sequential
+    from repro.workload.generator import paper_instance
+
+    instance = paper_instance("uniform")
+    channels = 13
+    if quick:
+        from repro.core.pages import instance_from_counts
+
+        instance = instance_from_counts(
+            (80, 80, 80, 80), (4, 8, 16, 32)
+        )
+        channels = 8
+    frequencies = pamad_frequencies(instance, channels).frequencies
+    config = {
+        "pages": instance.n,
+        "h": instance.h,
+        "channels": channels,
+    }
+    return (
+        config,
+        lambda: place_sequential(
+            instance, frequencies, channels, fast=False
+        ),
+        lambda: place_sequential(instance, frequencies, channels),
+        1,
+    )
+
+
+def _build_opt_search(quick: bool):
+    from repro.baselines.opt import opt_frequencies
+    from repro.core.pages import instance_from_counts
+
+    if quick:
+        sizes, times, channels = (2, 3, 4, 5), (2, 4, 8, 16), 10
+    else:
+        sizes, times, channels = (
+            (2, 3, 4, 5, 6),
+            (2, 4, 8, 16, 32),
+            8,
+        )
+    instance = instance_from_counts(sizes, times)
+    config = {"sizes": list(sizes), "channels": channels}
+    return (
+        config,
+        lambda: opt_frequencies(instance, channels, prune=False),
+        lambda: opt_frequencies(instance, channels),
+        1,
+    )
+
+
+def _build_brute_search(quick: bool):
+    from repro.baselines.opt import brute_force_frequencies
+    from repro.core.pages import instance_from_counts
+
+    if quick:
+        sizes, times, channels, cap = (3, 5, 7), (2, 4, 8), 4, 14
+    else:
+        sizes, times, channels, cap = (3, 5, 7, 9), (2, 4, 8, 16), 4, 9
+    instance = instance_from_counts(sizes, times)
+    config = {"sizes": list(sizes), "channels": channels, "cap": cap}
+    return (
+        config,
+        lambda: brute_force_frequencies(
+            instance, channels, cap=cap, prune=False
+        ),
+        lambda: brute_force_frequencies(instance, channels, cap=cap),
+        1,
+    )
+
+
+def _build_delay_cache(quick: bool):
+    from repro.core.delay import program_average_delay
+    from repro.core.frequencies import pamad_frequencies
+    from repro.core.pamad import place_by_frequency
+    from repro.workload.generator import paper_instance
+
+    instance = paper_instance("uniform")
+    channels = 13
+    if quick:
+        from repro.core.pages import instance_from_counts
+
+        instance = instance_from_counts(
+            (80, 80, 80, 80), (4, 8, 16, 32)
+        )
+        channels = 8
+    frequencies = pamad_frequencies(instance, channels).frequencies
+    program = place_by_frequency(instance, frequencies, channels).program
+    program_average_delay(program, instance)  # warm the caches
+
+    def cold() -> float:
+        # Reach into the program's private memo tables to reproduce the
+        # pre-cache behaviour exactly: same program, same evaluation,
+        # appearance tables rebuilt from the raw refs every call.
+        program._slots_cache.clear()
+        program._gaps_cache.clear()
+        return program_average_delay(program, instance)
+
+    config = {"pages": instance.n, "channels": channels}
+    return (
+        config,
+        cold,
+        lambda: program_average_delay(program, instance),
+        3,
+    )
+
+
+def _build_live_replan(quick: bool):
+    from repro.core.pamad import schedule_pamad
+    from repro.live.catalog import LiveCatalog
+    from repro.live.replan import FastReplanner
+
+    sizes = (3, 4, 6, 10) if quick else (6, 10, 14, 20)
+    times = (4, 8, 16, 32)
+    budget = 4 if quick else 6
+    pages: dict[int, int] = {}
+    page_id = 1
+    for size, expected in zip(sizes, times):
+        for _ in range(size):
+            pages[page_id] = expected
+            page_id += 1
+    catalog = LiveCatalog(pages)
+    schedule = schedule_pamad(catalog.to_instance(), budget)
+
+    replanner = FastReplanner()
+    replanner.remember(
+        catalog=catalog.pages(),
+        times=times,
+        frequencies=schedule.assignment.frequencies,
+        cycle=schedule.program.cycle_length,
+        budget=budget,
+    )
+    state = replanner.state
+
+    # One page joins the slowest rung: the canonical degraded-mode
+    # mutation the patch path exists for.  Ineligibility here would mean
+    # the fast path never fires on its own benchmark — fail loudly.
+    mutated = catalog.copy()
+    mutated.insert(page_id, times[-1])
+
+    def patch():
+        replanner.state = state  # rewind the snapshot between runs
+        patched = replanner.try_patch(mutated.pages(), schedule.program)
+        if patched is None:
+            raise SimulationError(
+                "live-replan benchmark mutation was not patch-eligible"
+            )
+        return patched
+
+    config = {
+        "pages": len(pages) + 1,
+        "budget": budget,
+        "mutation": "insert",
+    }
+    return (
+        config,
+        lambda: schedule_pamad(mutated.to_instance(), budget),
+        patch,
+        1,
+    )
+
+
+SUITE_ENTRIES: dict[str, tuple[float, _Builder]] = {
+    "bench_susc_scaling": (5.0, _build_susc_scaling),
+    "bench_ablation_placement": (5.0, _build_placement),
+    "bench_sequential_placement": (1.3, _build_sequential_placement),
+    "bench_ablation_search": (3.0, _build_opt_search),
+    "bench_brute_force_search": (2.0, _build_brute_search),
+    "bench_delay_cache": (1.5, _build_delay_cache),
+    "bench_live_replan": (1.5, _build_live_replan),
+}
+
+
+def _best_of(thunk: Callable[[], object], inner: int, repeats: int) -> float:
+    """Minimum seconds per call over ``repeats`` batches of ``inner``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(inner):
+            thunk()
+        elapsed = (time.perf_counter() - started) / inner
+        best = min(best, elapsed)
+    return best
+
+
+def run_suite(quick: bool = False, repeats: int = 3) -> dict:
+    """Time every suite entry; returns the BENCH_core payload."""
+    if repeats < 1:
+        raise SimulationError(f"repeats must be >= 1, got {repeats}")
+    benchmarks = {}
+    for name, (floor, builder) in SUITE_ENTRIES.items():
+        config, reference, fast, inner = builder(quick)
+        reference()  # warm both paths outside the timer
+        fast()
+        reference_s = _best_of(reference, inner, repeats)
+        fast_s = _best_of(fast, inner, repeats)
+        benchmarks[name] = {
+            "config": config,
+            "reference_ms": round(reference_s * 1000.0, 4),
+            "fast_ms": round(fast_s * 1000.0, 4),
+            "speedup": round(reference_s / fast_s, 2),
+            "floor": floor,
+        }
+    return {
+        "schema": SCHEMA,
+        "version": __version__,
+        "quick": quick,
+        "repeats": repeats,
+        "benchmarks": benchmarks,
+    }
+
+
+def validate_payload(payload: dict) -> None:
+    """Schema-check a BENCH_core payload; raises on any violation."""
+    if not isinstance(payload, dict):
+        raise SimulationError("BENCH_core payload must be an object")
+    if payload.get("schema") != SCHEMA:
+        raise SimulationError(
+            f"unexpected schema {payload.get('schema')!r}; "
+            f"expected {SCHEMA!r}"
+        )
+    for key, kind in (
+        ("version", str),
+        ("quick", bool),
+        ("repeats", int),
+        ("benchmarks", dict),
+    ):
+        if not isinstance(payload.get(key), kind):
+            raise SimulationError(
+                f"BENCH_core field {key!r} must be {kind.__name__}"
+            )
+    if not payload["benchmarks"]:
+        raise SimulationError("BENCH_core payload has no benchmarks")
+    for name, entry in payload["benchmarks"].items():
+        if not isinstance(entry, dict):
+            raise SimulationError(f"benchmark {name!r} must be an object")
+        for key in ("reference_ms", "fast_ms", "speedup", "floor"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise SimulationError(
+                    f"benchmark {name!r} field {key!r} must be a "
+                    f"positive number, got {value!r}"
+                )
+        if not isinstance(entry.get("config"), dict):
+            raise SimulationError(
+                f"benchmark {name!r} must carry a config object"
+            )
+
+
+def compare_payloads(
+    current: dict, baseline: dict, max_regression: float = 0.25
+) -> list[str]:
+    """Regression-gate ``current`` against a committed ``baseline``.
+
+    Returns human-readable failure strings (empty = pass).  Two gates:
+
+    * every baseline entry must still exist and clear its ``floor``;
+    * when both payloads came from the same mode (``quick`` flag), each
+      speedup may drop at most ``max_regression`` below the baseline's.
+    """
+    validate_payload(current)
+    validate_payload(baseline)
+    failures = []
+    same_mode = current["quick"] == baseline["quick"]
+    for name, base in baseline["benchmarks"].items():
+        entry = current["benchmarks"].get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        if entry["speedup"] < base["floor"]:
+            failures.append(
+                f"{name}: speedup {entry['speedup']}x below the "
+                f"{base['floor']}x floor"
+            )
+        if same_mode:
+            allowed = base["speedup"] * (1.0 - max_regression)
+            if entry["speedup"] < allowed:
+                failures.append(
+                    f"{name}: speedup {entry['speedup']}x regressed "
+                    f">{max_regression:.0%} from baseline "
+                    f"{base['speedup']}x"
+                )
+    return failures
+
+
+def bench_command(
+    *,
+    quick: bool = False,
+    repeats: int = 3,
+    output: str | None = None,
+    check: str | None = None,
+    max_regression: float = 0.25,
+) -> int:
+    """Run the suite, print a table, optionally write/gate the payload.
+
+    Shared implementation behind ``repro-air bench`` and
+    ``benchmarks/run_suite.py``.  Returns a process exit code: non-zero
+    when any entry misses its floor or, with ``check``, when the run
+    regresses against the committed baseline at ``check``.
+    """
+    import json
+    import pathlib
+
+    payload = run_suite(quick=quick, repeats=repeats)
+    width = max(len(name) for name in payload["benchmarks"])
+    failed = False
+    for name, entry in payload["benchmarks"].items():
+        ok = entry["speedup"] >= entry["floor"]
+        failed = failed or not ok
+        print(
+            f"{name.ljust(width)}  reference {entry['reference_ms']:>9.3f} ms"
+            f"  fast {entry['fast_ms']:>9.3f} ms"
+            f"  speedup {entry['speedup']:>6.2f}x"
+            f"  floor {entry['floor']:>4.1f}x"
+            f"  [{'ok' if ok else 'BELOW FLOOR'}]"
+        )
+    if output:
+        path = pathlib.Path(output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {path}")
+    if check:
+        baseline = json.loads(pathlib.Path(check).read_text())
+        failures = compare_payloads(
+            payload, baseline, max_regression=max_regression
+        )
+        for failure in failures:
+            print(f"REGRESSION {failure}")
+        if failures:
+            return 1
+        print(
+            f"no regressions vs {check} "
+            f"(max allowed {max_regression:.0%}, "
+            f"{'same' if payload['quick'] == baseline['quick'] else 'cross'}"
+            f"-mode comparison)"
+        )
+    return 1 if failed else 0

@@ -28,9 +28,65 @@ from repro.core.program import BroadcastProgram
 __all__ = [
     "program_delay_vector",
     "program_average_delay_fast",
+    "paper_group_delay_batch",
     "BatchMeasurement",
     "batch_measure",
 ]
+
+
+def paper_group_delay_batch(
+    frequency_rows: np.ndarray | list,
+    sizes: list[int] | tuple[int, ...],
+    times: list[int] | tuple[int, ...],
+    num_channels: int,
+) -> np.ndarray:
+    """Equation (2) for many frequency vectors at once, bit-identical.
+
+    Evaluates :func:`repro.core.delay.paper_group_delay` for every row of
+    ``frequency_rows`` (shape ``(m, h)``, integer frequencies ``>= 1``)
+    and returns the ``m`` delays.  The OPT searches call this on whole
+    candidate batches instead of looping the scalar objective.
+
+    Bit-identity with the scalar is load-bearing (the pruned searches
+    must reproduce the reference tie-breaks exactly), so the kernel
+    mirrors the scalar's float operation sequence:
+
+    * ``slots`` and the Equation-8 cycle stay in int64 (exact — the
+      scalar uses Python ints; all quantities here are far below 2**53,
+      so int64 -> float64 conversions are exact too);
+    * every division matches a scalar ``int / int`` (both correctly
+      rounded quotients of exactly-represented integers);
+    * the per-group accumulation runs as an ordered Python loop over
+      groups (``total = total + weight * term`` elementwise), matching
+      the scalar's left-to-right sum — *not* ``np.sum``, whose pairwise
+      reduction would round differently.
+    """
+    rows = np.asarray(frequency_rows, dtype=np.int64)
+    if rows.ndim != 2:
+        raise SimulationError(
+            f"frequency_rows must be 2-D (m, h), got shape {rows.shape}"
+        )
+    h = rows.shape[1]
+    if h != len(sizes) or h != len(times):
+        raise SimulationError(
+            f"vector lengths differ: S rows have {h}, P={len(sizes)}, "
+            f"t={len(times)}"
+        )
+    sizes_arr = np.asarray(sizes, dtype=np.int64)
+    slots = rows @ sizes_arr  # exact int64
+    cycle = -(-slots // num_channels)  # exact ceil, matches ceil_div
+    slots_f = slots.astype(np.float64)
+    total = np.zeros(rows.shape[0], dtype=np.float64)
+    for i in range(h):
+        s_i = rows[:, i]
+        weight = (s_i * int(sizes[i])).astype(np.float64) / slots_f
+        spacing_real = slots_f / (num_channels * s_i).astype(np.float64)
+        spacing_cycle = cycle.astype(np.float64) / s_i.astype(np.float64)
+        term = np.maximum(spacing_real - times[i], 0.0) * np.maximum(
+            (spacing_cycle - times[i]) / 2.0, 0.0
+        )
+        total = total + weight * term
+    return total
 
 
 def program_delay_vector(

@@ -37,6 +37,7 @@ from repro.core.delay import (
     program_average_wait,
 )
 from repro.core.errors import SearchSpaceError
+from repro.core.intmath import ceil_div
 from repro.core.pages import ProblemInstance
 from repro.core.program import BroadcastProgram
 
@@ -178,7 +179,7 @@ def schedule_broadcast_disks(
     # Chunks per disk: split each disk's pages into num_chunks_i chunks.
     chunked: list[list[list[int]]] = []
     for disk, num_chunks in zip(disks, chunk_counts):
-        size = math.ceil(len(disk) / num_chunks)
+        size = ceil_div(len(disk), num_chunks)
         chunked.append(
             [disk[i * size : (i + 1) * size] for i in range(num_chunks)]
         )
@@ -189,7 +190,7 @@ def schedule_broadcast_disks(
             chunk = disk_chunks[minor % len(disk_chunks)]
             flat.extend(chunk)
 
-    cycle = math.ceil(len(flat) / num_channels)
+    cycle = ceil_div(len(flat), num_channels)
     program = BroadcastProgram(
         num_channels=num_channels, cycle_length=cycle
     )

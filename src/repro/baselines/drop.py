@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.errors import SchedulingError, WorkloadError
+from repro.core.intmath import ceil_div
 from repro.core.pages import Group, Page, ProblemInstance
 from repro.core.program import BroadcastProgram
 from repro.core.susc import schedule_susc
@@ -120,7 +121,7 @@ def schedule_drop(
             for g in instance.groups
             if kept_counts[g.index] > 0
         )
-        return -(-numerator // t_h) if numerator else 0
+        return ceil_div(numerator, t_h) if numerator else 0
 
     position = 0
     while current_bound() > num_channels:

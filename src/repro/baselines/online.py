@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 from repro.core.delay import program_average_delay
 from repro.core.errors import SearchSpaceError
+from repro.core.intmath import ceil_div
 from repro.core.pages import ProblemInstance
 from repro.core.program import BroadcastProgram
 
@@ -150,7 +151,7 @@ def schedule_online(
         )
     natural = max(
         instance.max_expected_time,
-        -(-instance.n // num_channels),
+        ceil_div(instance.n, num_channels),
     )
     if max_orbit is None:
         if instance.n <= 256:
@@ -160,7 +161,7 @@ def schedule_online(
     # The fallback reports the tail half of the horizon; it must be long
     # enough that every page appears in it (least-slack serves any page
     # within roughly n/N + t_h slots of its deadline).
-    minimum_cap = 2 * (natural + -(-instance.n // num_channels))
+    minimum_cap = 2 * (natural + ceil_div(instance.n, num_channels))
     if max_orbit < minimum_cap:
         raise SearchSpaceError(
             f"max_orbit={max_orbit} below the minimum of {minimum_cap} "

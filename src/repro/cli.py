@@ -415,6 +415,18 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.perfsuite import bench_command
+
+    return bench_command(
+        quick=args.quick,
+        repeats=args.repeats,
+        output=args.output,
+        check=args.check,
+        max_regression=args.max_regression,
+    )
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     overrides = {}
     if args.requests is not None:
@@ -668,6 +680,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_manifest_argument(live)
     live.set_defaults(handler=_cmd_live)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the core perf suite and gate against a baseline",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrunk inputs for CI smoke (seconds, not minutes)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per entry; the minimum is reported",
+    )
+    bench.add_argument(
+        "--output",
+        help="write the BENCH_core JSON payload to this path",
+    )
+    bench.add_argument(
+        "--check",
+        help="compare against a committed BENCH_core baseline JSON",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed same-mode speedup drop vs the baseline (0.25 = 25%%)",
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     experiment = commands.add_parser(
         "experiment", help="run a registered experiment"

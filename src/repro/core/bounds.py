@@ -16,9 +16,9 @@ coarser per-group-ceiling value for comparison.)
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
+from repro.core.intmath import ceil_div
 from repro.core.pages import ProblemInstance
 
 __all__ = [
@@ -54,7 +54,7 @@ def minimum_channels(instance: ProblemInstance) -> int:
         group.size * (t_h // group.expected_time)
         for group in instance.groups
     )
-    return -(-numerator // t_h)  # ceil for positive ints
+    return ceil_div(numerator, t_h)
 
 
 def per_group_ceiling_bound(instance: ProblemInstance) -> int:
@@ -64,7 +64,7 @@ def per_group_ceiling_bound(instance: ProblemInstance) -> int:
     compared empirically (see ``benchmarks/bench_susc_scaling.py``).
     """
     return sum(
-        math.ceil(group.size / group.expected_time)
+        ceil_div(group.size, group.expected_time)
         for group in instance.groups
     )
 

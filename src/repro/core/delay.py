@@ -32,6 +32,7 @@ import math
 from typing import Mapping, Sequence
 
 from repro.core.errors import InvalidInstanceError
+from repro.core.intmath import ceil_div
 from repro.core.pages import ProblemInstance
 from repro.core.program import BroadcastProgram
 
@@ -201,6 +202,18 @@ def _check_vectors(
             )
 
 
+def _ceil_cycle(slots: float, num_channels: int) -> int:
+    """Equation (8) cycle length; exact for integer slot counts.
+
+    Frequencies are normally integers, making ``slots`` an int and the
+    ceiling exact at any magnitude; fractional frequency vectors (allowed
+    by the objective signatures) fall back to the float ceiling.
+    """
+    if isinstance(slots, int):
+        return ceil_div(slots, num_channels)
+    return math.ceil(slots / num_channels)
+
+
 def paper_group_delay(
     frequencies: Sequence[float],
     sizes: Sequence[int],
@@ -223,7 +236,7 @@ def paper_group_delay(
     _check_vectors(frequencies, sizes, times, num_channels)
     slots = sum(s * p for s, p in zip(frequencies, sizes))
     if cycle_length is None:
-        cycle_length = math.ceil(slots / num_channels)
+        cycle_length = _ceil_cycle(slots, num_channels)
     total = 0.0
     for s_i, p_i, t_i in zip(frequencies, sizes, times):
         weight = (s_i * p_i) / slots
@@ -255,7 +268,7 @@ def normalized_group_delay(
     _check_vectors(frequencies, sizes, times, num_channels)
     slots = sum(s * p for s, p in zip(frequencies, sizes))
     if cycle_length is None:
-        cycle_length = math.ceil(slots / num_channels)
+        cycle_length = _ceil_cycle(slots, num_channels)
     total = 0.0
     for s_i, p_i, t_i in zip(frequencies, sizes, times):
         weight = (s_i * p_i) / slots

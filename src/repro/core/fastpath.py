@@ -1,0 +1,242 @@
+"""Fast placement kernels — byte-identical to the reference scans.
+
+The reference implementations of Algorithm 4 (:mod:`repro.core.pamad`)
+and Algorithm 1/2 (:mod:`repro.core.susc`) probe the program grid cell by
+cell through :class:`~repro.core.program.BroadcastProgram` accessors.
+That is the right shape for reading the paper, but every probe pays
+bounds checks and method dispatch, and the column/window scans are
+quadratic in practice.  The kernels here compute *exactly the same
+placements* on raw Python lists and materialise the finished grid in one
+pass via :meth:`BroadcastProgram.from_grid`.
+
+Why the outputs are provably identical:
+
+* **Prefix-occupancy invariant.**  Both placement algorithms only ever
+  fill a column through "first free channel in this column" and never
+  clear a cell, so the occupied channels of any column are exactly
+  ``0..fill-1``.  The reference's ``free_channel_in_column(c)`` is
+  therefore ``fill[c]`` (or ``None`` when the column is full), and a
+  per-column fill counter replaces the channel scan.
+* **Next-free-column structure.**  "First non-full column at or after
+  ``c``" is answered by a pointer-jumping array with path compression
+  (full columns link forward), amortised O(1) per query — returning the
+  same column the reference's left-to-right scan would.
+* **SUSC cursor argument.**  Each channel's occupied prefix only grows
+  (first-free placement plus forward periodic copies), so a per-channel
+  cursor to the first free slot never moves backwards; ``cursor < t_i``
+  decides window membership exactly as the naive Algorithm-2 scan does.
+  This is the same argument behind ``schedule_susc(optimized=True)``,
+  applied to raw rows.
+
+Property tests (:mod:`tests.test_fastpath`) pin the equality: for every
+instance the fast kernels produce grid-identical programs, identical
+``window_misses`` counts and identical error behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import SchedulingError, SearchSpaceError
+from repro.core.intmath import ceil_div
+from repro.core.pages import ProblemInstance
+from repro.core.program import BroadcastProgram, SlotRef
+
+__all__ = [
+    "place_by_frequency_fast",
+    "place_sequential_fast",
+    "susc_fill_fast",
+]
+
+
+def _check_frequencies(
+    instance: ProblemInstance, frequencies: Sequence[int]
+) -> None:
+    """The reference placement functions' validation, messages included."""
+    if len(frequencies) != instance.h:
+        raise SearchSpaceError(
+            f"got {len(frequencies)} frequencies for h={instance.h} groups"
+        )
+    if any(s < 1 for s in frequencies):
+        raise SearchSpaceError(
+            f"frequencies must be >= 1, got {list(frequencies)}"
+        )
+
+
+def _make_find(next_free: list[int]):
+    """First non-full column at or after ``c`` with path compression."""
+
+    def find(column: int) -> int:
+        root = column
+        while next_free[root] != root:
+            root = next_free[root]
+        while next_free[column] != root:
+            column, next_free[column] = next_free[column], root
+        return root
+
+    return find
+
+
+def place_by_frequency_fast(
+    instance: ProblemInstance,
+    frequencies: Sequence[int],
+    num_channels: int,
+) -> tuple[BroadcastProgram, int]:
+    """Algorithm-4 placement on raw arrays; grid-identical to the reference.
+
+    Returns ``(program, window_misses)`` — the same pair the reference
+    :func:`repro.core.pamad.place_by_frequency` wraps in its
+    ``PlacementResult``.
+    """
+    _check_frequencies(instance, frequencies)
+    total_slots = sum(
+        s * group.size for s, group in zip(frequencies, instance.groups)
+    )
+    cycle = ceil_div(total_slots, num_channels)
+    rows: list[list[int | None]] = [
+        [None] * cycle for _ in range(num_channels)
+    ]
+    fill = [0] * cycle
+    next_free = list(range(cycle + 1))
+    find = _make_find(next_free)
+
+    order = sorted(
+        range(instance.h), key=lambda i: frequencies[i], reverse=True
+    )
+    window_misses = 0
+    for group_position in order:
+        group = instance.groups[group_position]
+        s_i = frequencies[group_position]
+        for page in group.pages:
+            page_id = page.page_id
+            for k in range(s_i):
+                window_start = ceil_div(cycle * k, s_i)
+                window_end = ceil_div(cycle * (k + 1), s_i)  # exclusive
+                column = find(window_start)
+                if column >= min(window_end, cycle):
+                    # Window full: the reference falls back to a cyclic
+                    # scan from window_start — first free in
+                    # [window_start, cycle), else first free in
+                    # [0, window_start).
+                    window_misses += 1
+                    if column >= cycle:
+                        column = find(0)
+                        if column >= window_start:
+                            raise SchedulingError(
+                                f"no free slot anywhere in the cycle for "
+                                f"page {page_id} copy {k + 1}/{s_i}; "
+                                f"cycle length {cycle} cannot hold "
+                                f"{total_slots} slots"
+                            )
+                channel = fill[column]
+                rows[channel][column] = page_id
+                fill[column] = channel + 1
+                if channel + 1 == num_channels:
+                    next_free[column] = column + 1
+    return BroadcastProgram.from_grid(rows), window_misses
+
+
+def place_sequential_fast(
+    instance: ProblemInstance,
+    frequencies: Sequence[int],
+    num_channels: int,
+) -> tuple[BroadcastProgram, int]:
+    """Sequential (ABL3 strawman) placement on raw arrays.
+
+    Grid-identical to :func:`repro.core.pamad.place_sequential`,
+    including the cursor-reset-then-rescan behaviour when the frontier
+    hits the end of the cycle.
+    """
+    _check_frequencies(instance, frequencies)
+    total_slots = sum(
+        s * group.size for s, group in zip(frequencies, instance.groups)
+    )
+    cycle = ceil_div(total_slots, num_channels)
+    rows: list[list[int | None]] = [
+        [None] * cycle for _ in range(num_channels)
+    ]
+    fill = [0] * cycle
+    next_free = list(range(cycle + 1))
+    find = _make_find(next_free)
+
+    cursor = 0  # column of the last successful frontier placement
+    order = sorted(
+        range(instance.h), key=lambda i: frequencies[i], reverse=True
+    )
+    for group_position in order:
+        group = instance.groups[group_position]
+        s_i = frequencies[group_position]
+        for page in group.pages:
+            page_id = page.page_id
+            for _ in range(s_i):
+                column = find(cursor)
+                if column < cycle:
+                    cursor = column
+                else:
+                    # Frontier exhausted: the reference resets the cursor
+                    # and rescans from the start once.
+                    cursor = 0
+                    column = find(0)
+                    if column >= cycle:
+                        raise SchedulingError(
+                            f"grid full before placing page {page_id}"
+                        )
+                channel = fill[column]
+                rows[channel][column] = page_id
+                fill[column] = channel + 1
+                if channel + 1 == num_channels:
+                    next_free[column] = column + 1
+    return BroadcastProgram.from_grid(rows), 0
+
+
+def susc_fill_fast(
+    instance: ProblemInstance, num_channels: int
+) -> tuple[BroadcastProgram, dict[int, SlotRef]]:
+    """Algorithm 1/2 fill on raw rows; grid-identical to the reference.
+
+    Returns ``(program, first_slots)``; the caller
+    (:func:`repro.core.susc.schedule_susc`) owns bound checking and
+    validation.
+    """
+    cycle = instance.max_expected_time
+    rows: list[list[int | None]] = [
+        [None] * cycle for _ in range(num_channels)
+    ]
+    cursors = [0] * num_channels
+    first_slots: dict[int, SlotRef] = {}
+
+    for page in instance.pages_sorted_for_susc():
+        window = page.expected_time
+        start_channel = -1
+        start_slot = 0
+        for channel in range(num_channels):
+            cursor = cursors[channel]
+            row = rows[channel]
+            while cursor < cycle and row[cursor] is not None:
+                cursor += 1
+            cursors[channel] = cursor
+            if cursor < window:
+                start_channel = channel
+                start_slot = cursor
+                break
+        if start_channel < 0:
+            raise SchedulingError(
+                f"GetAvailableSlot found no free slot for {page} in the "
+                f"first {window} slots of any of {num_channels} "
+                "channels — Theorem 3.2 violated (channel count below "
+                "the bound, or a placement bug)"
+            )
+        first_slots[page.page_id] = SlotRef(
+            slot=start_slot, channel=start_channel
+        )
+        page_id = page.page_id
+        row = rows[start_channel]
+        for slot in range(start_slot, cycle, window):
+            if row[slot] is not None:
+                raise SchedulingError(
+                    f"Theorem 3.3 violated: periodic slot "
+                    f"(ch={start_channel}, slot={slot}) for {page} is "
+                    "already occupied"
+                )
+            row[slot] = page_id
+    return BroadcastProgram.from_grid(rows), first_slots

@@ -30,6 +30,7 @@ from typing import Sequence
 
 from repro.core.delay import paper_group_delay
 from repro.core.errors import SearchSpaceError
+from repro.core.intmath import ceil_div
 from repro.core.pages import ProblemInstance
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "r_upper_bound",
     "frequencies_from_r",
     "pamad_frequencies",
+    "pamad_frequencies_for",
     "sufficient_channel_frequencies",
 ]
 
@@ -71,7 +73,7 @@ class FrequencyAssignment:
 
     def cycle_length(self, sizes: Sequence[int]) -> int:
         """Equation (8): ``t_major = ceil(F / N_real)``."""
-        return math.ceil(self.slots_for(sizes) / self.num_channels)
+        return ceil_div(self.slots_for(sizes), self.num_channels)
 
 
 def frequencies_from_r(r_values: Sequence[int], h: int) -> tuple[int, ...]:
@@ -151,7 +153,7 @@ def r_upper_bound(
     capacity = num_channels * times[stage - 1] - sizes[stage - 1]
     if capacity <= 0:
         return 1
-    return max(1, math.ceil(capacity / f_prev))
+    return max(1, ceil_div(capacity, f_prev))
 
 
 def pamad_frequencies(
@@ -177,13 +179,37 @@ def pamad_frequencies(
     Returns:
         The chosen :class:`FrequencyAssignment`.
     """
+    return pamad_frequencies_for(
+        instance.group_sizes,
+        instance.expected_times,
+        num_channels,
+        objective=objective,
+    )
+
+
+def pamad_frequencies_for(
+    sizes: Sequence[int],
+    times: Sequence[int],
+    num_channels: int,
+    objective=paper_group_delay,
+) -> FrequencyAssignment:
+    """Algorithm 3 on raw ``(P_i, t_i)`` vectors, no instance required.
+
+    The staged search only reads group sizes and expected times, so
+    callers that already hold those (the live re-plan fast path probes
+    candidate catalogs without building a
+    :class:`~repro.core.pages.ProblemInstance`) can skip the instance
+    construction.  :func:`pamad_frequencies` delegates here.
+    """
     if num_channels <= 0:
         raise SearchSpaceError(
             f"num_channels must be positive, got {num_channels}"
         )
-    sizes = instance.group_sizes
-    times = instance.expected_times
-    h = instance.h
+    if len(sizes) != len(times):
+        raise SearchSpaceError(
+            f"got {len(sizes)} sizes for {len(times)} expected times"
+        )
+    h = len(sizes)
 
     r_values: list[int] = []
     stage_delays: list[float] = []
@@ -235,7 +261,7 @@ def sufficient_channel_frequencies(
     """
     t_h = instance.max_expected_time
     frequencies = tuple(
-        -(-t_h // group.expected_time) for group in instance.groups
+        ceil_div(t_h, group.expected_time) for group in instance.groups
     )
     predicted = paper_group_delay(
         frequencies,

@@ -1,0 +1,32 @@
+"""Exact integer arithmetic helpers shared across the core.
+
+The paper's formulas are full of ceilings over integer ratios — cycle
+lengths (Equation 8), the Theorem-3.1 channel bound, Algorithm 3's loop
+bound, SUSC's repetition counts.  Computing them as ``math.ceil(a / b)``
+round-trips through a float, which silently loses precision once the
+numerator passes 2**53: ``math.ceil((2**53 + 1) / 2)`` returns
+``2**52`` instead of ``2**52 + 1``.  Every integer ceiling in the
+codebase goes through :func:`ceil_div` instead, which stays in exact
+integer arithmetic at any magnitude.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ceil_div"]
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Exact ``ceil(numerator / denominator)`` for integers.
+
+    Uses the floor-division identity ``ceil(a/b) == -((-a) // b)``, so the
+    result is exact for arbitrarily large operands (no float round-trip).
+
+    Args:
+        numerator: Any integer.
+        denominator: A non-zero integer (callers in this codebase always
+            pass positive denominators).
+
+    Raises:
+        ZeroDivisionError: If ``denominator`` is zero.
+    """
+    return -(-numerator // denominator)

@@ -31,6 +31,7 @@ from typing import Sequence
 from repro.core.delay import program_average_delay
 from repro.core.errors import SchedulingError, SearchSpaceError
 from repro.core.frequencies import FrequencyAssignment, pamad_frequencies
+from repro.core.intmath import ceil_div
 from repro.core.pages import ProblemInstance
 from repro.core.program import BroadcastProgram
 
@@ -57,14 +58,11 @@ class PlacementResult:
     window_misses: int
 
 
-def _ceil_div(numerator: int, denominator: int) -> int:
-    return -(-numerator // denominator)
-
-
 def place_by_frequency(
     instance: ProblemInstance,
     frequencies: Sequence[int],
     num_channels: int,
+    fast: bool = True,
 ) -> PlacementResult:
     """Algorithm 4: evenly spread every page per its group frequency.
 
@@ -72,6 +70,10 @@ def place_by_frequency(
         instance: Pages and groups to place.
         frequencies: ``(S_1..S_h)`` copies per cycle for each group's pages.
         num_channels: ``N_real`` rows of the program grid.
+        fast: Use the grid-identical array kernel of
+            :mod:`repro.core.fastpath` (default).  ``False`` runs the
+            literal cell-by-cell reference scan; property tests pin the
+            two paths to byte-identical programs and miss counts.
 
     Returns:
         A :class:`PlacementResult`; the program's cycle length follows
@@ -83,6 +85,15 @@ def place_by_frequency(
             (impossible when the cycle length follows Equation 8, kept as a
             hard invariant).
     """
+    if fast:
+        from repro.core.fastpath import place_by_frequency_fast
+
+        program, window_misses = place_by_frequency_fast(
+            instance, frequencies, num_channels
+        )
+        return PlacementResult(
+            program=program, window_misses=window_misses
+        )
     if len(frequencies) != instance.h:
         raise SearchSpaceError(
             f"got {len(frequencies)} frequencies for h={instance.h} groups"
@@ -94,7 +105,7 @@ def place_by_frequency(
     total_slots = sum(
         s * group.size for s, group in zip(frequencies, instance.groups)
     )
-    cycle = _ceil_div(total_slots, num_channels)
+    cycle = ceil_div(total_slots, num_channels)
     program = BroadcastProgram(
         num_channels=num_channels, cycle_length=cycle
     )
@@ -111,8 +122,8 @@ def place_by_frequency(
         s_i = frequencies[group_position]
         for page in group.pages:
             for k in range(s_i):
-                window_start = _ceil_div(cycle * k, s_i)
-                window_end = _ceil_div(cycle * (k + 1), s_i)  # exclusive
+                window_start = ceil_div(cycle * k, s_i)
+                window_end = ceil_div(cycle * (k + 1), s_i)  # exclusive
                 placed = False
                 for column in range(window_start, min(window_end, cycle)):
                     channel = program.free_channel_in_column(column)
@@ -138,6 +149,7 @@ def place_sequential(
     instance: ProblemInstance,
     frequencies: Sequence[int],
     num_channels: int,
+    fast: bool = True,
 ) -> PlacementResult:
     """Naive placement: fill the grid left to right, no even spreading.
 
@@ -145,8 +157,16 @@ def place_sequential(
     are packed into the earliest free cells instead of being spread over
     the cycle.  This is the ABL3 ablation's strawman — it isolates how much
     of PAMAD's AvgD comes from *where* copies land rather than *how many*
-    there are.
+    there are.  ``fast`` selects the grid-identical array kernel
+    (default) versus the literal reference scan.
     """
+    if fast:
+        from repro.core.fastpath import place_sequential_fast
+
+        program, _ = place_sequential_fast(
+            instance, frequencies, num_channels
+        )
+        return PlacementResult(program=program, window_misses=0)
     if len(frequencies) != instance.h:
         raise SearchSpaceError(
             f"got {len(frequencies)} frequencies for h={instance.h} groups"
@@ -158,7 +178,7 @@ def place_sequential(
     total_slots = sum(
         s * group.size for s, group in zip(frequencies, instance.groups)
     )
-    cycle = _ceil_div(total_slots, num_channels)
+    cycle = ceil_div(total_slots, num_channels)
     program = BroadcastProgram(
         num_channels=num_channels, cycle_length=cycle
     )
@@ -243,6 +263,7 @@ def schedule_pamad(
     instance: ProblemInstance,
     num_channels: int,
     objective=None,
+    fast: bool = True,
 ) -> PamadSchedule:
     """Run the full PAMAD pipeline (Algorithms 3 + 4).
 
@@ -255,6 +276,8 @@ def schedule_pamad(
         num_channels: Channels actually available (``N_real``).
         objective: Optional stage objective override (see
             :func:`repro.core.frequencies.pamad_frequencies`).
+        fast: Placement kernel selector (see :func:`place_by_frequency`);
+            the produced program is identical either way.
 
     Returns:
         A :class:`PamadSchedule` with program, frequencies and measured
@@ -267,7 +290,7 @@ def schedule_pamad(
             instance, num_channels, objective=objective
         )
     placement = place_by_frequency(
-        instance, assignment.frequencies, num_channels
+        instance, assignment.frequencies, num_channels, fast=fast
     )
     average_delay = program_average_delay(placement.program, instance)
     return PamadSchedule(

@@ -66,6 +66,13 @@ class BroadcastProgram:
         # page_id -> sorted-on-demand list of SlotRef; kept as the single
         # source of truth for appearance queries.
         self._appearances: dict[int, list[SlotRef]] = {}
+        # Memoised derived tables, invalidated per page on any mutation
+        # of that page's cells.  Delay evaluation calls appearance_slots/
+        # cyclic_gaps once per page per metric, so repeated evaluation of
+        # a finished program (the common analysis pattern) pays the sort
+        # exactly once.
+        self._slots_cache: dict[int, list[int]] = {}
+        self._gaps_cache: dict[int, list[int]] = {}
 
     # ------------------------------------------------------------------
     # Shape
@@ -126,6 +133,8 @@ class BroadcastProgram:
         self._appearances.setdefault(page_id, []).append(
             SlotRef(slot=slot, channel=channel)
         )
+        self._slots_cache.pop(page_id, None)
+        self._gaps_cache.pop(page_id, None)
 
     def clear(self, channel: int, slot: int) -> int | None:
         """Remove and return the page at a cell (``None`` if it was free)."""
@@ -137,6 +146,8 @@ class BroadcastProgram:
             refs.remove(SlotRef(slot=slot, channel=channel))
             if not refs:
                 del self._appearances[occupant]
+            self._slots_cache.pop(occupant, None)
+            self._gaps_cache.pop(occupant, None)
         return occupant
 
     # ------------------------------------------------------------------
@@ -199,7 +210,13 @@ class BroadcastProgram:
         tunes to whichever channel carries the next appearance, so only the
         slot (column) matters for waiting time.
         """
-        return sorted({ref.slot for ref in self._appearances.get(page_id, [])})
+        cached = self._slots_cache.get(page_id)
+        if cached is None:
+            cached = sorted(
+                {ref.slot for ref in self._appearances.get(page_id, [])}
+            )
+            self._slots_cache[page_id] = cached
+        return list(cached)
 
     def broadcast_count(self, page_id: int) -> int:
         """Number of appearances of ``page_id`` in one cycle (``s_{i,j}``)."""
@@ -217,16 +234,20 @@ class BroadcastProgram:
         The gaps partition the cycle: they always sum to ``cycle_length``.
         A page appearing once has a single gap equal to the whole cycle.
         """
-        slots = self.appearance_slots(page_id)
-        if not slots:
-            raise InvalidInstanceError(
-                f"page {page_id} does not appear in the program"
-            )
-        if len(slots) == 1:
-            return [self._cycle_length]
-        gaps = [b - a for a, b in zip(slots, slots[1:])]
-        gaps.append(self._cycle_length - slots[-1] + slots[0])
-        return gaps
+        cached = self._gaps_cache.get(page_id)
+        if cached is None:
+            slots = self.appearance_slots(page_id)
+            if not slots:
+                raise InvalidInstanceError(
+                    f"page {page_id} does not appear in the program"
+                )
+            if len(slots) == 1:
+                cached = [self._cycle_length]
+            else:
+                cached = [b - a for a, b in zip(slots, slots[1:])]
+                cached.append(self._cycle_length - slots[-1] + slots[0])
+            self._gaps_cache[page_id] = cached
+        return list(cached)
 
     def wait_time(self, page_id: int, arrival: float) -> float:
         """Time from ``arrival`` until the next broadcast start of ``page_id``.
@@ -245,6 +266,76 @@ class BroadcastProgram:
             if slot >= arrival:
                 return slot - arrival
         return slots[0] + self._cycle_length - arrival
+
+    # ------------------------------------------------------------------
+    # Bulk construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_grid(
+        cls, grid: Sequence[Sequence[int | None]]
+    ) -> "BroadcastProgram":
+        """Build a program from a complete grid in one pass.
+
+        Equivalent to constructing an empty program and :meth:`assign`-ing
+        every non-``None`` cell in row-major order, but without per-cell
+        bounds and conflict checks (each cell is written exactly once by
+        construction).  Fast placement kernels materialise their result
+        through this path.
+        """
+        if not grid or not grid[0]:
+            raise InvalidInstanceError("grid must be non-empty")
+        cycle_length = len(grid[0])
+        program = cls(num_channels=len(grid), cycle_length=cycle_length)
+        appearances = program._appearances
+        rows = program._grid
+        for channel, row in enumerate(grid):
+            if len(row) != cycle_length:
+                raise InvalidInstanceError(
+                    f"grid row {channel} has {len(row)} slots, expected "
+                    f"{cycle_length}"
+                )
+            rows[channel] = list(row)
+            for slot, page_id in enumerate(row):
+                if page_id is not None:
+                    refs = appearances.get(page_id)
+                    if refs is None:
+                        appearances[page_id] = refs = []
+                    refs.append(SlotRef(slot=slot, channel=channel))
+        return program
+
+    def copy(self) -> "BroadcastProgram":
+        """An independent copy of this program (grid and appearances).
+
+        A structural copy, not a rebuild: the per-cell containers are
+        duplicated but the :class:`SlotRef` objects (immutable) and the
+        memoised appearance tables are shared/copied as-is, so copying
+        costs list duplication rather than re-deriving every reference.
+        The live re-plan patcher copies the on-air program this way
+        before editing one group's cells.
+        """
+        clone = BroadcastProgram(
+            num_channels=self._num_channels,
+            cycle_length=self._cycle_length,
+        )
+        clone._grid = [list(row) for row in self._grid]
+        clone._appearances = {
+            page_id: list(refs)
+            for page_id, refs in self._appearances.items()
+        }
+        clone._slots_cache = {
+            page_id: list(slots)
+            for page_id, slots in self._slots_cache.items()
+        }
+        clone._gaps_cache = {
+            page_id: list(gaps)
+            for page_id, gaps in self._gaps_cache.items()
+        }
+        return clone
+
+    def grid_rows(self) -> list[list[int | None]]:
+        """A copy of the raw grid, row per channel (for bulk consumers)."""
+        return [list(row) for row in self._grid]
 
     # ------------------------------------------------------------------
     # Serialisation and rendering

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.core.bounds import minimum_channels
 from repro.core.errors import InsufficientChannelsError, SchedulingError
+from repro.core.intmath import ceil_div
 from repro.core.pages import Page, ProblemInstance
 from repro.core.program import BroadcastProgram, SlotRef
 from repro.core.validate import assert_valid_program
@@ -130,6 +131,7 @@ def schedule_susc(
     num_channels: int | None = None,
     validate: bool = True,
     optimized: bool = False,
+    fast: bool = True,
 ) -> SuscSchedule:
     """Run SUSC and return a valid broadcast program.
 
@@ -143,6 +145,10 @@ def schedule_susc(
         optimized: Use the paper's §3.2 cursor optimisation for
             GetAvailableSlot.  Produces the *identical* program (property
             tests pin this); only the search cost changes.
+        fast: Run the whole fill on the raw-array kernel of
+            :mod:`repro.core.fastpath` (default) — again identical output,
+            again pinned by property tests.  ``fast=False`` selects
+            between the two literal reference probes via ``optimized``.
 
     Returns:
         A :class:`SuscSchedule` whose program satisfies every expected time.
@@ -160,6 +166,19 @@ def schedule_susc(
             provided=num_channels, required=required
         )
 
+    if fast:
+        from repro.core.fastpath import susc_fill_fast
+
+        fast_program, fast_first = susc_fill_fast(instance, num_channels)
+        if validate:
+            assert_valid_program(fast_program, instance)
+        return SuscSchedule(
+            program=fast_program,
+            instance=instance,
+            num_channels=num_channels,
+            first_slots=fast_first,
+        )
+
     cycle = instance.max_expected_time
     program = BroadcastProgram(
         num_channels=num_channels, cycle_length=cycle
@@ -173,7 +192,7 @@ def schedule_susc(
         else:
             start = _get_available_slot(program, page)
         first_slots[page.page_id] = start
-        repetitions = -(-cycle // page.expected_time)  # ceil(t_h / t_i)
+        repetitions = ceil_div(cycle, page.expected_time)  # ceil(t_h / t_i)
         for k in range(repetitions):
             slot = start.slot + k * page.expected_time
             if slot >= cycle:

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.errors import InvalidInstanceError
+from repro.core.intmath import ceil_div
 from repro.core.program import BroadcastProgram
 
 __all__ = ["INDEX_SLOT", "AccessResult", "IndexedProgram", "build_indexed_program"]
@@ -115,7 +116,7 @@ class IndexedProgram:
         # effective m is clamped to the distinct starts.
         data_cycle = program.cycle_length
         self._bucket_starts = sorted(
-            {-(-data_cycle * k // m) for k in range(m)}
+            {ceil_div(data_cycle * k, m) for k in range(m)}
         )
         self._m = len(self._bucket_starts)
         self._expanded = self._build_expanded()

@@ -22,6 +22,7 @@ import math
 from typing import Mapping
 
 from repro.core.errors import InvalidInstanceError
+from repro.core.intmath import ceil_div
 from repro.core.pages import Group, Page, ProblemInstance
 
 __all__ = ["LiveCatalog"]
@@ -124,7 +125,7 @@ class LiveCatalog:
         numerator = sum(
             common // expected for expected in self._times.values()
         )
-        return -(-numerator // common)  # ceil for positive ints
+        return ceil_div(numerator, common)
 
     def channel_load(self) -> float:
         """The fractional demand ``sum_i P_i / t_i`` in channel units."""

@@ -1,0 +1,226 @@
+"""Patch-based re-plan fast path for the live service (degraded regime).
+
+A degraded-mode mutation (an insert or retune arriving while the
+Theorem-3.1 requirement exceeds the channel budget) forces a full PAMAD
+re-plan of the whole catalog, yet the typical mutation moves a single
+page within one expected-time group.  When the rest of the plan provably
+cannot change, re-deriving every other group's placement is pure waste:
+only the changed group's copies need to move.
+
+:class:`FastReplanner` keeps a snapshot of the last full PAMAD plan and
+patches the on-air grid instead of re-planning when *all* of the
+following hold against the current catalog:
+
+* the expected-time rungs (and therefore the group structure) are the
+  ones the snapshot was planned for;
+* at most one rung's page set changed since the snapshot;
+* the frequency vector recomputed for the current group sizes
+  (Algorithm 3, via :func:`~repro.core.frequencies.pamad_frequencies_for`
+  on raw sizes — no instance construction) differs from the snapshot's
+  in at most that same rung;
+* the Equation-8 cycle for the new ``sum S_i P_i`` equals the on-air
+  cycle, so the grid shape — and with it every *unchanged* group's
+  Algorithm-4 windows — is preserved.
+
+The patch then (1) structurally copies the on-air program
+(:meth:`~repro.core.program.BroadcastProgram.copy` — list duplication,
+no re-derivation), (2) clears every cell of the changed rung's pages,
+and (3) re-places the rung's current page set, ``S_i`` copies each,
+through the Algorithm-4 window scan.
+Free channels are found with per-column occupancy bitmasks: clearing a
+page punches holes mid-column, so the prefix-occupancy shortcut the
+batch kernels in :mod:`repro.core.fastpath` rely on does not apply here,
+but a bitmask keeps the probe O(1) per column regardless.
+
+The patched program is a legitimate Algorithm-4 placement for the
+current catalog — exact per-page counts, Equation-8 cycle — and the
+whole procedure is deterministic, so live replay stays byte-identical
+run to run.  Capacity is guaranteed by the cycle check (``sum S_i P_i <=
+N * cycle``), hence the cyclic-fallback scan can never come up empty for
+an eligible patch; the ``None`` return on a full grid is kept as a
+belt-and-braces downgrade to a full re-plan rather than an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.frequencies import pamad_frequencies_for
+from repro.core.intmath import ceil_div
+from repro.core.program import BroadcastProgram
+
+__all__ = ["ReplanState", "FastReplanner"]
+
+
+@dataclass(frozen=True)
+class ReplanState:
+    """Snapshot of the last full PAMAD plan the patch path can extend.
+
+    Attributes:
+        times: Ascending expected-time rungs at plan time.
+        frequencies: The plan's ``(S_1..S_h)``, aligned with ``times``.
+        cycle: The plan's Equation-8 major-cycle length.
+        budget: ``N_real`` the plan was built for.
+        catalog: The ``page_id -> expected_time`` mapping at plan time.
+    """
+
+    times: tuple[int, ...]
+    frequencies: tuple[int, ...]
+    cycle: int
+    budget: int
+    catalog: Mapping[int, int]
+
+
+def _rung_pages(catalog: Mapping[int, int]) -> dict[int, set[int]]:
+    """Group a catalog mapping into ``expected_time -> page-id set``."""
+    rungs: dict[int, set[int]] = {}
+    for page_id, expected in catalog.items():
+        rungs.setdefault(expected, set()).add(page_id)
+    return rungs
+
+
+class FastReplanner:
+    """One-group patch planner over the last full PAMAD plan."""
+
+    def __init__(self) -> None:
+        self.state: ReplanState | None = None
+
+    def remember(
+        self,
+        *,
+        catalog: Mapping[int, int],
+        times: tuple[int, ...],
+        frequencies: tuple[int, ...],
+        cycle: int,
+        budget: int,
+    ) -> None:
+        """Record a freshly committed full PAMAD plan."""
+        self.state = ReplanState(
+            times=tuple(times),
+            frequencies=tuple(frequencies),
+            cycle=cycle,
+            budget=budget,
+            catalog=dict(catalog),
+        )
+
+    def invalidate(self) -> None:
+        """Drop the snapshot (the regime changed, e.g. back to SUSC)."""
+        self.state = None
+
+    def try_patch(
+        self,
+        catalog: Mapping[int, int],
+        program: BroadcastProgram | None,
+    ) -> BroadcastProgram | None:
+        """Patch ``program`` for ``catalog``, or ``None`` if ineligible."""
+        state = self.state
+        if state is None or program is None:
+            return None
+        if (
+            program.cycle_length != state.cycle
+            or program.num_channels != state.budget
+        ):
+            return None
+        new_rungs = _rung_pages(catalog)
+        times = tuple(sorted(new_rungs))
+        if times != state.times:
+            return None
+        old_rungs = _rung_pages(state.catalog)
+        changed = [
+            index
+            for index, time in enumerate(times)
+            if new_rungs[time] != old_rungs[time]
+        ]
+        if len(changed) > 1:
+            return None
+
+        sizes = tuple(len(new_rungs[time]) for time in times)
+        assignment = pamad_frequencies_for(sizes, times, state.budget)
+        frequencies = assignment.frequencies
+        target = set(changed)
+        target.update(
+            index
+            for index, (new, old) in enumerate(
+                zip(frequencies, state.frequencies)
+            )
+            if new != old
+        )
+        if len(target) > 1:
+            return None
+        cycle = ceil_div(
+            sum(s * p for s, p in zip(frequencies, sizes)), state.budget
+        )
+        if cycle != state.cycle:
+            return None
+
+        if not target:
+            # Nothing moved since the plan (e.g. an SLO-triggered re-plan
+            # on an unchanged catalog): the on-air program IS the plan.
+            return program
+
+        index = target.pop()
+        rung_time = times[index]
+        patched = self._patch(
+            program,
+            clear_pages=old_rungs[rung_time] | new_rungs[rung_time],
+            place_pages=new_rungs[rung_time],
+            copies=frequencies[index],
+            num_channels=state.budget,
+        )
+        if patched is None:
+            return None
+        self.remember(
+            catalog=catalog,
+            times=times,
+            frequencies=frequencies,
+            cycle=cycle,
+            budget=state.budget,
+        )
+        return patched
+
+    @staticmethod
+    def _patch(
+        program: BroadcastProgram,
+        clear_pages: set[int],
+        place_pages: set[int],
+        copies: int,
+        num_channels: int,
+    ) -> BroadcastProgram | None:
+        """Clear one rung and re-place it Algorithm-4 style."""
+        clone = program.copy()
+        for page_id in clear_pages:
+            for ref in clone.appearances(page_id):
+                clone.clear(ref.channel, ref.slot)
+        cycle = clone.cycle_length
+        full = (1 << num_channels) - 1
+        masks = [0] * cycle  # bit c set <=> channel c occupied in column
+        for channel, row in enumerate(clone.grid_rows()):
+            bit = 1 << channel
+            for slot, occupant in enumerate(row):
+                if occupant is not None:
+                    masks[slot] |= bit
+        for page_id in sorted(place_pages):
+            for k in range(copies):
+                window_start = ceil_div(cycle * k, copies)
+                window_end = min(ceil_div(cycle * (k + 1), copies), cycle)
+                column = -1
+                for col in range(window_start, window_end):
+                    if masks[col] != full:
+                        column = col
+                        break
+                else:
+                    # Window packed solid: same cyclic fallback as the
+                    # reference placement, starting at the window start.
+                    for offset in range(cycle):
+                        col = (window_start + offset) % cycle
+                        if masks[col] != full:
+                            column = col
+                            break
+                if column < 0:
+                    return None
+                free = ~masks[column] & full
+                channel = (free & -free).bit_length() - 1
+                clone.assign(channel, column, page_id)
+                masks[column] |= 1 << channel
+        return clone

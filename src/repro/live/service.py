@@ -52,6 +52,7 @@ from repro.core.validate import validate_program
 from repro.live.admission import AdmissionController, AdmissionDecision
 from repro.live.catalog import LiveCatalog
 from repro.live.mutations import MutationEvent, MutationTrace
+from repro.live.replan import FastReplanner
 from repro.live.slo import SloTracker
 from repro.sim.events import EventLoop
 
@@ -187,10 +188,12 @@ class LiveBroadcastService:
         self.self_check = self_check
 
         self.program: BroadcastProgram | None = None
+        self._replanner = FastReplanner()
         self.counters: dict[str, int] = {
             "mutations": 0,
             "incremental_repairs": 0,
             "full_replans": 0,
+            "fastpath_replans": 0,
             "slo_replans": 0,
             "queue_drains": 0,
             "listeners": 0,
@@ -223,14 +226,48 @@ class LiveBroadcastService:
     # ------------------------------------------------------------------
 
     def _full_replan(self, reason: str) -> None:
-        """Re-plan the whole catalog: SUSC at/above the bound, else PAMAD."""
-        instance = self.catalog.to_instance()
+        """Re-plan the catalog: SUSC at/above the bound, else PAMAD.
+
+        In the PAMAD regime a patch of the running program is tried
+        first (see :mod:`repro.live.replan`); it applies when at most
+        one expected-time group moved since the last full plan and the
+        recomputed frequencies and cycle prove the rest of the plan
+        unchanged.  Ineligible mutations fall through to the engine.
+        """
         required = self.catalog.required_channels()
         algorithm = "susc" if required <= self.budget else "pamad"
+        if algorithm == "pamad":
+            patched = self._replanner.try_patch(
+                self.catalog.pages(), self.program
+            )
+            if patched is not None:
+                self.program = patched
+                self._count("fastpath_replans")
+                self._record(
+                    "replan",
+                    reason=reason,
+                    algorithm="pamad-patch",
+                    channels=self.budget,
+                    required=required,
+                    cycle_length=patched.cycle_length,
+                    pages=len(self.catalog),
+                )
+                return
+        instance = self.catalog.to_instance()
         schedule = self.engine.schedule(
             instance, algorithm, channels=self.budget
         )
         self.program = schedule.program
+        if algorithm == "pamad":
+            self._replanner.remember(
+                catalog=self.catalog.pages(),
+                times=instance.expected_times,
+                frequencies=tuple(schedule.meta["frequencies"]),
+                cycle=schedule.program.cycle_length,
+                budget=self.budget,
+            )
+        else:
+            self._replanner.invalidate()
         self._count("full_replans")
         self._record(
             "replan",

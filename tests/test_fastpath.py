@@ -1,0 +1,440 @@
+"""Property tests pinning every fast path to its reference twin.
+
+The perf suite (:mod:`repro.analysis.perfsuite`) times the fast paths;
+this module proves they are *safe to time*: each optimised
+implementation must be observationally identical to the literal
+reference it replaces — same grids, same metadata, same search result —
+for every generated input, not just the benchmark configs.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.perfsuite import (
+    SCHEMA,
+    compare_payloads,
+    validate_payload,
+)
+from repro.baselines.opt import brute_force_frequencies, opt_frequencies
+from repro.core.bounds import minimum_channels
+from repro.core.errors import SimulationError
+from repro.core.frequencies import (
+    pamad_frequencies,
+    pamad_frequencies_for,
+)
+from repro.core.intmath import ceil_div
+from repro.core.pages import instance_from_counts
+from repro.core.pamad import (
+    place_by_frequency,
+    place_sequential,
+    schedule_pamad,
+)
+from repro.core.program import BroadcastProgram
+from repro.core.susc import schedule_susc
+from repro.live.catalog import LiveCatalog
+from repro.live.replan import FastReplanner
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def instances(draw, max_groups=4, max_size=12, max_base=4, max_ratio=3):
+    """Structurally valid instances on geometric expected-time ladders."""
+    h = draw(st.integers(1, max_groups))
+    base = draw(st.integers(1, max_base))
+    ratio = draw(st.integers(2, max_ratio)) if h > 1 else 1
+    sizes = draw(
+        st.lists(st.integers(1, max_size), min_size=h, max_size=h)
+    )
+    times = [base * ratio**i for i in range(h)]
+    return instance_from_counts(sizes, times)
+
+
+@st.composite
+def degraded_instances(draw):
+    """An instance plus a budget strictly below the SUSC requirement."""
+    instance = draw(instances())
+    channels = draw(st.integers(1, minimum_channels(instance)))
+    return instance, channels
+
+
+# ----------------------------------------------------------------------
+# Placement and SUSC kernels: byte-identical output
+# ----------------------------------------------------------------------
+
+
+class TestPlacementEquality:
+    @given(degraded_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_place_by_frequency_fast_matches_reference(self, case):
+        instance, channels = case
+        frequencies = pamad_frequencies(instance, channels).frequencies
+        slow = place_by_frequency(
+            instance, frequencies, channels, fast=False
+        )
+        fast = place_by_frequency(instance, frequencies, channels)
+        assert fast.program.grid_rows() == slow.program.grid_rows()
+        assert fast.window_misses == slow.window_misses
+
+    @given(degraded_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_place_sequential_fast_matches_reference(self, case):
+        instance, channels = case
+        frequencies = pamad_frequencies(instance, channels).frequencies
+        slow = place_sequential(
+            instance, frequencies, channels, fast=False
+        )
+        fast = place_sequential(instance, frequencies, channels)
+        assert fast.program.grid_rows() == slow.program.grid_rows()
+        assert fast.window_misses == slow.window_misses
+
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_susc_fast_matches_both_reference_probes(self, instance):
+        fast = schedule_susc(instance, validate=False)
+        for optimized in (False, True):
+            slow = schedule_susc(
+                instance, validate=False, fast=False, optimized=optimized
+            )
+            assert (
+                fast.program.grid_rows() == slow.program.grid_rows()
+            ), f"fast kernel diverged from optimized={optimized} probe"
+            assert fast.first_slots == slow.first_slots
+
+
+# ----------------------------------------------------------------------
+# Pruned searches: identical argmin, not just close
+# ----------------------------------------------------------------------
+
+
+class TestSearchEquality:
+    @given(instances(max_groups=3, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_opt_pruning_is_exact(self, instance):
+        channels = minimum_channels(instance)
+        exhaustive = opt_frequencies(instance, channels, prune=False)
+        pruned = opt_frequencies(instance, channels)
+        assert pruned.frequencies == exhaustive.frequencies
+        assert pruned.predicted_delay == pytest.approx(
+            exhaustive.predicted_delay
+        )
+
+    @given(instances(max_groups=3, max_size=5))
+    @settings(max_examples=15, deadline=None)
+    def test_brute_force_pruning_is_exact(self, instance):
+        channels = minimum_channels(instance)
+        exhaustive = brute_force_frequencies(
+            instance, channels, cap=4, prune=False
+        )
+        pruned = brute_force_frequencies(instance, channels, cap=4)
+        assert pruned.frequencies == exhaustive.frequencies
+        assert pruned.predicted_delay == pytest.approx(
+            exhaustive.predicted_delay
+        )
+
+
+# ----------------------------------------------------------------------
+# Integer ceiling division: exact where float ceil is not
+# ----------------------------------------------------------------------
+
+
+class TestCeilDiv:
+    @given(st.integers(-(10**6), 10**6), st.integers(1, 10**6))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_exact_rational_ceiling(self, a, b):
+        assert ceil_div(a, b) == math.ceil(Fraction(a, b))
+
+    def test_exact_beyond_float_precision(self):
+        # 2**53 + 1 is not representable as a float, so a / b rounds
+        # down a whole unit and math.ceil(a / b) is off by one.
+        # ceil_div must stay exact at any magnitude.
+        a, b = 2**53 + 1, 2
+        assert ceil_div(a, b) == 2**52 + 1
+        assert math.ceil(a / b) == 2**52  # the float trap being avoided
+
+    def test_zero_denominator_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ceil_div(1, 0)
+
+
+# ----------------------------------------------------------------------
+# Appearance-table caches on BroadcastProgram
+# ----------------------------------------------------------------------
+
+
+def _small_program() -> BroadcastProgram:
+    # Taut budget on a steep ladder: group 1 pages air 4x per cycle, so
+    # there is a page with multiple appearances to clear one copy of.
+    instance = instance_from_counts((3, 4), (2, 16))
+    return schedule_pamad(instance, 2).program
+
+
+class TestAppearanceCaches:
+    def test_cached_slots_and_gaps_match_cold_recompute(self):
+        program = _small_program()
+        warm_slots = {
+            page_id: program.appearance_slots(page_id)
+            for page_id in program.page_ids()
+        }
+        warm_gaps = {
+            page_id: program.cyclic_gaps(page_id)
+            for page_id in program.page_ids()
+        }
+        program._slots_cache.clear()
+        program._gaps_cache.clear()
+        for page_id in program.page_ids():
+            assert program.appearance_slots(page_id) == warm_slots[page_id]
+            assert program.cyclic_gaps(page_id) == warm_gaps[page_id]
+
+    def test_mutation_invalidates_cached_tables(self):
+        program = _small_program()
+        counts = program.page_counts()
+        page_id = max(counts, key=counts.get)  # keeps >=1 copy on air
+        assert counts[page_id] > 1
+        before = program.appearance_slots(page_id)
+        program.cyclic_gaps(page_id)  # populate both memo tables
+        ref = program.appearances(page_id)[0]
+        program.clear(ref.channel, ref.slot)
+        # The memoised answers must match a ground-truth recompute from
+        # the raw references, not the stale pre-mutation tables.
+        truth = sorted({r.slot for r in program.appearances(page_id)})
+        assert truth != before
+        assert program.appearance_slots(page_id) == truth
+        assert sum(program.cyclic_gaps(page_id)) == program.cycle_length
+
+    def test_returned_lists_do_not_alias_the_cache(self):
+        program = _small_program()
+        page_id = next(iter(program.page_ids()))
+        slots = program.appearance_slots(page_id)
+        slots.append(10**9)
+        gaps = program.cyclic_gaps(page_id)
+        gaps.append(10**9)
+        assert 10**9 not in program.appearance_slots(page_id)
+        assert 10**9 not in program.cyclic_gaps(page_id)
+
+
+# ----------------------------------------------------------------------
+# Structural copy / from_grid
+# ----------------------------------------------------------------------
+
+
+class TestProgramCopy:
+    def test_copy_is_equal_and_independent(self):
+        program = _small_program()
+        clone = program.copy()
+        assert clone.grid_rows() == program.grid_rows()
+        # Mutating the clone must not leak back into the original.
+        ref = clone.appearances(next(iter(clone.page_ids())))[0]
+        clone.clear(ref.channel, ref.slot)
+        assert program.grid_rows() != clone.grid_rows()
+        assert program._grid[ref.channel][ref.slot] is not None
+
+    def test_from_grid_round_trips(self):
+        program = _small_program()
+        rebuilt = BroadcastProgram.from_grid(program.grid_rows())
+        assert rebuilt.grid_rows() == program.grid_rows()
+        for page_id in program.page_ids():
+            assert rebuilt.appearances(page_id) == program.appearances(
+                page_id
+            )
+
+
+# ----------------------------------------------------------------------
+# Live re-plan patch path
+# ----------------------------------------------------------------------
+
+
+def _catalog(sizes, times) -> LiveCatalog:
+    pages: dict[int, int] = {}
+    page_id = 1
+    for size, expected in zip(sizes, times):
+        for _ in range(size):
+            pages[page_id] = expected
+            page_id += 1
+    return LiveCatalog(pages)
+
+
+def _remember(replanner, catalog, budget, schedule) -> None:
+    replanner.remember(
+        catalog=catalog.pages(),
+        times=catalog.to_instance().expected_times,
+        frequencies=schedule.assignment.frequencies,
+        cycle=schedule.program.cycle_length,
+        budget=budget,
+    )
+
+
+class TestFastReplanner:
+    SIZES = (3, 4, 6, 10)
+    TIMES = (4, 8, 16, 32)
+    BUDGET = 4
+
+    def _planned(self):
+        catalog = _catalog(self.SIZES, self.TIMES)
+        schedule = schedule_pamad(catalog.to_instance(), self.BUDGET)
+        replanner = FastReplanner()
+        _remember(replanner, catalog, self.BUDGET, schedule)
+        return catalog, schedule, replanner
+
+    def test_patch_is_a_valid_plan_for_the_new_catalog(self):
+        catalog, schedule, replanner = self._planned()
+        mutated = catalog.copy()
+        new_page = max(catalog.pages()) + 1
+        mutated.insert(new_page, self.TIMES[-1])
+        patched = replanner.try_patch(mutated.pages(), schedule.program)
+        assert patched is not None
+        # Exactly the mutated catalog's pages, at the Algorithm-3
+        # frequencies for the new group sizes, on the Equation-8 cycle.
+        instance = mutated.to_instance()
+        frequencies = pamad_frequencies(instance, self.BUDGET).frequencies
+        assert patched.cycle_length == schedule.program.cycle_length
+        counts = patched.page_counts()
+        assert set(counts) == set(mutated.pages())
+        for page_id, expected in mutated.pages().items():
+            group = instance.expected_times.index(expected)
+            assert counts[page_id] == frequencies[group]
+
+    def test_patch_is_deterministic(self):
+        grids = []
+        for _ in range(2):
+            catalog, schedule, replanner = self._planned()
+            mutated = catalog.copy()
+            mutated.insert(max(catalog.pages()) + 1, self.TIMES[-1])
+            patched = replanner.try_patch(
+                mutated.pages(), schedule.program
+            )
+            grids.append(patched.grid_rows())
+        assert grids[0] == grids[1]
+
+    def test_unchanged_catalog_returns_program_as_is(self):
+        catalog, schedule, replanner = self._planned()
+        patched = replanner.try_patch(catalog.pages(), schedule.program)
+        assert patched is schedule.program
+
+    def test_two_rung_change_is_ineligible(self):
+        catalog, schedule, replanner = self._planned()
+        mutated = catalog.copy()
+        base = max(catalog.pages())
+        mutated.insert(base + 1, self.TIMES[-1])
+        mutated.insert(base + 2, self.TIMES[-2])
+        assert (
+            replanner.try_patch(mutated.pages(), schedule.program) is None
+        )
+
+    def test_new_rung_is_ineligible(self):
+        catalog, schedule, replanner = self._planned()
+        mutated = catalog.copy()
+        mutated.insert(max(catalog.pages()) + 1, 64)
+        assert (
+            replanner.try_patch(mutated.pages(), schedule.program) is None
+        )
+
+    def test_cycle_growth_is_ineligible(self):
+        # Enough inserts into one rung eventually bump the Equation-8
+        # cycle; the patcher must hand back to the full re-plan then.
+        catalog, schedule, replanner = self._planned()
+        state = replanner.state
+        mutated = catalog.copy()
+        base = max(catalog.pages())
+        sizes = list(self.SIZES)
+        grew = False
+        for extra in range(1, 40):
+            mutated.insert(base + extra, self.TIMES[-1])
+            sizes[-1] += 1
+            frequencies = pamad_frequencies_for(
+                tuple(sizes), self.TIMES, self.BUDGET
+            ).frequencies
+            cycle = ceil_div(
+                sum(s * p for s, p in zip(frequencies, sizes)),
+                self.BUDGET,
+            )
+            if cycle != state.cycle:
+                grew = True
+                break
+        assert grew, "cycle never grew; test configuration is too slack"
+        replanner.state = state
+        # len(changed) is still 1 (one rung), but the cycle differs.
+        assert (
+            replanner.try_patch(mutated.pages(), schedule.program) is None
+        )
+
+    def test_no_snapshot_is_ineligible(self):
+        catalog, schedule, _ = self._planned()
+        fresh = FastReplanner()
+        assert (
+            fresh.try_patch(catalog.pages(), schedule.program) is None
+        )
+        fresh.invalidate()
+        assert fresh.state is None
+
+
+# ----------------------------------------------------------------------
+# Perf-suite payload schema and regression gates
+# ----------------------------------------------------------------------
+
+
+def _payload(quick=False, speedup=6.0, floor=5.0):
+    return {
+        "schema": SCHEMA,
+        "version": "0.0.0-test",
+        "quick": quick,
+        "repeats": 3,
+        "benchmarks": {
+            "bench_example": {
+                "config": {"pages": 1},
+                "reference_ms": speedup,
+                "fast_ms": 1.0,
+                "speedup": speedup,
+                "floor": floor,
+            }
+        },
+    }
+
+
+class TestPerfsuitePayloads:
+    def test_valid_payload_passes(self):
+        validate_payload(_payload())
+
+    def test_bad_schema_rejected(self):
+        payload = _payload()
+        payload["schema"] = "something/else"
+        with pytest.raises(SimulationError):
+            validate_payload(payload)
+
+    def test_nonpositive_timing_rejected(self):
+        payload = _payload()
+        payload["benchmarks"]["bench_example"]["fast_ms"] = 0
+        with pytest.raises(SimulationError):
+            validate_payload(payload)
+
+    def test_missing_benchmark_fails_comparison(self):
+        current = _payload()
+        current["benchmarks"] = {
+            "bench_other": current["benchmarks"]["bench_example"]
+        }
+        failures = compare_payloads(current, _payload())
+        assert any("missing" in failure for failure in failures)
+
+    def test_floor_gate_applies_across_modes(self):
+        current = _payload(quick=True, speedup=4.0, floor=5.0)
+        baseline = _payload(quick=False, speedup=6.0, floor=5.0)
+        failures = compare_payloads(current, baseline)
+        assert any("floor" in failure for failure in failures)
+
+    def test_relative_gate_only_same_mode(self):
+        # 5.1x vs a 6.9x baseline is a >25% drop but still above floor.
+        current = _payload(quick=True, speedup=5.1)
+        baseline_cross = _payload(quick=False, speedup=6.9)
+        assert compare_payloads(current, baseline_cross) == []
+        baseline_same = _payload(quick=True, speedup=6.9)
+        failures = compare_payloads(current, baseline_same)
+        assert any("regressed" in failure for failure in failures)

@@ -131,9 +131,11 @@ class TestSuscProperties:
     @settings(max_examples=60, deadline=None)
     def test_cursor_optimisation_is_equivalent(self, instance):
         """The paper's 3.2 search optimisation must not change the
-        program, only the search cost."""
-        naive = schedule_susc(instance)
-        optimized = schedule_susc(instance, optimized=True)
+        program, only the search cost.  Both sides pin ``fast=False`` so
+        this stays a comparison of the two *reference* probes (the fast
+        array kernel has its own equality suite in test_fastpath)."""
+        naive = schedule_susc(instance, fast=False)
+        optimized = schedule_susc(instance, optimized=True, fast=False)
         assert naive.program == optimized.program
         assert naive.first_slots == optimized.first_slots
 
