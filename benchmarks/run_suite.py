@@ -1,16 +1,17 @@
 #!/usr/bin/env python
-"""Standalone driver for the core perf suite.
+"""Standalone driver for the perf suites.
 
 Thin wrapper over :func:`repro.analysis.perfsuite.bench_command` — the
 same code path as ``repro-air bench`` — for running straight from a
 checkout without installing the package::
 
-    python benchmarks/run_suite.py                 # full mode, print only
+    python benchmarks/run_suite.py                 # core suite, full mode
     python benchmarks/run_suite.py --quick         # CI smoke inputs
+    python benchmarks/run_suite.py --suite serve   # serving throughput
     python benchmarks/run_suite.py \
         --output benchmarks/results/BENCH_core.json
-    python benchmarks/run_suite.py --quick \
-        --check benchmarks/results/BENCH_core.json
+    python benchmarks/run_suite.py --suite serve --quick \
+        --check benchmarks/results/BENCH_serve.json
 
 Exit status is non-zero when any entry misses its speedup floor or,
 with ``--check``, when the run regresses against the committed
@@ -29,11 +30,22 @@ except ImportError:  # running from a checkout without PYTHONPATH=src
     sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
     from repro.analysis.perfsuite import bench_command
 
-DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "results" / "BENCH_core.json"
+RESULTS = pathlib.Path(__file__).parent / "results"
+DEFAULT_OUTPUTS = {
+    "core": RESULTS / "BENCH_core.json",
+    "serve": RESULTS / "BENCH_serve.json",
+}
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        choices=sorted(DEFAULT_OUTPUTS),
+        default="core",
+        help="entry set: scheduling fast paths (core) or serving "
+        "throughput (serve)",
+    )
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -48,15 +60,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output",
         nargs="?",
-        const=str(DEFAULT_OUTPUT),
+        const="",
         help=(
-            "write the BENCH_core JSON payload; defaults to "
-            "benchmarks/results/BENCH_core.json when given without a value"
+            "write the suite's JSON payload; defaults to benchmarks/"
+            "results/BENCH_<suite>.json when given without a value"
         ),
     )
     parser.add_argument(
         "--check",
-        help="compare against a committed BENCH_core baseline JSON",
+        help="compare against a committed baseline JSON of the same suite",
     )
     parser.add_argument(
         "--max-regression",
@@ -65,10 +77,14 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed same-mode speedup drop vs the baseline (0.25 = 25%%)",
     )
     args = parser.parse_args(argv)
+    output = args.output
+    if output == "":
+        output = str(DEFAULT_OUTPUTS[args.suite])
     return bench_command(
+        suite=args.suite,
         quick=args.quick,
         repeats=args.repeats,
-        output=args.output,
+        output=output,
         check=args.check,
         max_regression=args.max_regression,
     )

@@ -108,7 +108,7 @@ from repro.engine import (
     register_scheduler,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 # Deprecated aliases served (with a warning) by ``__getattr__`` below;
 # each maps to its replacement in the engine API.

@@ -40,6 +40,7 @@ from repro.core.errors import SimulationError
 __all__ = [
     "SCHEMA",
     "SUITE_ENTRIES",
+    "BENCH_SUITES",
     "run_suite",
     "validate_payload",
     "compare_payloads",
@@ -317,14 +318,19 @@ def run_suite(quick: bool = False, repeats: int = 3) -> dict:
     }
 
 
-def validate_payload(payload: dict) -> None:
-    """Schema-check a BENCH_core payload; raises on any violation."""
+def validate_payload(payload: dict, schema: str = SCHEMA) -> None:
+    """Schema-check a bench payload; raises on any violation.
+
+    ``schema`` selects the expected schema string — BENCH_core and
+    BENCH_serve (:data:`repro.analysis.servesuite.SCHEMA`) share this
+    payload contract.
+    """
     if not isinstance(payload, dict):
-        raise SimulationError("BENCH_core payload must be an object")
-    if payload.get("schema") != SCHEMA:
+        raise SimulationError("bench payload must be an object")
+    if payload.get("schema") != schema:
         raise SimulationError(
             f"unexpected schema {payload.get('schema')!r}; "
-            f"expected {SCHEMA!r}"
+            f"expected {schema!r}"
         )
     for key, kind in (
         ("version", str),
@@ -334,10 +340,10 @@ def validate_payload(payload: dict) -> None:
     ):
         if not isinstance(payload.get(key), kind):
             raise SimulationError(
-                f"BENCH_core field {key!r} must be {kind.__name__}"
+                f"bench payload field {key!r} must be {kind.__name__}"
             )
     if not payload["benchmarks"]:
-        raise SimulationError("BENCH_core payload has no benchmarks")
+        raise SimulationError("bench payload has no benchmarks")
     for name, entry in payload["benchmarks"].items():
         if not isinstance(entry, dict):
             raise SimulationError(f"benchmark {name!r} must be an object")
@@ -355,7 +361,10 @@ def validate_payload(payload: dict) -> None:
 
 
 def compare_payloads(
-    current: dict, baseline: dict, max_regression: float = 0.25
+    current: dict,
+    baseline: dict,
+    max_regression: float = 0.25,
+    schema: str = SCHEMA,
 ) -> list[str]:
     """Regression-gate ``current`` against a committed ``baseline``.
 
@@ -365,8 +374,8 @@ def compare_payloads(
     * when both payloads came from the same mode (``quick`` flag), each
       speedup may drop at most ``max_regression`` below the baseline's.
     """
-    validate_payload(current)
-    validate_payload(baseline)
+    validate_payload(current, schema)
+    validate_payload(baseline, schema)
     failures = []
     same_mode = current["quick"] == baseline["quick"]
     for name, base in baseline["benchmarks"].items():
@@ -390,25 +399,48 @@ def compare_payloads(
     return failures
 
 
+#: ``--suite`` choices for :func:`bench_command` (resolved lazily so
+#: importing perfsuite never pulls in the live runtime).
+BENCH_SUITES = ("core", "serve")
+
+
+def _resolve_suite(suite: str):
+    """``suite`` name -> (schema, run_suite callable)."""
+    if suite == "core":
+        return SCHEMA, run_suite
+    if suite == "serve":
+        from repro.analysis import servesuite
+
+        return servesuite.SCHEMA, servesuite.run_suite
+    raise SimulationError(
+        f"unknown bench suite {suite!r}; choose from "
+        f"{', '.join(BENCH_SUITES)}"
+    )
+
+
 def bench_command(
     *,
+    suite: str = "core",
     quick: bool = False,
     repeats: int = 3,
     output: str | None = None,
     check: str | None = None,
     max_regression: float = 0.25,
 ) -> int:
-    """Run the suite, print a table, optionally write/gate the payload.
+    """Run a suite, print a table, optionally write/gate the payload.
 
     Shared implementation behind ``repro-air bench`` and
-    ``benchmarks/run_suite.py``.  Returns a process exit code: non-zero
-    when any entry misses its floor or, with ``check``, when the run
-    regresses against the committed baseline at ``check``.
+    ``benchmarks/run_suite.py``.  ``suite`` picks the entry set:
+    ``"core"`` (scheduling fast paths, BENCH_core) or ``"serve"``
+    (serving throughput, BENCH_serve).  Returns a process exit code:
+    non-zero when any entry misses its floor or, with ``check``, when
+    the run regresses against the committed baseline at ``check``.
     """
     import json
     import pathlib
 
-    payload = run_suite(quick=quick, repeats=repeats)
+    schema, suite_runner = _resolve_suite(suite)
+    payload = suite_runner(quick=quick, repeats=repeats)
     width = max(len(name) for name in payload["benchmarks"])
     failed = False
     for name, entry in payload["benchmarks"].items():
@@ -421,6 +453,12 @@ def bench_command(
             f"  floor {entry['floor']:>4.1f}x"
             f"  [{'ok' if ok else 'BELOW FLOOR'}]"
         )
+        stats = entry.get("stats")
+        if stats:
+            detail = "  ".join(
+                f"{key}={value}" for key, value in stats.items()
+            )
+            print(f"{''.ljust(width)}  {detail}")
     if output:
         path = pathlib.Path(output)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -431,7 +469,10 @@ def bench_command(
     if check:
         baseline = json.loads(pathlib.Path(check).read_text())
         failures = compare_payloads(
-            payload, baseline, max_regression=max_regression
+            payload,
+            baseline,
+            max_regression=max_regression,
+            schema=schema,
         )
         for failure in failures:
             print(f"REGRESSION {failure}")

@@ -6,12 +6,19 @@ Sweeps evaluate thousands of (program, page) pairs, where Python-level
 loops start to dominate; this module provides batch equivalents backed by
 numpy, with property tests pinning exact agreement with the scalar code.
 
-Two entry points:
+Entry points:
 
 * :func:`program_delay_vector` — per-page average delays of one program
   in a single vectorised pass over the appearance table;
 * :func:`batch_measure` — Monte-Carlo replay of many requests at once
-  (the 3000-request measurement as one ``searchsorted`` call).
+  (the 3000-request measurement as one ``searchsorted`` call);
+* :class:`AppearanceIndex` / :func:`batch_waits` — the packed
+  appearance table behind both, reusable across calls.  Building the
+  index re-reads :meth:`~repro.core.program.BroadcastProgram.
+  appearance_slots` (itself memoised since PR 4), so repeated
+  measurements of the same program — a sweep cell measured under many
+  seeds, or the live service replaying batches of listeners between
+  re-plans — skip the sort-and-pack pass entirely.
 """
 
 from __future__ import annotations
@@ -29,6 +36,8 @@ __all__ = [
     "program_delay_vector",
     "program_average_delay_fast",
     "paper_group_delay_batch",
+    "AppearanceIndex",
+    "batch_waits",
     "BatchMeasurement",
     "batch_measure",
 ]
@@ -153,6 +162,128 @@ def program_average_delay_fast(
 
 
 @dataclass(frozen=True)
+class AppearanceIndex:
+    """The packed appearance table of one program, built once.
+
+    ``slots`` holds every page's sorted appearance slots back to back
+    (float64 — exact for slot indices, and what ``searchsorted`` wants);
+    ``offsets[row] .. offsets[row + 1]`` delimits the row of
+    ``page_ids[row]``.  Rows follow the page order the index was built
+    with, so callers can address pages by row without dictionary
+    lookups; :meth:`row_of` resolves ad-hoc page ids.
+
+    Attributes:
+        cycle_length: Cycle length of the indexed program.
+        page_ids: Page id per row.
+        slots: Flat, per-row-sorted appearance slots.
+        offsets: Row boundaries into ``slots`` (``len(page_ids) + 1``).
+    """
+
+    cycle_length: int
+    page_ids: np.ndarray
+    slots: np.ndarray
+    offsets: np.ndarray
+
+    @classmethod
+    def from_program(
+        cls,
+        program: BroadcastProgram,
+        page_ids: "list[int] | tuple[int, ...] | None" = None,
+    ) -> "AppearanceIndex":
+        """Pack ``program``'s appearance table for the given pages.
+
+        Args:
+            program: The program to index.
+            page_ids: Pages to include, in row order; defaults to every
+                page the program broadcasts, sorted by id.  Pages absent
+                from the program get empty rows (callers decide whether
+                that is an error or an off-air observation).
+        """
+        if page_ids is None:
+            page_ids = sorted(program.page_ids())
+        slot_lists = [program.appearance_slots(pid) for pid in page_ids]
+        counts = np.asarray(
+            [len(slots) for slots in slot_lists], dtype=np.int64
+        )
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        flat = np.asarray(
+            [slot for slots in slot_lists for slot in slots],
+            dtype=np.float64,
+        )
+        return cls(
+            cycle_length=program.cycle_length,
+            page_ids=np.asarray(list(page_ids), dtype=np.int64),
+            slots=flat,
+            offsets=offsets,
+        )
+
+    def row_of(self, page_id: int) -> int:
+        """Row index of ``page_id``; raises when the page is not indexed."""
+        rows = np.flatnonzero(self.page_ids == page_id)
+        if rows.size == 0:
+            raise SimulationError(
+                f"page {page_id} is not in the appearance index"
+            )
+        return int(rows[0])
+
+    def on_air(self) -> np.ndarray:
+        """Boolean per row: does the page appear at all?"""
+        return np.diff(self.offsets) > 0
+
+
+def batch_waits(
+    index: AppearanceIndex,
+    rows: np.ndarray,
+    arrivals: np.ndarray,
+) -> np.ndarray:
+    """Waiting times for many (page row, arrival) pairs in one pass.
+
+    Bit-identical to calling :meth:`~repro.core.program.
+    BroadcastProgram.wait_time` per request: arrivals are reduced into
+    ``[0, cycle)`` with ``fmod`` (exactly Python's ``%`` for the
+    non-negative times used here), the next appearance is found with a
+    per-page ``searchsorted``, and the wrapped case computes
+    ``(first_slot + cycle) - arrival`` in the scalar's operation order.
+    Rows must be on air (non-empty); callers mask off-air pages first.
+
+    Args:
+        index: The packed appearance table.
+        rows: Row index (into ``index.page_ids``) per request.
+        arrivals: Arrival time per request (any non-negative float).
+
+    Returns:
+        float64 wait per request, in request order.
+    """
+    arrivals = np.fmod(
+        np.asarray(arrivals, dtype=np.float64), index.cycle_length
+    )
+    rows = np.asarray(rows, dtype=np.int64)
+    waits = np.empty(arrivals.shape[0], dtype=np.float64)
+    order = np.argsort(rows, kind="stable")
+    sorted_rows = rows[order]
+    boundaries = np.searchsorted(
+        sorted_rows, np.arange(index.page_ids.shape[0] + 1)
+    )
+    for row in np.unique(sorted_rows):
+        lo, hi = boundaries[row], boundaries[row + 1]
+        slots = index.slots[index.offsets[row]:index.offsets[row + 1]]
+        if slots.size == 0:
+            raise SimulationError(
+                f"page {int(index.page_ids[row])} does not appear in "
+                "the program"
+            )
+        positions = order[lo:hi]
+        page_arrivals = arrivals[positions]
+        nxt = np.searchsorted(slots, page_arrivals, side="left")
+        wrapped = nxt == slots.size
+        next_slot = slots[np.where(wrapped, 0, nxt)]
+        waits[positions] = np.where(
+            wrapped, next_slot + index.cycle_length, next_slot
+        ) - page_arrivals
+    return waits
+
+
+@dataclass(frozen=True)
 class BatchMeasurement:
     """Vectorised Monte-Carlo measurement result.
 
@@ -175,6 +306,7 @@ def batch_measure(
     num_requests: int = 3000,
     seed: int = 0,
     access_probabilities: Mapping[int, float] | None = None,
+    index: AppearanceIndex | None = None,
 ) -> BatchMeasurement:
     """Replay ``num_requests`` uniform-arrival requests in one numpy pass.
 
@@ -188,6 +320,10 @@ def batch_measure(
         num_requests: Stream length.
         seed: numpy RNG seed.
         access_probabilities: Optional non-uniform page weights.
+        index: Prebuilt :class:`AppearanceIndex` of ``program`` whose
+            rows follow ``instance.pages()`` order.  Repeated
+            measurements of the same program (one cell, many seeds)
+            build it once and skip the per-call packing pass.
     """
     if num_requests <= 0:
         raise SimulationError(
@@ -201,6 +337,18 @@ def batch_measure(
     expected = np.asarray(
         [page.expected_time for page in pages], dtype=np.float64
     )
+    if index is None:
+        index = AppearanceIndex.from_program(
+            program, [page.page_id for page in pages]
+        )
+    elif index.page_ids.shape[0] != len(pages) or not np.array_equal(
+        index.page_ids, page_ids
+    ):
+        raise SimulationError(
+            "appearance index rows do not match the instance's pages; "
+            "build it with AppearanceIndex.from_program(program, "
+            "[p.page_id for p in instance.pages()])"
+        )
     if access_probabilities is None:
         chosen = rng.integers(0, len(pages), size=num_requests)
     else:
@@ -211,35 +359,7 @@ def batch_measure(
         chosen = rng.choice(len(pages), size=num_requests, p=weights)
     arrivals = rng.random(num_requests) * cycle
 
-    # Appearance table: for each page, its sorted slots (ragged); pack
-    # into one flat array with offsets, then answer all requests with
-    # searchsorted per page group.
-    waits = np.empty(num_requests, dtype=np.float64)
-    order = np.argsort(chosen, kind="stable")
-    sorted_choice = chosen[order]
-    boundaries = np.searchsorted(
-        sorted_choice, np.arange(len(pages) + 1)
-    )
-    for index, page in enumerate(pages):
-        lo, hi = boundaries[index], boundaries[index + 1]
-        if lo == hi:
-            continue
-        request_positions = order[lo:hi]
-        slots = np.asarray(
-            program.appearance_slots(page.page_id), dtype=np.float64
-        )
-        if slots.size == 0:
-            raise SimulationError(
-                f"page {page.page_id} does not appear in the program"
-            )
-        page_arrivals = arrivals[request_positions]
-        next_index = np.searchsorted(slots, page_arrivals, side="left")
-        wrapped = next_index == slots.size
-        next_slot = slots[np.where(wrapped, 0, next_index)]
-        waits[request_positions] = np.where(
-            wrapped, next_slot + cycle, next_slot
-        ) - page_arrivals
-
+    waits = batch_waits(index, chosen, arrivals)
     excess = np.maximum(waits - expected[chosen], 0.0)
     return BatchMeasurement(
         average_delay=float(excess.mean()),

@@ -287,6 +287,8 @@ def _cmd_live(args: argparse.Namespace) -> int:
         slo_window=args.slo_window,
         target_miss_rate=args.target_miss_rate,
         replan_cooldown=args.cooldown,
+        batch_listeners=args.batch_listeners,
+        coalesce_window=args.coalesce_window,
     )
     report = result.report
     pull = result.baseline
@@ -313,6 +315,13 @@ def _cmd_live(args: argparse.Namespace) -> int:
         f"repairs, {counters['full_replans']} full re-plans "
         f"({counters['slo_replans']} SLO-triggered)"
     )
+    if args.batch_listeners or args.coalesce_window:
+        print(
+            f"serving: {counters.get('batched_listeners', 0)} listeners "
+            f"replayed in batches, "
+            f"{counters.get('events_coalesced', 0)} mutations coalesced "
+            f"({counters.get('replans_avoided', 0)} re-plans avoided)"
+        )
     table = Table(
         title="deadline SLO: push runtime vs pull baseline (LWF)",
         columns=["system", "listeners", "misses", "miss rate", "mean wait"],
@@ -419,6 +428,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.perfsuite import bench_command
 
     return bench_command(
+        suite=args.suite,
         quick=args.quick,
         repeats=args.repeats,
         output=args.output,
@@ -667,6 +677,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum slots between SLO-triggered re-plans",
     )
     live.add_argument(
+        "--batch-listeners", action="store_true",
+        help="replay consecutive listener arrivals as one vectorised "
+        "pass (same aggregate SLO statistics, order-of-magnitude "
+        "faster on listener-heavy traces)",
+    )
+    live.add_argument(
+        "--coalesce-window", type=int, default=0,
+        help="fold catalog mutations arriving within this many slots "
+        "into net operations before re-planning (0 = apply each "
+        "event individually)",
+    )
+    live.add_argument(
         "--trace", metavar="PATH", default=None,
         help="replay a saved mutation-trace JSON instead of generating",
     )
@@ -683,7 +705,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = commands.add_parser(
         "bench",
-        help="run the core perf suite and gate against a baseline",
+        help="run a perf suite and gate against a baseline",
+    )
+    bench.add_argument(
+        "--suite",
+        choices=("core", "serve"),
+        default="core",
+        help="entry set: scheduling fast paths (core, BENCH_core) or "
+        "serving throughput (serve, BENCH_serve)",
     )
     bench.add_argument(
         "--quick",
@@ -698,11 +727,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--output",
-        help="write the BENCH_core JSON payload to this path",
+        help="write the suite's JSON payload to this path",
     )
     bench.add_argument(
         "--check",
-        help="compare against a committed BENCH_core baseline JSON",
+        help="compare against a committed baseline JSON of the same suite",
     )
     bench.add_argument(
         "--max-regression",

@@ -17,13 +17,25 @@ Execution is *hardened*: a raising scheduler never poisons the rest of
 the grid.  Cell-level exceptions cross the pool boundary as values (the
 worker wraps them), so the parent can distinguish them from pool
 infrastructure failures; a failing cell is retried with exponential
-backoff up to :attr:`ExecutionPolicy.retries` times, a per-cell timeout
-bounds how long the parent waits in pool modes, and a per-algorithm
-circuit breaker stops burning attempts on a scheduler that keeps
-crashing — subsequent cells of that algorithm short-circuit to a
-structured :class:`CellFailure` instead of executing.  Failed cells come
-back as :class:`CellFailure` entries in the result list, in grid order,
-alongside the successful :class:`CellResult` entries.
+backoff up to :attr:`ExecutionPolicy.retries` times, a per-future
+timeout bounds how long the parent waits in pool modes, and a
+per-algorithm circuit breaker stops burning attempts on a scheduler
+that keeps crashing — subsequent cells of that algorithm short-circuit
+to a structured :class:`CellFailure` instead of executing.  Failed
+cells come back as :class:`CellFailure` entries in the result list, in
+grid order, alongside the successful :class:`CellResult` entries.
+
+Pool transport is *chunked and lazy*: :attr:`ExecutionPolicy.chunk_size`
+cells ride in one future, so the (identical) ``ProblemInstance`` payload
+is pickled once per chunk instead of once per cell, and chunks are
+submitted in waves of at most ``workers`` — never all up front — so a
+circuit that opens mid-grid short-circuits every not-yet-submitted cell
+without burning pool work.  Cells can also opt into the vectorised
+``batch`` measurement backend via :attr:`ExecutionPolicy.
+measure_backend` (recorded in manifests; see
+:func:`repro.sim.clients.measure_with_backend`).  Chunking, waves and
+backend never change *which* results come back: outcomes are
+bit-identical to a ``workers=1`` serial run of the same policy.
 """
 
 from __future__ import annotations
@@ -31,6 +43,7 @@ from __future__ import annotations
 import pickle
 import time
 import traceback
+from collections import deque
 from concurrent.futures import (
     BrokenExecutor,
     Future,
@@ -44,7 +57,7 @@ from repro.core.errors import ReproError
 from repro.core.pages import ProblemInstance
 from repro.engine.cache import CachedSchedule
 from repro.engine.registry import Scheduler
-from repro.sim.clients import measure_program
+from repro.sim.clients import MEASUREMENT_BACKENDS, measure_with_backend
 
 __all__ = [
     "SweepPoint",
@@ -180,23 +193,42 @@ class ExecutionPolicy:
     """Hardening knobs for a cell grid run.
 
     Attributes:
-        timeout: Per-cell wait bound in seconds for pool modes (``None``
-            = wait forever).  Serial execution cannot be preempted, so
-            the timeout is ignored there.  A timed-out worker may still
-            be running; its result is simply no longer awaited.
-        retries: Extra attempts after a failed first execution.
+        timeout: Per-future wait bound in seconds for pool modes
+            (``None`` = wait forever).  With ``chunk_size > 1`` one
+            future carries a whole chunk, so the budget covers the
+            chunk; a timed-out chunk fails every cell it carried
+            (retried individually per ``retries``).  Serial execution
+            cannot be preempted, so the timeout is ignored there.  A
+            timed-out worker may still be running; its result is simply
+            no longer awaited.
+        retries: Extra attempts after a failed first execution.  Pool
+            retries are resubmitted as single-cell futures.
         backoff: Base of the exponential backoff sleep between attempts
             (``backoff * 2**(attempt-1)`` seconds).
         breaker_threshold: Consecutive final failures of one algorithm
             that open its circuit; further cells of that algorithm are
-            failed structurally instead of executed/retried.  ``0``
-            disables the breaker.
+            failed structurally instead of executed/retried (in pool
+            modes, without even being submitted).  ``0`` disables the
+            breaker.
+        chunk_size: Cells per pool future.  The shared
+            ``ProblemInstance`` ships once per chunk, so large grids of
+            cheap cells stop paying per-cell pickling; ``1`` restores
+            the one-future-per-cell transport.  Results are identical
+            for every value.
+        measure_backend: ``"scalar"`` (the reference
+            :func:`~repro.sim.clients.measure_program` loop) or
+            ``"batch"`` (the vectorised
+            :func:`~repro.analysis.vectorized.batch_measure` pass).
+            Backends draw different RNG streams, so manifests record
+            which one ran.
     """
 
     timeout: float | None = None
     retries: int = 1
     backoff: float = 0.05
     breaker_threshold: int = 3
+    chunk_size: int = 1
+    measure_backend: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -211,6 +243,15 @@ class ExecutionPolicy:
             raise ReproError(
                 f"breaker_threshold must be >= 0, got "
                 f"{self.breaker_threshold}"
+            )
+        if self.chunk_size < 1:
+            raise ReproError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.measure_backend not in MEASUREMENT_BACKENDS:
+            raise ReproError(
+                f"unknown measure_backend {self.measure_backend!r}; "
+                f"choose from {', '.join(MEASUREMENT_BACKENDS)}"
             )
 
 
@@ -229,6 +270,9 @@ class ExecutionReport:
     cell_failures: int = 0
     breaker_trips: int = 0
     timeouts: int = 0
+    chunk_size: int = 1
+    measure_backend: str = "scalar"
+    short_circuited: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -238,6 +282,9 @@ class ExecutionReport:
             "cell_failures": self.cell_failures,
             "breaker_trips": self.breaker_trips,
             "timeouts": self.timeouts,
+            "chunk_size": self.chunk_size,
+            "measure_backend": self.measure_backend,
+            "short_circuited": self.short_circuited,
         }
 
 
@@ -255,7 +302,7 @@ class _CellError:
     trace: str = ""
 
 
-def execute_cell(spec: CellSpec) -> CellResult:
+def execute_cell(spec: CellSpec, backend: str = "scalar") -> CellResult:
     """Run one cell to completion (schedule unless cached, then measure)."""
     if spec.cached is not None:
         schedule = spec.cached.schedule
@@ -266,11 +313,12 @@ def execute_cell(spec: CellSpec) -> CellResult:
         schedule = spec.scheduler(spec.instance, spec.channels)
         elapsed = time.perf_counter() - started
         fresh = True
-    measurement = measure_program(
+    measurement = measure_with_backend(
         schedule.program,
         spec.instance,
         num_requests=spec.num_requests,
         seed=spec.seed,
+        backend=backend,
     )
     point = SweepPoint(
         algorithm=spec.algorithm,
@@ -288,16 +336,72 @@ def execute_cell(spec: CellSpec) -> CellResult:
     )
 
 
-def _guarded_execute(spec: CellSpec) -> CellResult | _CellError:
+def _guarded_execute(
+    spec: CellSpec, backend: str = "scalar"
+) -> CellResult | _CellError:
     """Worker entry point: cell exceptions become picklable values."""
     try:
-        return execute_cell(spec)
+        return execute_cell(spec, backend)
     except Exception as error:  # noqa: BLE001 - the guard is the point
         return _CellError(
             error_type=type(error).__name__,
             message=str(error),
             trace=traceback.format_exc(limit=8),
         )
+
+
+@dataclass(frozen=True)
+class _ChunkCell:
+    """One cell's chunk payload — everything but the shared instance."""
+
+    algorithm: str
+    scheduler: Scheduler
+    channels: int
+    num_requests: int
+    seed: int
+    cached: CachedSchedule | None = None
+
+
+@dataclass(frozen=True)
+class _ChunkSpec:
+    """A batch of cells sharing one pickled ``ProblemInstance``."""
+
+    instance: ProblemInstance
+    backend: str
+    cells: tuple[_ChunkCell, ...]
+
+
+def _chunk_cell(spec: CellSpec) -> _ChunkCell:
+    return _ChunkCell(
+        algorithm=spec.algorithm,
+        scheduler=spec.scheduler,
+        channels=spec.channels,
+        num_requests=spec.num_requests,
+        seed=spec.seed,
+        cached=spec.cached,
+    )
+
+
+def _cell_spec(cell: _ChunkCell, instance: ProblemInstance) -> CellSpec:
+    return CellSpec(
+        algorithm=cell.algorithm,
+        scheduler=cell.scheduler,
+        channels=cell.channels,
+        instance=instance,
+        num_requests=cell.num_requests,
+        seed=cell.seed,
+        cached=cell.cached,
+    )
+
+
+def _guarded_execute_chunk(
+    chunk: _ChunkSpec,
+) -> list[CellResult | _CellError]:
+    """Worker entry point for a chunk: per-cell failures stay values."""
+    return [
+        _guarded_execute(_cell_spec(cell, chunk.instance), chunk.backend)
+        for cell in chunk.cells
+    ]
 
 
 class _CircuitBreaker:
@@ -369,6 +473,7 @@ def _run_serial(
     outcomes: list[CellResult | CellFailure] = []
     for spec in specs:
         if breaker.is_open(spec.algorithm):
+            report.short_circuited += 1
             outcomes.append(
                 _finalize(
                     spec,
@@ -387,7 +492,7 @@ def _run_serial(
         attempts = 0
         while True:
             attempts += 1
-            value = _guarded_execute(spec)
+            value = _guarded_execute(spec, policy.measure_backend)
             if isinstance(value, CellResult):
                 breaker.record_success(spec.algorithm)
                 outcomes.append(replace(value, attempts=attempts))
@@ -408,6 +513,50 @@ def _run_serial(
     return outcomes
 
 
+def _chunk_specs(
+    specs: list[CellSpec], chunk_size: int
+) -> list[tuple[int, list[CellSpec]]]:
+    """Slice the grid into consecutive chunks sharing one instance.
+
+    Chunks never mix instances (the whole point is pickling the shared
+    payload once), so a boundary between different instance objects
+    closes the current chunk early.
+    """
+    chunks: list[tuple[int, list[CellSpec]]] = []
+    i = 0
+    while i < len(specs):
+        j = i + 1
+        while (
+            j < len(specs)
+            and j - i < chunk_size
+            and specs[j].instance is specs[i].instance
+        ):
+            j += 1
+        chunks.append((i, specs[i:j]))
+        i = j
+    return chunks
+
+
+def _await_value(
+    future: Future,
+    policy: ExecutionPolicy,
+    report: ExecutionReport,
+    telemetry,
+    what: str,
+):
+    """Wait on a pool future, converting a timeout into a value."""
+    try:
+        return future.result(timeout=policy.timeout)
+    except FuturesTimeoutError:
+        future.cancel()
+        report.timeouts += 1
+        _note(telemetry, "executor.timeouts")
+        return _CellError(
+            "TimeoutError",
+            f"{what} exceeded the {policy.timeout}s budget",
+        )
+
+
 def _run_pool(
     specs: list[CellSpec],
     workers: int,
@@ -418,45 +567,91 @@ def _run_pool(
 ) -> list[CellResult | CellFailure]:
     pool_cls = ProcessPoolExecutor if mode == "process" else ThreadPoolExecutor
     breaker = _CircuitBreaker(policy.breaker_threshold)
-    outcomes: list[CellResult | CellFailure] = []
-    with pool_cls(max_workers=min(workers, len(specs))) as pool:
-        futures: list[Future] = [
-            pool.submit(_guarded_execute, spec) for spec in specs
-        ]
-        for spec, future in zip(specs, futures):
-            # A circuit that opened on an earlier cell disables retries
-            # for this one; its future was already submitted, so a
-            # result that arrives anyway is still accepted.
-            circuit_open = breaker.is_open(spec.algorithm)
-            attempts = 0
-            while True:
-                attempts += 1
-                try:
-                    value = future.result(timeout=policy.timeout)
-                except FuturesTimeoutError:
-                    future.cancel()
-                    report.timeouts += 1
-                    _note(telemetry, "executor.timeouts")
-                    value = _CellError(
-                        "TimeoutError",
-                        f"cell exceeded the {policy.timeout}s budget",
+    outcomes: list[CellResult | CellFailure | None] = [None] * len(specs)
+    chunks = _chunk_specs(specs, policy.chunk_size)
+    next_chunk = 0
+    # (future, [(grid index, spec), ...]) in submission order; results
+    # are processed head-of-line so outcome content matches serial runs.
+    in_flight: deque[tuple[Future, list[tuple[int, CellSpec]]]] = deque()
+    with pool_cls(max_workers=min(workers, len(chunks))) as pool:
+
+        def submit_wave() -> None:
+            # Lazy submission: keep at most `workers` chunks in flight
+            # so a circuit opened by an earlier result short-circuits
+            # later cells *before* they ever reach the pool.
+            nonlocal next_chunk
+            while next_chunk < len(chunks) and len(in_flight) < workers:
+                start, chunk = chunks[next_chunk]
+                next_chunk += 1
+                live: list[tuple[int, CellSpec]] = []
+                for offset, spec in enumerate(chunk):
+                    if breaker.is_open(spec.algorithm):
+                        report.short_circuited += 1
+                        outcomes[start + offset] = _finalize(
+                            spec,
+                            _CellError(
+                                "CircuitOpen",
+                                f"circuit open for {spec.algorithm!r}; "
+                                "cell not submitted",
+                            ),
+                            attempts=0,
+                            circuit_open=True,
+                            breaker=breaker,
+                            report=report,
+                            telemetry=telemetry,
+                        )
+                    else:
+                        live.append((start + offset, spec))
+                if live:
+                    payload = _ChunkSpec(
+                        instance=live[0][1].instance,
+                        backend=policy.measure_backend,
+                        cells=tuple(
+                            _chunk_cell(spec) for _, spec in live
+                        ),
                     )
-                if isinstance(value, CellResult):
-                    breaker.record_success(spec.algorithm)
-                    outcomes.append(replace(value, attempts=attempts))
-                    break
-                if circuit_open or attempts > policy.retries:
-                    outcomes.append(
-                        _finalize(
+                    in_flight.append(
+                        (pool.submit(_guarded_execute_chunk, payload), live)
+                    )
+
+        submit_wave()
+        while in_flight:
+            future, live = in_flight.popleft()
+            values = _await_value(
+                future, policy, report, telemetry,
+                f"chunk of {len(live)} cell(s)",
+            )
+            if isinstance(values, _CellError):
+                # The whole chunk timed out; every cell it carried
+                # shares the failure (and its own retry budget below).
+                values = [values] * len(live)
+            for (index, spec), value in zip(live, values):
+                # A circuit that opened while this chunk was in flight
+                # disables retries; its result is still accepted.
+                circuit_open = breaker.is_open(spec.algorithm)
+                attempts = 1
+                while True:
+                    if isinstance(value, CellResult):
+                        breaker.record_success(spec.algorithm)
+                        outcomes[index] = replace(value, attempts=attempts)
+                        break
+                    if circuit_open or attempts > policy.retries:
+                        outcomes[index] = _finalize(
                             spec, value, attempts, circuit_open,
                             breaker, report, telemetry,
                         )
+                        break
+                    report.retries += 1
+                    _note(telemetry, "executor.retries")
+                    _backoff_sleep(policy, attempts)
+                    retry = pool.submit(
+                        _guarded_execute, spec, policy.measure_backend
                     )
-                    break
-                report.retries += 1
-                _note(telemetry, "executor.retries")
-                _backoff_sleep(policy, attempts)
-                future = pool.submit(_guarded_execute, spec)
+                    value = _await_value(
+                        retry, policy, report, telemetry, "cell"
+                    )
+                    attempts += 1
+            submit_wave()
     report.breaker_trips = breaker.trips
     _note(telemetry, "executor.breaker_trips", breaker.trips)
     return outcomes
@@ -502,9 +697,19 @@ def run_cells(
         )
     policy = policy or ExecutionPolicy()
     if mode == "serial" or workers <= 1 or len(specs) <= 1:
-        report = ExecutionReport(mode="serial", requested_mode=mode)
+        report = ExecutionReport(
+            mode="serial",
+            requested_mode=mode,
+            chunk_size=policy.chunk_size,
+            measure_backend=policy.measure_backend,
+        )
         return _run_serial(specs, policy, report, telemetry), report
-    report = ExecutionReport(mode=mode, requested_mode=mode)
+    report = ExecutionReport(
+        mode=mode,
+        requested_mode=mode,
+        chunk_size=policy.chunk_size,
+        measure_backend=policy.measure_backend,
+    )
     try:
         return (
             _run_pool(specs, workers, mode, policy, report, telemetry),
@@ -522,6 +727,10 @@ def run_cells(
         # missing multiprocessing support); the cells themselves are pure,
         # so rerun the full grid serially with fresh accounting.
         report = ExecutionReport(
-            mode="serial", requested_mode=mode, fallback=True
+            mode="serial",
+            requested_mode=mode,
+            fallback=True,
+            chunk_size=policy.chunk_size,
+            measure_backend=policy.measure_backend,
         )
         return _run_serial(specs, policy, report, telemetry), report

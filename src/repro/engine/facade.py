@@ -84,6 +84,9 @@ def _serial_executor_block() -> dict:
         "cell_failures": 0,
         "breaker_trips": 0,
         "timeouts": 0,
+        "chunk_size": 1,
+        "measure_backend": "scalar",
+        "short_circuited": 0,
     }
 
 
@@ -662,6 +665,9 @@ class BroadcastEngine:
         replan_cooldown: int = 8,
         self_check: bool = False,
         baseline: bool = True,
+        batch_listeners: bool = False,
+        slo_exact: bool = False,
+        coalesce_window: int = 0,
     ) -> "LiveServiceResult":
         """Replay a mutation trace through the live runtime (manifested).
 
@@ -670,7 +676,7 @@ class BroadcastEngine:
         this engine's telemetry — then optionally replays the same trace
         through the Longest-Wait-First pull baseline for comparison.
 
-        The manifest (operation ``"live"``, schema v3) is emitted
+        The manifest (operation ``"live"``, schema v4) is emitted
         *deterministically*: ``created_at`` is pinned, wall-clock timers
         are dropped, and every remaining field is a pure function of the
         inputs, so two replays of the same trace on fresh engines are
@@ -693,6 +699,15 @@ class BroadcastEngine:
             self_check: Validate the program after every applied
                 mutation (slow; meant for tests).
             baseline: Also replay the trace through the pull baseline.
+            batch_listeners: Replay listener runs vectorised (see
+                :class:`~repro.live.service.LiveBroadcastService`); the
+                ``service.counters.batched_listeners`` manifest field
+                records how many arrivals took the batched path.
+            slo_exact: Bit-identical SLO wait accumulation in batched
+                mode.
+            coalesce_window: Mutation-coalescing window in slots
+                (``0`` = event-by-event); ``service.counters.
+                events_coalesced`` / ``replans_avoided`` account for it.
 
         Returns:
             A :class:`LiveServiceResult`.
@@ -719,6 +734,9 @@ class BroadcastEngine:
             target_miss_rate=target_miss_rate,
             replan_cooldown=replan_cooldown,
             self_check=self_check,
+            batch_listeners=batch_listeners,
+            slo_exact=slo_exact,
+            coalesce_window=coalesce_window,
         )
         with self.telemetry.timer("live.replay"):
             report = service.run()
@@ -740,6 +758,8 @@ class BroadcastEngine:
                 "slo_window": slo_window,
                 "target_miss_rate": target_miss_rate,
                 "replan_cooldown": replan_cooldown,
+                "batch_listeners": batch_listeners,
+                "coalesce_window": coalesce_window,
                 "trace": {
                     "fingerprint": trace.fingerprint(),
                     "horizon": trace.horizon,

@@ -8,10 +8,10 @@ did (hits/misses for the run and for the engine's lifetime).  Manifests
 are the machine-readable audit trail of an engine process: the CLI can
 write them next to results, and regression tooling can diff them.
 
-Manifest schema (``manifest_version`` 3)::
+Manifest schema (``manifest_version`` 4)::
 
     {
-      "manifest_version": 3,
+      "manifest_version": 4,
       "run_id": 3,                      # per-engine monotonic counter
       "operation": "sweep",             # plan | schedule | evaluate |
                                         #   sweep | resilience | live
@@ -30,24 +30,35 @@ Manifest schema (``manifest_version`` 3)::
         "retries": 0,                   # cell re-executions performed
         "cell_failures": 0,             # cells that produced no result
         "breaker_trips": 0,             # per-algorithm circuits opened
-        "timeouts": 0                   # per-cell timeout expiries
+        "timeouts": 0,                  # per-future timeout expiries
+        "chunk_size": 1,                # cells per pool future (v4)
+        "measure_backend": "scalar",    # scalar | batch (v4)
+        "short_circuited": 0            # cells never submitted (v4)
       },
       "cache": {"run": {...}, "total": {...}},   # CacheStats dicts
       "timings": {"schedule": {"seconds": 0.81, "calls": 6}, ...},
       "counters": {"cells": 6, ...},
       "service": {...},                 # live-runtime block (v3): trace
                                         #   fingerprint, admission/SLO
-                                        #   summaries; {} otherwise
+                                        #   summaries, and (v4) the
+                                        #   counters.batched_listeners /
+                                        #   events_coalesced /
+                                        #   replans_avoided serving-
+                                        #   throughput fields;
+                                        #   {} otherwise
       "results": {...}                  # operation-specific summary
     }
 
 Version history — version 2 added the ``resilience`` operation and the
 executor hardening keys (``retries`` / ``cell_failures`` /
 ``breaker_trips`` / ``timeouts``); version 3 added the ``live``
-operation and the ``service`` block.  :meth:`RunManifest.from_dict`
-parses every version back to 1, defaulting the version-2 executor keys
-to zero and the version-3 ``service`` block to ``{}`` for older
-documents, so consumers can rely on the version-3 shape either way.
+operation and the ``service`` block; version 4 added the chunked-
+transport executor keys (``chunk_size`` / ``measure_backend`` /
+``short_circuited``) and the serving-throughput counters inside the
+``service`` block (``batched_listeners`` / ``events_coalesced`` /
+``replans_avoided``).  :meth:`RunManifest.from_dict` parses every
+version back to 1, defaulting the keys each newer version introduced,
+so consumers can rely on the version-4 shape either way.
 """
 
 from __future__ import annotations
@@ -69,7 +80,7 @@ __all__ = [
     "describe_instance",
 ]
 
-MANIFEST_VERSION = 3
+MANIFEST_VERSION = 4
 
 #: Executor-block keys added in manifest version 2, with their defaults
 #: (applied when parsing version-1 documents).
@@ -79,6 +90,22 @@ _EXECUTOR_V2_DEFAULTS = {
     "breaker_trips": 0,
     "timeouts": 0,
 }
+
+#: Executor-block keys added in manifest version 4 (chunked transport),
+#: with their defaults (applied when parsing version-1..3 documents).
+_EXECUTOR_V4_DEFAULTS = {
+    "chunk_size": 1,
+    "measure_backend": "scalar",
+    "short_circuited": 0,
+}
+
+#: ``service.counters`` keys added in manifest version 4 (serving
+#: throughput), defaulted to zero for older ``live`` manifests.
+_SERVICE_COUNTERS_V4 = (
+    "batched_listeners",
+    "events_coalesced",
+    "replans_avoided",
+)
 
 
 class Telemetry:
@@ -211,10 +238,12 @@ class RunManifest:
     def from_dict(cls, payload: Mapping[str, object]) -> "RunManifest":
         """Parse a manifest document of any supported schema version.
 
-        Accepts version 1, 2 and 3 documents; the hardening keys missing
-        from version-1 executor blocks default to zero and the
-        ``service`` block missing below version 3 defaults to ``{}``, so
-        consumers can rely on the version-3 shape either way.
+        Accepts version 1 through 4 documents: the hardening keys
+        missing from version-1 executor blocks default to zero, the
+        ``service`` block missing below version 3 defaults to ``{}``,
+        and the version-4 chunked-transport executor keys and serving-
+        throughput service counters default to their quiescent values —
+        so consumers can rely on the version-4 shape either way.
 
         Raises:
             ReproError: For unknown (newer) versions or documents missing
@@ -231,6 +260,14 @@ class RunManifest:
             executor = dict(payload["executor"])
             for key, default in _EXECUTOR_V2_DEFAULTS.items():
                 executor.setdefault(key, default)
+            for key, default in _EXECUTOR_V4_DEFAULTS.items():
+                executor.setdefault(key, default)
+            service = dict(payload.get("service", {}))
+            if "counters" in service:
+                counters = dict(service["counters"])
+                for key in _SERVICE_COUNTERS_V4:
+                    counters.setdefault(key, 0)
+                service["counters"] = counters
             return cls(
                 run_id=int(payload["run_id"]),
                 operation=str(payload["operation"]),
@@ -250,7 +287,7 @@ class RunManifest:
                 },
                 counters=dict(payload.get("counters", {})),
                 results=dict(payload.get("results", {})),
-                service=dict(payload.get("service", {})),
+                service=service,
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ReproError(

@@ -235,9 +235,20 @@ class MutationTrace:
         return cls.from_json(Path(path).read_text(encoding="utf-8"))
 
     def fingerprint(self) -> str:
-        """Stable content digest, suitable for run manifests."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        """Stable content digest, suitable for run manifests.
+
+        Memoised: the trace is frozen, and serialising a million-event
+        timeline per :meth:`LiveBroadcastService.run` would otherwise
+        rival the replay itself.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            canonical = json.dumps(self.to_dict(), sort_keys=True)
+            cached = hashlib.sha256(
+                canonical.encode("utf-8")
+            ).hexdigest()[:16]
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
 
 def scripted_trace(

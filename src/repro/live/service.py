@@ -141,6 +141,22 @@ class LiveBroadcastService:
         self_check: Validate the program against the live catalog after
             every applied mutation while the budget covers the bound
             (the property-test hook; raises on violation).
+        batch_listeners: Replay consecutive listener arrivals between
+            catalog changes as one vectorised pass (the million-listener
+            throughput path).  SLO counters, breach triggers and re-plan
+            decisions are sequentially equivalent to the event-by-event
+            path; the event log aggregates each batch into one
+            ``listener_batch`` entry instead of per-listener entries.
+        slo_exact: In batched mode, accumulate the SLO wait total in
+            strict listener order (bit-identical to event-by-event)
+            instead of one vectorised sum (equal within float tolerance).
+        coalesce_window: When positive, catalog mutations buffer for this
+            many slots and flush as one net batch: an insert+remove of
+            the same page cancels, repeated retunes collapse to the
+            last, remove+insert becomes a retune.  The flushed batch is
+            admitted and applied exactly as if the net operations had
+            arrived event by event at the window end.  ``0`` disables
+            coalescing (the default, and the event-by-event contract).
     """
 
     def __init__(
@@ -156,6 +172,9 @@ class LiveBroadcastService:
         target_miss_rate: float = 0.05,
         replan_cooldown: int = 8,
         self_check: bool = False,
+        batch_listeners: bool = False,
+        slo_exact: bool = False,
+        coalesce_window: int = 0,
     ) -> None:
         self.catalog = LiveCatalog(initial)
         self.trace = trace
@@ -186,6 +205,13 @@ class LiveBroadcastService:
             )
         self.replan_cooldown = replan_cooldown
         self.self_check = self_check
+        self.batch_listeners = batch_listeners
+        self.slo_exact = slo_exact
+        if coalesce_window < 0:
+            raise SimulationError(
+                f"coalesce_window must be >= 0, got {coalesce_window}"
+            )
+        self.coalesce_window = coalesce_window
 
         self.program: BroadcastProgram | None = None
         self._replanner = FastReplanner()
@@ -198,11 +224,17 @@ class LiveBroadcastService:
             "queue_drains": 0,
             "listeners": 0,
             "misses": 0,
+            "batched_listeners": 0,
+            "events_coalesced": 0,
+            "replans_avoided": 0,
         }
         self._decisions: list[AdmissionDecision] = []
         self._log: list[dict] = []
         self._loop: EventLoop | None = None
         self._last_slo_replan = float("-inf")
+        self._now_override: float | None = None
+        self._pending: list[MutationEvent] = []
+        self._window_end: float | None = None
 
     # ------------------------------------------------------------------
     # Logging
@@ -210,6 +242,11 @@ class LiveBroadcastService:
 
     @property
     def now(self) -> float:
+        # The override carries a mid-batch listener's arrival time while
+        # the batched path handles a breach, so its records match the
+        # event-by-event path (where the loop clock sits on that event).
+        if self._now_override is not None:
+            return self._now_override
         return self._loop.now if self._loop is not None else 0.0
 
     def _record(self, entry_type: str, **details: object) -> None:
@@ -399,6 +436,12 @@ class LiveBroadcastService:
 
     def _on_mutation(self, event: MutationEvent) -> None:
         self._count("mutations")
+        if self.coalesce_window > 0:
+            self._buffer_mutation(event)
+        else:
+            self._admit_and_apply(event)
+
+    def _admit_and_apply(self, event: MutationEvent) -> None:
         if event.kind == "page_insert":
             decision = self.admission.decide_insert(self.catalog, event)
         elif event.kind == "page_remove":
@@ -421,6 +464,122 @@ class LiveBroadcastService:
         self._self_check(f"{event.kind}:{event.page_id}")
         if event.kind in ("page_remove", "page_retune"):
             self._drain_queue()
+
+    # ------------------------------------------------------------------
+    # Mutation coalescing
+    # ------------------------------------------------------------------
+
+    def _buffer_mutation(self, event: MutationEvent) -> None:
+        """Hold a catalog mutation until the coalescing window closes."""
+        if self._window_end is None:
+            self._window_end = event.time + self.coalesce_window
+            self._loop.schedule_at(self._window_end, self._flush_mutations)
+        self._pending.append(event)
+        self._count("events_coalesced")
+        self._record(
+            "coalesce",
+            kind=event.kind,
+            page_id=event.page_id,
+            window_end=self._window_end,
+        )
+
+    def _net_operations(
+        self, pending: list[MutationEvent], flush_time: float
+    ) -> list[MutationEvent]:
+        """Fold a buffered burst into its net catalog operations.
+
+        Per page, the buffered sequence is replayed against the page's
+        pre-window membership (ops that would be invalid mid-sequence —
+        duplicate insert, remove of an absent page — are dropped, the
+        same way event-by-event admission would reject them) and only
+        the initial-state -> final-state difference is emitted:
+        insert+remove cancels, retunes collapse to the last,
+        remove+insert of the same page becomes one retune.  Net events
+        are stamped at ``flush_time`` and ordered by ``(kind, page_id)``,
+        matching the trace tie-order at a shared timestamp.
+        """
+        initial: dict[int, int | None] = {}
+        final: dict[int, int | None] = {}
+        order: list[int] = []
+        for event in pending:
+            page_id = event.page_id
+            if page_id not in initial:
+                before = (
+                    self.catalog.expected_time(page_id)
+                    if page_id in self.catalog
+                    else None
+                )
+                initial[page_id] = before
+                final[page_id] = before
+                order.append(page_id)
+            state = final[page_id]
+            if event.kind == "page_insert":
+                if state is None:
+                    final[page_id] = event.expected_time
+            elif event.kind == "page_remove":
+                if state is not None:
+                    final[page_id] = None
+            else:  # page_retune
+                if state is not None:
+                    final[page_id] = event.expected_time
+        net: list[MutationEvent] = []
+        for page_id in order:
+            before, after = initial[page_id], final[page_id]
+            if before == after:
+                continue
+            if before is None:
+                net.append(MutationEvent(
+                    time=flush_time, kind="page_insert",
+                    page_id=page_id, expected_time=after,
+                ))
+            elif after is None:
+                net.append(MutationEvent(
+                    time=flush_time, kind="page_remove", page_id=page_id,
+                ))
+            else:
+                net.append(MutationEvent(
+                    time=flush_time, kind="page_retune",
+                    page_id=page_id, expected_time=after,
+                ))
+        net.sort(key=lambda e: (e.kind, e.page_id))
+        return net
+
+    def _flush_mutations(self) -> None:
+        """Close the window: admit and apply the net operations."""
+        pending, self._pending = self._pending, []
+        window_end, self._window_end = self._window_end, None
+        if not pending:
+            return
+        net = self._net_operations(pending, window_end)
+        self._count("replans_avoided", len(pending) - len(net))
+        self._record(
+            "coalesce_flush",
+            buffered=len(pending),
+            net=len(net),
+            avoided=len(pending) - len(net),
+        )
+        for event in net:
+            self._admit_and_apply(event)
+
+    def _planned_flush_times(self) -> list[float]:
+        """The flush times coalescing will use, computed from the trace.
+
+        Mirrors :meth:`_buffer_mutation`'s runtime behaviour (a window
+        opens at the first buffered mutation; mutations up to and
+        including the window end join it) so the batched listener path
+        can split listener runs at program-change boundaries up front.
+        """
+        if self.coalesce_window <= 0:
+            return []
+        times: list[float] = []
+        window_end: float | None = None
+        for event in self.trace:
+            if event.kind == "listener":
+                continue
+            if window_end is None or event.time > window_end:
+                window_end = event.time + self.coalesce_window
+                times.append(window_end)
+        return times
 
     def _on_listener(self, event: MutationEvent) -> None:
         self._count("listeners")
@@ -457,9 +616,143 @@ class LiveBroadcastService:
             self._full_replan("slo-breach")
             self.slo.reset_window()
 
+    def _on_listener_batch(
+        self, events: tuple[MutationEvent, ...]
+    ) -> None:
+        """Replay a run of listener arrivals as vectorised passes.
+
+        Sequentially equivalent to calling :meth:`_on_listener` per
+        event: waits come from the same ``searchsorted`` kernel the
+        sweep analysis uses (bit-identical to
+        :meth:`~repro.core.program.BroadcastProgram.wait_time`), the SLO
+        breach trigger is located by replaying the rolling window as a
+        cumulative sum, and a mid-batch breach re-plans at the
+        triggering listener's timestamp before the remainder of the
+        batch is re-vectorised against the new program.
+        """
+        import numpy as np
+
+        from repro.analysis.vectorized import AppearanceIndex, batch_waits
+
+        total = len(events)
+        all_times = np.asarray(
+            [event.time for event in events], dtype=np.float64
+        )
+        all_expected = np.asarray(
+            [event.expected_time for event in events], dtype=np.int64
+        )
+        all_pages = np.asarray(
+            [event.page_id for event in events], dtype=np.int64
+        )
+        start = 0
+        while start < total:
+            m = total - start
+            program = self.program
+            times = all_times[start:]
+            expected = all_expected[start:]
+            waits = np.zeros(m, dtype=np.float64)
+            if program is None or not program.page_ids():
+                served = np.zeros(m, dtype=bool)
+            else:
+                index = AppearanceIndex.from_program(program)
+                # index.page_ids is sorted (from_program default), so
+                # page ids resolve to rows with one searchsorted.
+                pages = all_pages[start:]
+                pos = np.searchsorted(index.page_ids, pages)
+                pos = np.minimum(pos, index.page_ids.shape[0] - 1)
+                served = index.page_ids[pos] == pages
+                if served.any():
+                    waits[served] = batch_waits(
+                        index, pos[served], times[served]
+                    )
+            miss = ~served | (waits > expected)
+
+            # Replay the rolling SLO window: seed with the tracker's
+            # current deque, then find the first arrival whose post-
+            # observation window both breaches and clears the cooldown
+            # (the same predicate _on_listener evaluates per event).
+            prior = np.asarray(list(self.slo._recent), dtype=np.int64)
+            seq = np.concatenate([prior, miss.astype(np.int64)])
+            csum = np.concatenate([[0], np.cumsum(seq)])
+            lengths = prior.shape[0] + np.arange(1, m + 1)
+            win = np.minimum(self.slo.window, lengths)
+            counts = csum[lengths] - csum[lengths - win]
+            eligible = (
+                (win >= max(1, self.slo.window // 2))
+                & ((counts / win) > self.slo.target_miss_rate)
+                & ((times - self._last_slo_replan) >= self.replan_cooldown)
+            )
+            hits = np.flatnonzero(eligible)
+            trigger = int(hits[0]) if hits.size else None
+            upto = m if trigger is None else trigger + 1
+
+            self.slo.observe_batch(
+                expected[:upto],
+                waits[:upto],
+                served[:upto],
+                miss[:upto],
+                exact=self.slo_exact,
+            )
+            batch_misses = int(miss[:upto].sum())
+            self._count("listeners", upto)
+            self._count("batched_listeners", upto)
+            if batch_misses:
+                self._count("misses", batch_misses)
+            self._record(
+                "listener_batch",
+                count=upto,
+                first_time=float(times[0]),
+                last_time=float(times[upto - 1]),
+                served=int(served[:upto].sum()),
+                misses=batch_misses,
+                wait_total=round(float(waits[:upto][served[:upto]].sum()), 6),
+            )
+            if trigger is not None:
+                self._now_override = float(times[trigger])
+                try:
+                    self._last_slo_replan = self.now
+                    self._count("slo_replans")
+                    self._record(
+                        "slo_breach",
+                        rolling_miss_rate=round(
+                            self.slo.rolling_miss_rate, 6
+                        ),
+                        target=self.slo.target_miss_rate,
+                    )
+                    self._full_replan("slo-breach")
+                    self.slo.reset_window()
+                finally:
+                    self._now_override = None
+            start += upto
+
     # ------------------------------------------------------------------
     # Run
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _split_at_flushes(
+        run: tuple[MutationEvent, ...], flush_times: list[float]
+    ) -> list[tuple[MutationEvent, ...]]:
+        """Split a listener run at coalescing flush boundaries.
+
+        A listener at exactly the flush time still precedes the flush
+        (trace events are scheduled before the dynamically-scheduled
+        flush callback, and the loop breaks ties FIFO), so segments are
+        closed only for listeners strictly after a flush.
+        """
+        segments: list[tuple[MutationEvent, ...]] = []
+        current: list[MutationEvent] = []
+        k = 0
+        for event in run:
+            while k < len(flush_times) and event.time > flush_times[k]:
+                if current:
+                    segments.append(tuple(current))
+                    current = []
+                k += 1
+            current.append(event)
+        if current:
+            segments.append(tuple(current))
+        return segments
 
     def run(self) -> LiveReport:
         """Replay the whole trace; returns the structured report."""
@@ -471,14 +764,40 @@ class LiveBroadcastService:
         self._loop = EventLoop()
         self._full_replan("initial")
         self._self_check("initial")
-        for event in self.trace:
-            handler = (
-                self._on_listener
-                if event.kind == "listener"
-                else self._on_mutation
-            )
-            self._loop.schedule_at(event.time, partial(handler, event))
+        events = self.trace.events
+        flush_times = self._planned_flush_times()
+        i, n = 0, len(events)
+        while i < n:
+            event = events[i]
+            if event.kind != "listener" or not self.batch_listeners:
+                handler = (
+                    self._on_listener
+                    if event.kind == "listener"
+                    else self._on_mutation
+                )
+                self._loop.schedule_at(event.time, partial(handler, event))
+                i += 1
+                continue
+            j = i
+            while j < n and events[j].kind == "listener":
+                j += 1
+            for segment in self._split_at_flushes(
+                events[i:j], flush_times
+            ):
+                self._loop.schedule_at(
+                    segment[0].time,
+                    partial(self._on_listener_batch, segment),
+                )
+            i = j
         self._loop.run(until=float(self.trace.horizon))
+        if self._pending:
+            # The horizon closed before the last coalescing window did;
+            # flush the tail so buffered mutations are not lost.
+            self._now_override = float(self._window_end)
+            try:
+                self._flush_mutations()
+            finally:
+                self._now_override = None
         assert self.program is not None
         final_required = self.catalog.required_channels()
         final_valid = False

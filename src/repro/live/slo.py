@@ -119,6 +119,76 @@ class SloTracker:
             miss=miss,
         )
 
+    def observe_batch(
+        self,
+        expected_times,
+        waits,
+        served,
+        misses,
+        exact: bool = False,
+    ) -> None:
+        """Fold a whole batch of judged listeners into the tracker.
+
+        Equivalent to calling :meth:`observe` once per listener in
+        order, but with the per-listener bookkeeping done in bulk — the
+        batched listener engine's half of the determinism contract.
+        Counters, the rolling window and per-class buckets are exactly
+        sequential (integer arithmetic and ordered appends); only
+        ``total_wait`` depends on float summation order.  With
+        ``exact=True`` it accumulates left to right, bit-identical to
+        the event-by-event path; the default sums with
+        :func:`math.fsum` (correctly rounded, so *more* accurate, and
+        within a few ULP of the sequential sum — the tolerance the
+        agreement tests pin).
+
+        Args:
+            expected_times: Promised deadline per listener (ints).
+            waits: Observed wait per listener; entries where ``served``
+                is False are ignored (the page was off air).
+            served: Bool per listener — was the page on air?
+            misses: Bool per listener — deadline missed (off air or
+                ``wait > expected``)?  Judged by the caller so the wait
+                comparison happens once, vectorised.
+            exact: Accumulate ``total_wait`` in listener order instead
+                of in one vectorised sum.
+        """
+        import numpy as np
+
+        miss_arr = np.asarray(misses, dtype=bool)
+        served_arr = np.asarray(served, dtype=bool)
+        waits_arr = np.asarray(waits, dtype=np.float64)
+        exp_arr = np.asarray(expected_times, dtype=np.int64)
+        count = int(miss_arr.shape[0])
+        if not (
+            exp_arr.shape[0] == waits_arr.shape[0]
+            == served_arr.shape[0] == count
+        ):
+            raise SimulationError(
+                "observe_batch arrays must share one length, got "
+                f"{exp_arr.shape[0]}/{waits_arr.shape[0]}/"
+                f"{served_arr.shape[0]}/{count}"
+            )
+        self.listeners += count
+        self.misses += int(miss_arr.sum())
+        if exact:
+            total = self.total_wait
+            for wait in waits_arr[served_arr].tolist():
+                total += wait
+            self.total_wait = total
+        else:
+            self.total_wait += float(waits_arr[served_arr].sum())
+        self.served += int(served_arr.sum())
+        # Only the last `window` observations can survive in the deque,
+        # so extending with that tail is sequentially equivalent.
+        self._recent.extend(miss_arr[-self.window:].tolist())
+        for expected in np.unique(exp_arr).tolist():
+            mask = exp_arr == expected
+            bucket = self._per_class.setdefault(
+                int(expected), {"listeners": 0, "misses": 0}
+            )
+            bucket["listeners"] += int(mask.sum())
+            bucket["misses"] += int(miss_arr[mask].sum())
+
     # ------------------------------------------------------------------
     # Rates
     # ------------------------------------------------------------------

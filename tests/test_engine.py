@@ -433,12 +433,38 @@ class TestManifestCompat:
         payload = json.loads(result.manifest.to_json())
         payload["manifest_version"] = 2
         payload.pop("service", None)  # the block v3 introduced
+        for key in ("chunk_size", "measure_backend", "short_circuited"):
+            payload["executor"].pop(key, None)  # the keys v4 introduced
         parsed = RunManifest.from_dict(payload)
         assert parsed.service == {}
         assert parsed.executor == dict(result.manifest.executor)
         assert parsed.cache_total == result.manifest.cache_total
 
-    def test_version_3_serialises_service_block(self, fig2_instance):
+    def test_version_3_documents_still_parse(self, fig2_instance):
+        from repro.workload.mutations import generate_mutation_trace
+
+        trace = generate_mutation_trace(
+            fig2_instance, seed=3, horizon=24, mutations=4, listeners=6
+        )
+        payload = json.loads(
+            BroadcastEngine().live(fig2_instance, trace).manifest.to_json()
+        )
+        payload["manifest_version"] = 3
+        for key in ("chunk_size", "measure_backend", "short_circuited"):
+            payload["executor"].pop(key, None)
+        for key in (
+            "batched_listeners", "events_coalesced", "replans_avoided",
+        ):
+            payload["service"]["counters"].pop(key, None)
+        parsed = RunManifest.from_dict(payload)
+        assert parsed.executor["chunk_size"] == 1
+        assert parsed.executor["measure_backend"] == "scalar"
+        assert parsed.executor["short_circuited"] == 0
+        assert parsed.service["counters"]["batched_listeners"] == 0
+        assert parsed.service["counters"]["events_coalesced"] == 0
+        assert parsed.service["counters"]["replans_avoided"] == 0
+
+    def test_live_manifest_serialises_service_block(self, fig2_instance):
         from repro.workload.mutations import generate_mutation_trace
 
         trace = generate_mutation_trace(
@@ -446,13 +472,17 @@ class TestManifestCompat:
         )
         result = BroadcastEngine().live(fig2_instance, trace)
         payload = json.loads(result.manifest.to_json())
-        assert payload["manifest_version"] == 3
+        assert payload["manifest_version"] == MANIFEST_VERSION
         assert payload["operation"] == "live"
         assert payload["service"]["trace_fingerprint"] == trace.fingerprint()
         assert "admission" in payload["service"]
         assert "slo" in payload["service"]
+        counters = payload["service"]["counters"]
+        assert counters["batched_listeners"] == 0  # event-by-event run
+        assert counters["events_coalesced"] == 0
+        assert counters["replans_avoided"] == 0
 
-    def test_version_3_round_trip_is_exact(self, fig2_instance):
+    def test_live_manifest_round_trip_is_exact(self, fig2_instance):
         from repro.workload.mutations import generate_mutation_trace
 
         trace = generate_mutation_trace(
@@ -530,6 +560,7 @@ class TestRunManifest:
         assert set(payload["executor"]) == {
             "mode", "workers", "fallback",
             "retries", "cell_failures", "breaker_trips", "timeouts",
+            "chunk_size", "measure_backend", "short_circuited",
         }
         for scope in ("run", "total"):
             assert set(payload["cache"][scope]) == {

@@ -1,0 +1,729 @@
+"""Tests for the million-listener serving fast paths.
+
+Three fast paths, each pinned to its reference semantics:
+
+* **Batched listener replay** — ``batch_listeners=True`` must produce
+  the same programs, admission verdicts, SLO statistics and counters as
+  the event-by-event path (bit-identical with ``slo_exact=True``; the
+  default vectorised accumulation agrees within float tolerance).
+* **Mutation coalescing** — a coalesced replay must equal an
+  event-by-event replay of the *net* trace (the same windowed fold,
+  applied independently here), as long as the budget is ample; taut
+  budgets make net operations depend on admission verdicts, which is
+  why the equivalence property is stated under ample budget and taut
+  runs are pinned by determinism instead.
+* **Chunked sweep transport and measurement backends** — chunking and
+  lazy wave submission never change which outcomes come back (list
+  identity with a serial run for every ``chunk_size``), the ``batch``
+  backend agrees with the scalar reference statistically (different RNG
+  streams, same request model), and an open circuit short-circuits
+  cells that were never submitted.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ReproError, SimulationError
+from repro.core.pages import instance_from_counts
+from repro.engine.executor import (
+    CellFailure,
+    CellResult,
+    CellSpec,
+    ExecutionPolicy,
+    run_cells,
+)
+from repro.engine.registry import get_scheduler
+from repro.live.mutations import MutationEvent, MutationTrace
+from repro.live.service import LiveBroadcastService
+from repro.workload.mutations import generate_mutation_trace
+
+#: Ample channel budget for the (2, 3, 2) x (2, 4, 8) instance: every
+#: mutation the generator can draw fits, so admission never rejects.
+AMPLE_BUDGET = 12
+
+
+def _initial_instance():
+    return instance_from_counts((2, 3, 2), (2, 4, 8))
+
+
+def _run(instance, trace, **kwargs):
+    kwargs.setdefault("budget", AMPLE_BUDGET)
+    return LiveBroadcastService(instance, trace, **kwargs).run()
+
+
+def _comparable(report):
+    """The cross-mode comparable surface of a LiveReport."""
+    return {
+        "program": report.program,
+        "catalog": dict(report.catalog),
+        "final_required": report.final_required,
+        "final_valid": report.final_valid,
+        "decisions": [d.as_dict() for d in report.decisions],
+        "admission": dict(report.admission),
+        "listeners": report.counters["listeners"],
+        "misses": report.counters["misses"],
+        "slo_replans": report.counters["slo_replans"],
+        "full_replans": report.counters["full_replans"],
+    }
+
+
+@st.composite
+def replay_cases(draw):
+    seed = draw(st.integers(0, 10_000))
+    horizon = draw(st.integers(16, 96))
+    mutations = draw(st.integers(0, 20))
+    listeners = draw(st.integers(1, 120))
+    return seed, horizon, mutations, listeners
+
+
+class TestBatchedListenerReplay:
+    @settings(max_examples=20, deadline=None)
+    @given(case=replay_cases(), taut=st.booleans())
+    def test_batched_replay_matches_event_by_event(self, case, taut):
+        """Exact mode is bit-identical, including mid-batch SLO replans.
+
+        ``taut=True`` drops the budget to the initial catalog's
+        Theorem-3.1 requirement, so admission rejections and queueing
+        interleave with the batches — the equality must survive that
+        too (batching only groups *listeners*, never decisions).
+        """
+        seed, horizon, mutations, listeners = case
+        instance = _initial_instance()
+        trace = generate_mutation_trace(
+            instance,
+            seed=seed,
+            horizon=horizon,
+            mutations=mutations,
+            listeners=listeners,
+        )
+        budget = 2 if taut else AMPLE_BUDGET
+        event = _run(instance, trace, budget=budget, slo_exact=True)
+        batched = _run(
+            instance,
+            trace,
+            budget=budget,
+            batch_listeners=True,
+            slo_exact=True,
+        )
+        assert _comparable(batched) == _comparable(event)
+        assert batched.slo == event.slo
+        assert batched.counters["batched_listeners"] == (
+            batched.counters["listeners"]
+        )
+        assert event.counters["batched_listeners"] == 0
+
+    def test_default_accumulation_agrees_within_float_tolerance(self):
+        """Vectorised wait summation may reassociate float adds.
+
+        The batched path's default (non-exact) SLO accumulation uses
+        ``ndarray.sum`` — pairwise summation — so the mean wait can
+        differ from the sequential left-to-right fold by accumulated
+        rounding only.  Everything integral stays identical.
+        """
+        instance = _initial_instance()
+        trace = generate_mutation_trace(
+            instance, seed=5, horizon=64, mutations=8, listeners=200
+        )
+        event = _run(instance, trace)
+        batched = _run(instance, trace, batch_listeners=True)
+        assert _comparable(batched) == _comparable(event)
+        assert batched.slo["listeners"] == event.slo["listeners"]
+        assert batched.slo["misses"] == event.slo["misses"]
+        assert batched.slo["per_class"] == event.slo["per_class"]
+        assert batched.slo["average_wait"] == pytest.approx(
+            event.slo["average_wait"], abs=1e-9
+        )
+
+    def test_batched_replay_is_deterministic(self):
+        instance = _initial_instance()
+        trace = generate_mutation_trace(
+            instance, seed=9, horizon=48, mutations=6, listeners=90
+        )
+        first = _run(instance, trace, batch_listeners=True)
+        second = _run(instance, trace, batch_listeners=True)
+        assert first.event_log == second.event_log
+        assert first.program == second.program
+
+
+def _fold_window(pending, catalog, flush_time):
+    """Independent re-statement of the service's windowed net fold.
+
+    Replays a buffered burst per page against its pre-window membership
+    (invalid mid-sequence ops dropped) and emits only the initial ->
+    final difference at ``flush_time``, ordered by ``(kind, page_id)``
+    — then applies it to the shadow ``catalog``.
+    """
+    initial: dict[int, int | None] = {}
+    final: dict[int, int | None] = {}
+    order: list[int] = []
+    for event in pending:
+        page_id = event.page_id
+        if page_id not in initial:
+            before = catalog.get(page_id)
+            initial[page_id] = before
+            final[page_id] = before
+            order.append(page_id)
+        state = final[page_id]
+        if event.kind == "page_insert":
+            if state is None:
+                final[page_id] = event.expected_time
+        elif event.kind == "page_remove":
+            if state is not None:
+                final[page_id] = None
+        else:
+            if state is not None:
+                final[page_id] = event.expected_time
+    net = []
+    for page_id in order:
+        before, after = initial[page_id], final[page_id]
+        if before == after:
+            continue
+        if before is None:
+            net.append(MutationEvent(
+                time=flush_time, kind="page_insert",
+                page_id=page_id, expected_time=after,
+            ))
+        elif after is None:
+            net.append(MutationEvent(
+                time=flush_time, kind="page_remove", page_id=page_id,
+            ))
+        else:
+            net.append(MutationEvent(
+                time=flush_time, kind="page_retune",
+                page_id=page_id, expected_time=after,
+            ))
+        if after is None:
+            catalog.pop(page_id, None)
+        else:
+            catalog[page_id] = after
+    net.sort(key=lambda e: (e.kind, e.page_id))
+    return net
+
+
+def _net_trace(trace, window, initial_catalog):
+    """The trace a coalescing service effectively replays.
+
+    Mutations are folded window-by-window into net operations stamped
+    at the flush time; listeners pass through untouched.  The horizon
+    is extended when the trailing window closes past the original one
+    (the runtime applies that flush after the loop drains).
+    """
+    catalog = dict(initial_catalog)
+    events: list[MutationEvent] = []
+    pending: list[MutationEvent] = []
+    window_end = None
+
+    def flush():
+        nonlocal pending, window_end
+        if pending:
+            events.extend(_fold_window(pending, catalog, window_end))
+        pending, window_end = [], None
+
+    for event in trace.events:
+        if event.kind == "listener":
+            events.append(event)
+            continue
+        if window_end is not None and event.time > window_end:
+            flush()
+        if window_end is None:
+            window_end = event.time + window
+        pending.append(event)
+    last_end = window_end
+    flush()
+    horizon = trace.horizon
+    if last_end is not None:
+        horizon = max(horizon, int(last_end) + 1)
+    return MutationTrace(horizon=horizon, events=tuple(events))
+
+
+@st.composite
+def coalescing_cases(draw):
+    seed = draw(st.integers(0, 10_000))
+    horizon = draw(st.integers(16, 96))
+    mutations = draw(st.integers(1, 24))
+    listeners = draw(st.integers(0, 40))
+    window = draw(st.integers(1, 8))
+    return seed, horizon, mutations, listeners, window
+
+
+class TestMutationCoalescing:
+    @settings(max_examples=20, deadline=None)
+    @given(case=coalescing_cases())
+    def test_coalesced_replay_equals_net_trace_replay(self, case):
+        """The coalescing equivalence property (ample budget).
+
+        A coalesced run of the raw trace must equal an event-by-event
+        run of the independently folded net trace: same final grid,
+        same admission decisions, same SLO outcome.  Ample budget is
+        load-bearing — under a taut budget the net fold would need the
+        service's own admission verdicts to know the pre-window catalog,
+        making the statement circular.
+        """
+        seed, horizon, mutations, listeners, window = case
+        instance = _initial_instance()
+        trace = generate_mutation_trace(
+            instance,
+            seed=seed,
+            horizon=horizon,
+            mutations=mutations,
+            listeners=listeners,
+        )
+        initial_catalog = {
+            page.page_id: page.expected_time
+            for group in instance.groups
+            for page in group.pages
+        }
+        net = _net_trace(trace, window, initial_catalog)
+        coalesced = _run(instance, trace, coalesce_window=window)
+        replayed = _run(instance, net)
+        assert _comparable(coalesced) == _comparable(replayed)
+        assert coalesced.slo == replayed.slo
+        assert coalesced.counters["events_coalesced"] == len(
+            trace.mutations()
+        )
+        assert coalesced.counters["replans_avoided"] == (
+            len(trace.mutations()) - len(net.mutations())
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(case=coalescing_cases())
+    def test_taut_budget_coalescing_is_deterministic(self, case):
+        """Under a taut budget the equivalence above cannot be stated
+        independently, but the replay contract still holds: identical
+        inputs give byte-identical event logs."""
+        seed, horizon, mutations, listeners, window = case
+        instance = _initial_instance()
+        trace = generate_mutation_trace(
+            instance,
+            seed=seed,
+            horizon=horizon,
+            mutations=mutations,
+            listeners=listeners,
+        )
+        first = _run(instance, trace, budget=2, coalesce_window=window)
+        second = _run(instance, trace, budget=2, coalesce_window=window)
+        assert first.event_log == second.event_log
+        assert first.program == second.program
+
+    def test_insert_remove_within_window_cancels(self):
+        instance = _initial_instance()
+        trace = MutationTrace(
+            horizon=32,
+            events=(
+                MutationEvent(time=4.0, kind="page_insert",
+                              page_id=99, expected_time=4),
+                MutationEvent(time=5.0, kind="page_remove", page_id=99),
+            ),
+        )
+        report = _run(instance, trace, coalesce_window=4)
+        assert 99 not in report.catalog
+        assert report.decisions == ()  # nothing survived the fold
+        assert report.counters["events_coalesced"] == 2
+        assert report.counters["replans_avoided"] == 2
+
+    def test_retunes_within_window_collapse_to_last(self):
+        instance = _initial_instance()
+        page = next(
+            p.page_id for g in instance.groups for p in g.pages
+        )
+        trace = MutationTrace(
+            horizon=32,
+            events=(
+                MutationEvent(time=4.0, kind="page_retune",
+                              page_id=page, expected_time=4),
+                MutationEvent(time=5.0, kind="page_retune",
+                              page_id=page, expected_time=8),
+                MutationEvent(time=6.0, kind="page_retune",
+                              page_id=page, expected_time=4),
+            ),
+        )
+        report = _run(instance, trace, coalesce_window=6)
+        assert report.catalog[page] == 4
+        assert len(report.decisions) == 1
+        assert report.decisions[0].kind == "page_retune"
+        assert report.counters["replans_avoided"] == 2
+
+    def test_trailing_window_flushes_after_the_horizon(self):
+        instance = _initial_instance()
+        trace = MutationTrace(
+            horizon=16,
+            events=(
+                MutationEvent(time=14.0, kind="page_insert",
+                              page_id=99, expected_time=8),
+            ),
+        )
+        report = _run(instance, trace, coalesce_window=1000)
+        assert report.catalog[99] == 8
+        assert report.counters["events_coalesced"] == 1
+
+    def test_window_must_be_non_negative(self):
+        instance = _initial_instance()
+        trace = generate_mutation_trace(instance, seed=0, horizon=16)
+        with pytest.raises(SimulationError, match="coalesce_window"):
+            LiveBroadcastService(
+                instance, trace, budget=AMPLE_BUDGET, coalesce_window=-1
+            )
+
+
+class TestMeasurementBackends:
+    def test_dispatch_matches_direct_calls(self):
+        from repro.analysis.vectorized import batch_measure
+        from repro.sim.clients import measure_program, measure_with_backend
+
+        instance = _initial_instance()
+        program = get_scheduler("pamad")(instance, 2).program
+        scalar = measure_with_backend(
+            program, instance, num_requests=400, seed=3, backend="scalar"
+        )
+        reference = measure_program(
+            program, instance, num_requests=400, seed=3
+        )
+        assert scalar.average_delay == reference.average_delay
+        assert scalar.average_wait == reference.average_wait
+        batch = measure_with_backend(
+            program, instance, num_requests=400, seed=3, backend="batch"
+        )
+        direct = batch_measure(program, instance, num_requests=400, seed=3)
+        assert batch.average_delay == direct.average_delay
+        assert batch.average_wait == direct.average_wait
+
+    def test_unknown_backend_is_rejected(self):
+        from repro.sim.clients import measure_with_backend
+
+        instance = _initial_instance()
+        program = get_scheduler("pamad")(instance, 2).program
+        with pytest.raises(SimulationError, match="backend"):
+            measure_with_backend(program, instance, backend="bogus")
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_backends_agree_statistically(self, seed):
+        """Scalar and batch draw different RNG streams, so for one seed
+        they agree only in distribution.  Both estimate the same means
+        from ``n`` i.i.d. requests, so the difference of the two
+        estimates is bounded by the combined standard error; the bound
+        below is 6 x that (plus an epsilon for the zero-variance case),
+        i.e. a ~1e-9 flake probability per comparison.
+        """
+        from repro.analysis.vectorized import batch_measure
+        from repro.sim.clients import measure_program
+
+        instance = _initial_instance()
+        # One channel: the program actually misses deadlines, so the
+        # delay and miss-ratio comparisons are non-trivial.
+        program = get_scheduler("pamad")(instance, 1).program
+        n = 20_000
+        scalar = measure_program(program, instance, num_requests=n, seed=seed)
+        batch = batch_measure(program, instance, num_requests=n, seed=seed)
+
+        delay_se = scalar.delay_stats.stderr * math.sqrt(2.0)
+        assert batch.average_delay == pytest.approx(
+            scalar.average_delay, abs=6.0 * delay_se + 1e-9
+        )
+        # Waits are bounded by the cycle length, so their variance is at
+        # most (cycle/2)^2; the same 6-sigma logic applies.
+        wait_se = (program.cycle_length / 2.0) / math.sqrt(n) * math.sqrt(2.0)
+        assert batch.average_wait == pytest.approx(
+            scalar.average_wait, abs=6.0 * wait_se
+        )
+        p = scalar.miss_ratio
+        miss_se = math.sqrt(max(p * (1.0 - p), 1e-6) / n) * math.sqrt(2.0)
+        assert batch.miss_ratio == pytest.approx(
+            scalar.miss_ratio, abs=6.0 * miss_se
+        )
+
+
+def _outcome_key(outcome):
+    """Deterministic identity of a cell outcome (wall times excluded)."""
+    if isinstance(outcome, CellResult):
+        point = outcome.point
+        return (
+            "ok",
+            point.algorithm,
+            point.channels,
+            point.analytic_delay,
+            point.simulated_delay,
+            point.miss_ratio,
+            point.cycle_length,
+            outcome.attempts,
+        )
+    return (
+        "fail",
+        outcome.algorithm,
+        outcome.channels,
+        outcome.error_type,
+        outcome.attempts,
+        outcome.circuit_open,
+    )
+
+
+def _grid_specs(count=8, num_requests=120):
+    instance = _initial_instance()
+    specs = []
+    for index in range(count):
+        algorithm = "pamad" if index % 2 == 0 else "m-pb"
+        specs.append(CellSpec(
+            algorithm=algorithm,
+            scheduler=get_scheduler(algorithm),
+            channels=1 + index % 4,
+            instance=instance,
+            num_requests=num_requests,
+            seed=4_000 + index,
+        ))
+    return specs
+
+
+class TestChunkedSweepExecution:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        chunk_size=st.integers(1, 12),
+        workers=st.integers(2, 4),
+    )
+    def test_chunked_pool_is_list_identical_to_serial(
+        self, chunk_size, workers
+    ):
+        """The tentpole invariant: chunking and wave submission never
+        change which outcomes come back, for every ``chunk_size``."""
+        specs = _grid_specs()
+        serial, _ = run_cells(specs, workers=1, mode="serial")
+        policy = ExecutionPolicy(chunk_size=chunk_size)
+        chunked, report = run_cells(
+            specs, workers=workers, mode="thread", policy=policy
+        )
+        assert [_outcome_key(o) for o in chunked] == [
+            _outcome_key(o) for o in serial
+        ]
+        assert report.chunk_size == chunk_size
+        assert report.fallback is False
+
+    def test_chunked_process_pool_matches_serial(self):
+        specs = _grid_specs()
+        serial, _ = run_cells(specs, workers=1, mode="serial")
+        chunked, report = run_cells(
+            specs,
+            workers=3,
+            mode="process",
+            policy=ExecutionPolicy(chunk_size=3),
+        )
+        assert [_outcome_key(o) for o in chunked] == [
+            _outcome_key(o) for o in serial
+        ]
+        assert report.mode == "process"
+
+    def test_batch_backend_runs_and_is_recorded(self):
+        specs = _grid_specs(count=4)
+        policy = ExecutionPolicy(measure_backend="batch", chunk_size=2)
+        outcomes, report = run_cells(
+            specs, workers=2, mode="thread", policy=policy
+        )
+        assert all(isinstance(o, CellResult) for o in outcomes)
+        assert report.measure_backend == "batch"
+        scalar, _ = run_cells(specs, workers=1, mode="serial")
+        # Different RNG streams: agreement is statistical, not exact.
+        assert outcomes[0].point.simulated_delay != (
+            scalar[0].point.simulated_delay
+        ) or outcomes[0].point.simulated_delay == 0.0
+
+    @pytest.mark.parametrize("chunk_size", [1, 4])
+    def test_open_breaker_short_circuits_unsubmitted_cells(
+        self, chunk_size
+    ):
+        """Satellite fix: cells behind an open circuit are never
+        submitted to the pool — they fail structurally with zero
+        attempts instead of burning pool work."""
+        def explode(instance, channels):
+            raise ValueError("scheduler crash")
+
+        instance = _initial_instance()
+        specs = [
+            CellSpec(
+                algorithm="explode",
+                scheduler=explode,
+                channels=1 + index % 3,
+                instance=instance,
+                num_requests=50,
+                seed=index,
+            )
+            for index in range(12)
+        ]
+        policy = ExecutionPolicy(
+            retries=0,
+            backoff=0.0,
+            breaker_threshold=3,
+            chunk_size=chunk_size,
+        )
+        outcomes, report = run_cells(
+            specs, workers=2, mode="thread", policy=policy
+        )
+        assert all(isinstance(o, CellFailure) for o in outcomes)
+        skipped = [o for o in outcomes if o.attempts == 0]
+        assert report.breaker_trips == 1
+        assert report.short_circuited == len(skipped) > 0
+        assert all(o.circuit_open for o in skipped)
+        assert all(o.error_type == "CircuitOpen" for o in skipped)
+        assert report.cell_failures == len(specs)
+
+    def test_policy_validates_chunking_knobs(self):
+        with pytest.raises(ReproError, match="chunk_size"):
+            ExecutionPolicy(chunk_size=0)
+        with pytest.raises(ReproError, match="measure_backend"):
+            ExecutionPolicy(measure_backend="bogus")
+
+
+class TestServeManifest:
+    def test_live_manifest_records_serving_parameters_and_counters(self):
+        from repro.engine.facade import BroadcastEngine
+
+        instance = _initial_instance()
+        trace = generate_mutation_trace(
+            instance, seed=3, horizon=48, mutations=6, listeners=40
+        )
+        result = BroadcastEngine().live(
+            instance,
+            trace,
+            budget=AMPLE_BUDGET,
+            batch_listeners=True,
+            coalesce_window=2,
+        )
+        manifest = result.manifest.to_dict()
+        assert manifest["parameters"]["batch_listeners"] is True
+        assert manifest["parameters"]["coalesce_window"] == 2
+        counters = manifest["service"]["counters"]
+        assert counters["batched_listeners"] == counters["listeners"] > 0
+        assert counters["events_coalesced"] == 6
+        assert counters["replans_avoided"] >= 0
+
+
+class TestServeSuitePlumbing:
+    def test_suite_entries_carry_positive_floors(self):
+        from repro.analysis.servesuite import SCHEMA, SUITE_ENTRIES
+
+        assert SCHEMA == "repro-air/bench-serve/v1"
+        assert set(SUITE_ENTRIES) == {
+            "serve_listener_replay",
+            "serve_mutation_coalescing",
+            "serve_sweep_chunked",
+        }
+        for floor, builder in SUITE_ENTRIES.values():
+            assert floor > 1.0
+            assert callable(builder)
+
+    def test_validate_payload_is_schema_parameterised(self):
+        from repro.analysis.perfsuite import (
+            SCHEMA as CORE_SCHEMA,
+            validate_payload,
+        )
+        from repro.analysis.servesuite import SCHEMA as SERVE_SCHEMA
+
+        payload = {
+            "schema": SERVE_SCHEMA,
+            "version": "0",
+            "quick": True,
+            "repeats": 1,
+            "benchmarks": {
+                "serve_listener_replay": {
+                    "config": {},
+                    "reference_ms": 10.0,
+                    "fast_ms": 1.0,
+                    "speedup": 10.0,
+                    "floor": 5.0,
+                    "stats": {"listeners_per_second_fast": 1},
+                },
+            },
+        }
+        validate_payload(payload, SERVE_SCHEMA)
+        with pytest.raises(SimulationError, match="unexpected schema"):
+            validate_payload(payload, CORE_SCHEMA)
+        with pytest.raises(SimulationError, match="unexpected schema"):
+            validate_payload(dict(payload, schema=CORE_SCHEMA), SERVE_SCHEMA)
+
+    def test_compare_payloads_gates_serve_floors(self):
+        from repro.analysis.perfsuite import compare_payloads
+        from repro.analysis.servesuite import SCHEMA as SERVE_SCHEMA
+
+        def payload(speedup, quick):
+            return {
+                "schema": SERVE_SCHEMA,
+                "version": "0",
+                "quick": quick,
+                "repeats": 1,
+                "benchmarks": {
+                    "serve_listener_replay": {
+                        "config": {},
+                        "reference_ms": 10.0,
+                        "fast_ms": 10.0 / speedup,
+                        "speedup": speedup,
+                        "floor": 5.0,
+                        "stats": {},
+                    },
+                },
+            }
+
+        baseline = payload(20.0, quick=False)
+        assert compare_payloads(
+            payload(12.0, quick=True), baseline, schema=SERVE_SCHEMA
+        ) == []
+        failures = compare_payloads(
+            payload(3.0, quick=True), baseline, schema=SERVE_SCHEMA
+        )
+        assert failures and "below the 5.0x floor" in failures[0]
+        same_mode = compare_payloads(
+            payload(12.0, quick=False), baseline, schema=SERVE_SCHEMA
+        )
+        assert any("regressed" in failure for failure in same_mode)
+
+    def test_unknown_suite_is_rejected(self):
+        from repro.analysis.perfsuite import _resolve_suite
+
+        with pytest.raises(SimulationError, match="unknown bench suite"):
+            _resolve_suite("bogus")
+
+    def test_committed_serve_baseline_is_a_valid_full_run(self):
+        import json
+        import pathlib
+
+        from repro.analysis.perfsuite import validate_payload
+        from repro.analysis.servesuite import SCHEMA, SUITE_ENTRIES
+
+        path = (
+            pathlib.Path(__file__).parent.parent
+            / "benchmarks" / "results" / "BENCH_serve.json"
+        )
+        payload = json.loads(path.read_text())
+        validate_payload(payload, SCHEMA)
+        assert payload["quick"] is False
+        assert set(payload["benchmarks"]) == set(SUITE_ENTRIES)
+        replay = payload["benchmarks"]["serve_listener_replay"]
+        assert replay["config"]["listeners"] == 1_000_000
+        assert replay["speedup"] >= 10.0
+
+
+class TestServingCli:
+    def test_live_flags_report_serving_counters(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "live", "--sizes", "2,3,2", "--times", "2,4,8",
+            "--budget", "12", "--seed", "3", "--mutations", "6",
+            "--listeners", "30", "--batch-listeners",
+            "--coalesce-window", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving:" in out
+        assert "re-plans avoided" in out
+
+    def test_live_flags_match_event_by_event_output_shape(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "live", "--sizes", "2,3,2", "--times", "2,4,8",
+            "--budget", "12", "--seed", "3", "--mutations", "6",
+            "--listeners", "30",
+        ]) == 0
+        plain = capsys.readouterr().out
+        assert "serving:" not in plain
