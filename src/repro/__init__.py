@@ -108,41 +108,30 @@ from repro.engine import (
     register_scheduler,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
-# Deprecated aliases served (with a warning) by ``__getattr__`` below;
-# each maps to its replacement in the engine API.
-_DEPRECATED_ALIASES = {
+# Aliases removed after their deprecation period (they warned through
+# PR 1-5); each maps to the replacement named in the error.  Served by
+# ``__getattr__`` below as a loud AttributeError rather than silently
+# matching nothing, so stale call sites get a precise migration hint.
+_REMOVED_ALIASES = {
     "SCHEDULERS": (
-        "repro.engine.available_schedulers / register_scheduler",
-        lambda: __import__(
-            "repro.analysis.sweep", fromlist=["SCHEDULERS"]
-        ).SCHEDULERS,
+        "repro.engine.available_schedulers() / register_scheduler()"
     ),
-    "channel_sweep": (
-        "repro.BroadcastEngine.sweep",
-        lambda: __import__(
-            "repro.analysis.sweep", fromlist=["channel_sweep"]
-        ).channel_sweep,
-    ),
+    "channel_sweep": "repro.BroadcastEngine.sweep()",
 }
 
 
 def __getattr__(name: str):
-    try:
-        replacement, loader = _DEPRECATED_ALIASES[name]
-    except KeyError:
+    replacement = _REMOVED_ALIASES.get(name)
+    if replacement is not None:
         raise AttributeError(
-            f"module {__name__!r} has no attribute {name!r}"
-        ) from None
-    import warnings
-
-    warnings.warn(
-        f"repro.{name} is deprecated; use {replacement} instead",
-        DeprecationWarning,
-        stacklevel=2,
+            f"repro.{name} was deprecated and has been removed; use "
+            f"{replacement} instead"
+        )
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
     )
-    return loader()
 
 
 __all__ = [

@@ -1,0 +1,154 @@
+"""Versioned JSON codecs for the typed API surface.
+
+Two layers:
+
+* **Message envelope** — :func:`encode` wraps any :mod:`repro.api.types`
+  value object as ``{"api_version": 1, "type": "SloQuery", "body":
+  {...}}``; :func:`decode` reverses it, validating the version and type.
+  :func:`encode_line` / :func:`decode_line` add the newline-delimited
+  canonical-JSON framing the control plane speaks on its socket
+  (``sort_keys=True``, compact separators — byte-stable for identical
+  messages, the determinism contract of scripted sessions).
+
+* **Manifest codec** — :func:`manifest_from_dict` and friends are the
+  supported way to parse a :class:`~repro.engine.telemetry.RunManifest`
+  of *any* schema version (v1..v5) into the current in-memory shape.
+  They delegate to :meth:`RunManifest.from_dict`, so the compat rules
+  live in one place; the api module re-exports them because clients of
+  the control plane receive manifests over the wire and should not
+  import engine internals to read them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.api import types as _types
+from repro.core.errors import ReproError
+from repro.engine.telemetry import RunManifest
+
+__all__ = [
+    "API_VERSION",
+    "decode",
+    "decode_line",
+    "encode",
+    "encode_line",
+    "manifest_from_dict",
+    "manifest_from_json",
+    "manifest_to_dict",
+    "manifest_to_json",
+    "message_types",
+]
+
+#: Wire-format version of the request/response envelope.  Bumped when a
+#: type gains/loses required fields; :func:`decode` accepts 1..current.
+API_VERSION = 1
+
+_MESSAGE_TYPES: dict[str, type] = {
+    name: getattr(_types, name) for name in _types.__all__
+}
+
+
+def message_types() -> tuple[str, ...]:
+    """The registered message type names, sorted."""
+    return tuple(sorted(_MESSAGE_TYPES))
+
+
+def encode(message: object) -> dict:
+    """Wrap an api value object in its versioned envelope dict."""
+    name = type(message).__name__
+    registered = _MESSAGE_TYPES.get(name)
+    if registered is None or not isinstance(message, registered):
+        raise ReproError(
+            f"cannot encode {type(message)!r}: not a repro.api message "
+            "type"
+        )
+    return {
+        "api_version": API_VERSION,
+        "type": name,
+        "body": message.to_dict(),
+    }
+
+
+def decode(payload: Mapping) -> object:
+    """Parse an envelope dict back into its typed message.
+
+    Raises:
+        ReproError: On unknown/newer api versions, unknown types, or
+            structurally invalid bodies.
+    """
+    version = payload.get("api_version")
+    if not isinstance(version, int) or not 1 <= version <= API_VERSION:
+        raise ReproError(
+            f"unsupported api_version {version!r}; this build speaks "
+            f"versions 1..{API_VERSION}"
+        )
+    name = payload.get("type")
+    cls = _MESSAGE_TYPES.get(str(name))
+    if cls is None:
+        raise ReproError(
+            f"unknown api message type {name!r}; known types: "
+            f"{', '.join(message_types())}"
+        )
+    body = payload.get("body", {})
+    if not isinstance(body, Mapping):
+        raise ReproError(
+            f"api message body must be an object, got {type(body).__name__}"
+        )
+    try:
+        return cls.from_dict(body)
+    except ReproError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise ReproError(
+            f"malformed {name} body: {error}"
+        ) from error
+
+
+def encode_line(message: object) -> str:
+    """One canonical newline-terminated JSON frame for the wire."""
+    return (
+        json.dumps(
+            encode(message), sort_keys=True, separators=(",", ":")
+        )
+        + "\n"
+    )
+
+
+def decode_line(line: str) -> object:
+    """Parse one wire frame back into its typed message."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ReproError(f"invalid api frame: {error}") from error
+    if not isinstance(payload, Mapping):
+        raise ReproError(
+            f"api frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return decode(payload)
+
+
+# ----------------------------------------------------------------------
+# Manifest codec (schema v1..v5 -> current shape)
+# ----------------------------------------------------------------------
+
+
+def manifest_from_dict(payload: Mapping) -> RunManifest:
+    """Parse a run-manifest document of any supported schema version."""
+    return RunManifest.from_dict(payload)
+
+
+def manifest_from_json(text: str) -> RunManifest:
+    """Parse a run manifest from its JSON serialisation."""
+    return RunManifest.from_json(text)
+
+
+def manifest_to_dict(manifest: RunManifest) -> dict:
+    """Serialise a manifest in the current (v5) schema."""
+    return manifest.to_dict()
+
+
+def manifest_to_json(manifest: RunManifest, indent: int | None = 2) -> str:
+    """Serialise a manifest as JSON in the current (v5) schema."""
+    return manifest.to_json(indent=indent)

@@ -19,6 +19,9 @@ Subcommands:
 * ``live`` — replay a (seeded or saved) catalog-mutation timeline
   through the live service runtime: admission control, incremental
   repair vs full re-plans, SLO miss tracking, pull-baseline comparison.
+* ``serve`` — run the broadcast control plane: host named live
+  services behind the typed :mod:`repro.api` NDJSON protocol, either
+  persistently on a UNIX/TCP socket or replaying a scripted session.
 * ``experiment`` — run a registered experiment (FIG2 .. EXT11).
 * ``experiments`` — list the registry.
 * ``schedulers`` — list the scheduler registry (plugin API).
@@ -219,7 +222,7 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         plan.save(args.save_trace)
     result = default_engine().resilience(
         instance,
-        plan,
+        trace=plan,
         policies=args.policies,
         num_listeners=args.listeners,
         seed=args.seed,
@@ -354,6 +357,74 @@ def _cmd_live(args: argparse.Namespace) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(
             result.manifest.to_json() + "\n", encoding="utf-8"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import tempfile
+
+    from repro.api import ServiceManifest, decode_line, encode_line
+    from repro.control import ControlPlaneServer, run_scripted_session
+
+    if args.session:
+        lines = [
+            line
+            for line in pathlib.Path(args.session).read_text(
+                encoding="utf-8"
+            ).splitlines()
+            if line.strip()
+        ]
+        messages = [decode_line(line) for line in lines]
+        with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+            responses = run_scripted_session(
+                messages, pathlib.Path(tmp) / "control.sock"
+            )
+        payload = "".join(encode_line(r) for r in responses)
+        if args.out:
+            out = pathlib.Path(args.out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(payload, encoding="utf-8")
+        else:
+            sys.stdout.write(payload)
+        if args.manifest:
+            manifests = [
+                r for r in responses if isinstance(r, ServiceManifest)
+            ]
+            if not manifests:
+                raise ReproError(
+                    "--manifest given but the session finished no "
+                    "service; add a FinishService message to the script"
+                )
+            import json as _json
+
+            path = pathlib.Path(args.manifest)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                _json.dumps(
+                    manifests[-1].manifest, sort_keys=True, indent=2
+                )
+                + "\n",
+                encoding="utf-8",
+            )
+        return 0
+
+    server = ControlPlaneServer()
+    if args.socket:
+        print(f"control plane listening on {args.socket}", file=sys.stderr)
+        asyncio.run(server.serve_unix(args.socket))
+    elif args.port:
+        print(
+            f"control plane listening on {args.host}:{args.port}",
+            file=sys.stderr,
+        )
+        asyncio.run(server.serve_tcp(args.host, args.port))
+    else:
+        raise ReproError(
+            "serve needs a transport: --session FILE for a scripted "
+            "replay, --socket PATH for a UNIX socket, or --port N "
+            "(with optional --host) for TCP"
         )
     return 0
 
@@ -702,6 +773,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_manifest_argument(live)
     live.set_defaults(handler=_cmd_live)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the broadcast control plane (typed NDJSON protocol)",
+    )
+    serve.add_argument(
+        "--session", metavar="PATH", default=None,
+        help="replay a scripted NDJSON message file over a real socket "
+        "and exit (deterministic; the CI smoke path)",
+    )
+    serve.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the session's NDJSON responses here (default: "
+        "stdout; scripted mode only)",
+    )
+    serve.add_argument(
+        "--manifest", metavar="PATH", default=None,
+        help="write the last finished service's v5 manifest as "
+        "canonical JSON (scripted mode only)",
+    )
+    serve.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="serve persistently on a UNIX socket until Shutdown",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="TCP bind address (with --port)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="serve persistently on TCP until Shutdown",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     bench = commands.add_parser(
         "bench",

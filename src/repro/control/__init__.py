@@ -1,0 +1,42 @@
+"""repro.control — the broadcast control plane.
+
+The long-running half of the serving system: an asyncio server that
+hosts multiple named :class:`~repro.live.service.LiveBroadcastService`
+instances, speaks the typed :mod:`repro.api` protocol over
+newline-delimited JSON (UNIX or TCP socket, stdlib only), answers
+structural SLO queries from Theorem-3.1 load accounting, and closes the
+loop on sustained SLO breaches with the detector → proposer → verifier
+remediation engine.
+
+Entry points:
+
+* :class:`ControlPlane` — synchronous typed dispatch (testable without
+  sockets); :class:`ControlPlaneServer` / :class:`ControlPlaneClient` —
+  the asyncio transport; :func:`run_scripted_session` — replay a
+  message script end-to-end over a real socket.
+* :class:`ServiceSession` — one hosted service (live runtime +
+  remediation + manifest emission).
+* :class:`RemediationEngine` — the auto-remediation loop, reusable
+  against any live service.
+
+The CLI front end is ``repro-air serve``.
+"""
+
+from repro.control.plane import (
+    ControlPlane,
+    ControlPlaneClient,
+    ControlPlaneServer,
+    run_scripted_session,
+)
+from repro.control.remediation import RemediationEngine, plan_stats
+from repro.control.session import ServiceSession
+
+__all__ = [
+    "ControlPlane",
+    "ControlPlaneClient",
+    "ControlPlaneServer",
+    "RemediationEngine",
+    "ServiceSession",
+    "plan_stats",
+    "run_scripted_session",
+]

@@ -1,0 +1,293 @@
+"""The control plane: typed dispatch plus an asyncio NDJSON server.
+
+Layering, innermost out:
+
+* :class:`ControlPlane` — a synchronous dispatcher mapping each
+  :mod:`repro.api` request object to a response object.  All service
+  state lives here; the class is directly testable with no sockets or
+  event loop involved.
+* :class:`ControlPlaneServer` — the asyncio shell: newline-delimited
+  JSON frames (see :func:`repro.api.encode_line`) over a UNIX or TCP
+  socket, one request → one response per line, stdlib ``asyncio`` only.
+  Requests are handled strictly in arrival order on the event-loop
+  thread, so a scripted session replays deterministically regardless of
+  how clients interleave.
+* :class:`ControlPlaneClient` — the matching stream client.
+* :func:`run_scripted_session` — the CI/CLI entry point: stand up a
+  plane on a UNIX socket, replay a message script over a real
+  connection, tear the plane down, return the typed responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Sequence
+
+from repro.api.codec import decode_line, encode_line
+from repro.api.types import (
+    Ack,
+    ApiError,
+    CreateServiceRequest,
+    ErrorBudgetQuery,
+    FinishService,
+    ListServices,
+    MutationBatch,
+    ServiceList,
+    Shutdown,
+    SloQuery,
+)
+from repro.control.session import ServiceSession
+from repro.core.errors import ReproError
+
+__all__ = [
+    "ControlPlane",
+    "ControlPlaneClient",
+    "ControlPlaneServer",
+    "run_scripted_session",
+]
+
+
+class ControlPlane:
+    """Synchronous request dispatcher over named service sessions."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, ServiceSession] = {}
+        self.closing = False
+
+    @property
+    def services(self) -> tuple[str, ...]:
+        """Names of the hosted services, sorted."""
+        return tuple(sorted(self._sessions))
+
+    def session(self, name: str) -> ServiceSession | None:
+        """The session behind ``name``, or ``None``."""
+        return self._sessions.get(name)
+
+    def handle(self, message: object) -> object:
+        """Dispatch one typed request; never raises.
+
+        Structural errors (:class:`~repro.core.errors.ReproError`) map
+        to ``bad-request`` :class:`ApiError` responses; anything else is
+        reported as ``internal`` so one poisoned request cannot take
+        down the plane.
+        """
+        try:
+            return self._dispatch(message)
+        except ReproError as error:
+            return ApiError(code="bad-request", message=str(error))
+        except Exception as error:  # pragma: no cover - defensive
+            return ApiError(
+                code="internal",
+                message=f"{type(error).__name__}: {error}",
+            )
+
+    def handle_line(self, line: str) -> str:
+        """Decode one wire frame, dispatch it, encode the response."""
+        try:
+            message = decode_line(line)
+        except ReproError as error:
+            return encode_line(
+                ApiError(code="bad-request", message=str(error))
+            )
+        return encode_line(self.handle(message))
+
+    def _dispatch(self, message: object) -> object:
+        if isinstance(message, CreateServiceRequest):
+            if message.name in self._sessions:
+                return ApiError(
+                    code="duplicate-service",
+                    message=(
+                        f"a service named {message.name!r} already exists"
+                    ),
+                )
+            session = ServiceSession(message)
+            self._sessions[message.name] = session
+            return session.created()
+        if isinstance(message, MutationBatch):
+            session = self._sessions.get(message.service)
+            if session is None:
+                return self._unknown(message.service)
+            return session.apply_batch(message)
+        if isinstance(message, SloQuery):
+            session = self._sessions.get(message.service)
+            if session is None:
+                return self._unknown(message.service)
+            return session.slo_query(message)
+        if isinstance(message, ErrorBudgetQuery):
+            session = self._sessions.get(message.service)
+            if session is None:
+                return self._unknown(message.service)
+            return session.error_budget()
+        if isinstance(message, FinishService):
+            session = self._sessions.get(message.service)
+            if session is None:
+                return self._unknown(message.service)
+            response = session.finish()
+            del self._sessions[message.service]
+            return response
+        if isinstance(message, ListServices):
+            return ServiceList(services=self.services)
+        if isinstance(message, Shutdown):
+            # Open services are finished (and their manifests built)
+            # before the plane reports itself closed.
+            for name in self.services:
+                session = self._sessions.pop(name)
+                if not session.finished:
+                    session.finish()
+            self.closing = True
+            return Ack(message="shutting-down")
+        return ApiError(
+            code="bad-request",
+            message=(
+                f"{type(message).__name__} is not a request the control "
+                "plane accepts"
+            ),
+        )
+
+    @staticmethod
+    def _unknown(name: str) -> ApiError:
+        return ApiError(
+            code="unknown-service",
+            message=f"no service named {name!r} on this control plane",
+        )
+
+
+class ControlPlaneServer:
+    """Asyncio NDJSON transport around a :class:`ControlPlane`."""
+
+    def __init__(self, plane: ControlPlane | None = None) -> None:
+        self.plane = plane if plane is not None else ControlPlane()
+        self._closed = asyncio.Event()
+
+    async def _client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while not self.plane.closing:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = self.plane.handle_line(
+                    line.decode("utf-8")
+                )
+                writer.write(response.encode("utf-8"))
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            if self.plane.closing:
+                self._closed.set()
+
+    async def start_unix(self, path: str | Path) -> asyncio.AbstractServer:
+        """Bind a UNIX-socket listener; returns the asyncio server."""
+        return await asyncio.start_unix_server(
+            self._client, path=str(path)
+        )
+
+    async def start_tcp(
+        self, host: str, port: int
+    ) -> asyncio.AbstractServer:
+        """Bind a TCP listener; returns the asyncio server."""
+        return await asyncio.start_server(self._client, host, port)
+
+    async def serve_unix(self, path: str | Path) -> None:
+        """Serve on a UNIX socket until a ``Shutdown`` request arrives."""
+        server = await self.start_unix(path)
+        await self._serve(server)
+
+    async def serve_tcp(self, host: str, port: int) -> None:
+        """Serve on TCP until a ``Shutdown`` request arrives."""
+        server = await self.start_tcp(host, port)
+        await self._serve(server)
+
+    async def _serve(self, server: asyncio.AbstractServer) -> None:
+        async with server:
+            await self._closed.wait()
+
+
+class ControlPlaneClient:
+    """Line-oriented client for a running control plane."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect_unix(cls, path: str | Path) -> "ControlPlaneClient":
+        reader, writer = await asyncio.open_unix_connection(str(path))
+        return cls(reader, writer)
+
+    @classmethod
+    async def connect_tcp(
+        cls, host: str, port: int
+    ) -> "ControlPlaneClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, message: object) -> object:
+        """Send one typed request; await and decode its response."""
+        self._writer.write(encode_line(message).encode("utf-8"))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ReproError(
+                "control plane closed the connection mid-request"
+            )
+        return decode_line(line.decode("utf-8"))
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+def run_scripted_session(
+    messages: Sequence[object],
+    socket_path: str | Path,
+) -> list[object]:
+    """Replay a message script against a real control plane.
+
+    Stands up a :class:`ControlPlaneServer` on ``socket_path`` (UNIX
+    socket), connects a client, sends every message in order, and
+    returns the typed responses (one per message, in order).  When the
+    script does not end with :class:`~repro.api.types.Shutdown`, one is
+    sent implicitly so the server always winds down; its ``Ack`` is not
+    included in the returned list.
+
+    This is the CI smoke path and the CLI's ``serve --session`` mode:
+    everything — framing, codecs, dispatch, session state — runs exactly
+    as it would for a long-lived deployment, just against a scripted
+    client.
+    """
+
+    async def _run() -> list[object]:
+        server = ControlPlaneServer()
+        bound = await server.start_unix(socket_path)
+        async with bound:
+            client = await ControlPlaneClient.connect_unix(socket_path)
+            responses: list[object] = []
+            try:
+                for message in messages:
+                    responses.append(await client.request(message))
+                if not (
+                    messages and isinstance(messages[-1], Shutdown)
+                ):
+                    await client.request(Shutdown())
+            finally:
+                await client.close()
+            await server._closed.wait()
+        return responses
+
+    return asyncio.run(_run())

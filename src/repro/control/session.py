@@ -1,0 +1,270 @@
+"""One hosted service: the typed-API surface over a live runtime.
+
+A :class:`ServiceSession` binds together everything a named service on
+the control plane owns:
+
+* a private :class:`~repro.engine.facade.BroadcastEngine` (fresh cache
+  and telemetry per service, the same isolation :meth:`engine.live`
+  relies on for byte-identical replay);
+* a :class:`~repro.live.service.LiveBroadcastService` driven through
+  its online stepping surface (``start`` / ``offer`` / ``finish``);
+* a :class:`~repro.control.remediation.RemediationEngine` stepped after
+  every event;
+* a running SHA-256 over the canonical event stream — the *stream
+  fingerprint* recorded in the manifest, the analogue of a trace
+  fingerprint for sessions that were never a trace object.
+
+The session answers the typed requests (:class:`MutationBatch`,
+:class:`SloQuery`, :class:`ErrorBudgetQuery`, :class:`FinishService`)
+with typed responses; the plane in :mod:`repro.control.plane` is a thin
+dispatcher over these methods.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.api.types import (
+    CreateServiceRequest,
+    ErrorBudgetReport,
+    MutationBatch,
+    MutationBatchResult,
+    ServiceCreated,
+    ServiceManifest,
+    SloQuery,
+    SloVerdict,
+)
+from repro.control.remediation import RemediationEngine, plan_stats
+from repro.core.errors import ReproError
+from repro.engine.facade import BroadcastEngine
+from repro.engine.telemetry import RunManifest, describe_instance
+from repro.live.catalog import LiveCatalog
+from repro.live.mutations import MutationTrace
+from repro.live.service import LiveBroadcastService
+
+__all__ = ["ServiceSession"]
+
+
+class ServiceSession:
+    """A named live service hosted on the control plane."""
+
+    def __init__(self, request: CreateServiceRequest) -> None:
+        self.request = request
+        self.engine = BroadcastEngine()
+        self._cache_before = self.engine.cache.stats()
+        self._telemetry_before = self.engine.telemetry.snapshot()
+        self.live = LiveBroadcastService(
+            dict(request.catalog),
+            MutationTrace(
+                horizon=request.horizon,
+                events=(),
+                meta={"generator": "control"},
+            ),
+            budget=request.budget,
+            engine=self.engine,
+            admission=request.admission,
+            queue_limit=request.queue_limit,
+            slo_window=request.slo_window,
+            target_miss_rate=request.target_miss_rate,
+            replan_cooldown=request.replan_cooldown,
+            coalesce_window=request.coalesce_window,
+        )
+        self.remediation = RemediationEngine(
+            request.name, self.live, request.remediation
+        )
+        self._initial_instance = LiveCatalog(
+            dict(request.catalog)
+        ).to_instance()
+        self._stream = hashlib.sha256()
+        self._events_streamed = 0
+        self.finished = False
+        self.manifest: RunManifest | None = None
+        self.live.start()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def created(self) -> ServiceCreated:
+        """The :class:`ServiceCreated` response for this session."""
+        required = self.live.catalog.required_channels()
+        assert self.live.program is not None
+        return ServiceCreated(
+            service=self.request.name,
+            budget=self.live.budget,
+            required_channels=required,
+            algorithm="susc" if required <= self.live.budget else "pamad",
+            cycle_length=self.live.program.cycle_length,
+            pages=len(self.live.catalog),
+        )
+
+    def apply_batch(self, batch: MutationBatch) -> MutationBatchResult:
+        """Stream one batch of events through the service.
+
+        The whole batch is validated against the session clock and the
+        horizon before any event is applied, so a bad batch is rejected
+        atomically instead of leaving the service half-mutated.
+        """
+        if self.finished:
+            raise ReproError(
+                f"service {self.request.name!r} is already finished"
+            )
+        for event in batch.events:
+            if event.time < self.live.now:
+                raise ReproError(
+                    f"event at t={event.time} is in the past; the "
+                    f"session clock is at t={self.live.now}"
+                )
+            if event.time >= self.request.horizon:
+                raise ReproError(
+                    f"event at t={event.time} is beyond the service "
+                    f"horizon {self.request.horizon}"
+                )
+        counters_before = dict(self.live.counters)
+        admission_before = dict(self.live.admission.counters)
+        records_before = len(self.remediation.records)
+        for event in batch.events:
+            self.live.offer(event)
+            self.remediation.step()
+            self._stream.update(
+                json.dumps(event.to_dict(), sort_keys=True).encode("utf-8")
+            )
+            self._events_streamed += 1
+
+        def counter_delta(name: str) -> int:
+            return self.live.counters[name] - counters_before[name]
+
+        def admission_delta(name: str) -> int:
+            return (
+                self.live.admission.counters[name]
+                - admission_before[name]
+            )
+
+        return MutationBatchResult(
+            service=self.request.name,
+            applied=len(batch.events),
+            admitted=admission_delta("admitted"),
+            queued=admission_delta("queued"),
+            rejected=admission_delta("rejected"),
+            listeners=counter_delta("listeners"),
+            misses=counter_delta("misses"),
+            replans=(
+                counter_delta("full_replans")
+                + counter_delta("fastpath_replans")
+            ),
+            remediations=len(self.remediation.records) - records_before,
+        )
+
+    def slo_query(self, query: SloQuery) -> SloVerdict:
+        """Answer "is this deadline achievable under this budget?".
+
+        The candidate load is the committed catalog, plus the admission
+        queue's pending inserts (capacity already promised to them),
+        plus ``query.pages`` hypothetical pages at the queried deadline.
+        The verdict is Theorem 3.1 in exact arithmetic; when the budget
+        falls short, ``predicted_delay`` prices the best PAMAD
+        compromise at the budget via the Eq. 2/3/5/7 model.
+        """
+        candidate = self.live.catalog.pages()
+        queued_pages = 0
+        for event in self.live.admission.queued:
+            if event.page_id not in candidate:
+                candidate[event.page_id] = event.expected_time
+                queued_pages += 1
+        next_id = max(candidate) + 1
+        for offset in range(query.pages):
+            candidate[next_id + offset] = query.expected_time
+        required, predicted_delay, _ = plan_stats(
+            candidate, self.live.budget
+        )
+        achievable = required <= self.live.budget
+        return SloVerdict(
+            service=self.request.name,
+            achievable=achievable,
+            required_channels=required,
+            budget=self.live.budget,
+            headroom=self.live.budget - required,
+            channel_load=sum(1.0 / t for t in candidate.values()),
+            predicted_delay=predicted_delay,
+            queued_pages=queued_pages,
+            reason="fits-budget" if achievable else "exceeds-budget",
+        )
+
+    def error_budget(self) -> ErrorBudgetReport:
+        """Per-deadline-class error-budget breakdown from the tracker."""
+        slo = self.live.slo
+        target = slo.target_miss_rate
+        per_class: dict[str, dict[str, float]] = {}
+        for expected, stats in slo.per_class().items():
+            if target > 0:
+                remaining = 1.0 - stats["miss_rate"] / target
+            else:
+                remaining = 1.0 if stats["misses"] == 0 else -1.0
+            per_class[str(expected)] = {
+                "listeners": stats["listeners"],
+                "misses": stats["misses"],
+                "miss_rate": round(stats["miss_rate"], 6),
+                "budget_remaining": round(remaining, 6),
+            }
+        return ErrorBudgetReport(
+            service=self.request.name,
+            listeners=slo.listeners,
+            misses=slo.misses,
+            miss_rate=slo.miss_rate,
+            rolling_miss_rate=slo.rolling_miss_rate,
+            target_miss_rate=target,
+            window=slo.window,
+            per_class=per_class,
+        )
+
+    def finish(self) -> ServiceManifest:
+        """Close the session: final report plus the v5 manifest."""
+        if self.finished:
+            raise ReproError(
+                f"service {self.request.name!r} is already finished"
+            )
+        report = self.live.finish()
+        self.finished = True
+        control_block = {
+            **self.remediation.as_dict(),
+            "stream": {
+                "events": self._events_streamed,
+                "fingerprint": self._stream.hexdigest()[:16],
+            },
+        }
+        remediations = len(self.remediation.records)
+        manifest = self.engine.control_manifest(
+            instance=self._initial_instance,
+            parameters={
+                "request": self.request.to_dict(),
+                "events_streamed": self._events_streamed,
+            },
+            channels=(self.live.budget,),
+            results={
+                "miss_rate": report.slo["miss_rate"],
+                "listeners": report.counters["listeners"],
+                "mutations": report.counters["mutations"],
+                "full_replans": report.counters["full_replans"],
+                "remediations": remediations,
+                "remediations_applied": control_block["applied"],
+                "final_valid": report.final_valid,
+            },
+            service=report.as_dict(),
+            control=control_block,
+            cache_before=self._cache_before,
+            telemetry_before=self._telemetry_before,
+        )
+        self.manifest = manifest
+        return ServiceManifest(
+            service=self.request.name,
+            manifest=manifest.to_dict(),
+            summary={
+                "horizon": report.horizon,
+                "budget": report.budget,
+                "listeners": report.counters["listeners"],
+                "miss_rate": report.slo["miss_rate"],
+                "remediations": remediations,
+                "final_valid": report.final_valid,
+            },
+        )

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
@@ -72,6 +73,39 @@ __all__ = [
     "SweepResult",
     "default_engine",
 ]
+
+
+# Renamed keyword arguments (the PR-6 keyword unification: every
+# engine workflow takes ``trace=``, ``policy=`` and ``manifest_path=``).
+# Each legacy alias warns once per process, not once per call, so a
+# tight loop over an old call site stays readable.
+_WARNED_ALIASES: set[str] = set()
+_ALIAS_LOCK = threading.Lock()
+
+
+def _warn_alias(method: str, old: str, new: str) -> None:
+    key = f"{method}:{old}"
+    with _ALIAS_LOCK:
+        if key in _WARNED_ALIASES:
+            return
+        _WARNED_ALIASES.add(key)
+    warnings.warn(
+        f"BroadcastEngine.{method}({old}=...) is deprecated; "
+        f"pass {new}= instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _write_manifest_path(
+    manifest: RunManifest, manifest_path: str | Path | None
+) -> None:
+    """Write ``manifest`` as JSON when a ``manifest_path=`` was given."""
+    if manifest_path is None:
+        return
+    path = Path(manifest_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(manifest.to_json() + "\n", encoding="utf-8")
 
 
 def _serial_executor_block() -> dict:
@@ -133,7 +167,7 @@ class LiveServiceResult:
         baseline: The Longest-Wait-First pull replay of the same trace
             (a :class:`~repro.live.baseline.PullOutcome`), or ``None``
             when the baseline was skipped.
-        manifest: The run manifest (operation ``"live"``, schema v3 with
+        manifest: The run manifest (operation ``"live"``, schema v5 with
             the ``service`` block filled in).  Emitted deterministically:
             ``created_at`` is pinned to ``0.0`` and wall-clock timings
             are dropped, so identical runs produce byte-identical
@@ -247,6 +281,7 @@ class BroadcastEngine:
         telemetry_before: Mapping[str, dict],
         results: Mapping[str, object],
         service: Mapping[str, object] | None = None,
+        control: Mapping[str, object] | None = None,
         deterministic: bool = False,
     ) -> RunManifest:
         cache_total = self.cache.stats()
@@ -269,6 +304,7 @@ class BroadcastEngine:
             counters=run_share["counters"],
             results=dict(results),
             service=dict(service or {}),
+            control=dict(control or {}),
         )
         with self._lock:
             self._manifests.append(manifest)
@@ -454,6 +490,8 @@ class BroadcastEngine:
         seed: int = 0,
         workers: int | None = None,
         executor: str | None = None,
+        policy: ExecutionPolicy | None = None,
+        manifest_path: str | Path | None = None,
         execution: ExecutionPolicy | None = None,
     ) -> SweepResult:
         """Measure AvgD over a (scheduler × channel-count) grid.
@@ -473,13 +511,20 @@ class BroadcastEngine:
             seed: Base RNG seed.
             workers: Pool width for this call (default: the engine's).
             executor: Pool flavour for this call (default: the engine's).
-            execution: Hardening policy for this call (default: the
+            policy: Hardening policy for this call (default: the
                 engine's ``execution`` attribute).
+            manifest_path: When set, also write this call's manifest
+                JSON to the path.
+            execution: Deprecated alias for ``policy`` (warns once).
 
         Returns:
             A :class:`SweepResult` with points ordered by
             (channel count, algorithm order) and the run manifest.
         """
+        if execution is not None:
+            _warn_alias("sweep", "execution", "policy")
+            if policy is None:
+                policy = execution
         if channel_points is None:
             channel_points = default_channel_points(
                 minimum_channels(instance)
@@ -519,7 +564,7 @@ class BroadcastEngine:
                 specs,
                 workers=pool_width,
                 mode=pool_mode,
-                policy=self.execution if execution is None else execution,
+                policy=self.execution if policy is None else policy,
                 telemetry=self.telemetry,
             )
 
@@ -564,6 +609,7 @@ class BroadcastEngine:
                 ),
             },
         )
+        _write_manifest_path(manifest, manifest_path)
         return SweepResult(
             points=tuple(points),
             manifest=manifest,
@@ -573,21 +619,27 @@ class BroadcastEngine:
     def resilience(
         self,
         instance: ProblemInstance,
-        plan,
+        trace=None,
         policies: Sequence[object] | None = None,
         num_listeners: int = 400,
         seed: int = 0,
+        manifest_path: str | Path | None = None,
+        plan=None,
     ) -> ResilienceResult:
         """Replay a fault plan under recovery policies (manifested).
 
         Args:
             instance: The workload being broadcast.
-            plan: A :class:`~repro.resilience.faultplan.FaultPlan`.
+            trace: A :class:`~repro.resilience.faultplan.FaultPlan` —
+                the fault timeline to replay.
             policies: Policy objects or registry names (see
                 :func:`repro.resilience.make_policy`); defaults to one of
                 each built-in policy.
             num_listeners: Sampled client listens per replay.
             seed: Base RNG seed for the listener streams.
+            manifest_path: When set, also write this call's manifest
+                JSON to the path.
+            plan: Deprecated keyword alias for ``trace`` (warns once).
 
         Returns:
             A :class:`ResilienceResult`; its manifest (operation
@@ -599,6 +651,20 @@ class BroadcastEngine:
             make_policy,
             replay_plan,
         )
+
+        if plan is not None:
+            if trace is not None:
+                raise ReproError(
+                    "pass the fault timeline as trace= only; plan= is "
+                    "its deprecated alias"
+                )
+            _warn_alias("resilience", "plan", "trace")
+            trace = plan
+        if trace is None:
+            raise ReproError(
+                "resilience() needs a fault timeline: pass trace="
+            )
+        plan = trace
 
         if policies is None:
             chosen = default_policies()
@@ -647,10 +713,49 @@ class BroadcastEngine:
                 "policies": [outcome.as_dict() for outcome in outcomes],
             },
         )
+        _write_manifest_path(manifest, manifest_path)
         return ResilienceResult(
             plan=plan, outcomes=tuple(outcomes), manifest=manifest
         )
 
+    def control_manifest(
+        self,
+        *,
+        instance: ProblemInstance,
+        parameters: Mapping[str, object],
+        channels: Sequence[int],
+        results: Mapping[str, object],
+        service: Mapping[str, object],
+        control: Mapping[str, object],
+        cache_before: CacheStats,
+        telemetry_before: Mapping[str, dict],
+    ) -> RunManifest:
+        """Emit the deterministic manifest of a control-plane session.
+
+        The :mod:`repro.control` plane hosts one private engine per
+        service (every full re-plan flows through this engine's cache
+        and telemetry) and closes the session by emitting one
+        operation-``"control"`` manifest through this hook.  Like
+        :meth:`live`, the manifest is deterministic — ``created_at``
+        pinned to ``0.0``, wall-clock timers dropped — so replaying an
+        identical scripted session produces byte-identical output.  The
+        ``control`` block carries the remediation policy and the
+        detector→proposer→verifier decision trail (schema v5).
+        """
+        return self._emit_manifest(
+            operation="control",
+            instance=instance,
+            parameters=parameters,
+            schedulers=("susc", "pamad"),
+            channels=channels,
+            executor=_serial_executor_block(),
+            cache_before=cache_before,
+            telemetry_before=telemetry_before,
+            results=results,
+            service=service,
+            control=control,
+            deterministic=True,
+        )
 
     def live(
         self,
@@ -668,6 +773,7 @@ class BroadcastEngine:
         batch_listeners: bool = False,
         slo_exact: bool = False,
         coalesce_window: int = 0,
+        manifest_path: str | Path | None = None,
     ) -> "LiveServiceResult":
         """Replay a mutation trace through the live runtime (manifested).
 
@@ -676,7 +782,7 @@ class BroadcastEngine:
         this engine's telemetry — then optionally replays the same trace
         through the Longest-Wait-First pull baseline for comparison.
 
-        The manifest (operation ``"live"``, schema v4) is emitted
+        The manifest (operation ``"live"``, schema v5) is emitted
         *deterministically*: ``created_at`` is pinned, wall-clock timers
         are dropped, and every remaining field is a pure function of the
         inputs, so two replays of the same trace on fresh engines are
@@ -708,6 +814,8 @@ class BroadcastEngine:
             coalesce_window: Mutation-coalescing window in slots
                 (``0`` = event-by-event); ``service.counters.
                 events_coalesced`` / ``replans_avoided`` account for it.
+            manifest_path: When set, also write this call's manifest
+                JSON to the path.
 
         Returns:
             A :class:`LiveServiceResult`.
@@ -789,6 +897,7 @@ class BroadcastEngine:
             service=service_block,
             deterministic=True,
         )
+        _write_manifest_path(manifest, manifest_path)
         return LiveServiceResult(
             report=report, baseline=pull, manifest=manifest
         )

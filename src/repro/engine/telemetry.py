@@ -8,13 +8,14 @@ did (hits/misses for the run and for the engine's lifetime).  Manifests
 are the machine-readable audit trail of an engine process: the CLI can
 write them next to results, and regression tooling can diff them.
 
-Manifest schema (``manifest_version`` 4)::
+Manifest schema (``manifest_version`` 5)::
 
     {
-      "manifest_version": 4,
+      "manifest_version": 5,
       "run_id": 3,                      # per-engine monotonic counter
       "operation": "sweep",             # plan | schedule | evaluate |
-                                        #   sweep | resilience | live
+                                        #   sweep | resilience | live |
+                                        #   control
       "created_at": 1754512345.123,     # unix seconds (0.0 when the
                                         #   operation pins determinism)
       "instance": {
@@ -46,6 +47,11 @@ Manifest schema (``manifest_version`` 4)::
                                         #   replans_avoided serving-
                                         #   throughput fields;
                                         #   {} otherwise
+      "control": {...},                 # control-plane block (v5):
+                                        #   remediation policy, the
+                                        #   detector->proposer->verifier
+                                        #   records, session stream
+                                        #   fingerprint; {} otherwise
       "results": {...}                  # operation-specific summary
     }
 
@@ -56,9 +62,11 @@ operation and the ``service`` block; version 4 added the chunked-
 transport executor keys (``chunk_size`` / ``measure_backend`` /
 ``short_circuited``) and the serving-throughput counters inside the
 ``service`` block (``batched_listeners`` / ``events_coalesced`` /
-``replans_avoided``).  :meth:`RunManifest.from_dict` parses every
-version back to 1, defaulting the keys each newer version introduced,
-so consumers can rely on the version-4 shape either way.
+``replans_avoided``); version 5 added the ``control`` operation and the
+``control`` block (the :mod:`repro.control` plane's remediation trail).
+:meth:`RunManifest.from_dict` parses every version back to 1,
+defaulting the keys each newer version introduced, so consumers can
+rely on the version-5 shape either way.
 """
 
 from __future__ import annotations
@@ -80,7 +88,7 @@ __all__ = [
     "describe_instance",
 ]
 
-MANIFEST_VERSION = 4
+MANIFEST_VERSION = 5
 
 #: Executor-block keys added in manifest version 2, with their defaults
 #: (applied when parsing version-1 documents).
@@ -209,6 +217,7 @@ class RunManifest:
     counters: Mapping[str, int]
     results: Mapping[str, object] = field(default_factory=dict)
     service: Mapping[str, object] = field(default_factory=dict)
+    control: Mapping[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -228,6 +237,7 @@ class RunManifest:
             "timings": {k: dict(v) for k, v in self.timings.items()},
             "counters": dict(self.counters),
             "service": dict(self.service),
+            "control": dict(self.control),
             "results": dict(self.results),
         }
 
@@ -238,12 +248,13 @@ class RunManifest:
     def from_dict(cls, payload: Mapping[str, object]) -> "RunManifest":
         """Parse a manifest document of any supported schema version.
 
-        Accepts version 1 through 4 documents: the hardening keys
+        Accepts version 1 through 5 documents: the hardening keys
         missing from version-1 executor blocks default to zero, the
         ``service`` block missing below version 3 defaults to ``{}``,
-        and the version-4 chunked-transport executor keys and serving-
-        throughput service counters default to their quiescent values —
-        so consumers can rely on the version-4 shape either way.
+        the version-4 chunked-transport executor keys and serving-
+        throughput service counters default to their quiescent values,
+        and the version-5 ``control`` block defaults to ``{}`` — so
+        consumers can rely on the version-5 shape either way.
 
         Raises:
             ReproError: For unknown (newer) versions or documents missing
@@ -288,6 +299,7 @@ class RunManifest:
                 counters=dict(payload.get("counters", {})),
                 results=dict(payload.get("results", {})),
                 service=service,
+                control=dict(payload.get("control", {})),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ReproError(

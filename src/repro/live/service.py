@@ -235,6 +235,7 @@ class LiveBroadcastService:
         self._now_override: float | None = None
         self._pending: list[MutationEvent] = []
         self._window_end: float | None = None
+        self._finished = False
 
     # ------------------------------------------------------------------
     # Logging
@@ -790,6 +791,10 @@ class LiveBroadcastService:
                 )
             i = j
         self._loop.run(until=float(self.trace.horizon))
+        return self._build_report()
+
+    def _build_report(self) -> LiveReport:
+        """Flush the coalescing tail and summarise the session."""
         if self._pending:
             # The horizon closed before the last coalescing window did;
             # flush the tail so buffered mutations are not lost.
@@ -819,3 +824,60 @@ class LiveBroadcastService:
             decisions=tuple(self._decisions),
             event_log=tuple(self._log),
         )
+
+    # ------------------------------------------------------------------
+    # Online stepping (the control-plane driver surface)
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin an online session: plan the initial catalog at ``t=0``.
+
+        The online surface (:meth:`start` / :meth:`offer` /
+        :meth:`finish`) drives the same per-event machinery as
+        :meth:`run`, but accepts events one at a time as they arrive
+        over the control plane instead of replaying a pre-built trace.
+        The two paths are behaviourally identical for the same event
+        sequence; online mode simply never uses the batched listener
+        kernel (events arrive singly, so there is nothing to batch).
+        """
+        if self._loop is not None:
+            raise SimulationError(
+                "service already started; build a new service to restart"
+            )
+        self._loop = EventLoop()
+        self._full_replan("initial")
+        self._self_check("initial")
+
+    def offer(self, event: MutationEvent) -> None:
+        """Feed one event into a started session and process it.
+
+        Events must arrive in non-decreasing time order (the loop
+        refuses to schedule into the past).  Advancing the clock to the
+        event's time first fires any coalescing-window flush that falls
+        due before it, exactly as in trace replay.
+        """
+        if self._loop is None:
+            raise SimulationError(
+                "service not started; call start() before offer()"
+            )
+        if self._finished:
+            raise SimulationError("service already finished")
+        handler = (
+            self._on_listener
+            if event.kind == "listener"
+            else self._on_mutation
+        )
+        self._loop.schedule_at(event.time, partial(handler, event))
+        self._loop.run(until=event.time)
+
+    def finish(self) -> LiveReport:
+        """End an online session: drain to the horizon and report."""
+        if self._loop is None:
+            raise SimulationError(
+                "service not started; call start() before finish()"
+            )
+        if self._finished:
+            raise SimulationError("service already finished")
+        self._finished = True
+        self._loop.run(until=float(self.trace.horizon))
+        return self._build_report()

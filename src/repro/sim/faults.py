@@ -1,33 +1,31 @@
-"""Deprecated one-shot channel-failure API (experiment EXT5).
+"""Removed one-shot channel-failure API (experiment EXT5).
 
 .. deprecated::
-    This module is the *static special case* of the fault-trace API in
+    The deprecation period is over and the wrappers now *raise*.  This
+    module was the static special case of the fault-trace API in
     :mod:`repro.resilience`: a single batch of channel failures at time
-    zero and exactly two responses (carry on vs full reschedule).  New
-    code should build a :class:`~repro.resilience.faultplan.FaultPlan`
-    (see :func:`~repro.resilience.faultplan.static_failure_plan` for this
+    zero and exactly two responses (carry on vs full reschedule).  Build
+    a :class:`~repro.resilience.faultplan.FaultPlan` instead (see
+    :func:`~repro.resilience.faultplan.static_failure_plan` for this
     exact shape) and replay it under a recovery policy with
     :func:`~repro.resilience.policies.replay_plan`, which also handles
     dynamic churn, lossy slots, throttling, and load shedding.
 
-The original entry points remain as thin wrappers so existing callers
-keep working; each emits a :class:`DeprecationWarning`.
+The function names remain importable so stale call sites fail with a
+precise migration hint (:class:`~repro.core.errors.ReproError`) instead
+of an anonymous ``ImportError``.  The value types re-exported here
+(:class:`DegradedProgram`, :class:`FailureComparison`) are still live —
+their home is :mod:`repro.resilience.degrade`.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Sequence
 
+from repro.core.errors import ReproError
 from repro.core.pages import ProblemInstance
 from repro.core.program import BroadcastProgram
-from repro.resilience.degrade import (
-    DegradedProgram,
-    FailureComparison,
-    compare_static_failure_sizes,
-    silence_channels,
-)
-from repro.resilience.faultplan import static_failure_plan
+from repro.resilience.degrade import DegradedProgram, FailureComparison
 
 __all__ = [
     "DegradedProgram",
@@ -42,26 +40,12 @@ def fail_channels(
     instance: ProblemInstance,
     failed: Sequence[int],
 ) -> DegradedProgram:
-    """Silence the given channels of a program (deprecated wrapper).
-
-    Equivalent to applying the failure batch of
-    :func:`~repro.resilience.faultplan.static_failure_plan` and carrying
-    on; use :func:`repro.resilience.silence_channels` directly.
-    """
-    warnings.warn(
-        "repro.sim.faults.fail_channels is deprecated; use "
-        "repro.resilience.silence_channels (or replay a FaultPlan)",
-        DeprecationWarning,
-        stacklevel=2,
+    """Removed; use :func:`repro.resilience.silence_channels`."""
+    raise ReproError(
+        "repro.sim.faults.fail_channels was deprecated and has been "
+        "removed; use repro.resilience.silence_channels (or replay a "
+        "FaultPlan via repro.resilience.replay_plan)"
     )
-    failed_list = list(failed)
-    if failed_list:
-        # Round-trip through the fault-trace API: the static plan *is*
-        # the legacy failure model, and its validation (range checks,
-        # duplicate collapse) now lives there.
-        plan = static_failure_plan(program.num_channels, failed_list)
-        failed_list = [event.channel for event in plan.structural_events()]
-    return silence_channels(program, instance, failed_list)
 
 
 def compare_failure_responses(
@@ -69,17 +53,9 @@ def compare_failure_responses(
     instance: ProblemInstance,
     failure_sizes: Sequence[int],
 ) -> list[FailureComparison]:
-    """Sweep one-shot failure sizes (deprecated wrapper).
-
-    Use :func:`repro.resilience.compare_static_failure_sizes`, or replay
-    a churn :class:`~repro.resilience.faultplan.FaultPlan` under the
-    ``carry_on`` and ``reschedule_full`` policies for the dynamic
-    generalisation.
-    """
-    warnings.warn(
-        "repro.sim.faults.compare_failure_responses is deprecated; use "
-        "repro.resilience.compare_static_failure_sizes",
-        DeprecationWarning,
-        stacklevel=2,
+    """Removed; use :func:`repro.resilience.compare_static_failure_sizes`."""
+    raise ReproError(
+        "repro.sim.faults.compare_failure_responses was deprecated and "
+        "has been removed; use "
+        "repro.resilience.compare_static_failure_sizes"
     )
-    return compare_static_failure_sizes(program, instance, failure_sizes)

@@ -1,0 +1,673 @@
+"""Tests for repro.control: online stepping, dispatch, remediation, CLI.
+
+Covers the live service's online surface (``start`` / ``offer`` /
+``finish`` must replay exactly like the batch ``run``), the synchronous
+:class:`ControlPlane` dispatcher, the detector → proposer → verifier
+remediation loop action by action, the byte-identical scripted-session
+determinism contract, the Theorem-3.1 SLO verdict checked against the
+brute-force frequency search, and the ``repro-air serve`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.api import (
+    Ack,
+    ApiError,
+    CreateServiceRequest,
+    ErrorBudgetQuery,
+    ErrorBudgetReport,
+    FinishService,
+    ListServices,
+    MutationBatch,
+    MutationBatchResult,
+    RemediationPolicy,
+    ServiceCreated,
+    ServiceList,
+    ServiceManifest,
+    Shutdown,
+    SloQuery,
+    SloVerdict,
+    decode_line,
+)
+from repro.baselines.opt import brute_force_frequencies
+from repro.cli import main
+from repro.control import (
+    ControlPlane,
+    RemediationEngine,
+    ServiceSession,
+    plan_stats,
+    run_scripted_session,
+)
+from repro.core.errors import SimulationError
+from repro.core.pages import instance_from_counts
+from repro.engine import BroadcastEngine
+from repro.live import LiveBroadcastService, MutationTrace
+from repro.workload.mutations import generate_mutation_trace
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+SESSION_SCRIPT = FIXTURES / "control_session.ndjsonl"
+
+
+def script_messages() -> list[object]:
+    return [
+        decode_line(line)
+        for line in SESSION_SCRIPT.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def make_plane_with_service(**overrides) -> tuple[ControlPlane, object]:
+    """A plane hosting the taut-budget remediation scenario service."""
+    request = CreateServiceRequest(
+        name=overrides.pop("name", "svc"),
+        catalog=overrides.pop("catalog", {1: 4, 2: 4, 3: 4}),
+        horizon=overrides.pop("horizon", 64),
+        budget=overrides.pop("budget", 1),
+        slo_window=64,
+        target_miss_rate=overrides.pop("target_miss_rate", 0.5),
+        remediation=overrides.pop(
+            "remediation",
+            RemediationPolicy(
+                miss_streak=4,
+                cooldown=4,
+                max_pages_moved=8,
+                allow_retune=False,
+                allow_shed=False,
+                max_extra_channels=1,
+            ),
+        ),
+        **overrides,
+    )
+    plane = ControlPlane()
+    created = plane.handle(request)
+    return plane, created
+
+
+def breach_events(page_id: int = 9, listeners: int = 8) -> list[object]:
+    """An over-budget insert followed by listeners that will miss."""
+    from repro.live.mutations import MutationEvent
+
+    events = [
+        MutationEvent(
+            time=2.0, kind="page_insert", page_id=page_id, expected_time=2
+        )
+    ]
+    for i in range(listeners):
+        events.append(
+            MutationEvent(
+                time=3.0 + i, kind="listener", page_id=page_id,
+                expected_time=2,
+            )
+        )
+    return events
+
+
+# ----------------------------------------------------------------------
+# Online stepping: start / offer / finish == run
+# ----------------------------------------------------------------------
+
+
+class TestOnlineStepping:
+    @pytest.mark.parametrize("seed", (0, 3))
+    def test_streamed_replay_matches_batch_run(self, seed):
+        instance = instance_from_counts([3, 3], [4, 8])
+        trace = generate_mutation_trace(
+            instance, seed=seed, horizon=48, mutations=10, listeners=30
+        )
+        batch_service = LiveBroadcastService(
+            instance, trace, engine=BroadcastEngine()
+        )
+        batch_report = batch_service.run().as_dict()
+
+        streamed_service = LiveBroadcastService(
+            instance,
+            MutationTrace(horizon=trace.horizon, events=(), meta={}),
+            engine=BroadcastEngine(),
+        )
+        streamed_service.start()
+        for event in trace.events:
+            streamed_service.offer(event)
+        streamed_report = streamed_service.finish().as_dict()
+
+        batch_report.pop("trace_fingerprint")
+        streamed_report.pop("trace_fingerprint")
+        assert streamed_report == batch_report
+
+    def test_offer_before_start_rejected(self):
+        service = LiveBroadcastService(
+            {1: 4},
+            MutationTrace(horizon=8, events=(), meta={}),
+            engine=BroadcastEngine(),
+        )
+        with pytest.raises(SimulationError, match="not started"):
+            service.offer(breach_events()[0])
+
+    def test_double_start_rejected(self):
+        service = LiveBroadcastService(
+            {1: 4},
+            MutationTrace(horizon=8, events=(), meta={}),
+            engine=BroadcastEngine(),
+        )
+        service.start()
+        with pytest.raises(SimulationError, match="already started"):
+            service.start()
+
+    def test_offer_after_finish_rejected(self):
+        service = LiveBroadcastService(
+            {1: 4},
+            MutationTrace(horizon=8, events=(), meta={}),
+            engine=BroadcastEngine(),
+        )
+        service.start()
+        service.finish()
+        with pytest.raises(SimulationError, match="finished"):
+            service.offer(breach_events()[0])
+
+
+# ----------------------------------------------------------------------
+# Synchronous dispatch
+# ----------------------------------------------------------------------
+
+
+class TestControlPlaneDispatch:
+    def test_create_returns_initial_plan(self):
+        plane, created = make_plane_with_service()
+        assert isinstance(created, ServiceCreated)
+        assert created.algorithm == "susc"
+        assert created.required_channels == 1
+        assert created.budget == 1
+        assert plane.services == ("svc",)
+
+    def test_duplicate_create_rejected(self):
+        plane, _ = make_plane_with_service()
+        duplicate = plane.handle(
+            CreateServiceRequest(name="svc", catalog={1: 4})
+        )
+        assert isinstance(duplicate, ApiError)
+        assert duplicate.code == "duplicate-service"
+
+    def test_unknown_service_rejected(self):
+        plane = ControlPlane()
+        for message in (
+            SloQuery(service="ghost", expected_time=4),
+            ErrorBudgetQuery(service="ghost"),
+            FinishService(service="ghost"),
+            MutationBatch(service="ghost", events=()),
+        ):
+            response = plane.handle(message)
+            assert isinstance(response, ApiError)
+            assert response.code == "unknown-service"
+
+    def test_batch_past_event_rejected_atomically(self):
+        plane, _ = make_plane_with_service()
+        plane.handle(
+            MutationBatch(service="svc", events=tuple(breach_events()))
+        )
+        from repro.live.mutations import MutationEvent
+
+        session = plane.session("svc")
+        counters_before = dict(session.live.counters)
+        stale = MutationEvent(
+            time=1.0, kind="listener", page_id=1, expected_time=4
+        )
+        response = plane.handle(
+            MutationBatch(service="svc", events=(stale,))
+        )
+        assert isinstance(response, ApiError)
+        assert response.code == "bad-request"
+        assert "in the past" in response.message
+        assert dict(session.live.counters) == counters_before
+
+    def test_batch_beyond_horizon_rejected(self):
+        plane, _ = make_plane_with_service(horizon=16)
+        from repro.live.mutations import MutationEvent
+
+        late = MutationEvent(
+            time=99.0, kind="listener", page_id=1, expected_time=4
+        )
+        response = plane.handle(
+            MutationBatch(service="svc", events=(late,))
+        )
+        assert isinstance(response, ApiError)
+        assert "beyond the service horizon" in response.message
+
+    def test_finish_releases_name(self):
+        plane, _ = make_plane_with_service()
+        manifest = plane.handle(FinishService(service="svc"))
+        assert isinstance(manifest, ServiceManifest)
+        assert plane.services == ()
+        again = plane.handle(FinishService(service="svc"))
+        assert isinstance(again, ApiError)
+
+    def test_shutdown_finishes_open_services(self):
+        plane, _ = make_plane_with_service()
+        session = plane.session("svc")
+        ack = plane.handle(Shutdown())
+        assert isinstance(ack, Ack)
+        assert plane.closing
+        assert session.finished
+        assert session.manifest is not None
+
+    def test_list_services_sorted(self):
+        plane = ControlPlane()
+        for name in ("zeta", "alpha"):
+            plane.handle(
+                CreateServiceRequest(name=name, catalog={1: 4})
+            )
+        listing = plane.handle(ListServices())
+        assert isinstance(listing, ServiceList)
+        assert listing.services == ("alpha", "zeta")
+
+    def test_handle_line_maps_decode_errors(self):
+        plane = ControlPlane()
+        response = decode_line(plane.handle_line("{not json"))
+        assert isinstance(response, ApiError)
+        assert response.code == "bad-request"
+
+
+# ----------------------------------------------------------------------
+# Remediation loop
+# ----------------------------------------------------------------------
+
+
+class TestRemediation:
+    def run_breach(self, plane) -> MutationBatchResult:
+        result = plane.handle(
+            MutationBatch(service="svc", events=tuple(breach_events()))
+        )
+        assert isinstance(result, MutationBatchResult)
+        return result
+
+    def test_sustained_miss_applies_add_channel(self):
+        plane, _ = make_plane_with_service()
+        result = self.run_breach(plane)
+        assert result.remediations == 1
+        session = plane.session("svc")
+        [record] = session.remediation.records
+        assert record.trigger == "sustained-miss"
+        assert record.evidence == {"miss_streak": 4, "threshold": 4}
+        assert record.applied == "add_channel"
+        assert session.live.budget == 2
+        # The grown budget drains the queued insert and stops the misses.
+        assert session.live.admission.counters["drained"] == 1
+        by_action = {c.action: c for c in record.candidates}
+        assert by_action["add_channel"].reason == "restores-slo"
+        assert by_action["add_channel"].passed
+
+    def test_retune_relaxes_committed_deadlines(self):
+        plane, _ = make_plane_with_service(
+            remediation=RemediationPolicy(
+                miss_streak=4,
+                cooldown=4,
+                max_pages_moved=8,
+                allow_shed=False,
+                allow_add_channel=False,
+            ),
+        )
+        self.run_breach(plane)
+        session = plane.session("svc")
+        [record] = session.remediation.records
+        assert record.applied == "retune"
+        assert record.applied_detail == {
+            "expected_time": 4, "new_expected_time": 8, "pages": 3,
+        }
+        # Relaxing the committed t=4 pages to t=8 frees enough load
+        # for the queued t=2 insert to drain — the misses stop, so no
+        # second record fires.
+        pages = session.live.catalog.pages()
+        assert pages == {1: 8, 2: 8, 3: 8, 9: 2}
+        assert session.live.catalog.required_channels() == 1
+
+    def test_shed_drops_pages_to_admit_queued_load(self):
+        plane, _ = make_plane_with_service(
+            remediation=RemediationPolicy(
+                miss_streak=4,
+                cooldown=4,
+                max_pages_moved=8,
+                allow_retune=False,
+                allow_add_channel=False,
+            ),
+        )
+        self.run_breach(plane)
+        session = plane.session("svc")
+        [record] = session.remediation.records
+        assert record.applied == "shed"
+        # Highest page id of the suspect class goes first, and one
+        # removal frees enough load for the queued insert.
+        assert record.applied_detail["pages"] == [3]
+        assert session.live.catalog.pages() == {1: 4, 2: 4, 9: 2}
+        assert session.live.catalog.required_channels() == 1
+
+    def test_move_budget_blocks_every_action(self):
+        plane, _ = make_plane_with_service(
+            remediation=RemediationPolicy(
+                miss_streak=4,
+                cooldown=4,
+                max_pages_moved=0,
+            ),
+        )
+        self.run_breach(plane)
+        session = plane.session("svc")
+        records = session.remediation.records
+        # Nothing ever applies, so the misses persist and the detector
+        # re-fires once the cooldown lapses: t=6.0 and t=10.0.
+        assert [r.time for r in records] == [6.0, 10.0]
+        for record in records:
+            assert record.applied is None
+            assert {c.reason for c in record.candidates} == {
+                "exceeds-move-budget"
+            }
+        assert session.live.budget == 1
+
+    def test_channel_cap_respected(self):
+        plane, _ = make_plane_with_service(
+            remediation=RemediationPolicy(
+                miss_streak=4,
+                cooldown=4,
+                max_pages_moved=8,
+                allow_retune=False,
+                allow_shed=False,
+                max_extra_channels=0,
+            ),
+        )
+        self.run_breach(plane)
+        session = plane.session("svc")
+        record = session.remediation.records[0]
+        by_action = {c.action: c for c in record.candidates}
+        assert by_action["add_channel"].reason == "channel-cap"
+        assert not by_action["add_channel"].passed
+        # The only passing fallback is a plain re-plan of the committed
+        # catalog (trivially zero-delay); the budget never grows.
+        assert record.applied == "full_replan"
+        assert session.live.budget == 1
+
+    def test_cooldown_spaces_attempts(self):
+        plane, _ = make_plane_with_service(
+            remediation=RemediationPolicy(
+                miss_streak=2,
+                cooldown=1000,
+                max_pages_moved=0,  # nothing ever applies
+            ),
+        )
+        self.run_breach(plane)
+        session = plane.session("svc")
+        # Streak re-arms after the first record, but the cooldown gate
+        # holds every later attempt back.
+        assert len(session.remediation.records) == 1
+
+    def test_disabled_policy_never_remediates(self):
+        plane, _ = make_plane_with_service(
+            remediation=RemediationPolicy(enabled=False, miss_streak=2),
+        )
+        result = self.run_breach(plane)
+        assert result.remediations == 0
+        assert plane.session("svc").remediation.records == []
+
+    def test_replan_churn_trigger(self):
+        plane, _ = make_plane_with_service(
+            catalog={1: 8, 2: 8, 3: 8, 4: 8, 5: 8, 6: 4},
+            remediation=RemediationPolicy(
+                miss_streak=1000,
+                churn_window=32,
+                churn_threshold=3,
+                cooldown=1000,  # one record, then the gate holds
+                max_pages_moved=0,  # observe, never apply
+            ),
+        )
+        from repro.live.mutations import MutationEvent
+
+        # Toggling deadlines on a packed single channel leaves no
+        # periodic column free for the tightened page, so each tighten
+        # forces a full re-plan — the churn signature.
+        toggles = ((1, 4), (1, 8), (2, 4), (2, 8), (3, 4))
+        events = tuple(
+            MutationEvent(
+                time=4.0 * (i + 1),
+                kind="page_retune",
+                page_id=page,
+                expected_time=expected,
+            )
+            for i, (page, expected) in enumerate(toggles)
+        )
+        plane.handle(MutationBatch(service="svc", events=events))
+        session = plane.session("svc")
+        [record] = session.remediation.records
+        assert record.trigger == "replan-churn"
+        assert record.evidence["threshold"] == 3
+        assert record.evidence["replans_in_window"] >= 3
+        assert record.applied is None
+
+    def test_remediation_trail_lands_in_manifest(self):
+        plane, _ = make_plane_with_service()
+        self.run_breach(plane)
+        manifest = plane.handle(FinishService(service="svc"))
+        control = manifest.manifest["control"]
+        assert control["applied"] == 1
+        assert control["extra_channels"] == 1
+        assert control["triggers"] == {"sustained-miss": 1}
+        [record] = control["records"]
+        assert record["applied"] == "add_channel"
+        assert manifest.manifest["manifest_version"] == 5
+        assert manifest.manifest["operation"] == "control"
+
+
+# ----------------------------------------------------------------------
+# SLO verdicts vs the brute-force search
+# ----------------------------------------------------------------------
+
+
+class TestSloVerdicts:
+    @pytest.mark.parametrize("budget", (1, 2, 3))
+    @pytest.mark.parametrize(
+        "catalog",
+        (
+            {1: 2, 2: 2, 3: 2},
+            {1: 2, 2: 4, 3: 4, 4: 8},
+            {1: 3, 2: 3, 3: 6, 4: 6, 5: 6},
+        ),
+        ids=("taut-uniform", "ladder", "mixed"),
+    )
+    def test_verdict_matches_brute_force(self, catalog, budget):
+        """Unachievable ⟺ even exhaustive search has positive delay."""
+        plane = ControlPlane()
+        plane.handle(
+            CreateServiceRequest(
+                name="svc", catalog=catalog, budget=budget
+            )
+        )
+        verdict = plane.handle(
+            SloQuery(service="svc", expected_time=4, pages=0)
+        )
+        assert isinstance(verdict, SloVerdict)
+
+        sizes: dict[int, int] = {}
+        for t in catalog.values():
+            sizes[t] = sizes.get(t, 0) + 1
+        instance = instance_from_counts(
+            [sizes[t] for t in sorted(sizes)], sorted(sizes)
+        )
+        best = brute_force_frequencies(instance, budget, cap=8)
+        if verdict.achievable:
+            assert best.predicted_delay == 0.0
+            assert verdict.predicted_delay == 0.0
+            assert verdict.reason == "fits-budget"
+            assert verdict.headroom >= 0
+        else:
+            assert best.predicted_delay > 0.0
+            assert verdict.predicted_delay > 0.0
+            assert verdict.reason == "exceeds-budget"
+            assert verdict.headroom < 0
+
+    def test_queued_inserts_count_as_committed_load(self):
+        plane, _ = make_plane_with_service()
+        plane.handle(
+            MutationBatch(
+                service="svc", events=tuple(breach_events(listeners=1))
+            )
+        )
+        session = plane.session("svc")
+        assert len(session.live.admission.queued) == 1
+        verdict = plane.handle(
+            SloQuery(service="svc", expected_time=2, pages=0)
+        )
+        assert verdict.queued_pages == 1
+        # Committed catalog alone fits; the queued t=2 insert tips it.
+        assert verdict.required_channels == 2
+
+    def test_hypothetical_pages_priced_without_mutation(self):
+        plane, _ = make_plane_with_service(budget=2)
+        before = dict(plane.session("svc").live.catalog.pages())
+        verdict = plane.handle(
+            SloQuery(service="svc", expected_time=1, pages=4)
+        )
+        assert not verdict.achievable
+        assert plane.session("svc").live.catalog.pages() == before
+
+    def test_error_budget_report(self):
+        plane, _ = make_plane_with_service()
+        plane.handle(
+            MutationBatch(service="svc", events=tuple(breach_events()))
+        )
+        report = plane.handle(ErrorBudgetQuery(service="svc"))
+        assert isinstance(report, ErrorBudgetReport)
+        assert report.listeners == 8
+        assert report.misses == 4
+        stats = report.per_class["2"]
+        # miss rate 0.5 against target 0.5: the budget is exactly spent.
+        assert stats["budget_remaining"] == 0.0
+
+    def test_plan_stats_consistency(self):
+        catalog = {1: 2, 2: 4, 3: 4}
+        required, delay, cycle = plan_stats(catalog, 2)
+        assert required == 1
+        assert delay == 0.0
+        assert cycle >= 1
+        required_short, delay_short, _ = plan_stats(
+            {1: 2, 2: 2, 3: 2}, 1
+        )
+        assert required_short == 2
+        assert delay_short > 0.0
+
+
+# ----------------------------------------------------------------------
+# Determinism over a real socket
+# ----------------------------------------------------------------------
+
+
+class TestScriptedDeterminism:
+    def test_replayed_session_is_byte_identical(self, tmp_path):
+        messages = script_messages()
+        outputs = []
+        for run in ("a", "b"):
+            responses = run_scripted_session(
+                messages, tmp_path / f"{run}.sock"
+            )
+            outputs.append(
+                json.dumps(
+                    [
+                        type(r).__name__
+                        if not hasattr(r, "to_dict")
+                        else [type(r).__name__, r.to_dict()]
+                        for r in responses
+                    ],
+                    sort_keys=True,
+                )
+            )
+        assert outputs[0] == outputs[1]
+
+    def test_scripted_session_core_responses(self, tmp_path):
+        responses = run_scripted_session(
+            script_messages(), tmp_path / "c.sock"
+        )
+        created, listing, batch, fits, exceeds, budget_report, manifest, ack = (
+            responses
+        )
+        assert isinstance(created, ServiceCreated)
+        assert isinstance(listing, ServiceList)
+        assert isinstance(batch, MutationBatchResult)
+        assert batch.remediations == 1
+        assert isinstance(fits, SloVerdict) and fits.achievable
+        assert isinstance(exceeds, SloVerdict) and not exceeds.achievable
+        assert isinstance(budget_report, ErrorBudgetReport)
+        assert isinstance(manifest, ServiceManifest)
+        assert manifest.manifest["control"]["stream"]["events"] == 9
+        assert isinstance(ack, Ack)
+
+    def test_implicit_shutdown_appended(self, tmp_path):
+        request = CreateServiceRequest(name="svc", catalog={1: 4})
+        responses = run_scripted_session(
+            [request, FinishService(service="svc")], tmp_path / "d.sock"
+        )
+        # Two responses for two messages; the implicit Shutdown's Ack
+        # is consumed internally.
+        assert len(responses) == 2
+        assert isinstance(responses[1], ServiceManifest)
+
+
+# ----------------------------------------------------------------------
+# CLI: repro-air serve
+# ----------------------------------------------------------------------
+
+
+class TestServeCli:
+    def test_scripted_mode_is_deterministic(self, tmp_path, capsys):
+        paths = []
+        for run in ("one", "two"):
+            manifest = tmp_path / f"{run}.json"
+            out = tmp_path / f"{run}.ndjsonl"
+            code = main(
+                [
+                    "serve",
+                    "--session", str(SESSION_SCRIPT),
+                    "--manifest", str(manifest),
+                    "--out", str(out),
+                ]
+            )
+            assert code == 0
+            paths.append((manifest, out))
+        (m1, o1), (m2, o2) = paths
+        assert m1.read_bytes() == m2.read_bytes()
+        assert o1.read_bytes() == o2.read_bytes()
+        payload = json.loads(m1.read_text())
+        assert payload["manifest_version"] == 5
+        assert payload["operation"] == "control"
+        assert len(payload["control"]["records"]) == 1
+
+    def test_scripted_mode_prints_responses(self, tmp_path, capsys):
+        code = main(["serve", "--session", str(SESSION_SCRIPT)])
+        assert code == 0
+        lines = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        types = [json.loads(line)["type"] for line in lines]
+        assert types[0] == "ServiceCreated"
+        assert "SloVerdict" in types
+        assert types[-1] == "Ack"
+
+    def test_manifest_without_finish_rejected(self, tmp_path, capsys):
+        script = tmp_path / "nofinish.ndjsonl"
+        from repro.api import encode_line
+
+        script.write_text(
+            encode_line(CreateServiceRequest(name="svc", catalog={1: 4}))
+        )
+        code = main(
+            [
+                "serve",
+                "--session", str(script),
+                "--manifest", str(tmp_path / "m.json"),
+            ]
+        )
+        assert code == 2
+        assert "FinishService" in capsys.readouterr().err
+
+    def test_serve_needs_a_transport(self, capsys):
+        assert main(["serve"]) == 2
+        assert "transport" in capsys.readouterr().err

@@ -597,25 +597,32 @@ class TestRunManifest:
 
 
 # ----------------------------------------------------------------------
-# Deprecation shims
+# Removed deprecation shims
 # ----------------------------------------------------------------------
 
 
-class TestDeprecationShims:
-    def test_top_level_schedulers_alias_warns(self):
+class TestRemovedShims:
+    """The PR-1 top-level aliases are gone; the errors name replacements."""
+
+    def test_top_level_schedulers_alias_removed(self):
         import repro
 
-        with pytest.warns(DeprecationWarning, match="register_scheduler"):
-            view = repro.SCHEDULERS
-        assert "pamad" in view
+        with pytest.raises(AttributeError, match="register_scheduler"):
+            repro.SCHEDULERS
 
-    def test_top_level_channel_sweep_alias_warns(self):
+    def test_top_level_channel_sweep_alias_removed(self):
         import repro
-        from repro.analysis.sweep import channel_sweep
 
-        with pytest.warns(DeprecationWarning, match="BroadcastEngine.sweep"):
-            shim = repro.channel_sweep
-        assert shim is channel_sweep
+        with pytest.raises(
+            AttributeError, match=r"BroadcastEngine\.sweep"
+        ):
+            repro.channel_sweep
+
+    def test_unknown_attribute_error_unchanged(self):
+        import repro
+
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_name
 
     def test_new_names_exported_from_root(self):
         import repro

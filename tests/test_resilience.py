@@ -2,7 +2,7 @@
 
 Covers plan construction/validation/serialisation, the deterministic
 Poisson churn generator, the four recovery policies replayed over shared
-listener streams, the deprecated ``repro.sim.faults`` wrappers, the
+listener streams, the removed ``repro.sim.faults`` wrappers, the
 engine's ``resilience`` operation, and the CLI round trip through a
 saved trace.
 """
@@ -272,31 +272,35 @@ class TestPolicies:
 # ----------------------------------------------------------------------
 
 
-class TestDeprecatedWrappers:
-    def test_fail_channels_warns_and_matches(self, small_instance):
+class TestRemovedWrappers:
+    def test_fail_channels_raises_removal_error(self, small_instance):
+        from repro.core.errors import ReproError
         from repro.core.pamad import schedule_pamad
         from repro.sim.faults import fail_channels
 
         program = schedule_pamad(small_instance, 4).program
-        with pytest.warns(DeprecationWarning, match="fail_channels"):
-            old = fail_channels(program, small_instance, [3, 1])
+        with pytest.raises(ReproError, match="silence_channels"):
+            fail_channels(program, small_instance, [3, 1])
+        # The replacement covers the old behaviour directly.
         new = silence_channels(program, small_instance, [3, 1])
-        assert old == new
-        assert old.surviving_channels == (0, 2)
+        assert new.surviving_channels == (0, 2)
 
-    def test_compare_failure_responses_warns_and_matches(
+    def test_compare_failure_responses_raises_removal_error(
         self, small_instance
     ):
+        from repro.core.errors import ReproError
         from repro.core.pamad import schedule_pamad
         from repro.sim.faults import compare_failure_responses
 
         program = schedule_pamad(small_instance, 4).program
-        with pytest.warns(DeprecationWarning, match="compare_failure"):
-            old = compare_failure_responses(
-                program, small_instance, [1, 2]
-            )
-        new = compare_static_failure_sizes(program, small_instance, [1, 2])
-        assert old == new
+        with pytest.raises(
+            ReproError, match="compare_static_failure_sizes"
+        ):
+            compare_failure_responses(program, small_instance, [1, 2])
+        rows = compare_static_failure_sizes(
+            program, small_instance, [1, 2]
+        )
+        assert [row.failed_count for row in rows] == [1, 2]
 
 
 # ----------------------------------------------------------------------
@@ -315,7 +319,7 @@ class TestEngineResilience:
         )
         payload = json.loads(result.manifest.to_json())
         assert payload["operation"] == "resilience"
-        assert payload["manifest_version"] == 4
+        assert payload["manifest_version"] == 5
         plan_block = payload["parameters"]["plan"]
         assert plan_block["fingerprint"] == plan.fingerprint()
         assert plan_block["num_channels"] == 4

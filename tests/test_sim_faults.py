@@ -1,14 +1,24 @@
-"""Tests for channel-failure injection and recovery."""
+"""Channel-failure injection and recovery, via the resilience API.
+
+The legacy ``repro.sim.faults`` wrappers finished their deprecation
+period in PR 6 and now raise; the behavioural coverage below runs
+against the replacements (:func:`repro.resilience.silence_channels`,
+:func:`repro.resilience.compare_static_failure_sizes`) and
+``TestRemovedShims`` pins the removal errors.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.errors import SimulationError
+from repro.core.errors import ReproError, SimulationError
 from repro.core.pages import instance_from_counts
 from repro.core.susc import schedule_susc
 from repro.core.validate import validate_program
-from repro.sim.faults import compare_failure_responses, fail_channels
+from repro.resilience import (
+    compare_static_failure_sizes,
+    silence_channels,
+)
 
 
 @pytest.fixture
@@ -16,15 +26,17 @@ def susc_schedule(fig2_instance):
     return schedule_susc(fig2_instance)
 
 
-class TestFailChannels:
+class TestSilenceChannels:
     def test_survivor_grid_shape(self, susc_schedule, fig2_instance):
-        degraded = fail_channels(susc_schedule.program, fig2_instance, [0])
+        degraded = silence_channels(
+            susc_schedule.program, fig2_instance, [0]
+        )
         assert degraded.program.num_channels == 3
         assert degraded.program.cycle_length == 8
 
     def test_surviving_pages_keep_slots(self, susc_schedule, fig2_instance):
         program = susc_schedule.program
-        degraded = fail_channels(program, fig2_instance, [3])
+        degraded = silence_channels(program, fig2_instance, [3])
         for page in fig2_instance.pages():
             if page.page_id in degraded.lost_pages:
                 continue
@@ -42,61 +54,72 @@ class TestFailChannels:
             for page in fig2_instance.pages()
             if susc_schedule.first_slots[page.page_id].channel == 2
         }
-        degraded = fail_channels(program, fig2_instance, [2])
+        degraded = silence_channels(program, fig2_instance, [2])
         assert set(degraded.lost_pages) == channel_pages
 
     def test_no_failure_is_identity(self, susc_schedule, fig2_instance):
-        degraded = fail_channels(susc_schedule.program, fig2_instance, [])
+        degraded = silence_channels(
+            susc_schedule.program, fig2_instance, []
+        )
         assert degraded.lost_pages == ()
         assert degraded.average_delay == 0.0
         assert validate_program(degraded.program, fig2_instance).ok
 
     def test_all_channels_failing_rejected(self, susc_schedule, fig2_instance):
         with pytest.raises(SimulationError, match="every channel"):
-            fail_channels(
+            silence_channels(
                 susc_schedule.program, fig2_instance, [0, 1, 2, 3]
             )
 
     def test_out_of_range_channel_rejected(self, susc_schedule, fig2_instance):
         with pytest.raises(SimulationError, match="out of range"):
-            fail_channels(susc_schedule.program, fig2_instance, [7])
+            silence_channels(susc_schedule.program, fig2_instance, [7])
 
     def test_duplicate_failures_collapse(self, susc_schedule, fig2_instance):
-        degraded = fail_channels(
+        degraded = silence_channels(
             susc_schedule.program, fig2_instance, [1, 1, 1]
         )
         assert degraded.program.num_channels == 3
         assert degraded.failed_channels == (1,)
 
 
-class TestDeprecationShims:
-    """The repro.sim.faults wrappers must warn callers off (PR-2 shim)."""
+class TestRemovedShims:
+    """The PR-2 wrappers are gone: importable, but loudly fatal."""
 
-    def test_fail_channels_warns(self, susc_schedule, fig2_instance):
-        with pytest.warns(DeprecationWarning, match="fail_channels"):
-            fail_channels(susc_schedule.program, fig2_instance, [0])
-
-    def test_compare_failure_responses_warns(
+    def test_fail_channels_raises_with_replacement(
         self, susc_schedule, fig2_instance
     ):
-        with pytest.warns(
-            DeprecationWarning, match="compare_failure_responses"
+        from repro.sim.faults import fail_channels
+
+        with pytest.raises(ReproError, match="silence_channels"):
+            fail_channels(susc_schedule.program, fig2_instance, [0])
+
+    def test_compare_failure_responses_raises_with_replacement(
+        self, susc_schedule, fig2_instance
+    ):
+        from repro.sim.faults import compare_failure_responses
+
+        with pytest.raises(
+            ReproError, match="compare_static_failure_sizes"
         ):
             compare_failure_responses(
                 susc_schedule.program, fig2_instance, [1]
             )
 
-    def test_warnings_name_the_replacement(
-        self, susc_schedule, fig2_instance
-    ):
-        with pytest.warns(DeprecationWarning) as captured:
-            fail_channels(susc_schedule.program, fig2_instance, [])
-        assert "repro.resilience" in str(captured[0].message)
+    def test_value_types_still_reexported(self):
+        from repro.resilience.degrade import (
+            DegradedProgram,
+            FailureComparison,
+        )
+        from repro.sim import faults
+
+        assert faults.DegradedProgram is DegradedProgram
+        assert faults.FailureComparison is FailureComparison
 
 
 class TestCompareResponses:
     def test_reschedule_never_loses_pages(self, susc_schedule, fig2_instance):
-        rows = compare_failure_responses(
+        rows = compare_static_failure_sizes(
             susc_schedule.program, fig2_instance, [1, 2, 3]
         )
         assert [row.failed_count for row in rows] == [1, 2, 3]
@@ -107,18 +130,18 @@ class TestCompareResponses:
         assert rows[-1].degraded_lost_pages > 0
 
     def test_reschedule_has_finite_delay(self, susc_schedule, fig2_instance):
-        rows = compare_failure_responses(
+        rows = compare_static_failure_sizes(
             susc_schedule.program, fig2_instance, [3]
         )
         assert rows[0].rescheduled_delay < float("inf")
 
     def test_invalid_failure_size_rejected(self, susc_schedule, fig2_instance):
         with pytest.raises(SimulationError):
-            compare_failure_responses(
+            compare_static_failure_sizes(
                 susc_schedule.program, fig2_instance, [4]
             )
         with pytest.raises(SimulationError):
-            compare_failure_responses(
+            compare_static_failure_sizes(
                 susc_schedule.program, fig2_instance, [0]
             )
 
@@ -126,7 +149,7 @@ class TestCompareResponses:
         # A heavily loaded instance so every lost channel costs delay.
         instance = instance_from_counts([8, 8, 8], [2, 4, 8])
         schedule = schedule_susc(instance)
-        rows = compare_failure_responses(
+        rows = compare_static_failure_sizes(
             schedule.program,
             instance,
             list(range(1, schedule.num_channels)),
