@@ -23,7 +23,7 @@ wire-stable contract:
 * **Manifest codecs** — :func:`manifest_from_dict` /
   :func:`manifest_to_dict` / :func:`manifest_from_json` /
   :func:`manifest_to_json`, the supported way to parse any manifest
-  schema version (v1..v5) into the current shape.
+  schema version (v1..v6) into the current shape.
 """
 
 from repro.api.codec import (

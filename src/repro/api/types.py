@@ -369,10 +369,18 @@ class MutationBatch:
     same value object the batch trace layer replays — and must be
     non-decreasing in time, both within the batch and across batches
     streamed to one service.
+
+    ``request_id`` is the idempotency token of the retry layer: a batch
+    carrying a non-empty id is applied at most once per control plane —
+    a retransmission inside the server's dedup window returns the
+    original response without re-applying the events.  The empty
+    default means "no dedup", and is omitted from the wire form so
+    id-less batches keep their historical byte encoding.
     """
 
     service: str
     events: tuple[MutationEvent, ...]
+    request_id: str = ""
 
     def __post_init__(self) -> None:
         if not self.service:
@@ -384,10 +392,13 @@ class MutationBatch:
             )
 
     def to_dict(self) -> dict:
-        return {
+        payload: dict = {
             "service": self.service,
             "events": [event.to_dict() for event in self.events],
         }
+        if self.request_id:
+            payload["request_id"] = self.request_id
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "MutationBatch":
@@ -397,6 +408,7 @@ class MutationBatch:
                 MutationEvent.from_dict(item)
                 for item in payload.get("events", ())
             ),
+            request_id=str(payload.get("request_id", "")),
         )
 
 
@@ -455,7 +467,7 @@ class ErrorBudgetQuery:
 
 @dataclass(frozen=True)
 class FinishService:
-    """Close a service: final report, v5 manifest, release the name."""
+    """Close a service: final report, v6 manifest, release the name."""
 
     service: str
 
@@ -686,7 +698,7 @@ class ErrorBudgetReport:
 
 @dataclass(frozen=True)
 class ServiceManifest:
-    """The v5 run manifest of a finished service, plus a short summary."""
+    """The v6 run manifest of a finished service, plus a short summary."""
 
     service: str
     manifest: Mapping[str, object]

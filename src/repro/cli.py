@@ -366,7 +366,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import tempfile
 
     from repro.api import ServiceManifest, decode_line, encode_line
-    from repro.control import ControlPlaneServer, run_scripted_session
+    from repro.control import (
+        ControlPlane,
+        ControlPlaneServer,
+        Journal,
+        run_scripted_session,
+    )
+
+    if args.recover and not args.journal:
+        raise ReproError(
+            "--recover needs --journal PATH (the journal to replay)"
+        )
+    plane = None
+    if args.journal:
+        journal = Journal.open(
+            pathlib.Path(args.journal), fsync=args.fsync
+        )
+        if args.recover:
+            plane = ControlPlane.recover(journal)
+            print(
+                f"recovered {journal.stats()['records']} journaled "
+                f"request(s) from {args.journal}",
+                file=sys.stderr,
+            )
+        else:
+            plane = ControlPlane(journal=journal)
+
+    def _write_manifest(manifests: list) -> None:
+        import json as _json
+
+        path = pathlib.Path(args.manifest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            _json.dumps(
+                dict(manifests[-1].manifest), sort_keys=True, indent=2
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    if plane is not None and plane.closing:
+        # The journal's durable prefix ends in a clean Shutdown: the
+        # recovered plane is already closed, so there is no session to
+        # resume — only manifests to extract.
+        if args.session or args.socket or args.port:
+            raise ReproError(
+                "the journal records a clean Shutdown; the recovered "
+                "plane is closed — use --recover --manifest (without a "
+                "transport) to extract its manifests"
+            )
+        if not args.manifest:
+            raise ReproError(
+                "the journal records a clean Shutdown; give --manifest "
+                "PATH to extract the recovered manifests"
+            )
+        if not plane.finished_manifests:
+            raise ReproError(
+                "the recovered journal finished no service; there is "
+                "no manifest to write"
+            )
+        _write_manifest(plane.finished_manifests)
+        return 0
 
     if args.session:
         lines = [
@@ -379,7 +439,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         messages = [decode_line(line) for line in lines]
         with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
             responses = run_scripted_session(
-                messages, pathlib.Path(tmp) / "control.sock"
+                messages,
+                pathlib.Path(tmp) / "control.sock",
+                plane=plane,
             )
         payload = "".join(encode_line(r) for r in responses)
         if args.out:
@@ -392,25 +454,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             manifests = [
                 r for r in responses if isinstance(r, ServiceManifest)
             ]
+            if not manifests and plane is not None:
+                # A recovered plane may have finished services during
+                # journal replay, before the scripted session began.
+                manifests = list(plane.finished_manifests)
             if not manifests:
                 raise ReproError(
                     "--manifest given but the session finished no "
                     "service; add a FinishService message to the script"
                 )
-            import json as _json
-
-            path = pathlib.Path(args.manifest)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(
-                _json.dumps(
-                    manifests[-1].manifest, sort_keys=True, indent=2
-                )
-                + "\n",
-                encoding="utf-8",
-            )
+            _write_manifest(manifests)
         return 0
 
-    server = ControlPlaneServer()
+    server = ControlPlaneServer(plane)
     if args.socket:
         print(f"control plane listening on {args.socket}", file=sys.stderr)
         asyncio.run(server.serve_unix(args.socket))
@@ -790,12 +846,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--manifest", metavar="PATH", default=None,
-        help="write the last finished service's v5 manifest as "
+        help="write the last finished service's v6 manifest as "
         "canonical JSON (scripted mode only)",
     )
     serve.add_argument(
         "--socket", metavar="PATH", default=None,
         help="serve persistently on a UNIX socket until Shutdown",
+    )
+    serve.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="write-ahead journal: append every accepted request here "
+        "before dispatch, so the session survives a crash",
+    )
+    serve.add_argument(
+        "--recover", action="store_true",
+        help="replay the --journal's durable prefix before serving, "
+        "rebuilding the pre-crash session state byte-for-byte",
+    )
+    serve.add_argument(
+        "--fsync", choices=("always", "batch", "never"),
+        default="always",
+        help="journal durability policy: fsync every append (always), "
+        "every Nth (batch), or leave it to the OS (never)",
     )
     serve.add_argument(
         "--host", default="127.0.0.1",

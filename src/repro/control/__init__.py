@@ -6,22 +6,44 @@ instances, speaks the typed :mod:`repro.api` protocol over
 newline-delimited JSON (UNIX or TCP socket, stdlib only), answers
 structural SLO queries from Theorem-3.1 load accounting, and closes the
 loop on sustained SLO breaches with the detector → proposer → verifier
-remediation engine.
+remediation engine.  Durable: a write-ahead journal makes every
+accepted mutation crash-survivable, and recovery replays the journaled
+prefix into byte-identical session state.
 
 Entry points:
 
 * :class:`ControlPlane` — synchronous typed dispatch (testable without
-  sockets); :class:`ControlPlaneServer` / :class:`ControlPlaneClient` —
-  the asyncio transport; :func:`run_scripted_session` — replay a
-  message script end-to-end over a real socket.
+  sockets), optionally journal-backed, with server-side request-id
+  dedup; :meth:`ControlPlane.recover` — rebuild from a journal;
+  :class:`ControlPlaneServer` / :class:`ControlPlaneClient` — the
+  hardened asyncio transport (read timeouts, frame-size limits,
+  shutdown drain); :func:`run_scripted_session` — replay a message
+  script end-to-end over a real socket.
+* :class:`Journal` — the append-only NDJSON write-ahead log (per-line
+  checksums, torn-tail truncation, fsync policies, snapshot
+  compaction).
+* :class:`RetryingControlPlaneClient` / :class:`RetryPolicy` — seeded
+  backoff retries with idempotent request ids (exactly-once effect
+  under at-least-once delivery).
+* :class:`ChaosPolicy` / :func:`run_chaos_session` — seeded fault
+  injection: dropped/partial/delayed responses, kill-restart at
+  arbitrary journal prefixes.
 * :class:`ServiceSession` — one hosted service (live runtime +
   remediation + manifest emission).
 * :class:`RemediationEngine` — the auto-remediation loop, reusable
   against any live service.
 
-The CLI front end is ``repro-air serve``.
+The CLI front end is ``repro-air serve`` (``--journal`` / ``--recover``
+for durability).
 """
 
+from repro.control.chaos import (
+    ChaosAction,
+    ChaosOutcome,
+    ChaosPolicy,
+    run_chaos_session,
+)
+from repro.control.journal import Journal
 from repro.control.plane import (
     ControlPlane,
     ControlPlaneClient,
@@ -29,14 +51,22 @@ from repro.control.plane import (
     run_scripted_session,
 )
 from repro.control.remediation import RemediationEngine, plan_stats
+from repro.control.retry import RetryingControlPlaneClient, RetryPolicy
 from repro.control.session import ServiceSession
 
 __all__ = [
+    "ChaosAction",
+    "ChaosOutcome",
+    "ChaosPolicy",
     "ControlPlane",
     "ControlPlaneClient",
     "ControlPlaneServer",
+    "Journal",
     "RemediationEngine",
+    "RetryPolicy",
+    "RetryingControlPlaneClient",
     "ServiceSession",
     "plan_stats",
+    "run_chaos_session",
     "run_scripted_session",
 ]

@@ -1,0 +1,268 @@
+"""Seeded fault injection for the control plane — the chaos harness.
+
+Two layers, both deterministic under a seed (the same stance as
+:class:`repro.resilience.FaultPlan`: a chaos run is named by its
+arguments, so every failure is replayable):
+
+* :class:`ChaosPolicy` — transport-level faults.  Plugged into
+  :class:`~repro.control.plane.ControlPlaneServer`, it decides per
+  response whether to deliver it, drop the connection *before* the
+  response, deliver a *partial* response then drop, or delay the write.
+  Dropping after dispatch is the nasty case: the request was applied
+  but the client cannot know — exactly the ambiguity the retry layer's
+  idempotent request ids plus the server's dedup window resolve.
+* :func:`run_chaos_session` — process-level faults.  Drives a scripted
+  message sequence through a journal-backed
+  :class:`~repro.control.plane.ControlPlane` and, at chosen points,
+  kill-restarts the plane: the in-memory dispatcher is discarded
+  (optionally with torn garbage appended to the journal file, the
+  artifact of dying mid-write) and a fresh plane is rebuilt with
+  :meth:`ControlPlane.recover`.  The harness's determinism contract —
+  asserted by the hypothesis properties in
+  ``tests/test_control_chaos.py`` — is that for *any* kill schedule,
+  the final service manifests are byte-identical to the fault-free
+  run's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.control.journal import Journal
+from repro.control.plane import ControlPlane
+from repro.core.errors import ReproError
+
+__all__ = [
+    "CHAOS_ACTIONS",
+    "ChaosAction",
+    "ChaosOutcome",
+    "ChaosPolicy",
+    "run_chaos_session",
+]
+
+#: Transport fault kinds a :class:`ChaosPolicy` can inject.
+CHAOS_ACTIONS = ("deliver", "drop_before", "drop_partial", "delay")
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One per-response decision of a :class:`ChaosPolicy`.
+
+    Attributes:
+        kind: One of :data:`CHAOS_ACTIONS`.
+        fraction: For ``drop_partial``, the fraction of the response
+            delivered before the cut (always strictly less than the
+            whole frame).
+        delay: For ``delay``, seconds to stall before writing.
+    """
+
+    kind: str
+    fraction: float = 0.5
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_ACTIONS:
+            raise ReproError(
+                f"unknown chaos action {self.kind!r}; choose from "
+                f"{', '.join(CHAOS_ACTIONS)}"
+            )
+        if not 0.0 < self.fraction <= 1.0:
+            raise ReproError(
+                f"fraction must be in (0, 1], got {self.fraction}"
+            )
+        if self.delay < 0.0:
+            raise ReproError(f"delay must be >= 0, got {self.delay}")
+
+
+class ChaosPolicy:
+    """A seeded per-response fault schedule for the server transport.
+
+    The decision for response index ``i`` is a pure function of
+    ``(seed, i)`` — two servers with equal policies inject identical
+    fault sequences regardless of timing.
+
+    Args:
+        seed: Names the fault sequence.
+        drop_before: Probability the connection dies before the
+            response is written (request already applied).
+        drop_partial: Probability only a prefix of the response lands
+            before the connection dies.
+        delay: Probability the response is delayed by ``delay_seconds``.
+        delay_seconds: Stall length for delayed responses.
+        window: Half-open ``(lo, hi)`` range of response indices the
+            policy may fault; outside it everything delivers.  ``hi``
+            of ``None`` means unbounded.  Sparing index 0 (the service
+            creation) keeps retries unambiguous — only ``MutationBatch``
+            carries an idempotency id.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        drop_before: float = 0.0,
+        drop_partial: float = 0.0,
+        delay: float = 0.0,
+        delay_seconds: float = 0.001,
+        window: tuple[int, int | None] = (1, None),
+    ) -> None:
+        for name, rate in (
+            ("drop_before", drop_before),
+            ("drop_partial", drop_partial),
+            ("delay", delay),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ReproError(
+                    f"{name} must be a probability, got {rate}"
+                )
+        if drop_before + drop_partial + delay > 1.0:
+            raise ReproError(
+                "fault probabilities must sum to <= 1.0"
+            )
+        self.seed = seed
+        self.drop_before = drop_before
+        self.drop_partial = drop_partial
+        self.delay = delay
+        self.delay_seconds = delay_seconds
+        self.window = window
+        self.injected: dict[str, int] = {
+            kind: 0 for kind in CHAOS_ACTIONS
+        }
+
+    def next_action(self, index: int) -> ChaosAction:
+        """The (deterministic) fault decision for response ``index``."""
+        lo, hi = self.window
+        if index < lo or (hi is not None and index >= hi):
+            self.injected["deliver"] += 1
+            return ChaosAction(kind="deliver")
+        rng = random.Random(f"{self.seed}:{index}")
+        roll = rng.random()
+        if roll < self.drop_before:
+            action = ChaosAction(kind="drop_before")
+        elif roll < self.drop_before + self.drop_partial:
+            action = ChaosAction(
+                kind="drop_partial",
+                fraction=0.1 + 0.8 * rng.random(),
+            )
+        elif roll < self.drop_before + self.drop_partial + self.delay:
+            action = ChaosAction(
+                kind="delay", delay=self.delay_seconds
+            )
+        else:
+            action = ChaosAction(kind="deliver")
+        self.injected[action.kind] += 1
+        return action
+
+
+@dataclass
+class ChaosOutcome:
+    """What a :func:`run_chaos_session` run produced.
+
+    Attributes:
+        responses: Typed response per fed message, in order (``None``
+            for the message in flight when a kill struck, whose
+            response was lost with the process).
+        manifests: The finished services' manifests as canonical JSON
+            byte strings, in finish order — the byte-identity payload
+            chaos properties compare against the fault-free run.
+        recoveries: How many kill-restart cycles ran.
+        journal_stats: The final journal's counters.
+    """
+
+    responses: list[object]
+    manifests: list[bytes]
+    recoveries: int
+    journal_stats: dict[str, int] = field(default_factory=dict)
+
+
+def final_manifest_bytes(plane: ControlPlane) -> list[bytes]:
+    """Canonical JSON bytes of every finished service manifest."""
+    import json
+
+    return [
+        json.dumps(
+            dict(manifest.manifest), sort_keys=True, indent=2
+        ).encode("utf-8")
+        for manifest in plane.finished_manifests
+    ]
+
+
+def run_chaos_session(
+    messages: Sequence[object],
+    journal_path: str | Path,
+    *,
+    kill_after: Sequence[int] = (),
+    torn_dispatch: Sequence[int] = (),
+    torn_tail: bytes = b"",
+    fsync: str = "always",
+) -> ChaosOutcome:
+    """Feed ``messages`` through a journal-backed plane with crashes.
+
+    ``kill_after`` lists 0-based message indices; *before* dispatching
+    message ``i`` with ``i`` in the set, the plane is killed: the
+    journal handle is dropped where it stands, ``torn_tail`` bytes are
+    appended to the journal file (simulating a write torn by the
+    crash), and a fresh plane is recovered from the journal.  Killing
+    at ``len(messages)`` crashes after the last message instead.  The
+    kill therefore lands at an arbitrary *journaled prefix* — exactly
+    the durability contract's quantifier.
+
+    ``torn_dispatch`` indices exercise the sharper write-ahead case:
+    message ``i`` *is* appended to the journal, but the plane dies
+    before dispatch completes and nobody sees a response
+    (``responses[i]`` is ``None``).  Recovery replays the appended
+    request, so its effects survive the crash — the reason the append
+    happens first.
+
+    Queries lost to a crash are not retried (they are read-only); the
+    chaos properties compare ``manifests``, which is rebuilt state, not
+    response traffic.
+    """
+    path = Path(journal_path)
+    kills = sorted(set(int(k) for k in kill_after))
+    torn = set(int(k) for k in torn_dispatch)
+    for k in [*kills, *torn]:
+        if not 0 <= k <= len(messages):
+            raise ReproError(
+                f"kill point {k} outside 0..{len(messages)}"
+            )
+    journal = Journal.open(path, fsync=fsync)
+    plane = ControlPlane(journal)
+    responses: list[object] = []
+    recoveries = 0
+
+    def crash_and_recover() -> tuple[Journal, ControlPlane]:
+        nonlocal recoveries
+        journal.close()
+        if torn_tail:
+            with path.open("ab") as broken:
+                broken.write(torn_tail)
+        reopened = Journal.open(path, fsync=fsync)
+        recoveries += 1
+        return reopened, ControlPlane.recover(reopened)
+
+    for index, message in enumerate(messages):
+        if index in kills:
+            journal, plane = crash_and_recover()
+        if index in torn:
+            # Write-ahead landed; the crash eats the dispatch and the
+            # response.  Recovery replays the journaled request.
+            journal.append(message)
+            responses.append(None)
+            journal, plane = crash_and_recover()
+            continue
+        responses.append(plane.handle(message))
+    if len(messages) in kills:
+        journal, plane = crash_and_recover()
+    manifests = final_manifest_bytes(plane)
+    stats = journal.stats()
+    journal.close()
+    return ChaosOutcome(
+        responses=responses,
+        manifests=manifests,
+        recoveries=recoveries,
+        journal_stats=stats,
+    )

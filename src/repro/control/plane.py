@@ -5,14 +5,30 @@ Layering, innermost out:
 * :class:`ControlPlane` — a synchronous dispatcher mapping each
   :mod:`repro.api` request object to a response object.  All service
   state lives here; the class is directly testable with no sockets or
-  event loop involved.
+  event loop involved.  Optionally backed by a
+  :class:`~repro.control.journal.Journal`: every state-mutating request
+  is appended (write-ahead) before it is dispatched, and
+  :meth:`ControlPlane.recover` replays a journaled prefix through the
+  deterministic dispatcher to rebuild byte-identical session state
+  after a crash.  ``MutationBatch`` requests carrying a ``request_id``
+  are deduplicated inside a bounded window, so an ambiguous retry never
+  double-applies.
 * :class:`ControlPlaneServer` — the asyncio shell: newline-delimited
   JSON frames (see :func:`repro.api.encode_line`) over a UNIX or TCP
   socket, one request → one response per line, stdlib ``asyncio`` only.
   Requests are handled strictly in arrival order on the event-loop
   thread, so a scripted session replays deterministically regardless of
-  how clients interleave.
-* :class:`ControlPlaneClient` — the matching stream client.
+  how clients interleave.  Hardened: per-connection read timeouts, a
+  max-frame-size limit answered with a ``bad-request`` :class:`ApiError`
+  instead of unbounded buffering, a UTF-8 guard on inbound frames, and
+  a shutdown drain that closes *every* open connection (idle ones
+  included).  A seeded chaos policy (:mod:`repro.control.chaos`) can be
+  plugged in to drop/delay/partial responses for fault-injection tests.
+* :class:`ControlPlaneClient` — the matching stream client; a dropped
+  connection raises the typed
+  :class:`~repro.core.errors.ControlPlaneDisconnected` so the retry
+  layer (:mod:`repro.control.retry`) can tell transport faults from
+  structural errors.
 * :func:`run_scripted_session` — the CI/CLI entry point: stand up a
   plane on a UNIX socket, replay a message script over a real
   connection, tear the plane down, return the typed responses.
@@ -21,8 +37,10 @@ Layering, innermost out:
 from __future__ import annotations
 
 import asyncio
+import hashlib
+from collections import OrderedDict
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.api.codec import decode_line, encode_line
 from repro.api.types import (
@@ -34,11 +52,16 @@ from repro.api.types import (
     ListServices,
     MutationBatch,
     ServiceList,
+    ServiceManifest,
     Shutdown,
     SloQuery,
 )
 from repro.control.session import ServiceSession
-from repro.core.errors import ReproError
+from repro.core.errors import ControlPlaneDisconnected, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.control.chaos import ChaosPolicy
+    from repro.control.journal import Journal
 
 __all__ = [
     "ControlPlane",
@@ -47,13 +70,50 @@ __all__ = [
     "run_scripted_session",
 ]
 
+#: Request types that mutate plane state and therefore hit the journal.
+_MUTATING_TYPES = (
+    CreateServiceRequest,
+    MutationBatch,
+    FinishService,
+    Shutdown,
+)
+
 
 class ControlPlane:
-    """Synchronous request dispatcher over named service sessions."""
+    """Synchronous request dispatcher over named service sessions.
 
-    def __init__(self) -> None:
+    Args:
+        journal: Optional write-ahead journal.  When set, every
+            state-mutating request (``CreateServiceRequest``,
+            ``MutationBatch``, ``FinishService``, ``Shutdown``) is
+            appended *before* dispatch, so an accepted request survives
+            a crash at any later point; queries are never journaled.
+        dedup_window: How many ``(service, request_id)`` responses to
+            retain for duplicate suppression.  A retransmitted
+            ``MutationBatch`` whose id is still inside the window gets
+            the original response back without re-applying its events.
+    """
+
+    def __init__(
+        self,
+        journal: "Journal | None" = None,
+        *,
+        dedup_window: int = 256,
+    ) -> None:
+        if dedup_window < 1:
+            raise ReproError(
+                f"dedup_window must be >= 1, got {dedup_window}"
+            )
         self._sessions: dict[str, ServiceSession] = {}
         self.closing = False
+        self.journal = journal
+        self.dedup_window = dedup_window
+        self._dedup: OrderedDict[tuple[str, str], object] = OrderedDict()
+        self._replaying = False
+        #: Manifests of every finished service, in finish order.  Kept
+        #: so recovery (which replays `FinishService` requests whose
+        #: responses nobody is reading) still surfaces the manifests.
+        self.finished_manifests: list[ServiceManifest] = []
 
     @property
     def services(self) -> tuple[str, ...]:
@@ -64,23 +124,129 @@ class ControlPlane:
         """The session behind ``name``, or ``None``."""
         return self._sessions.get(name)
 
+    # ------------------------------------------------------------------
+    # Durability: recovery, snapshots, compaction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        journal: "Journal",
+        *,
+        dedup_window: int = 256,
+    ) -> "ControlPlane":
+        """Rebuild a plane from a journal's durable prefix.
+
+        Every journaled request is replayed through the normal
+        dispatcher (which is deterministic), so the recovered sessions
+        — catalogs, programs, SLO windows, remediation trails, stream
+        fingerprints — are byte-identical to the pre-crash state the
+        journal covers.  Replay does not re-append to the journal; new
+        requests handled after recovery do.
+
+        Responses produced during replay are discarded, but manifests
+        of services finished by replayed ``FinishService`` /
+        ``Shutdown`` requests accumulate in ``finished_manifests``.
+        """
+        plane = cls(dedup_window=dedup_window)
+        plane._replaying = True
+        try:
+            for message in journal.replay():
+                plane.handle(message)
+        finally:
+            plane._replaying = False
+        plane.journal = journal
+        return plane
+
+    def snapshot_requests(self) -> list[object]:
+        """An equivalent request stream for the current live state.
+
+        For each open service, in creation order: its original
+        ``CreateServiceRequest`` plus one coalesced ``MutationBatch`` of
+        every event streamed so far.  Replaying the stream through a
+        fresh plane rebuilds identical service state (dispatch is
+        per-event, so batch boundaries are not load-bearing); finished
+        services and the dedup window are deliberately dropped — this
+        is the snapshot a compacted journal stores.
+        """
+        if self.closing:
+            raise ReproError(
+                "cannot snapshot a control plane that is shutting down"
+            )
+        snapshot: list[object] = []
+        for name, session in self._sessions.items():
+            snapshot.append(session.request)
+            events = session.events_streamed()
+            if events:
+                snapshot.append(
+                    MutationBatch(service=name, events=events)
+                )
+        return snapshot
+
+    def compact_journal(self) -> int:
+        """Compact the attached journal to a snapshot of live state.
+
+        Returns the compacted record count.  The dedup window is
+        cleared: a compaction is a barrier — callers must not compact
+        with ambiguous retries still in flight.
+        """
+        if self.journal is None:
+            raise ReproError(
+                "no journal attached to this control plane"
+            )
+        count = self.journal.compact(self.snapshot_requests())
+        self._dedup.clear()
+        return count
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
     def handle(self, message: object) -> object:
         """Dispatch one typed request; never raises.
 
+        Order of operations for mutating requests: duplicate check
+        first (a dedup hit answers from the window without touching the
+        journal), then the write-ahead append, then dispatch.
         Structural errors (:class:`~repro.core.errors.ReproError`) map
         to ``bad-request`` :class:`ApiError` responses; anything else is
         reported as ``internal`` so one poisoned request cannot take
-        down the plane.
+        down the plane.  A journal append failure is reported as
+        ``internal`` *without* dispatching — durability before effects.
         """
+        dedup_key: tuple[str, str] | None = None
+        if isinstance(message, MutationBatch) and message.request_id:
+            dedup_key = (message.service, message.request_id)
+            cached = self._dedup.get(dedup_key)
+            if cached is not None:
+                self._dedup.move_to_end(dedup_key)
+                return cached
+        if (
+            self.journal is not None
+            and not self._replaying
+            and isinstance(message, _MUTATING_TYPES)
+        ):
+            try:
+                self.journal.append(message)
+            except OSError as error:  # pragma: no cover - disk faults
+                return ApiError(
+                    code="internal",
+                    message=f"journal append failed: {error}",
+                )
         try:
-            return self._dispatch(message)
+            response = self._dispatch(message)
         except ReproError as error:
-            return ApiError(code="bad-request", message=str(error))
+            response = ApiError(code="bad-request", message=str(error))
         except Exception as error:  # pragma: no cover - defensive
-            return ApiError(
+            response = ApiError(
                 code="internal",
                 message=f"{type(error).__name__}: {error}",
             )
+        if dedup_key is not None:
+            self._dedup[dedup_key] = response
+            while len(self._dedup) > self.dedup_window:
+                self._dedup.popitem(last=False)
+        return response
 
     def handle_line(self, line: str) -> str:
         """Decode one wire frame, dispatch it, encode the response."""
@@ -124,6 +290,7 @@ class ControlPlane:
             if session is None:
                 return self._unknown(message.service)
             response = session.finish()
+            self.finished_manifests.append(response)
             del self._sessions[message.service]
             return response
         if isinstance(message, ListServices):
@@ -134,7 +301,7 @@ class ControlPlane:
             for name in self.services:
                 session = self._sessions.pop(name)
                 if not session.finished:
-                    session.finish()
+                    self.finished_manifests.append(session.finish())
             self.closing = True
             return Ack(message="shutting-down")
         return ApiError(
@@ -154,28 +321,105 @@ class ControlPlane:
 
 
 class ControlPlaneServer:
-    """Asyncio NDJSON transport around a :class:`ControlPlane`."""
+    """Asyncio NDJSON transport around a :class:`ControlPlane`.
 
-    def __init__(self, plane: ControlPlane | None = None) -> None:
+    Args:
+        plane: The dispatcher to serve (a fresh one by default).
+        read_timeout: Seconds a connection may sit idle between frames
+            before the server closes it (``None`` = no timeout).
+        max_frame_bytes: Longest accepted request line.  An overlong
+            frame is answered with a ``bad-request`` :class:`ApiError`
+            and the connection is closed — the stream cannot be resynced
+            mid-line, but the client gets a structured reason first.
+        chaos: Optional :class:`~repro.control.chaos.ChaosPolicy`;
+            when set, each response consults it and may be dropped,
+            truncated or delayed (seeded fault injection for tests).
+    """
+
+    def __init__(
+        self,
+        plane: ControlPlane | None = None,
+        *,
+        read_timeout: float | None = None,
+        max_frame_bytes: int = 1_048_576,
+        chaos: "ChaosPolicy | None" = None,
+    ) -> None:
+        if max_frame_bytes < 1024:
+            raise ReproError(
+                f"max_frame_bytes must be >= 1024, got {max_frame_bytes}"
+            )
         self.plane = plane if plane is not None else ControlPlane()
+        self.read_timeout = read_timeout
+        self.max_frame_bytes = max_frame_bytes
+        self.chaos = chaos
         self._closed = asyncio.Event()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._requests_served = 0
+
+    async def wait_closed(self) -> None:
+        """Block until the plane has processed a ``Shutdown``."""
+        await self._closed.wait()
 
     async def _client(
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
+        self._writers.add(writer)
         try:
             while not self.plane.closing:
-                line = await reader.readline()
+                try:
+                    line = await asyncio.wait_for(
+                        reader.readline(), self.read_timeout
+                    )
+                except asyncio.TimeoutError:
+                    break  # idle past the read timeout: drop the client
+                except ValueError:
+                    # StreamReader limit overrun: the frame exceeds
+                    # max_frame_bytes and the line buffer is poisoned.
+                    # Answer with a structured error, then close.
+                    await self._respond(
+                        writer,
+                        encode_line(
+                            ApiError(
+                                code="bad-request",
+                                message=(
+                                    "frame exceeds the "
+                                    f"{self.max_frame_bytes}-byte limit"
+                                ),
+                            )
+                        ),
+                    )
+                    break
                 if not line:
                     break
-                response = self.plane.handle_line(
-                    line.decode("utf-8")
-                )
-                writer.write(response.encode("utf-8"))
-                await writer.drain()
+                try:
+                    text = line.decode("utf-8")
+                except UnicodeDecodeError:
+                    delivered = await self._respond(
+                        writer,
+                        encode_line(
+                            ApiError(
+                                code="bad-request",
+                                message="frame is not valid UTF-8",
+                            )
+                        ),
+                    )
+                    if not delivered:
+                        break
+                    continue
+                response = self.plane.handle_line(text)
+                delivered = await self._respond(writer, response)
+                if self.plane.closing:
+                    self._drain_connections()
+                    self._closed.set()
+                    break
+                if not delivered:
+                    break
+        except (ConnectionError, OSError):  # pragma: no cover - races
+            pass
         finally:
+            self._writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -184,17 +428,55 @@ class ControlPlaneServer:
             if self.plane.closing:
                 self._closed.set()
 
+    async def _respond(
+        self, writer: asyncio.StreamWriter, response: str
+    ) -> bool:
+        """Write one response frame, via the chaos policy when present.
+
+        Returns ``True`` when the full frame was delivered; ``False``
+        when the chaos policy dropped or truncated it (the caller then
+        closes the connection, as a real transport fault would).
+        """
+        payload = response.encode("utf-8")
+        self._requests_served += 1
+        if self.chaos is not None:
+            action = self.chaos.next_action(self._requests_served - 1)
+            if action.kind == "drop_before":
+                return False
+            if action.kind == "drop_partial":
+                cut = max(1, int(len(payload) * action.fraction))
+                writer.write(payload[: min(cut, len(payload) - 1)])
+                await writer.drain()
+                return False
+            if action.kind == "delay":
+                await asyncio.sleep(action.delay)
+        writer.write(payload)
+        await writer.drain()
+        return True
+
+    def _drain_connections(self) -> None:
+        """Close every open connection (the shutdown drain).
+
+        Without this, idle clients would linger until their next read;
+        with it, a ``Shutdown`` tears the whole transport down
+        promptly.
+        """
+        for writer in list(self._writers):
+            writer.close()
+
     async def start_unix(self, path: str | Path) -> asyncio.AbstractServer:
         """Bind a UNIX-socket listener; returns the asyncio server."""
         return await asyncio.start_unix_server(
-            self._client, path=str(path)
+            self._client, path=str(path), limit=self.max_frame_bytes
         )
 
     async def start_tcp(
         self, host: str, port: int
     ) -> asyncio.AbstractServer:
         """Bind a TCP listener; returns the asyncio server."""
-        return await asyncio.start_server(self._client, host, port)
+        return await asyncio.start_server(
+            self._client, host, port, limit=self.max_frame_bytes
+        )
 
     async def serve_unix(self, path: str | Path) -> None:
         """Serve on a UNIX socket until a ``Shutdown`` request arrives."""
@@ -208,7 +490,7 @@ class ControlPlaneServer:
 
     async def _serve(self, server: asyncio.AbstractServer) -> None:
         async with server:
-            await self._closed.wait()
+            await self.wait_closed()
 
 
 class ControlPlaneClient:
@@ -235,12 +517,24 @@ class ControlPlaneClient:
         return cls(reader, writer)
 
     async def request(self, message: object) -> object:
-        """Send one typed request; await and decode its response."""
-        self._writer.write(encode_line(message).encode("utf-8"))
-        await self._writer.drain()
-        line = await self._reader.readline()
-        if not line:
-            raise ReproError(
+        """Send one typed request; await and decode its response.
+
+        Raises:
+            ControlPlaneDisconnected: When the transport drops before a
+                complete response arrives.  The request's outcome is
+                ambiguous — it may have been applied — which is what
+                the retry layer's idempotent request ids resolve.
+        """
+        try:
+            self._writer.write(encode_line(message).encode("utf-8"))
+            await self._writer.drain()
+            line = await self._reader.readline()
+        except (ConnectionError, OSError) as error:
+            raise ControlPlaneDisconnected(
+                f"control plane connection failed mid-request: {error}"
+            ) from error
+        if not line or not line.endswith(b"\n"):
+            raise ControlPlaneDisconnected(
                 "control plane closed the connection mid-request"
             )
         return decode_line(line.decode("utf-8"))
@@ -256,6 +550,8 @@ class ControlPlaneClient:
 def run_scripted_session(
     messages: Sequence[object],
     socket_path: str | Path,
+    *,
+    plane: ControlPlane | None = None,
 ) -> list[object]:
     """Replay a message script against a real control plane.
 
@@ -266,6 +562,9 @@ def run_scripted_session(
     sent implicitly so the server always winds down; its ``Ack`` is not
     included in the returned list.
 
+    ``plane`` substitutes a pre-built dispatcher — a journal-backed or
+    freshly recovered one — for the default empty plane.
+
     This is the CI smoke path and the CLI's ``serve --session`` mode:
     everything — framing, codecs, dispatch, session state — runs exactly
     as it would for a long-lived deployment, just against a scripted
@@ -273,7 +572,7 @@ def run_scripted_session(
     """
 
     async def _run() -> list[object]:
-        server = ControlPlaneServer()
+        server = ControlPlaneServer(plane)
         bound = await server.start_unix(socket_path)
         async with bound:
             client = await ControlPlaneClient.connect_unix(socket_path)
@@ -287,7 +586,7 @@ def run_scripted_session(
                     await client.request(Shutdown())
             finally:
                 await client.close()
-            await server._closed.wait()
+            await server.wait_closed()
         return responses
 
     return asyncio.run(_run())

@@ -30,7 +30,7 @@ The cheapest passing candidate (fewest pages moved, proposal order as
 the tie-break) is applied through the live service's own machinery, and
 the whole decision — trigger evidence, every candidate with its verdict,
 the applied action — is recorded as a
-:class:`~repro.api.types.RemediationRecord` bound for the manifest's v5
+:class:`~repro.api.types.RemediationRecord` bound for the manifest's v6
 ``control`` block.
 
 Everything here is a pure function of the event stream: detector state

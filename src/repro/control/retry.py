@@ -1,0 +1,182 @@
+"""Client-side retries with idempotent request ids.
+
+A dropped control-plane connection mid-request is *ambiguous*: the
+request may have been applied just before the transport died, or never
+arrived at all.  Blind resends would double-apply mutation batches.
+This layer closes the loop from both ends:
+
+* :class:`RetryPolicy` — deterministic, seeded exponential backoff with
+  jitter.  The delay sequence is a pure function of ``(seed, attempt)``,
+  so a chaos test's retry timing is replayable like everything else.
+* :class:`RetryingControlPlaneClient` — wraps a reconnecting
+  :class:`~repro.control.plane.ControlPlaneClient`.  Every
+  ``MutationBatch`` without a ``request_id`` is stamped with a
+  deterministic one (``"<client_id>-<n>"``) *before* the first send, so
+  a resend after :class:`~repro.core.errors.ControlPlaneDisconnected`
+  carries the same id and the server's dedup window returns the
+  original response instead of re-applying the events — exactly-once
+  effect under at-least-once delivery.
+
+Only transport failures (``ControlPlaneDisconnected``, ``OSError``)
+are retried.  Structural failures — an :class:`~repro.api.ApiError`
+response, a codec rejection — pass straight through: retrying a bad
+request cannot make it good.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Awaitable, Callable
+
+from repro.api.types import MutationBatch
+from repro.control.plane import ControlPlaneClient
+from repro.core.errors import ControlPlaneDisconnected, ReproError
+
+__all__ = [
+    "RetryPolicy",
+    "RetryingControlPlaneClient",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded exponential backoff: deterministic delays, bounded tries.
+
+    Attributes:
+        attempts: Total tries per request (first send included).
+        base_delay: Backoff before the first retry, in seconds.
+        multiplier: Exponential growth factor per retry.
+        max_delay: Ceiling on any single backoff.
+        jitter: Fraction of each delay randomised away (0 = none,
+            0.5 = delays land in [50%, 100%] of nominal).
+        seed: Names the jitter sequence; equal seeds give equal delays.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ReproError(
+                f"attempts must be >= 1, got {self.attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ReproError(
+                "base_delay and max_delay must be >= 0, got "
+                f"{self.base_delay}/{self.max_delay}"
+            )
+        if self.multiplier < 1.0:
+            raise ReproError(
+                f"multiplier must be >= 1.0, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ReproError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered.
+
+        A pure function of ``(seed, attempt)`` — two clients with equal
+        policies back off identically.
+        """
+        nominal = min(
+            self.max_delay, self.base_delay * self.multiplier**attempt
+        )
+        if not self.jitter:
+            return nominal
+        rng = random.Random(f"{self.seed}:{attempt}")
+        return nominal * (1.0 - self.jitter * rng.random())
+
+
+class RetryingControlPlaneClient:
+    """A reconnecting, retrying wrapper over the stream client.
+
+    Args:
+        connect: Async factory producing a fresh
+            :class:`ControlPlaneClient` (e.g.
+            ``lambda: ControlPlaneClient.connect_unix(path)``).  Called
+            lazily on first use and after every transport failure.
+        policy: Backoff/attempt budget.
+        client_id: Prefix of the generated ``request_id``s; two clients
+            talking to one plane must use distinct ids.
+    """
+
+    def __init__(
+        self,
+        connect: Callable[[], Awaitable[ControlPlaneClient]],
+        *,
+        policy: RetryPolicy | None = None,
+        client_id: str = "client",
+    ) -> None:
+        if not client_id:
+            raise ReproError("client_id must be non-empty")
+        self._connect = connect
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.client_id = client_id
+        self._client: ControlPlaneClient | None = None
+        self._sequence = 0
+        self.stats = {"requests": 0, "retries": 0, "reconnects": 0}
+
+    def _stamp(self, message: object) -> object:
+        """Give a ``MutationBatch`` its idempotency id, if missing."""
+        if isinstance(message, MutationBatch) and not message.request_id:
+            self._sequence += 1
+            return MutationBatch(
+                service=message.service,
+                events=message.events,
+                request_id=f"{self.client_id}-{self._sequence}",
+            )
+        return message
+
+    async def _connected(self) -> ControlPlaneClient:
+        if self._client is None:
+            self._client = await self._connect()
+            self.stats["reconnects"] += 1
+        return self._client
+
+    async def _drop_connection(self) -> None:
+        client = self._client
+        self._client = None
+        if client is not None:
+            try:
+                await client.close()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def request(self, message: object) -> object:
+        """Send one typed request, retrying transport failures.
+
+        The message is stamped once, so every attempt is byte-identical
+        on the wire; the server's dedup window makes the retries safe.
+
+        Raises:
+            ControlPlaneDisconnected: When every attempt failed at the
+                transport layer.
+        """
+        stamped = self._stamp(message)
+        self.stats["requests"] += 1
+        failure: Exception | None = None
+        for attempt in range(self.policy.attempts):
+            if attempt:
+                self.stats["retries"] += 1
+                await asyncio.sleep(self.policy.delay(attempt - 1))
+            try:
+                client = await self._connected()
+                return await client.request(stamped)
+            except (ControlPlaneDisconnected, OSError) as error:
+                failure = error
+                await self._drop_connection()
+        raise ControlPlaneDisconnected(
+            f"request failed after {self.policy.attempts} attempts: "
+            f"{failure}"
+        ) from failure
+
+    async def close(self) -> None:
+        await self._drop_connection()

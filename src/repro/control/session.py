@@ -12,7 +12,11 @@ the control plane owns:
   every event;
 * a running SHA-256 over the canonical event stream — the *stream
   fingerprint* recorded in the manifest, the analogue of a trace
-  fingerprint for sessions that were never a trace object.
+  fingerprint for sessions that were never a trace object;
+* a running SHA-256 over the canonical *request* stream (the create
+  request plus every accepted mutation batch) — the durability trail
+  recorded in the manifest's ``control.durability`` block (schema v6),
+  which recovery from a write-ahead journal reproduces byte-for-byte.
 
 The session answers the typed requests (:class:`MutationBatch`,
 :class:`SloQuery`, :class:`ErrorBudgetQuery`, :class:`FinishService`)
@@ -25,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import json
 
+from repro.api.codec import encode_line
 from repro.api.types import (
     CreateServiceRequest,
     ErrorBudgetReport,
@@ -78,9 +83,17 @@ class ServiceSession:
         ).to_instance()
         self._stream = hashlib.sha256()
         self._events_streamed = 0
+        self._events: list[object] = []
+        self._requests = hashlib.sha256()
+        self._requests.update(encode_line(request).encode("utf-8"))
+        self._requests_accepted = 1
         self.finished = False
         self.manifest: RunManifest | None = None
         self.live.start()
+
+    def events_streamed(self) -> tuple:
+        """Every event applied so far, in order (the snapshot source)."""
+        return tuple(self._events)
 
     # ------------------------------------------------------------------
     # Requests
@@ -131,6 +144,16 @@ class ServiceSession:
                 json.dumps(event.to_dict(), sort_keys=True).encode("utf-8")
             )
             self._events_streamed += 1
+            self._events.append(event)
+        # Digest the *logical* batch (request_id stripped): the
+        # durability fingerprint identifies what was applied, not the
+        # retry metadata it happened to arrive with.
+        self._requests.update(
+            encode_line(
+                MutationBatch(service=batch.service, events=batch.events)
+            ).encode("utf-8")
+        )
+        self._requests_accepted += 1
 
         def counter_delta(name: str) -> int:
             return self.live.counters[name] - counters_before[name]
@@ -219,7 +242,7 @@ class ServiceSession:
         )
 
     def finish(self) -> ServiceManifest:
-        """Close the session: final report plus the v5 manifest."""
+        """Close the session: final report plus the v6 manifest."""
         if self.finished:
             raise ReproError(
                 f"service {self.request.name!r} is already finished"
@@ -231,6 +254,13 @@ class ServiceSession:
             "stream": {
                 "events": self._events_streamed,
                 "fingerprint": self._stream.hexdigest()[:16],
+            },
+            # Schema v6: the durability trail.  A deterministic function
+            # of the accepted request stream, so a session recovered
+            # from a write-ahead journal reproduces it byte-for-byte.
+            "durability": {
+                "requests": self._requests_accepted,
+                "fingerprint": self._requests.hexdigest()[:16],
             },
         }
         remediations = len(self.remediation.records)

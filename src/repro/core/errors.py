@@ -19,6 +19,8 @@ __all__ = [
     "SearchSpaceError",
     "WorkloadError",
     "SimulationError",
+    "ControlPlaneDisconnected",
+    "JournalError",
 ]
 
 
@@ -78,3 +80,24 @@ class WorkloadError(ReproError, ValueError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class ControlPlaneDisconnected(ReproError, ConnectionError):
+    """The control-plane connection dropped before a response arrived.
+
+    Raised by :meth:`repro.control.ControlPlaneClient.request` when the
+    server closes (or the transport fails) mid-request.  The outcome is
+    *ambiguous* — the request may or may not have been applied — which
+    is exactly the case the retry layer's idempotent request ids exist
+    for.  Distinguishing this from structural failures lets callers
+    retry transport errors without retrying their own bad requests.
+    """
+
+
+class JournalError(ReproError):
+    """A control-plane write-ahead journal is unusable or corrupt.
+
+    Raised for unreadable journal files, unsupported journal versions
+    and mid-file corruption.  A *torn tail* (an interrupted final
+    write) is not an error — it is truncated away on open.
+    """

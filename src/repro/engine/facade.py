@@ -167,7 +167,7 @@ class LiveServiceResult:
         baseline: The Longest-Wait-First pull replay of the same trace
             (a :class:`~repro.live.baseline.PullOutcome`), or ``None``
             when the baseline was skipped.
-        manifest: The run manifest (operation ``"live"``, schema v5 with
+        manifest: The run manifest (operation ``"live"``, schema v6 with
             the ``service`` block filled in).  Emitted deterministically:
             ``created_at`` is pinned to ``0.0`` and wall-clock timings
             are dropped, so identical runs produce byte-identical
@@ -740,7 +740,8 @@ class BroadcastEngine:
         pinned to ``0.0``, wall-clock timers dropped — so replaying an
         identical scripted session produces byte-identical output.  The
         ``control`` block carries the remediation policy and the
-        detector→proposer→verifier decision trail (schema v5).
+        detector→proposer→verifier decision trail, and (schema v6)
+        the session's durability trail.
         """
         return self._emit_manifest(
             operation="control",
@@ -782,7 +783,7 @@ class BroadcastEngine:
         this engine's telemetry — then optionally replays the same trace
         through the Longest-Wait-First pull baseline for comparison.
 
-        The manifest (operation ``"live"``, schema v5) is emitted
+        The manifest (operation ``"live"``, schema v6) is emitted
         *deterministically*: ``created_at`` is pinned, wall-clock timers
         are dropped, and every remaining field is a pure function of the
         inputs, so two replays of the same trace on fresh engines are

@@ -8,10 +8,10 @@ did (hits/misses for the run and for the engine's lifetime).  Manifests
 are the machine-readable audit trail of an engine process: the CLI can
 write them next to results, and regression tooling can diff them.
 
-Manifest schema (``manifest_version`` 5)::
+Manifest schema (``manifest_version`` 6)::
 
     {
-      "manifest_version": 5,
+      "manifest_version": 6,
       "run_id": 3,                      # per-engine monotonic counter
       "operation": "sweep",             # plan | schedule | evaluate |
                                         #   sweep | resilience | live |
@@ -51,7 +51,13 @@ Manifest schema (``manifest_version`` 5)::
                                         #   remediation policy, the
                                         #   detector->proposer->verifier
                                         #   records, session stream
-                                        #   fingerprint; {} otherwise
+                                        #   fingerprint; (v6) the
+                                        #   "durability" sub-block:
+                                        #   accepted-request count +
+                                        #   request-stream fingerprint
+                                        #   (what journal recovery must
+                                        #   reproduce byte-for-byte);
+                                        #   {} otherwise
       "results": {...}                  # operation-specific summary
     }
 
@@ -63,10 +69,12 @@ transport executor keys (``chunk_size`` / ``measure_backend`` /
 ``short_circuited``) and the serving-throughput counters inside the
 ``service`` block (``batched_listeners`` / ``events_coalesced`` /
 ``replans_avoided``); version 5 added the ``control`` operation and the
-``control`` block (the :mod:`repro.control` plane's remediation trail).
+``control`` block (the :mod:`repro.control` plane's remediation trail);
+version 6 added the ``durability`` sub-block inside ``control`` (the
+write-ahead journal's crash-recovery trail).
 :meth:`RunManifest.from_dict` parses every version back to 1,
 defaulting the keys each newer version introduced, so consumers can
-rely on the version-5 shape either way.
+rely on the version-6 shape either way.
 """
 
 from __future__ import annotations
@@ -88,7 +96,7 @@ __all__ = [
     "describe_instance",
 ]
 
-MANIFEST_VERSION = 5
+MANIFEST_VERSION = 6
 
 #: Executor-block keys added in manifest version 2, with their defaults
 #: (applied when parsing version-1 documents).
@@ -114,6 +122,12 @@ _SERVICE_COUNTERS_V4 = (
     "events_coalesced",
     "replans_avoided",
 )
+
+#: ``control.durability`` default applied to version-5 ``control``
+#: blocks (which predate the write-ahead journal).  ``fingerprint``
+#: ``None`` marks "no durability trail recorded", distinct from a
+#: session that journaled zero requests.
+_CONTROL_DURABILITY_V6_DEFAULT = {"requests": 0, "fingerprint": None}
 
 
 class Telemetry:
@@ -248,13 +262,15 @@ class RunManifest:
     def from_dict(cls, payload: Mapping[str, object]) -> "RunManifest":
         """Parse a manifest document of any supported schema version.
 
-        Accepts version 1 through 5 documents: the hardening keys
+        Accepts version 1 through 6 documents: the hardening keys
         missing from version-1 executor blocks default to zero, the
         ``service`` block missing below version 3 defaults to ``{}``,
         the version-4 chunked-transport executor keys and serving-
         throughput service counters default to their quiescent values,
-        and the version-5 ``control`` block defaults to ``{}`` — so
-        consumers can rely on the version-5 shape either way.
+        the version-5 ``control`` block defaults to ``{}``, and a
+        non-empty pre-v6 ``control`` block gains a defaulted
+        ``durability`` sub-block — so consumers can rely on the
+        version-6 shape either way.
 
         Raises:
             ReproError: For unknown (newer) versions or documents missing
@@ -279,6 +295,11 @@ class RunManifest:
                 for key in _SERVICE_COUNTERS_V4:
                     counters.setdefault(key, 0)
                 service["counters"] = counters
+            control = dict(payload.get("control", {}))
+            if control:
+                control.setdefault(
+                    "durability", dict(_CONTROL_DURABILITY_V6_DEFAULT)
+                )
             return cls(
                 run_id=int(payload["run_id"]),
                 operation=str(payload["operation"]),
@@ -299,7 +320,7 @@ class RunManifest:
                 counters=dict(payload.get("counters", {})),
                 results=dict(payload.get("results", {})),
                 service=service,
-                control=dict(payload.get("control", {})),
+                control=control,
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ReproError(

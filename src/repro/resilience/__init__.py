@@ -14,6 +14,12 @@ how much of the guarantee each recovery strategy preserves.
   ``reschedule_full``, ``reschedule_throttled``, ``shed_load``) and the
   trace-replay harness that scores them from the client's point of view.
 
+The control plane's chaos harness (:mod:`repro.control.chaos`) extends
+the same stance — every fault sequence is a pure function of its seed,
+so failures are replayable — from broadcast channels to the serving
+transport and process lifetime (dropped responses, kill-restarts
+recovered from the write-ahead journal).
+
 Typical use::
 
     from repro.resilience import poisson_churn_plan, compare_policies

@@ -452,7 +452,7 @@ class TestRemediation:
         assert control["triggers"] == {"sustained-miss": 1}
         [record] = control["records"]
         assert record["applied"] == "add_channel"
-        assert manifest.manifest["manifest_version"] == 5
+        assert manifest.manifest["manifest_version"] == 6
         assert manifest.manifest["operation"] == "control"
 
 
@@ -634,7 +634,7 @@ class TestServeCli:
         assert m1.read_bytes() == m2.read_bytes()
         assert o1.read_bytes() == o2.read_bytes()
         payload = json.loads(m1.read_text())
-        assert payload["manifest_version"] == 5
+        assert payload["manifest_version"] == 6
         assert payload["operation"] == "control"
         assert len(payload["control"]["records"]) == 1
 
@@ -671,3 +671,182 @@ class TestServeCli:
     def test_serve_needs_a_transport(self, capsys):
         assert main(["serve"]) == 2
         assert "transport" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Transport hardening: frame limits, timeouts, drain, typed disconnects
+# ----------------------------------------------------------------------
+
+
+class TestServerHardening:
+    def serve(self, tmp_path, coro_factory, **server_kwargs):
+        """Run ``coro_factory(socket_path)`` against a live server."""
+        import asyncio
+
+        from repro.control import ControlPlaneServer
+
+        async def _run():
+            server = ControlPlaneServer(**server_kwargs)
+            sock = tmp_path / "hardening.sock"
+            bound = await server.start_unix(sock)
+            async with bound:
+                return await coro_factory(sock, server)
+
+        return asyncio.run(_run())
+
+    def test_non_utf8_frame_answered_with_bad_request(self, tmp_path):
+        import asyncio
+
+        async def scenario(sock, server):
+            reader, writer = await asyncio.open_unix_connection(str(sock))
+            writer.write(b"\xff\xfe not a utf-8 frame\n")
+            await writer.drain()
+            error = decode_line((await reader.readline()).decode())
+            # The connection survives: a later valid frame still works.
+            writer.write(
+                encode_line(ListServices()).encode("utf-8")
+            )
+            await writer.drain()
+            listing = decode_line((await reader.readline()).decode())
+            writer.close()
+            await writer.wait_closed()
+            return error, listing
+
+        from repro.api import encode_line
+
+        error, listing = self.serve(tmp_path, scenario)
+        assert isinstance(error, ApiError)
+        assert error.code == "bad-request"
+        assert "UTF-8" in error.message
+        assert isinstance(listing, ServiceList)
+
+    def test_oversized_frame_answered_then_closed(self, tmp_path):
+        import asyncio
+
+        async def scenario(sock, server):
+            reader, writer = await asyncio.open_unix_connection(str(sock))
+            writer.write(b"{" + b"x" * 4096 + b"}\n")
+            await writer.drain()
+            error = decode_line((await reader.readline()).decode())
+            trailing = await reader.read()  # server closes after reply
+            writer.close()
+            await writer.wait_closed()
+            return error, trailing
+
+        error, trailing = self.serve(
+            tmp_path, scenario, max_frame_bytes=1024
+        )
+        assert isinstance(error, ApiError)
+        assert error.code == "bad-request"
+        assert "1024-byte limit" in error.message
+        assert trailing == b""
+
+    def test_max_frame_bytes_floor_enforced(self):
+        from repro.control import ControlPlaneServer
+        from repro.core.errors import ReproError
+
+        with pytest.raises(ReproError, match="max_frame_bytes"):
+            ControlPlaneServer(max_frame_bytes=16)
+
+    def test_read_timeout_drops_idle_connection(self, tmp_path):
+        import asyncio
+
+        async def scenario(sock, server):
+            reader, writer = await asyncio.open_unix_connection(str(sock))
+            # Send nothing: the server should hang up on its own.
+            data = await asyncio.wait_for(reader.read(), timeout=5.0)
+            writer.close()
+            await writer.wait_closed()
+            return data
+
+        assert self.serve(tmp_path, scenario, read_timeout=0.05) == b""
+
+    def test_shutdown_drains_idle_connections(self, tmp_path):
+        import asyncio
+
+        from repro.control import ControlPlaneClient
+
+        async def scenario(sock, server):
+            idle_reader, idle_writer = await asyncio.open_unix_connection(
+                str(sock)
+            )
+            active = await ControlPlaneClient.connect_unix(sock)
+            ack = await active.request(Shutdown())
+            # The idle connection is torn down by the drain, not left
+            # hanging until its next request.
+            leftovers = await asyncio.wait_for(
+                idle_reader.read(), timeout=5.0
+            )
+            await active.close()
+            idle_writer.close()
+            await idle_writer.wait_closed()
+            await asyncio.wait_for(server.wait_closed(), timeout=5.0)
+            return ack, leftovers
+
+        ack, leftovers = self.serve(tmp_path, scenario)
+        assert isinstance(ack, Ack)
+        assert leftovers == b""
+
+    def test_wait_closed_is_public_api(self, tmp_path):
+        import asyncio
+
+        from repro.control import ControlPlaneClient
+
+        async def scenario(sock, server):
+            waiter = asyncio.ensure_future(server.wait_closed())
+            await asyncio.sleep(0)
+            assert not waiter.done()  # still serving
+            client = await ControlPlaneClient.connect_unix(sock)
+            await client.request(Shutdown())
+            await client.close()
+            await asyncio.wait_for(waiter, timeout=5.0)
+            return True
+
+        assert self.serve(tmp_path, scenario)
+
+    def test_mid_request_disconnect_raises_typed_error(self, tmp_path):
+        import asyncio
+
+        from repro.control import ChaosPolicy, ControlPlaneClient
+        from repro.core.errors import ControlPlaneDisconnected
+
+        async def scenario(sock, server):
+            client = await ControlPlaneClient.connect_unix(sock)
+            try:
+                with pytest.raises(ControlPlaneDisconnected) as excinfo:
+                    await client.request(ListServices())
+            finally:
+                await client.close()
+            return excinfo.value
+
+        error = self.serve(
+            tmp_path,
+            scenario,
+            chaos=ChaosPolicy(seed=1, drop_before=1.0, window=(0, None)),
+        )
+        assert isinstance(error, ConnectionError)
+
+    def test_partial_response_raises_typed_error(self, tmp_path):
+        import asyncio
+
+        from repro.control import ChaosPolicy, ControlPlaneClient
+        from repro.core.errors import ControlPlaneDisconnected
+
+        async def scenario(sock, server):
+            client = await ControlPlaneClient.connect_unix(sock)
+            try:
+                with pytest.raises(
+                    ControlPlaneDisconnected, match="mid-request"
+                ):
+                    await client.request(ListServices())
+            finally:
+                await client.close()
+            return True
+
+        assert self.serve(
+            tmp_path,
+            scenario,
+            chaos=ChaosPolicy(
+                seed=1, drop_partial=1.0, window=(0, None)
+            ),
+        )

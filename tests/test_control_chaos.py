@@ -1,0 +1,480 @@
+"""Chaos-hardening tests: kill-restart recovery and faulty transports.
+
+The durability contract, stated as properties:
+
+* **Kill anywhere, recover everything** — for *any* schedule of
+  kill-restarts at journaled prefixes (including torn tails appended by
+  the dying write), replaying the remaining messages through recovered
+  planes produces final service manifests byte-identical to a
+  fault-free run.
+* **Exactly-once under at-least-once delivery** — a retrying client
+  facing a chaos transport (responses dropped before or mid-write)
+  converges to the same applied state as a fault-free client, because
+  idempotent ``request_id``s are deduplicated server-side.
+
+Both are checked exhaustively on the fixture session and generatively
+with hypothesis, plus one end-to-end subprocess test that SIGKILLs a
+live ``repro-air serve`` process and recovers its journal — the CI
+``chaos-smoke`` scenario in miniature.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    CreateServiceRequest,
+    FinishService,
+    MutationBatch,
+    MutationBatchResult,
+    ServiceManifest,
+    Shutdown,
+    decode_line,
+    encode_line,
+)
+from repro.control import (
+    ChaosAction,
+    ChaosPolicy,
+    ControlPlane,
+    ControlPlaneClient,
+    ControlPlaneServer,
+    Journal,
+    RetryPolicy,
+    RetryingControlPlaneClient,
+    run_chaos_session,
+)
+from repro.core.errors import ReproError
+from repro.live.mutations import MutationEvent
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+SESSION_SCRIPT = FIXTURES / "control_session.ndjsonl"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def script_messages() -> list[object]:
+    return [
+        decode_line(line)
+        for line in SESSION_SCRIPT.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def generated_messages(
+    seed: int, batches: int, finish: bool = True
+) -> list[object]:
+    """A deterministic service conversation named by ``seed``."""
+    import random
+
+    rng = random.Random(f"chaos-script:{seed}")
+    messages: list[object] = [
+        CreateServiceRequest(
+            name="svc", catalog={1: 4, 2: 4, 3: 8}, horizon=512
+        )
+    ]
+    clock = 0.0
+    page = 10
+    for _ in range(batches):
+        events = []
+        for _ in range(rng.randint(1, 3)):
+            if rng.random() < 0.5:
+                # Catalog mutations land on integer slot boundaries.
+                clock = float(int(clock) + rng.randint(1, 2))
+                events.append(
+                    MutationEvent(
+                        time=clock,
+                        kind="page_insert",
+                        page_id=page,
+                        expected_time=rng.choice((4, 8)),
+                    )
+                )
+                page += 1
+            else:
+                clock += rng.choice((0.5, 1.0))
+                events.append(
+                    MutationEvent(
+                        time=clock,
+                        kind="listener",
+                        page_id=rng.randint(1, 3),
+                        expected_time=4,
+                    )
+                )
+        messages.append(
+            MutationBatch(service="svc", events=tuple(events))
+        )
+    if finish:
+        messages.append(FinishService(service="svc"))
+    return messages
+
+
+class TestChaosPolicy:
+    def test_decisions_are_deterministic(self):
+        a = ChaosPolicy(seed=3, drop_before=0.3, drop_partial=0.3)
+        b = ChaosPolicy(seed=3, drop_before=0.3, drop_partial=0.3)
+        assert [a.next_action(i).kind for i in range(50)] == [
+            b.next_action(i).kind for i in range(50)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = ChaosPolicy(seed=1, drop_before=0.5)
+        b = ChaosPolicy(seed=2, drop_before=0.5)
+        assert [a.next_action(i).kind for i in range(50)] != [
+            b.next_action(i).kind for i in range(50)
+        ]
+
+    def test_window_spares_out_of_range_indices(self):
+        policy = ChaosPolicy(seed=0, drop_before=1.0, window=(2, 4))
+        kinds = [policy.next_action(i).kind for i in range(6)]
+        assert kinds == [
+            "deliver", "deliver", "drop_before", "drop_before",
+            "deliver", "deliver",
+        ]
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ReproError, match="probability"):
+            ChaosPolicy(drop_before=1.5)
+        with pytest.raises(ReproError, match="sum"):
+            ChaosPolicy(drop_before=0.6, drop_partial=0.6)
+
+    def test_action_kinds_validated(self):
+        with pytest.raises(ReproError, match="unknown chaos action"):
+            ChaosAction(kind="explode")
+
+
+class TestKillRestartRecovery:
+    def test_kill_at_every_prefix_is_byte_identical(self, tmp_path):
+        messages = script_messages()
+        baseline = run_chaos_session(messages, tmp_path / "base.journal")
+        assert baseline.recoveries == 0
+        assert len(baseline.manifests) == 1
+        for k in range(len(messages) + 1):
+            outcome = run_chaos_session(
+                messages, tmp_path / f"kill-{k}.journal", kill_after=(k,)
+            )
+            assert outcome.recoveries == 1
+            assert outcome.manifests == baseline.manifests, (
+                f"kill before message {k} diverged"
+            )
+
+    def test_kill_at_every_prefix_with_torn_tail(self, tmp_path):
+        messages = script_messages()
+        baseline = run_chaos_session(messages, tmp_path / "base.journal")
+        torn = b'{"frame":{"type":"MutationBatch","v":1,"bo'
+        for k in range(len(messages) + 1):
+            outcome = run_chaos_session(
+                messages,
+                tmp_path / f"torn-{k}.journal",
+                kill_after=(k,),
+                torn_tail=torn,
+            )
+            assert outcome.manifests == baseline.manifests, k
+
+    def test_crash_between_append_and_dispatch(self, tmp_path):
+        """The write-ahead sharp edge: journaled but never dispatched.
+
+        Recovery must replay the appended request — its response died
+        with the process, but its effects are durable.
+        """
+        messages = script_messages()
+        baseline = run_chaos_session(messages, tmp_path / "base.journal")
+        outcome = run_chaos_session(
+            messages, tmp_path / "torn-dispatch.journal",
+            torn_dispatch=(2,),  # the MutationBatch
+        )
+        assert outcome.responses[2] is None
+        assert outcome.manifests == baseline.manifests
+
+    def test_repeated_kills_in_one_session(self, tmp_path):
+        messages = script_messages()
+        baseline = run_chaos_session(messages, tmp_path / "base.journal")
+        outcome = run_chaos_session(
+            messages,
+            tmp_path / "flappy.journal",
+            kill_after=tuple(range(len(messages) + 1)),
+        )
+        assert outcome.recoveries == len(messages) + 1
+        assert outcome.manifests == baseline.manifests
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        batches=st.integers(1, 6),
+        data=st.data(),
+    )
+    def test_any_kill_schedule_recovers_byte_identical(
+        self, tmp_path_factory, seed, batches, data
+    ):
+        messages = generated_messages(seed, batches)
+        kills = data.draw(
+            st.sets(
+                st.integers(0, len(messages)), min_size=1, max_size=4
+            ),
+            label="kill_schedule",
+        )
+        tmp = tmp_path_factory.mktemp("chaos")
+        baseline = run_chaos_session(messages, tmp / "base.journal")
+        outcome = run_chaos_session(
+            messages, tmp / "killed.journal", kill_after=tuple(kills)
+        )
+        assert outcome.manifests == baseline.manifests
+        assert outcome.recoveries == len(kills)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), batches=st.integers(2, 6))
+    def test_compaction_preserves_recovery_equivalence(
+        self, tmp_path_factory, seed, batches
+    ):
+        """Compact mid-session, crash, recover: same manifests.
+
+        The durability block's ``requests`` count survives because the
+        snapshot coalesces events into one batch per service — so the
+        *stream* fingerprint is what equivalence is judged on, and the
+        manifests are compared structurally minus the request counter.
+        """
+        import json
+
+        messages = generated_messages(seed, batches)
+        tmp = tmp_path_factory.mktemp("compact")
+        baseline = run_chaos_session(messages, tmp / "base.journal")
+
+        path = tmp / "compacted.journal"
+        journal = Journal.open(path)
+        plane = ControlPlane(journal=journal)
+        cut = len(messages) - 1  # everything except FinishService
+        for message in messages[:cut]:
+            plane.handle(message)
+        plane.compact_journal()
+        journal.close()  # crash here
+        recovered = ControlPlane.recover(Journal.open(path))
+        for message in messages[cut:]:
+            recovered.handle(message)
+        [manifest] = recovered.finished_manifests
+        [expected_bytes] = baseline.manifests
+        expected = json.loads(expected_bytes)
+        got = manifest.manifest
+
+        def scrub(doc: dict) -> dict:
+            doc = json.loads(json.dumps(doc))
+            doc["control"]["durability"].pop("requests")
+            doc["control"]["durability"].pop("fingerprint")
+            doc["parameters"].pop("events_streamed")
+            doc["counters"].pop("live.mutations", None)
+            doc["service"]["counters"].pop("mutations", None)
+            doc["results"].pop("mutations", None)
+            return doc
+
+        assert got["control"]["stream"] == expected["control"]["stream"]
+        assert scrub(got) == scrub(expected)
+
+
+class TestChaoticTransportExactlyOnce:
+    def run_with_chaos(
+        self, tmp_path, messages, chaos: ChaosPolicy | None
+    ):
+        sock = tmp_path / "chaotic.sock"
+
+        async def _run():
+            plane = ControlPlane()
+            server = ControlPlaneServer(plane, chaos=chaos)
+            bound = await server.start_unix(sock)
+            async with bound:
+                client = RetryingControlPlaneClient(
+                    lambda: ControlPlaneClient.connect_unix(sock),
+                    policy=RetryPolicy(
+                        attempts=10, base_delay=0.001, seed=1
+                    ),
+                    client_id="chaos-test",
+                )
+                responses = [
+                    await client.request(m) for m in messages
+                ]
+                await client.request(Shutdown())
+                await client.close()
+                await asyncio.wait_for(server.wait_closed(), timeout=10)
+            return responses, plane, client.stats
+
+        return asyncio.run(_run())
+
+    def test_chaotic_run_matches_fault_free_state(self, tmp_path):
+        messages = generated_messages(77, 5, finish=False)
+        # Fault only the MutationBatch responses (indices 1..len-1):
+        # create and the final state probe stay clean, so every faulted
+        # request carries an idempotency id.
+        chaos = ChaosPolicy(
+            seed=5,
+            drop_before=0.35,
+            drop_partial=0.35,
+            window=(1, len(messages)),
+        )
+        clean_dir = tmp_path / "clean"
+        clean_dir.mkdir()
+        chaotic, chaos_plane, stats = self.run_with_chaos(
+            tmp_path, messages, chaos
+        )
+        clean, clean_plane, _ = self.run_with_chaos(
+            clean_dir, messages, None
+        )
+        faults = sum(
+            chaos.injected[k] for k in ("drop_before", "drop_partial")
+        )
+        assert faults > 0, "chaos injected nothing; weak test"
+        assert stats["retries"] >= faults
+        # Exactly-once effect: every batch applied once, so the
+        # manifests built by the closing Shutdown agree byte-for-byte.
+        from repro.control.chaos import final_manifest_bytes
+
+        assert final_manifest_bytes(chaos_plane) == final_manifest_bytes(
+            clean_plane
+        )
+        for response_pair in zip(chaotic, clean):
+            got, want = response_pair
+            if isinstance(want, MutationBatchResult):
+                assert got == want
+
+    def test_chaotic_finish_manifest_is_byte_identical(self, tmp_path):
+        from repro.control.chaos import final_manifest_bytes
+
+        messages = generated_messages(33, 4)  # ends with FinishService
+        chaos = ChaosPolicy(
+            seed=11,
+            drop_before=0.4,
+            drop_partial=0.3,
+            window=(1, len(messages) - 1),  # spare create + finish
+        )
+        clean_dir = tmp_path / "clean"
+        clean_dir.mkdir()
+        _, chaos_plane, stats = self.run_with_chaos(
+            tmp_path, messages, chaos
+        )
+        _, clean_plane, _ = self.run_with_chaos(
+            clean_dir, messages, None
+        )
+        assert stats["retries"] > 0, "chaos injected nothing; weak test"
+        assert final_manifest_bytes(chaos_plane) == final_manifest_bytes(
+            clean_plane
+        )
+
+    def test_delay_faults_only_slow_things_down(self, tmp_path):
+        messages = generated_messages(7, 3)
+        chaos = ChaosPolicy(
+            seed=2, delay=1.0, delay_seconds=0.002, window=(0, None)
+        )
+        responses, plane, stats = self.run_with_chaos(
+            tmp_path, messages, chaos
+        )
+        assert stats["retries"] == 0
+        assert isinstance(responses[-1], ServiceManifest)
+
+    def test_retry_policy_delays_are_deterministic(self):
+        a = RetryPolicy(seed=9)
+        b = RetryPolicy(seed=9)
+        assert [a.delay(i) for i in range(6)] == [
+            b.delay(i) for i in range(6)
+        ]
+        capped = RetryPolicy(seed=9, jitter=0.0)
+        assert capped.delay(10) == capped.max_delay
+
+    def test_retrying_client_gives_up_eventually(self, tmp_path):
+        from repro.core.errors import ControlPlaneDisconnected
+
+        async def _run():
+            client = RetryingControlPlaneClient(
+                lambda: ControlPlaneClient.connect_unix(
+                    tmp_path / "nobody-home.sock"
+                ),
+                policy=RetryPolicy(attempts=3, base_delay=0.001),
+            )
+            with pytest.raises(
+                ControlPlaneDisconnected, match="after 3 attempts"
+            ):
+                await client.request(Shutdown())
+            return client.stats
+
+        stats = asyncio.run(_run())
+        assert stats["retries"] == 2
+
+
+class TestSubprocessKillRestart:
+    """The CI chaos-smoke scenario, in-process: SIGKILL a live serve."""
+
+    def test_sigkill_then_recover_matches_fault_free(self, tmp_path):
+        messages = script_messages()
+        split = 4
+        part1 = tmp_path / "part1.ndjsonl"
+        part2 = tmp_path / "part2.ndjsonl"
+        part1.write_text(
+            "".join(encode_line(m) for m in messages[:split])
+        )
+        part2.write_text(
+            "".join(encode_line(m) for m in messages[split:])
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+
+        def serve(*args: str) -> subprocess.CompletedProcess:
+            return subprocess.run(
+                [sys.executable, "-m", "repro", "serve", *args],
+                env=env,
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                timeout=120,
+            )
+
+        fault_free = tmp_path / "fault_free.json"
+        done = serve(
+            "--session", str(SESSION_SCRIPT),
+            "--manifest", str(fault_free),
+            "--out", os.devnull,
+        )
+        assert done.returncode == 0, done.stderr
+
+        socket_path = tmp_path / "plane.sock"
+        journal_path = tmp_path / "wal.journal"
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--socket", str(socket_path),
+                "--journal", str(journal_path),
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not socket_path.exists():
+                assert time.monotonic() < deadline, "server never bound"
+                time.sleep(0.05)
+
+            async def drive() -> None:
+                client = await ControlPlaneClient.connect_unix(
+                    socket_path
+                )
+                for message in messages[:split]:
+                    await client.request(message)
+                await client.close()
+
+            asyncio.run(drive())
+        finally:
+            server.kill()  # SIGKILL: no atexit, no flush, no mercy
+            server.wait(timeout=30)
+
+        recovered = tmp_path / "recovered.json"
+        resumed = serve(
+            "--session", str(part2),
+            "--journal", str(journal_path),
+            "--recover",
+            "--manifest", str(recovered),
+            "--out", os.devnull,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "recovered" in resumed.stderr
+        assert recovered.read_bytes() == fault_free.read_bytes()

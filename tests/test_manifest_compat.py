@@ -1,9 +1,9 @@
-"""Manifest schema compatibility: golden v1..v5 fixtures through repro.api.
+"""Manifest schema compatibility: golden v1..v6 fixtures through repro.api.
 
 One golden document per schema version lives in ``tests/fixtures/``;
 every one of them must parse through the :mod:`repro.api` manifest
-codecs into the current (v5) in-memory shape, with the keys newer
-versions introduced defaulted, and re-serialise as a stable v5 document
+codecs into the current (v6) in-memory shape, with the keys newer
+versions introduced defaulted, and re-serialise as a stable v6 document
 (``from_dict(to_dict(m)) == m``, the round-trip contract).
 """
 
@@ -108,6 +108,17 @@ class TestVersionDefaults:
         assert record["applied"] == "add_channel"
         assert any(c["passed"] for c in record["candidates"])
         assert control["stream"]["events"] == 9
+
+    def test_v5_control_block_gains_durability_default(self):
+        manifest = manifest_from_dict(load_fixture(5))
+        durability = manifest.control["durability"]
+        assert durability == {"requests": 0, "fingerprint": None}
+
+    def test_v6_durability_block_preserved(self):
+        manifest = manifest_from_dict(load_fixture(6))
+        durability = manifest.control["durability"]
+        assert durability["requests"] == 2
+        assert durability["fingerprint"] == "9c41f5b27a80d3e6"
 
     def test_v5_remediation_records_parse_as_typed_objects(self):
         from repro.api import RemediationRecord
