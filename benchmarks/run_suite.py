@@ -8,6 +8,7 @@ checkout without installing the package::
     python benchmarks/run_suite.py                 # core suite, full mode
     python benchmarks/run_suite.py --quick         # CI smoke inputs
     python benchmarks/run_suite.py --suite serve   # serving throughput
+    python benchmarks/run_suite.py --suite fed     # federation scaling
     python benchmarks/run_suite.py \
         --output benchmarks/results/BENCH_core.json
     python benchmarks/run_suite.py --suite serve --quick \
@@ -33,6 +34,7 @@ except ImportError:  # running from a checkout without PYTHONPATH=src
 RESULTS = pathlib.Path(__file__).parent / "results"
 DEFAULT_OUTPUTS = {
     "core": RESULTS / "BENCH_core.json",
+    "fed": RESULTS / "BENCH_fed.json",
     "serve": RESULTS / "BENCH_serve.json",
 }
 
@@ -43,8 +45,8 @@ def main(argv: list[str] | None = None) -> int:
         "--suite",
         choices=sorted(DEFAULT_OUTPUTS),
         default="core",
-        help="entry set: scheduling fast paths (core) or serving "
-        "throughput (serve)",
+        help="entry set: scheduling fast paths (core), federation "
+        "shard scaling (fed), or serving throughput (serve)",
     )
     parser.add_argument(
         "--quick",

@@ -97,6 +97,7 @@ from repro.live import (
 from repro.engine import (
     BroadcastEngine,
     EngineEvaluation,
+    FederationResult,
     LiveServiceResult,
     RunManifest,
     ScheduleResult,
@@ -108,7 +109,7 @@ from repro.engine import (
     register_scheduler,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 # Aliases removed after their deprecation period (they warned through
 # PR 1-5); each maps to the replacement named in the error.  Served by
@@ -141,6 +142,7 @@ __all__ = [
     "EngineEvaluation",
     "LiveBroadcastService",
     "LiveCatalog",
+    "FederationResult",
     "LiveServiceResult",
     "MutationEvent",
     "MutationTrace",

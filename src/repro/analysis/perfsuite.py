@@ -401,7 +401,7 @@ def compare_payloads(
 
 #: ``--suite`` choices for :func:`bench_command` (resolved lazily so
 #: importing perfsuite never pulls in the live runtime).
-BENCH_SUITES = ("core", "serve")
+BENCH_SUITES = ("core", "fed", "serve")
 
 
 def _resolve_suite(suite: str):
@@ -412,6 +412,10 @@ def _resolve_suite(suite: str):
         from repro.analysis import servesuite
 
         return servesuite.SCHEMA, servesuite.run_suite
+    if suite == "fed":
+        from repro.analysis import fedsuite
+
+        return fedsuite.SCHEMA, fedsuite.run_suite
     raise SimulationError(
         f"unknown bench suite {suite!r}; choose from "
         f"{', '.join(BENCH_SUITES)}"
@@ -431,8 +435,9 @@ def bench_command(
 
     Shared implementation behind ``repro-air bench`` and
     ``benchmarks/run_suite.py``.  ``suite`` picks the entry set:
-    ``"core"`` (scheduling fast paths, BENCH_core) or ``"serve"``
-    (serving throughput, BENCH_serve).  Returns a process exit code:
+    ``"core"`` (scheduling fast paths, BENCH_core), ``"serve"``
+    (serving throughput, BENCH_serve), or ``"fed"`` (federation shard
+    scaling, BENCH_fed).  Returns a process exit code:
     non-zero when any entry misses its floor or, with ``check``, when
     the run regresses against the committed baseline at ``check``.
     """

@@ -12,7 +12,7 @@ Two layers:
 
 * **Manifest codec** — :func:`manifest_from_dict` and friends are the
   supported way to parse a :class:`~repro.engine.telemetry.RunManifest`
-  of *any* schema version (v1..v6) into the current in-memory shape.
+  of *any* schema version (v1..v7) into the current in-memory shape.
   They delegate to :meth:`RunManifest.from_dict`, so the compat rules
   live in one place; the api module re-exports them because clients of
   the control plane receive manifests over the wire and should not
@@ -145,10 +145,10 @@ def manifest_from_json(text: str) -> RunManifest:
 
 
 def manifest_to_dict(manifest: RunManifest) -> dict:
-    """Serialise a manifest in the current (v6) schema."""
+    """Serialise a manifest in the current (v7) schema."""
     return manifest.to_dict()
 
 
 def manifest_to_json(manifest: RunManifest, indent: int | None = 2) -> str:
-    """Serialise a manifest as JSON in the current (v6) schema."""
+    """Serialise a manifest as JSON in the current (v7) schema."""
     return manifest.to_json(indent=indent)

@@ -29,6 +29,7 @@ __all__ = [
     "CreateServiceRequest",
     "ErrorBudgetQuery",
     "ErrorBudgetReport",
+    "FederationCreate",
     "FinishService",
     "ListServices",
     "MutationBatch",
@@ -39,6 +40,7 @@ __all__ = [
     "ServiceCreated",
     "ServiceList",
     "ServiceManifest",
+    "ShardReport",
     "Shutdown",
     "SloQuery",
     "SloVerdict",
@@ -467,7 +469,7 @@ class ErrorBudgetQuery:
 
 @dataclass(frozen=True)
 class FinishService:
-    """Close a service: final report, v6 manifest, release the name."""
+    """Close a service: final report, v7 manifest, release the name."""
 
     service: str
 
@@ -501,6 +503,64 @@ class Shutdown:
     @classmethod
     def from_dict(cls, payload: Mapping) -> "Shutdown":
         return cls()
+
+
+@dataclass(frozen=True)
+class FederationCreate:
+    """Plan a sharded federation of the given catalog (a pure probe).
+
+    Asks the control plane to partition ``catalog`` across ``shards``
+    station shards on the deterministic group-aware consistent-hash
+    ring and judge the placement against the per-shard ``budget``
+    (Theorem 3.1, exact arithmetic).  The request mutates nothing — the
+    plane answers with a :class:`ShardReport` and keeps no state — so a
+    client can probe shard counts and budgets before standing stations
+    up.
+
+    Attributes:
+        name: Federation name, echoed in the report.
+        catalog: ``page_id -> expected_time`` mapping to partition;
+            must span at least ``shards`` distinct ladder groups.
+        shards: Station shard count.
+        budget: Per-shard channel budget; ``None`` means the maximum
+            Theorem-3.1 requirement over the partitions (every shard
+            taut).
+        seed: Ring placement seed.
+    """
+
+    name: str
+    catalog: Mapping[int, int]
+    shards: int = 2
+    budget: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("federation name must be non-empty")
+        if not self.catalog:
+            raise ReproError("federation catalog must be non-empty")
+        if self.shards < 1:
+            raise ReproError(f"shards must be >= 1, got {self.shards}")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "catalog": _catalog_to(self.catalog),
+            "shards": self.shards,
+            "budget": self.budget,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FederationCreate":
+        budget = payload.get("budget")
+        return cls(
+            name=str(_require(payload, "name")),
+            catalog=_catalog_from(_require(payload, "catalog")),
+            shards=int(payload.get("shards", 2)),
+            budget=None if budget is None else int(budget),
+            seed=int(payload.get("seed", 0)),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -698,7 +758,7 @@ class ErrorBudgetReport:
 
 @dataclass(frozen=True)
 class ServiceManifest:
-    """The v6 run manifest of a finished service, plus a short summary."""
+    """The v7 run manifest of a finished service, plus a short summary."""
 
     service: str
     manifest: Mapping[str, object]
@@ -735,6 +795,54 @@ class ServiceList:
             services=tuple(
                 str(name) for name in payload.get("services", ())
             )
+        )
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """The answer to a :class:`FederationCreate` planning probe.
+
+    Attributes:
+        name: Federation name, echoed from the request.
+        shards: Station shard count that was planned.
+        budget: The per-shard channel budget the placement was judged
+            against (resolved when the request left it ``None``).
+        ring_fingerprint: Stable hex digest of the consistent-hash ring
+            layout; two probes with the same catalog/seed/shards agree.
+        entries: One mapping per shard, sorted by shard id, each with
+            ``{"shard", "pages", "required_channels", "channel_load"}``.
+        feasible: True when every shard's Theorem-3.1 requirement fits
+            inside ``budget``.
+    """
+
+    name: str
+    shards: int
+    budget: int
+    ring_fingerprint: str
+    entries: tuple[Mapping[str, object], ...]
+    feasible: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "shards": self.shards,
+            "budget": self.budget,
+            "ring_fingerprint": self.ring_fingerprint,
+            "entries": [dict(entry) for entry in self.entries],
+            "feasible": self.feasible,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ShardReport":
+        return cls(
+            name=str(_require(payload, "name")),
+            shards=int(_require(payload, "shards")),
+            budget=int(_require(payload, "budget")),
+            ring_fingerprint=str(_require(payload, "ring_fingerprint")),
+            entries=tuple(
+                dict(entry) for entry in payload.get("entries", ())
+            ),
+            feasible=bool(payload.get("feasible", False)),
         )
 
 

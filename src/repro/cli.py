@@ -361,6 +361,89 @@ def _cmd_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_federate(args: argparse.Namespace) -> int:
+    from repro.analysis.report import Table
+    from repro.engine import BroadcastEngine
+    from repro.live import MutationTrace
+    from repro.workload.mutations import generate_mutation_trace
+
+    instance = _resolve_instance(args)
+    if args.trace:
+        trace = MutationTrace.load(args.trace)
+    else:
+        trace = generate_mutation_trace(
+            instance,
+            seed=args.seed,
+            horizon=args.horizon,
+            mutations=args.mutations,
+            listeners=args.listeners,
+        )
+    if args.save_trace:
+        trace.save(args.save_trace)
+
+    engine = BroadcastEngine()
+    result = engine.federate(
+        instance,
+        trace,
+        shards=args.shards,
+        budget=args.budget,
+        seed=args.seed,
+        rebalance_threshold=args.rebalance_threshold,
+        max_pages_moved=args.max_moves,
+        admission=not args.no_admission,
+        queue_limit=args.queue_limit,
+        batch_listeners=args.batch_listeners,
+        workers=args.workers,
+    )
+    report = result.report
+
+    print(
+        f"mutation trace {trace.fingerprint()}: horizon {trace.horizon}, "
+        f"{len(trace.mutations())} mutations, "
+        f"{len(trace.listeners())} listeners"
+    )
+    print(
+        f"federation: {report.shards} shard(s), ring "
+        f"{report.ring_fingerprint}, per-shard budget {report.budget} "
+        f"channel(s), final "
+        f"{'valid' if report.final_valid else 'degraded'}"
+    )
+    adm = report.admission
+    print(
+        f"global admission: {adm['admitted']} admitted "
+        f"({adm['spilled']} spilled cross-shard, {adm['drained']} via "
+        f"queue), {adm['queued']} queued, {adm['rejected']} rejected"
+    )
+    print(
+        f"rebalancing: {report.pages_moved} page move(s) "
+        f"(budget {args.max_moves}); listeners: {report.listeners} "
+        f"served, {report.misses} missed "
+        f"({report.miss_rate():.3%} miss rate)"
+    )
+    table = Table(
+        title="per-shard replay",
+        columns=["shard", "pages", "listeners", "misses", "full replans"],
+    )
+    for shard_report in report.shard_reports:
+        slo = shard_report["slo"]
+        table.add_row(
+            shard_report["shard"],
+            shard_report["final_pages"],
+            slo["listeners"],
+            slo["misses"],
+            shard_report["counters"]["full_replans"],
+        )
+    print(table.render())
+
+    if args.manifest:
+        path = pathlib.Path(args.manifest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            result.manifest.to_json() + "\n", encoding="utf-8"
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import tempfile
@@ -377,6 +460,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError(
             "--recover needs --journal PATH (the journal to replay)"
         )
+    if args.recover:
+        # Journal.open happily creates a missing file, which would turn
+        # a mistyped path into "recovered 0 request(s)" — refuse instead.
+        journal_path = pathlib.Path(args.journal)
+        if not journal_path.is_file():
+            raise ReproError(
+                f"cannot recover: journal {args.journal} does not exist"
+            )
+        if journal_path.stat().st_size == 0:
+            raise ReproError(
+                f"cannot recover: journal {args.journal} is empty "
+                "(no requests to replay)"
+            )
     plane = None
     if args.journal:
         journal = Journal.open(
@@ -830,6 +926,75 @@ def build_parser() -> argparse.ArgumentParser:
     _add_manifest_argument(live)
     live.set_defaults(handler=_cmd_live)
 
+    federate = commands.add_parser(
+        "federate",
+        help="replay a mutation timeline across N station shards with "
+        "global admission and drift rebalancing",
+    )
+    _add_instance_arguments(federate)
+    federate.add_argument(
+        "--shards", type=int, default=2,
+        help="station shard count (catalog is partitioned on a "
+        "deterministic consistent-hash ring)",
+    )
+    federate.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="per-shard channel budget (default: each shard's "
+        "Theorem-3.1 minimum for its initial partition)",
+    )
+    federate.add_argument("--seed", type=int, default=0)
+    federate.add_argument(
+        "--horizon", type=int, default=64,
+        help="timeline length in slots (generated traces)",
+    )
+    federate.add_argument(
+        "--mutations", type=int, default=20,
+        help="catalog mutations to draw (generated traces)",
+    )
+    federate.add_argument(
+        "--listeners", type=int, default=60,
+        help="listener arrivals to draw (generated traces)",
+    )
+    federate.add_argument(
+        "--rebalance-threshold", type=float, default=0.0,
+        help="rebalance when the hottest shard exceeds this multiple "
+        "of the mean channel load (0 disables; try 1.5)",
+    )
+    federate.add_argument(
+        "--max-moves", type=int, default=4,
+        help="page moves the rebalancer may spend per trigger",
+    )
+    federate.add_argument(
+        "--no-admission", action="store_true",
+        help="apply every mutation regardless of the channel bound",
+    )
+    federate.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="global admission queue capacity for over-budget inserts",
+    )
+    federate.add_argument(
+        "--batch-listeners", action="store_true",
+        help="replay consecutive listener arrivals per shard as one "
+        "vectorised pass",
+    )
+    federate.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool workers for the shard fan-out (default: "
+        "engine setting; 1 = serial)",
+    )
+    federate.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="replay a saved mutation-trace JSON instead of generating",
+    )
+    federate.add_argument(
+        "--save-trace", metavar="PATH", default=None,
+        help="write the mutation-trace JSON for deterministic replay",
+    )
+    _add_manifest_argument(federate)
+    federate.set_defaults(handler=_cmd_federate)
+
     serve = commands.add_parser(
         "serve",
         help="run the broadcast control plane (typed NDJSON protocol)",
@@ -885,10 +1050,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("core", "serve"),
+        choices=("core", "fed", "serve"),
         default="core",
-        help="entry set: scheduling fast paths (core, BENCH_core) or "
-        "serving throughput (serve, BENCH_serve)",
+        help="entry set: scheduling fast paths (core, BENCH_core), "
+        "federation scaling (fed, BENCH_fed), or serving throughput "
+        "(serve, BENCH_serve)",
     )
     bench.add_argument(
         "--quick",

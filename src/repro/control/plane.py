@@ -48,11 +48,13 @@ from repro.api.types import (
     ApiError,
     CreateServiceRequest,
     ErrorBudgetQuery,
+    FederationCreate,
     FinishService,
     ListServices,
     MutationBatch,
     ServiceList,
     ServiceManifest,
+    ShardReport,
     Shutdown,
     SloQuery,
 )
@@ -293,6 +295,8 @@ class ControlPlane:
             self.finished_manifests.append(response)
             del self._sessions[message.service]
             return response
+        if isinstance(message, FederationCreate):
+            return self._plan_federation(message)
         if isinstance(message, ListServices):
             return ServiceList(services=self.services)
         if isinstance(message, Shutdown):
@@ -310,6 +314,57 @@ class ControlPlane:
                 f"{type(message).__name__} is not a request the control "
                 "plane accepts"
             ),
+        )
+
+    @staticmethod
+    def _plan_federation(message: FederationCreate) -> object:
+        # A pure planning probe: partition the catalog on the ring and
+        # judge each shard against Theorem 3.1.  No session is created
+        # and nothing is journaled, so probing is free and replay-safe.
+        from repro.federation.admission import required_channels_of
+        from repro.federation.ring import ShardRing, partition_catalog
+
+        groups = len(set(message.catalog.values()))
+        if message.shards > groups:
+            return ApiError(
+                code="bad-request",
+                message=(
+                    f"cannot spread {groups} ladder group(s) over "
+                    f"{message.shards} shard(s) without splitting a "
+                    "group"
+                ),
+            )
+        ring = ShardRing(message.shards, seed=message.seed)
+        partitions = partition_catalog(message.catalog, ring)
+        entries = []
+        requirements = []
+        for shard in ring.shards:
+            catalog = partitions[shard]
+            histogram: dict[int, int] = {}
+            for expected in catalog.values():
+                histogram[expected] = histogram.get(expected, 0) + 1
+            required = required_channels_of(histogram)
+            requirements.append(required)
+            entries.append(
+                {
+                    "shard": shard,
+                    "pages": len(catalog),
+                    "required_channels": required,
+                    "channel_load": round(
+                        sum(1.0 / t for t in catalog.values()), 6
+                    ),
+                }
+            )
+        budget = (
+            max(requirements) if message.budget is None else message.budget
+        )
+        return ShardReport(
+            name=message.name,
+            shards=message.shards,
+            budget=budget,
+            ring_fingerprint=ring.fingerprint(),
+            entries=tuple(entries),
+            feasible=all(r <= budget for r in requirements),
         )
 
     @staticmethod

@@ -34,6 +34,7 @@ from repro.engine.executor import (
 from repro.engine.facade import (
     BroadcastEngine,
     EngineEvaluation,
+    FederationResult,
     LiveServiceResult,
     ResilienceResult,
     SweepResult,
@@ -64,6 +65,7 @@ __all__ = [
     "EngineEvaluation",
     "ExecutionPolicy",
     "ExecutionReport",
+    "FederationResult",
     "LiveServiceResult",
     "MANIFEST_VERSION",
     "ProgramCache",

@@ -65,9 +65,11 @@ __all__ = [
     "CellSpec",
     "CellResult",
     "CellFailure",
+    "TaskFailure",
     "ExecutionPolicy",
     "ExecutionReport",
     "run_cells",
+    "run_tasks",
     "EXECUTOR_MODES",
 ]
 
@@ -655,6 +657,198 @@ def _run_pool(
     report.breaker_trips = breaker.trips
     _note(telemetry, "executor.breaker_trips", breaker.trips)
     return outcomes
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A :func:`run_tasks` payload that produced no result.
+
+    Attributes:
+        index: Position of the payload in the submitted sequence.
+        error_type: Exception class name (or ``"TimeoutError"``).
+        message: The exception message.
+        attempts: Executions burnt on this payload.
+    """
+
+    index: int
+    error_type: str
+    message: str
+    attempts: int
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
+def _guarded_call(fn, payload) -> object:
+    """Task worker entry point: exceptions become picklable values."""
+    try:
+        return fn(payload)
+    except Exception as error:  # noqa: BLE001 - the guard is the point
+        return _CellError(
+            error_type=type(error).__name__,
+            message=str(error),
+            trace=traceback.format_exc(limit=8),
+        )
+
+
+def _run_tasks_serial(
+    fn,
+    payloads: list,
+    policy: ExecutionPolicy,
+    report: ExecutionReport,
+    telemetry,
+) -> list:
+    outcomes: list = []
+    for index, payload in enumerate(payloads):
+        attempts = 0
+        while True:
+            attempts += 1
+            value = _guarded_call(fn, payload)
+            if not isinstance(value, _CellError):
+                outcomes.append(value)
+                break
+            if attempts > policy.retries:
+                report.cell_failures += 1
+                _note(telemetry, "executor.cell_failures")
+                outcomes.append(
+                    TaskFailure(
+                        index=index,
+                        error_type=value.error_type,
+                        message=value.message,
+                        attempts=attempts,
+                    )
+                )
+                break
+            report.retries += 1
+            _note(telemetry, "executor.retries")
+            _backoff_sleep(policy, attempts)
+    return outcomes
+
+
+def _run_tasks_pool(
+    fn,
+    payloads: list,
+    workers: int,
+    mode: str,
+    policy: ExecutionPolicy,
+    report: ExecutionReport,
+    telemetry,
+) -> list:
+    pool_cls = ProcessPoolExecutor if mode == "process" else ThreadPoolExecutor
+    outcomes: list = [None] * len(payloads)
+    with pool_cls(max_workers=min(workers, len(payloads))) as pool:
+        futures = [
+            pool.submit(_guarded_call, fn, payload) for payload in payloads
+        ]
+        for index, future in enumerate(futures):
+            value = _await_value(
+                future, policy, report, telemetry, f"task {index}"
+            )
+            attempts = 1
+            while (
+                isinstance(value, _CellError)
+                and attempts <= policy.retries
+            ):
+                report.retries += 1
+                _note(telemetry, "executor.retries")
+                _backoff_sleep(policy, attempts)
+                retry = pool.submit(_guarded_call, fn, payloads[index])
+                value = _await_value(
+                    retry, policy, report, telemetry, f"task {index}"
+                )
+                attempts += 1
+            if isinstance(value, _CellError):
+                report.cell_failures += 1
+                _note(telemetry, "executor.cell_failures")
+                outcomes[index] = TaskFailure(
+                    index=index,
+                    error_type=value.error_type,
+                    message=value.message,
+                    attempts=attempts,
+                )
+            else:
+                outcomes[index] = value
+    return outcomes
+
+
+def run_tasks(
+    fn,
+    payloads,
+    *,
+    workers: int = 1,
+    mode: str = "serial",
+    policy: ExecutionPolicy | None = None,
+    telemetry=None,
+) -> tuple[list, ExecutionReport]:
+    """Fan a pure function across payloads on the sweep-cell transport.
+
+    The generic sibling of :func:`run_cells` — the federation layer
+    uses it to replay station shards in parallel — sharing the same
+    hardening: worker exceptions cross the pool boundary as values and
+    come back as structured :class:`TaskFailure` entries (in payload
+    order), retries follow :attr:`ExecutionPolicy.retries` with
+    exponential backoff, per-future waits honour
+    :attr:`ExecutionPolicy.timeout`, and pool-infrastructure failures
+    (unpicklable ``fn``/payloads, fork limits) fall back to a serial
+    rerun of the full batch.  Results are bit-identical across modes
+    whenever ``fn`` is pure.
+
+    Args:
+        fn: A picklable pure function of one payload.
+        payloads: The inputs, in the order results must come back.
+        workers: Pool width; ``<= 1`` runs serially.
+        mode: ``"serial"`` (default), ``"thread"``, or ``"process"``.
+        policy: Hardening knobs; chunking/measure-backend fields are
+            ignored (tasks ship one per future).
+        telemetry: Optional counter sink (``executor.*`` names).
+
+    Returns:
+        ``(outcomes, report)`` — outcomes mix ``fn`` return values and
+        :class:`TaskFailure` entries in payload order.
+    """
+    if mode not in EXECUTOR_MODES:
+        raise ReproError(
+            f"unknown executor mode {mode!r}; choose from "
+            f"{', '.join(EXECUTOR_MODES)}"
+        )
+    policy = policy or ExecutionPolicy()
+    payloads = list(payloads)
+    if mode == "serial" or workers <= 1 or len(payloads) <= 1:
+        report = ExecutionReport(mode="serial", requested_mode=mode)
+        return (
+            _run_tasks_serial(fn, payloads, policy, report, telemetry),
+            report,
+        )
+    report = ExecutionReport(mode=mode, requested_mode=mode)
+    try:
+        return (
+            _run_tasks_pool(
+                fn, payloads, workers, mode, policy, report, telemetry
+            ),
+            report,
+        )
+    except (
+        pickle.PicklingError,
+        AttributeError,
+        TypeError,
+        BrokenExecutor,
+        OSError,
+        RuntimeError,
+    ):
+        # Same contract as run_cells: only pool infrastructure triggers
+        # the fallback; task-level exceptions are already values.
+        report = ExecutionReport(
+            mode="serial", requested_mode=mode, fallback=True
+        )
+        return (
+            _run_tasks_serial(fn, payloads, policy, report, telemetry),
+            report,
+        )
 
 
 def run_cells(

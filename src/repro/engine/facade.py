@@ -68,6 +68,7 @@ from repro.sim.clients import MeasurementResult, measure_program
 __all__ = [
     "BroadcastEngine",
     "EngineEvaluation",
+    "FederationResult",
     "LiveServiceResult",
     "ResilienceResult",
     "SweepResult",
@@ -180,6 +181,25 @@ class LiveServiceResult:
 
 
 @dataclass(frozen=True)
+class FederationResult:
+    """Outcome of :meth:`BroadcastEngine.federate`.
+
+    Attributes:
+        report: The federation's
+            :class:`~repro.federation.service.FederationReport` (ring
+            placement, global admission trail, drift rebalances,
+            per-shard summaries).
+        manifest: The run manifest (operation ``"federate"``, schema v7
+            with the ``federation`` block filled in).  Emitted
+            deterministically — ``created_at`` pinned, timings dropped —
+            so fixed-seed federated replays are byte-identical.
+    """
+
+    report: object
+    manifest: RunManifest
+
+
+@dataclass(frozen=True)
 class SweepResult:
     """Outcome of :meth:`BroadcastEngine.sweep`.
 
@@ -282,6 +302,7 @@ class BroadcastEngine:
         results: Mapping[str, object],
         service: Mapping[str, object] | None = None,
         control: Mapping[str, object] | None = None,
+        federation: Mapping[str, object] | None = None,
         deterministic: bool = False,
     ) -> RunManifest:
         cache_total = self.cache.stats()
@@ -305,6 +326,7 @@ class BroadcastEngine:
             results=dict(results),
             service=dict(service or {}),
             control=dict(control or {}),
+            federation=dict(federation or {}),
         )
         with self._lock:
             self._manifests.append(manifest)
@@ -902,6 +924,144 @@ class BroadcastEngine:
         return LiveServiceResult(
             report=report, baseline=pull, manifest=manifest
         )
+
+    def federate(
+        self,
+        initial: ProblemInstance | Mapping[int, int],
+        trace,
+        *,
+        shards: int = 2,
+        budget: int | None = None,
+        seed: int = 0,
+        rebalance_threshold: float = 0.0,
+        max_pages_moved: int = 4,
+        admission: bool = True,
+        queue_limit: int = 16,
+        slo_window: int = 64,
+        target_miss_rate: float = 0.05,
+        replan_cooldown: int = 8,
+        batch_listeners: bool = False,
+        workers: int | None = None,
+        mode: str | None = None,
+        manifest_path: str | Path | None = None,
+    ) -> "FederationResult":
+        """Replay a trace across N station shards (manifested, v7).
+
+        Routes the global trace through a
+        :class:`~repro.federation.service.FederatedBroadcastService` —
+        group-aware consistent-hash placement, federation-wide
+        Theorem-3.1 admission, bounded drift rebalancing — and replays
+        every shard, fanning across the engine's executor when
+        ``workers > 1``.  Shard replays are pure, so the report is
+        identical for every worker count and mode.
+
+        The manifest (operation ``"federate"``, schema v7 with the
+        ``federation`` block) is emitted deterministically, like
+        :meth:`live`: fixed inputs produce byte-identical documents.
+
+        Args:
+            initial: Catalog on air at ``t=0`` (instance or mapping);
+                must span at least ``shards`` distinct ladder groups.
+            trace: The global :class:`~repro.live.mutations.
+                MutationTrace` to route and replay.
+            shards: Station shard count.
+            budget: *Per-shard* channel budget; defaults to the maximum
+                Theorem-3.1 requirement over the initial partitions.
+            seed: Ring placement seed.
+            rebalance_threshold: Drift trigger as a multiple of the
+                federation's mean fractional load (``0`` disables).
+            max_pages_moved: Reallocation budget per rebalance trigger.
+            admission: Toggle the global admission controller (shard
+                services inherit the flag).
+            queue_limit: Global FIFO insert-queue capacity.
+            slo_window / target_miss_rate / replan_cooldown /
+            batch_listeners: Forwarded to every shard's live service.
+            workers: Fan-out width; defaults to the engine's
+                ``workers`` attribute.
+            mode: Executor mode; defaults to the engine's ``executor``
+                when pooling, ``"serial"`` otherwise.
+            manifest_path: When set, also write this call's manifest
+                JSON to the path.
+
+        Returns:
+            A :class:`FederationResult`.
+        """
+        from repro.federation.service import FederatedBroadcastService
+        from repro.live.catalog import LiveCatalog
+
+        instance = (
+            initial
+            if isinstance(initial, ProblemInstance)
+            else LiveCatalog(initial).to_instance()
+        )
+        cache_before = self.cache.stats()
+        telemetry_before = self.telemetry.snapshot()
+        workers = self.workers if workers is None else workers
+        if mode is None:
+            mode = self.executor if workers > 1 else "serial"
+        service = FederatedBroadcastService(
+            initial,
+            trace,
+            shards=shards,
+            budget=budget,
+            seed=seed,
+            rebalance_threshold=rebalance_threshold,
+            max_pages_moved=max_pages_moved,
+            admission=admission,
+            queue_limit=queue_limit,
+            slo_window=slo_window,
+            target_miss_rate=target_miss_rate,
+            replan_cooldown=replan_cooldown,
+            batch_listeners=batch_listeners,
+        )
+        with self.telemetry.timer("federate.replay"):
+            report = service.run(
+                workers=workers,
+                mode=mode,
+                policy=self.execution,
+                telemetry=self.telemetry,
+            )
+        federation_block = report.as_dict()
+        manifest = self._emit_manifest(
+            operation="federate",
+            instance=instance,
+            parameters={
+                "shards": shards,
+                "budget": report.budget,
+                "seed": seed,
+                "rebalance_threshold": rebalance_threshold,
+                "max_pages_moved": max_pages_moved,
+                "admission": admission,
+                "queue_limit": queue_limit,
+                "batch_listeners": batch_listeners,
+                "trace": {
+                    "fingerprint": trace.fingerprint(),
+                    "horizon": trace.horizon,
+                    "events": len(trace.events),
+                    "meta": dict(trace.meta),
+                },
+            },
+            schedulers=("susc", "pamad"),
+            channels=(report.budget,),
+            executor=dict(report.executor),
+            cache_before=cache_before,
+            telemetry_before=telemetry_before,
+            results={
+                "shards": report.shards,
+                "listeners": report.listeners,
+                "misses": report.misses,
+                "miss_rate": report.miss_rate(),
+                "mutations": report.counters["mutations"],
+                "full_replans": report.counters["full_replans"],
+                "pages_moved": report.pages_moved,
+                "rejected": federation_block["admission"]["rejected"],
+                "final_valid": report.final_valid,
+            },
+            federation=federation_block,
+            deterministic=True,
+        )
+        _write_manifest_path(manifest, manifest_path)
+        return FederationResult(report=report, manifest=manifest)
 
 
 _DEFAULT_ENGINE: BroadcastEngine | None = None

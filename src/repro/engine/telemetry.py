@@ -8,14 +8,14 @@ did (hits/misses for the run and for the engine's lifetime).  Manifests
 are the machine-readable audit trail of an engine process: the CLI can
 write them next to results, and regression tooling can diff them.
 
-Manifest schema (``manifest_version`` 6)::
+Manifest schema (``manifest_version`` 7)::
 
     {
-      "manifest_version": 6,
+      "manifest_version": 7,
       "run_id": 3,                      # per-engine monotonic counter
       "operation": "sweep",             # plan | schedule | evaluate |
                                         #   sweep | resilience | live |
-                                        #   control
+                                        #   control | federate
       "created_at": 1754512345.123,     # unix seconds (0.0 when the
                                         #   operation pins determinism)
       "instance": {
@@ -58,6 +58,12 @@ Manifest schema (``manifest_version`` 6)::
                                         #   (what journal recovery must
                                         #   reproduce byte-for-byte);
                                         #   {} otherwise
+      "federation": {...},              # federation block (v7): shard
+                                        #   count, ring fingerprint,
+                                        #   pages moved by the drift
+                                        #   rebalancer, global admission
+                                        #   counters, per-shard report
+                                        #   summaries; {} otherwise
       "results": {...}                  # operation-specific summary
     }
 
@@ -71,10 +77,13 @@ transport executor keys (``chunk_size`` / ``measure_backend`` /
 ``replans_avoided``); version 5 added the ``control`` operation and the
 ``control`` block (the :mod:`repro.control` plane's remediation trail);
 version 6 added the ``durability`` sub-block inside ``control`` (the
-write-ahead journal's crash-recovery trail).
+write-ahead journal's crash-recovery trail); version 7 added the
+``federate`` operation and the ``federation`` block (the sharded
+multi-station layer's ring placement, global admission and drift-
+rebalance trail).
 :meth:`RunManifest.from_dict` parses every version back to 1,
 defaulting the keys each newer version introduced, so consumers can
-rely on the version-6 shape either way.
+rely on the version-7 shape either way.
 """
 
 from __future__ import annotations
@@ -96,7 +105,7 @@ __all__ = [
     "describe_instance",
 ]
 
-MANIFEST_VERSION = 6
+MANIFEST_VERSION = 7
 
 #: Executor-block keys added in manifest version 2, with their defaults
 #: (applied when parsing version-1 documents).
@@ -232,6 +241,7 @@ class RunManifest:
     results: Mapping[str, object] = field(default_factory=dict)
     service: Mapping[str, object] = field(default_factory=dict)
     control: Mapping[str, object] = field(default_factory=dict)
+    federation: Mapping[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -252,6 +262,7 @@ class RunManifest:
             "counters": dict(self.counters),
             "service": dict(self.service),
             "control": dict(self.control),
+            "federation": dict(self.federation),
             "results": dict(self.results),
         }
 
@@ -262,15 +273,16 @@ class RunManifest:
     def from_dict(cls, payload: Mapping[str, object]) -> "RunManifest":
         """Parse a manifest document of any supported schema version.
 
-        Accepts version 1 through 6 documents: the hardening keys
+        Accepts version 1 through 7 documents: the hardening keys
         missing from version-1 executor blocks default to zero, the
         ``service`` block missing below version 3 defaults to ``{}``,
         the version-4 chunked-transport executor keys and serving-
         throughput service counters default to their quiescent values,
-        the version-5 ``control`` block defaults to ``{}``, and a
+        the version-5 ``control`` block defaults to ``{}``, a
         non-empty pre-v6 ``control`` block gains a defaulted
-        ``durability`` sub-block — so consumers can rely on the
-        version-6 shape either way.
+        ``durability`` sub-block, and the version-7 ``federation``
+        block defaults to ``{}`` — so consumers can rely on the
+        version-7 shape either way.
 
         Raises:
             ReproError: For unknown (newer) versions or documents missing
@@ -321,6 +333,7 @@ class RunManifest:
                 results=dict(payload.get("results", {})),
                 service=service,
                 control=control,
+                federation=dict(payload.get("federation", {})),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ReproError(

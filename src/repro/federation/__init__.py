@@ -1,0 +1,36 @@
+"""Sharded multi-station federation over the live broadcast runtime.
+
+One station serves one catalog under one channel budget; production
+scale means many.  This package partitions a catalog across N station
+shards via a deterministic group-aware consistent-hash ring
+(:mod:`repro.federation.ring`), enforces the paper's Theorem-3.1
+admission bound *federation-wide* (:mod:`repro.federation.admission`),
+and replays each shard through its own live service with popularity-
+drift rebalancing under a bounded reallocation budget
+(:mod:`repro.federation.service`).
+"""
+
+from repro.federation.admission import (
+    GlobalAdmissionController,
+    GlobalAdmissionDecision,
+    required_channels_of,
+)
+from repro.federation.ring import ShardRing, partition_catalog
+from repro.federation.service import (
+    FederatedBroadcastService,
+    FederationReport,
+    ShardPlan,
+    replay_shard_task,
+)
+
+__all__ = [
+    "FederatedBroadcastService",
+    "FederationReport",
+    "GlobalAdmissionController",
+    "GlobalAdmissionDecision",
+    "ShardPlan",
+    "ShardRing",
+    "partition_catalog",
+    "replay_shard_task",
+    "required_channels_of",
+]

@@ -1,0 +1,638 @@
+"""Sharded multi-station federation over the live broadcast runtime.
+
+:class:`FederatedBroadcastService` splits one catalog + mutation trace
+across N station shards and replays each shard through its own
+:class:`~repro.live.service.LiveBroadcastService`.  The replay is two
+deterministic phases:
+
+1. **Routing** — a single sequential pass over the global trace.  A
+   :class:`~repro.federation.ring.ShardRing` pins each ladder group to a
+   shard; a :class:`~repro.federation.admission.GlobalAdmissionController`
+   judges every catalog mutation against the *federation's* Theorem-3.1
+   headroom (home shard first, spill to the least-loaded shard with
+   room, one global FIFO queue, reject last) and tracks where every
+   page lives; listeners follow their page.  Popularity-drift
+   rebalancing runs in the same pass: when a shard's fractional load
+   exceeds ``rebalance_threshold`` times the federation mean, up to
+   ``max_pages_moved`` pages migrate to the least-loaded shard —
+   emitted as a ``page_remove``/``page_insert`` pair at the next slot,
+   the Farach-Colton-style reallocation budget.  The pass emits one
+   sub-trace per shard.
+
+2. **Shard replay** — every sub-trace replays through a fresh
+   per-shard :class:`~repro.live.service.LiveBroadcastService` (its own
+   private engine, so shard outcomes are pure functions of the
+   sub-trace).  Because each mutation now re-plans a ~K/N-page shard
+   catalog instead of the full K pages, aggregate replay cost drops
+   near-linearly with the shard count even on one core; on multi-core
+   hosts the shards additionally fan out across the chunked sweep
+   executor's process pool (:func:`repro.engine.executor.run_tasks`).
+   Fan-out never changes results: outcomes are collected in shard
+   order and are bit-identical to a serial replay.
+
+Every phase draws randomness from nothing but the ring seed and the
+trace, so two runs of the same inputs produce byte-identical reports —
+the federation inherits the live layer's replay-determinism contract.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, TYPE_CHECKING
+
+from repro.core.errors import ReproError, SimulationError
+from repro.core.pages import ProblemInstance
+from repro.engine.executor import ExecutionPolicy, run_tasks
+from repro.federation.admission import (
+    GlobalAdmissionController,
+    GlobalAdmissionDecision,
+)
+from repro.federation.ring import ShardRing, partition_catalog
+from repro.live.catalog import LiveCatalog
+from repro.live.mutations import MutationEvent, MutationTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.executor import ExecutionReport
+
+__all__ = [
+    "FederatedBroadcastService",
+    "FederationReport",
+    "ShardPlan",
+    "replay_shard_task",
+]
+
+#: ``LiveBroadcastService`` counters aggregated across shards.
+_AGGREGATED_COUNTERS = (
+    "mutations",
+    "incremental_repairs",
+    "full_replans",
+    "fastpath_replans",
+    "slo_replans",
+    "queue_drains",
+    "listeners",
+    "misses",
+    "batched_listeners",
+    "events_coalesced",
+    "replans_avoided",
+)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's routed workload — the unit the fan-out executes.
+
+    Picklable by construction (plain ints and a
+    :class:`~repro.live.mutations.MutationTrace` of frozen events), so
+    it crosses the process-pool boundary as cheaply as a sweep chunk.
+    """
+
+    shard: int
+    initial: tuple[tuple[int, int], ...]
+    trace: MutationTrace
+    budget: int
+    admission: bool
+    queue_limit: int
+    slo_window: int
+    target_miss_rate: float
+    replan_cooldown: int
+    batch_listeners: bool
+
+
+def replay_shard_task(plan: ShardPlan) -> dict:
+    """Replay one shard to completion (the executor task entry point).
+
+    Builds the shard's :class:`~repro.live.service.LiveBroadcastService`
+    on a private engine and returns the report's manifest-ready dict
+    (plus the shard id) — never the live objects, so the return value
+    pickles back across the pool without dragging program grids along.
+    """
+    from repro.live.service import LiveBroadcastService
+
+    service = LiveBroadcastService(
+        dict(plan.initial),
+        plan.trace,
+        budget=plan.budget,
+        admission=plan.admission,
+        queue_limit=plan.queue_limit,
+        slo_window=plan.slo_window,
+        target_miss_rate=plan.target_miss_rate,
+        replan_cooldown=plan.replan_cooldown,
+        batch_listeners=plan.batch_listeners,
+    )
+    report = service.run()
+    summary = report.as_dict()
+    summary["shard"] = plan.shard
+    return summary
+
+
+@dataclass(frozen=True)
+class FederationReport:
+    """Outcome of one :meth:`FederatedBroadcastService.run`.
+
+    Attributes:
+        shards: Shard count.
+        budget: Per-shard channel budget.
+        horizon: Slots replayed.
+        seed: Ring placement seed.
+        trace_fingerprint: Content digest of the global trace.
+        ring_fingerprint: Content digest of the ring's point table.
+        group_assignment: ``expected_time -> shard`` effective pinning
+            (ring plus empty-shard seeding overrides).
+        admission: Global admission summary block.
+        decisions: Every global admission verdict, in event order.
+        rebalances: ``(time, page_id, source, target)`` for every
+            drift-rebalance move, in decision order.
+        routing: Router accounting (listeners routed, drains emitted,
+            moves skipped against the reallocation budget, ...).
+        shard_reports: Per-shard ``LiveReport.as_dict()`` summaries
+            (plus ``"shard"``), ascending shard order.
+        counters: Shard counters summed across the federation.
+        executor: The fan-out's executor block (mode, fallback, ...).
+    """
+
+    shards: int
+    budget: int
+    horizon: int
+    seed: int
+    trace_fingerprint: str
+    ring_fingerprint: str
+    group_assignment: Mapping[int, int]
+    admission: Mapping[str, object]
+    decisions: tuple[GlobalAdmissionDecision, ...]
+    rebalances: tuple[tuple[float, int, int, int], ...]
+    routing: Mapping[str, int]
+    shard_reports: tuple[Mapping[str, object], ...]
+    counters: Mapping[str, int]
+    executor: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def pages_moved(self) -> int:
+        return len(self.rebalances)
+
+    @property
+    def final_valid(self) -> bool:
+        return all(r["final_valid"] for r in self.shard_reports)
+
+    @property
+    def listeners(self) -> int:
+        return int(self.counters["listeners"])
+
+    @property
+    def misses(self) -> int:
+        return int(self.counters["misses"])
+
+    def miss_rate(self) -> float:
+        listeners = self.listeners
+        return (self.misses / listeners) if listeners else 0.0
+
+    def as_dict(self) -> dict:
+        """The manifest ``federation`` block (schema v7)."""
+        return {
+            "shards": self.shards,
+            "budget": self.budget,
+            "seed": self.seed,
+            "ring_fingerprint": self.ring_fingerprint,
+            "trace_fingerprint": self.trace_fingerprint,
+            "group_assignment": {
+                str(group): shard
+                for group, shard in sorted(self.group_assignment.items())
+            },
+            "admission": dict(self.admission),
+            "pages_moved": self.pages_moved,
+            "rebalances": [
+                {
+                    "time": time,
+                    "page_id": page_id,
+                    "source": source,
+                    "target": target,
+                }
+                for time, page_id, source, target in self.rebalances
+            ],
+            "routing": {k: int(v) for k, v in sorted(self.routing.items())},
+            "counters": {
+                k: int(v) for k, v in sorted(self.counters.items())
+            },
+            "final_valid": self.final_valid,
+            "shard_reports": [dict(r) for r in self.shard_reports],
+        }
+
+
+class FederatedBroadcastService:
+    """Route a mutation trace across N station shards and replay them.
+
+    Args:
+        initial: Catalog on air at ``t=0`` — a
+            :class:`~repro.core.pages.ProblemInstance` or a plain
+            ``page_id -> expected_time`` mapping.  Must span at least
+            ``shards`` distinct ladder groups, because groups are the
+            pinning granularity (the ring never splits one).
+        trace: The global mutation/listener timeline to route.
+        shards: Station shard count.
+        budget: *Per-shard* channel budget; defaults to the maximum
+            Theorem-3.1 requirement over the initial shard partitions
+            (every shard taut at t=0).
+        seed: Ring placement seed.
+        replicas: Virtual ring points per shard.
+        rebalance_threshold: Drift trigger — a shard whose fractional
+            load exceeds this multiple of the federation mean is
+            rebalanced (``0`` disables rebalancing; meaningful values
+            are > 1).
+        max_pages_moved: Reallocation budget per rebalance trigger.
+        admission: Toggle global admission control (shard services
+            inherit the flag).
+        queue_limit: Global FIFO insert-queue capacity (shard services
+            get the same local capacity as a safety net).
+        slo_window / target_miss_rate / replan_cooldown /
+        batch_listeners: Forwarded to every shard's
+            :class:`~repro.live.service.LiveBroadcastService`.
+    """
+
+    def __init__(
+        self,
+        initial: ProblemInstance | Mapping[int, int],
+        trace: MutationTrace,
+        *,
+        shards: int,
+        budget: int | None = None,
+        seed: int = 0,
+        replicas: int = 64,
+        rebalance_threshold: float = 0.0,
+        max_pages_moved: int = 4,
+        admission: bool = True,
+        queue_limit: int = 16,
+        slo_window: int = 64,
+        target_miss_rate: float = 0.05,
+        replan_cooldown: int = 8,
+        batch_listeners: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise ReproError(f"shards must be >= 1, got {shards}")
+        if rebalance_threshold and rebalance_threshold <= 1.0:
+            raise ReproError(
+                "rebalance_threshold must be > 1 (or 0 to disable), "
+                f"got {rebalance_threshold}"
+            )
+        if max_pages_moved < 0:
+            raise ReproError(
+                f"max_pages_moved must be >= 0, got {max_pages_moved}"
+            )
+        catalog = (
+            LiveCatalog(initial).pages()
+            if isinstance(initial, ProblemInstance)
+            else {int(k): int(v) for k, v in initial.items()}
+        )
+        if not catalog:
+            raise ReproError("federation needs a non-empty catalog")
+        groups = sorted({t for t in catalog.values()})
+        if shards > len(groups):
+            raise ReproError(
+                f"shards ({shards}) exceed the catalog's distinct ladder "
+                f"groups ({len(groups)}); groups are the pinning "
+                "granularity, so reduce --shards or widen the ladder"
+            )
+        self.trace = trace
+        self.shards = shards
+        self.seed = int(seed)
+        self.ring = ShardRing(shards, seed=seed, replicas=replicas)
+        self.rebalance_threshold = float(rebalance_threshold)
+        self.max_pages_moved = int(max_pages_moved)
+        self.admission = admission
+        self.queue_limit = int(queue_limit)
+        self.slo_window = int(slo_window)
+        self.target_miss_rate = float(target_miss_rate)
+        self.replan_cooldown = int(replan_cooldown)
+        self.batch_listeners = batch_listeners
+
+        self._group_overrides = self._seed_empty_shards(catalog, groups)
+        self.group_assignment = {
+            group: self._effective_owner(group) for group in groups
+        }
+        self.partition = partition_catalog(
+            catalog, self.ring, group_overrides=self._group_overrides
+        )
+        if budget is None:
+            budget = max(
+                LiveCatalog(pages).required_channels()
+                for pages in self.partition.values()
+            )
+        if budget < 1:
+            raise SimulationError(f"budget must be >= 1, got {budget}")
+        self.budget = int(budget)
+        self._report: FederationReport | None = None
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def _effective_owner(self, group: int) -> int:
+        override = self._group_overrides.get(group)
+        return override if override is not None else self.ring.owner(group)
+
+    def _seed_empty_shards(
+        self, catalog: Mapping[int, int], groups: list[int]
+    ) -> dict[int, int]:
+        """Group-level overrides giving every shard >= 1 page at t=0.
+
+        The ring may hash several groups onto one shard and none onto
+        another; a shard's :class:`~repro.live.catalog.LiveCatalog`
+        cannot be empty, so whole groups (never fractions of one) are
+        re-pinned deterministically: the smallest group of the most
+        group-rich shard moves to the lowest empty shard, repeatedly.
+        Feasible whenever ``groups >= shards`` (checked upstream).
+        """
+        overrides: dict[int, int] = {}
+        sizes = {g: 0 for g in groups}
+        for expected in catalog.values():
+            sizes[expected] += 1
+        while True:
+            held: dict[int, list[int]] = {s: [] for s in self.ring.shards}
+            for group in groups:
+                owner = overrides.get(group, self.ring.owner(group))
+                held[owner].append(group)
+            empty = sorted(s for s, gs in held.items() if not gs)
+            if not empty:
+                return overrides
+            donor = max(
+                (s for s, gs in held.items() if len(gs) > 1),
+                key=lambda s: (len(held[s]), -s),
+            )
+            group = min(held[donor], key=lambda g: (sizes[g], g))
+            overrides[group] = empty[0]
+
+    # ------------------------------------------------------------------
+    # Phase 1: routing
+    # ------------------------------------------------------------------
+
+    def route(self) -> tuple[
+        dict[int, list[MutationEvent]],
+        GlobalAdmissionController,
+        list[GlobalAdmissionDecision],
+        list[tuple[float, int, int, int]],
+        dict[str, int],
+    ]:
+        """One sequential pass: global admission, drift moves, sub-traces."""
+        controller = GlobalAdmissionController(
+            self.partition,
+            self.budget,
+            queue_limit=self.queue_limit,
+            enabled=self.admission,
+        )
+        sub_events: dict[int, list[MutationEvent]] = {
+            s: [] for s in self.ring.shards
+        }
+        used_keys: dict[int, set[tuple]] = {s: set() for s in self.ring.shards}
+        decisions: list[GlobalAdmissionDecision] = []
+        rebalances: list[tuple[float, int, int, int]] = []
+        routing = {
+            "listeners_routed": 0,
+            "orphan_listeners": 0,
+            "drain_events": 0,
+            "drains_deferred": 0,
+            "moves_emitted": 0,
+            "moves_skipped_budget": 0,
+            "moves_skipped_guard": 0,
+        }
+
+        def emit(shard: int, event: MutationEvent) -> bool:
+            key = (event.time, event.kind, event.page_id)
+            if key in used_keys[shard]:
+                return False
+            used_keys[shard].add(key)
+            sub_events[shard].append(event)
+            return True
+
+        def next_slot(now: float) -> float | None:
+            """The first integer slot strictly after ``now`` (in-horizon).
+
+            Router-injected catalog events (queue drains, rebalance
+            moves) land one slot late so they always *follow* every
+            original event of the triggering slot in sub-trace sort
+            order — the walk order and the replay order stay aligned.
+            """
+            slot = float(math.floor(now)) + 1.0
+            return slot if slot < self.trace.horizon else None
+
+        def drain(now: float) -> None:
+            slot = next_slot(now)
+            if slot is None:
+                routing["drains_deferred"] += len(controller.queued)
+                return
+            for decision in controller.drain(slot):
+                decisions.append(decision)
+                assert decision.shard is not None
+                emitted = emit(
+                    decision.shard,
+                    MutationEvent(
+                        time=slot,
+                        kind="page_insert",
+                        page_id=decision.page_id,
+                        expected_time=controller.pages(decision.shard)[
+                            decision.page_id
+                        ],
+                    ),
+                )
+                if emitted:
+                    routing["drain_events"] += 1
+
+        def rebalance(now: float) -> None:
+            if not self.rebalance_threshold or self.shards < 2:
+                return
+            slot = next_slot(now)
+            if slot is None:
+                return
+            loads = {
+                s: controller.channel_load(s) for s in controller.shards
+            }
+            mean = sum(loads.values()) / len(loads)
+            if mean <= 0.0:
+                return
+            source = max(loads, key=lambda s: (loads[s], -s))
+            if loads[source] <= self.rebalance_threshold * mean:
+                return
+            target = min(loads, key=lambda s: (loads[s], s))
+            moved = 0
+            # Heaviest pages first (smallest expected time), page id as
+            # the tie-break — a deterministic pick that sheds the most
+            # load per unit of reallocation budget.
+            candidates = sorted(
+                controller.pages(source).items(),
+                key=lambda item: (item[1], item[0]),
+            )
+            for page_id, expected in candidates:
+                if moved >= self.max_pages_moved:
+                    routing["moves_skipped_budget"] += 1
+                    break
+                if controller.page_count(source) <= 1:
+                    routing["moves_skipped_guard"] += 1
+                    break
+                if (
+                    controller._required_with(target, expected)
+                    > self.budget
+                ):
+                    routing["moves_skipped_budget"] += 1
+                    continue
+                remove = MutationEvent(
+                    time=slot, kind="page_remove", page_id=page_id
+                )
+                insert = MutationEvent(
+                    time=slot,
+                    kind="page_insert",
+                    page_id=page_id,
+                    expected_time=expected,
+                )
+                if (
+                    (slot, "page_remove", page_id) in used_keys[source]
+                    or (slot, "page_insert", page_id) in used_keys[target]
+                ):
+                    routing["moves_skipped_guard"] += 1
+                    continue
+                emit(source, remove)
+                emit(target, insert)
+                controller.move_page(page_id, source, target)
+                rebalances.append((slot, page_id, source, target))
+                routing["moves_emitted"] += 1
+                moved += 1
+                if (
+                    controller.channel_load(source)
+                    <= self.rebalance_threshold * mean
+                ):
+                    break
+
+        for event in self.trace.events:
+            if event.kind == "listener":
+                shard = controller.locate(event.page_id)
+                if shard is None:
+                    shard = self._effective_owner(
+                        int(event.expected_time or 1)
+                    )
+                    routing["orphan_listeners"] += 1
+                emit(shard, event)
+                routing["listeners_routed"] += 1
+                continue
+            if event.kind == "page_insert":
+                home = self._effective_owner(int(event.expected_time or 0))
+                decision = controller.decide_insert(event, home)
+                decisions.append(decision)
+                if decision.verdict == "admitted":
+                    assert decision.shard is not None
+                    emit(decision.shard, event)
+                    rebalance(event.time)
+            elif event.kind == "page_remove":
+                decision = controller.decide_remove(event)
+                decisions.append(decision)
+                if decision.verdict == "admitted":
+                    assert decision.shard is not None
+                    emit(decision.shard, event)
+                    drain(event.time)
+            elif event.kind == "page_retune":
+                decision = controller.decide_retune(event)
+                decisions.append(decision)
+                if decision.verdict == "admitted":
+                    assert decision.shard is not None
+                    emit(decision.shard, event)
+                    drain(event.time)
+                    rebalance(event.time)
+        return sub_events, controller, decisions, rebalances, routing
+
+    # ------------------------------------------------------------------
+    # Phase 2: shard replay
+    # ------------------------------------------------------------------
+
+    def _shard_plans(
+        self, sub_events: Mapping[int, list[MutationEvent]]
+    ) -> list[ShardPlan]:
+        plans = []
+        for shard in self.ring.shards:
+            trace = MutationTrace(
+                horizon=self.trace.horizon,
+                events=tuple(sub_events[shard]),
+                meta={
+                    "generator": "federation.router",
+                    "shard": shard,
+                    "shards": self.shards,
+                    "parent_fingerprint": self.trace.fingerprint(),
+                },
+            )
+            plans.append(
+                ShardPlan(
+                    shard=shard,
+                    initial=tuple(
+                        sorted(self.partition[shard].items())
+                    ),
+                    trace=trace,
+                    budget=self.budget,
+                    admission=self.admission,
+                    queue_limit=self.queue_limit,
+                    slo_window=self.slo_window,
+                    target_miss_rate=self.target_miss_rate,
+                    replan_cooldown=self.replan_cooldown,
+                    batch_listeners=self.batch_listeners,
+                )
+            )
+        return plans
+
+    def run(
+        self,
+        *,
+        workers: int = 1,
+        mode: str = "serial",
+        policy: ExecutionPolicy | None = None,
+        telemetry=None,
+    ) -> FederationReport:
+        """Route, then replay every shard (once per service instance).
+
+        ``workers``/``mode``/``policy`` drive the executor fan-out; the
+        report is identical for every combination (shard replays are
+        pure), so ``mode="serial"`` is the reference and pools are a
+        pure wall-clock optimisation.
+        """
+        if self._report is not None:
+            raise SimulationError(
+                "this federation already ran; build a fresh service "
+                "to replay again"
+            )
+        sub_events, controller, decisions, rebalances, routing = (
+            self.route()
+        )
+        plans = self._shard_plans(sub_events)
+        outcomes, report = run_tasks(
+            replay_shard_task,
+            plans,
+            workers=workers,
+            mode=mode,
+            policy=policy,
+            telemetry=telemetry,
+        )
+        shard_reports: list[dict] = []
+        for plan, outcome in zip(plans, outcomes):
+            if isinstance(outcome, dict):
+                shard_reports.append(outcome)
+            else:
+                raise SimulationError(
+                    f"shard {plan.shard} replay failed: "
+                    f"{outcome.error_type}: {outcome.message}"
+                )
+        counters = {name: 0 for name in _AGGREGATED_COUNTERS}
+        for summary in shard_reports:
+            for name in _AGGREGATED_COUNTERS:
+                counters[name] += int(summary["counters"][name])
+        executor_block = report.as_dict()
+        executor_block["workers"] = max(1, int(workers))
+        self._report = FederationReport(
+            shards=self.shards,
+            budget=self.budget,
+            horizon=self.trace.horizon,
+            seed=self.seed,
+            trace_fingerprint=self.trace.fingerprint(),
+            ring_fingerprint=self.ring.fingerprint(),
+            group_assignment=dict(self.group_assignment),
+            admission=controller.as_dict(),
+            decisions=tuple(decisions),
+            rebalances=tuple(rebalances),
+            routing=routing,
+            shard_reports=tuple(shard_reports),
+            counters=counters,
+            executor=executor_block,
+        )
+        return self._report

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -158,6 +159,77 @@ class TestFigure:
         code = main(["figure", "NOPE"])
         assert code == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestFederate:
+    _INSTANCE = ["--sizes", "4,4,4,4", "--times", "4,8,16,32"]
+
+    def test_replay_renders_shard_table(self, capsys):
+        code = main(["federate", *self._INSTANCE, "--shards", "2",
+                     "--mutations", "8", "--listeners", "40",
+                     "--horizon", "48"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "federation: 2 shard(s)" in out
+        assert "global admission:" in out
+        assert "per-shard replay" in out
+
+    def test_manifest_is_v7_with_federation_block(self, tmp_path, capsys):
+        manifest_path = tmp_path / "fed.json"
+        code = main(["federate", *self._INSTANCE, "--shards", "2",
+                     "--mutations", "8", "--listeners", "40",
+                     "--horizon", "48", "--manifest",
+                     str(manifest_path)])
+        assert code == 0
+        payload = json.loads(manifest_path.read_text())
+        assert payload["manifest_version"] == 7
+        assert payload["operation"] == "federate"
+        assert payload["federation"]["shards"] == 2
+
+    def test_too_many_shards_is_an_error(self, capsys):
+        code = main(["federate", "--sizes", "4", "--times", "4",
+                     "--shards", "2"])
+        assert code == 2
+        assert "distinct ladder" in capsys.readouterr().err
+
+
+class TestServeRecover:
+    """``serve --recover`` against journals that cannot be replayed.
+
+    Regression: ``Journal.open`` creates missing files, so a mistyped
+    ``--recover`` path used to silently create an empty journal and
+    report a successful zero-record recovery.
+    """
+
+    def test_missing_journal_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "nope.journal"
+        code = main(["serve", "--recover", "--journal", str(path),
+                     "--session", os.devnull])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert not path.exists()  # the probe must not create it
+
+    def test_empty_journal_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.journal"
+        path.write_text("")
+        code = main(["serve", "--recover", "--journal", str(path),
+                     "--session", os.devnull])
+        assert code == 2
+        assert "is empty" in capsys.readouterr().err
+
+    def test_non_journal_content_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "garbage.journal"
+        path.write_text("this is not a journal\n")
+        code = main(["serve", "--recover", "--journal", str(path),
+                     "--session", os.devnull])
+        assert code == 2
+        assert "not a control-plane journal" in capsys.readouterr().err
+
+    def test_recover_without_journal_is_an_error(self, capsys):
+        code = main(["serve", "--recover", "--session", os.devnull])
+        assert code == 2
+        assert "--recover needs --journal" in capsys.readouterr().err
 
 
 class TestParsing:

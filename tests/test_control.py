@@ -452,7 +452,7 @@ class TestRemediation:
         assert control["triggers"] == {"sustained-miss": 1}
         [record] = control["records"]
         assert record["applied"] == "add_channel"
-        assert manifest.manifest["manifest_version"] == 6
+        assert manifest.manifest["manifest_version"] == 7
         assert manifest.manifest["operation"] == "control"
 
 
@@ -634,7 +634,7 @@ class TestServeCli:
         assert m1.read_bytes() == m2.read_bytes()
         assert o1.read_bytes() == o2.read_bytes()
         payload = json.loads(m1.read_text())
-        assert payload["manifest_version"] == 6
+        assert payload["manifest_version"] == 7
         assert payload["operation"] == "control"
         assert len(payload["control"]["records"]) == 1
 

@@ -1,0 +1,127 @@
+"""FederationCreate/ShardReport: typed messages and plane dispatch.
+
+The federation planning probe is deliberately *stateless*: the control
+plane partitions the catalog on the ring, judges every shard against
+Theorem 3.1, answers with a :class:`~repro.api.types.ShardReport`, and
+forgets — nothing is journaled, no session is created, so probing
+shard counts is free and crash-recovery byte-identity is untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.codec import decode_line, encode_line
+from repro.api.types import ApiError, FederationCreate, ShardReport
+from repro.control.plane import _MUTATING_TYPES, ControlPlane
+from repro.core.errors import ReproError
+
+_CATALOG = {1: 4, 2: 4, 3: 8, 4: 8, 5: 16, 6: 16, 7: 32, 8: 32}
+
+
+class TestMessageTypes:
+    def test_create_round_trips_through_codec(self):
+        request = FederationCreate(
+            name="fed", catalog=_CATALOG, shards=2, seed=3
+        )
+        assert decode_line(encode_line(request)) == request
+
+    def test_report_round_trips_through_codec(self):
+        report = ShardReport(
+            name="fed",
+            shards=2,
+            budget=3,
+            ring_fingerprint="42b90e6d33420405",
+            entries=(
+                {
+                    "shard": 0,
+                    "pages": 6,
+                    "required_channels": 2,
+                    "channel_load": 0.875,
+                },
+                {
+                    "shard": 1,
+                    "pages": 2,
+                    "required_channels": 1,
+                    "channel_load": 0.0625,
+                },
+            ),
+            feasible=True,
+        )
+        assert decode_line(encode_line(report)) == report
+
+    def test_create_validates_inputs(self):
+        with pytest.raises(ReproError, match="non-empty"):
+            FederationCreate(name="", catalog=_CATALOG)
+        with pytest.raises(ReproError, match="catalog"):
+            FederationCreate(name="fed", catalog={})
+        with pytest.raises(ReproError, match="shards"):
+            FederationCreate(name="fed", catalog=_CATALOG, shards=0)
+
+    def test_budget_none_survives_the_wire(self):
+        request = FederationCreate(name="fed", catalog=_CATALOG)
+        again = decode_line(encode_line(request))
+        assert again.budget is None
+
+
+class TestPlaneDispatch:
+    def test_probe_returns_full_shard_map(self):
+        plane = ControlPlane()
+        report = plane.handle(
+            FederationCreate(
+                name="fed", catalog=_CATALOG, shards=2, seed=3
+            )
+        )
+        assert isinstance(report, ShardReport)
+        assert report.name == "fed"
+        assert report.shards == 2
+        assert report.ring_fingerprint == "42b90e6d33420405"
+        assert [e["shard"] for e in report.entries] == [0, 1]
+        assert sum(e["pages"] for e in report.entries) == len(_CATALOG)
+        assert report.feasible
+
+    def test_default_budget_is_taut_maximum(self):
+        plane = ControlPlane()
+        report = plane.handle(
+            FederationCreate(name="fed", catalog=_CATALOG, shards=2)
+        )
+        assert report.budget == max(
+            e["required_channels"] for e in report.entries
+        )
+        assert report.feasible
+
+    def test_tight_budget_reports_infeasible(self):
+        plane = ControlPlane()
+        catalog = {i: 2 for i in range(1, 9)}
+        catalog[100] = 4
+        report = plane.handle(
+            FederationCreate(
+                name="fed", catalog=catalog, shards=2, budget=1
+            )
+        )
+        assert isinstance(report, ShardReport)
+        assert not report.feasible
+
+    def test_more_shards_than_groups_is_bad_request(self):
+        plane = ControlPlane()
+        response = plane.handle(
+            FederationCreate(name="fed", catalog={1: 4, 2: 4}, shards=2)
+        )
+        assert isinstance(response, ApiError)
+        assert response.code == "bad-request"
+
+    def test_probe_is_stateless_and_never_journaled(self):
+        assert FederationCreate not in _MUTATING_TYPES
+        plane = ControlPlane()
+        plane.handle(
+            FederationCreate(name="fed", catalog=_CATALOG, shards=2)
+        )
+        assert plane.services == ()
+
+    def test_probe_is_deterministic(self):
+        request = FederationCreate(
+            name="fed", catalog=_CATALOG, shards=4, seed=7
+        )
+        first = ControlPlane().handle(request)
+        second = ControlPlane().handle(request)
+        assert first == second

@@ -542,7 +542,7 @@ class TestEngineLive:
         result = BroadcastEngine().live(fig2_instance, trace)
         payload = result.manifest.to_dict()
         assert payload["operation"] == "live"
-        assert payload["manifest_version"] == 6
+        assert payload["manifest_version"] == 7
         assert payload["service"]["budget"] == result.report.budget
         assert payload["created_at"] == 0.0
         assert payload["timings"] == {}

@@ -1,9 +1,9 @@
-"""Manifest schema compatibility: golden v1..v6 fixtures through repro.api.
+"""Manifest schema compatibility: golden v1..v7 fixtures through repro.api.
 
 One golden document per schema version lives in ``tests/fixtures/``;
 every one of them must parse through the :mod:`repro.api` manifest
-codecs into the current (v6) in-memory shape, with the keys newer
-versions introduced defaulted, and re-serialise as a stable v6 document
+codecs into the current (v7) in-memory shape, with the keys newer
+versions introduced defaulted, and re-serialise as a stable v7 document
 (``from_dict(to_dict(m)) == m``, the round-trip contract).
 """
 
@@ -119,6 +119,29 @@ class TestVersionDefaults:
         durability = manifest.control["durability"]
         assert durability["requests"] == 2
         assert durability["fingerprint"] == "9c41f5b27a80d3e6"
+
+    @pytest.mark.parametrize("version", (1, 2, 3, 4, 5, 6))
+    def test_pre_v7_federation_block_defaults_empty(self, version):
+        assert manifest_from_dict(load_fixture(version)).federation == {}
+
+    def test_v7_federation_block_preserved(self):
+        manifest = manifest_from_dict(load_fixture(7))
+        assert manifest.operation == "federate"
+        federation = manifest.federation
+        assert federation["shards"] == 2
+        assert federation["admission"]["admitted"] == 6
+        assert federation["admission"]["spilled"] == 0
+        assert federation["pages_moved"] == len(federation["rebalances"])
+        assert len(federation["shard_reports"]) == 2
+        assert federation["ring_fingerprint"]
+        # Byte-identity: the golden document re-serialises exactly.
+        text = (FIXTURES / "manifest_v7.json").read_text()
+        again = json.dumps(
+            manifest_to_dict(manifest_from_json(text)),
+            indent=2,
+            sort_keys=True,
+        ) + "\n"
+        assert again == text
 
     def test_v5_remediation_records_parse_as_typed_objects(self):
         from repro.api import RemediationRecord

@@ -319,7 +319,7 @@ class TestEngineResilience:
         )
         payload = json.loads(result.manifest.to_json())
         assert payload["operation"] == "resilience"
-        assert payload["manifest_version"] == 6
+        assert payload["manifest_version"] == 7
         plan_block = payload["parameters"]["plan"]
         assert plan_block["fingerprint"] == plan.fingerprint()
         assert plan_block["num_channels"] == 4
