@@ -61,7 +61,9 @@ def _build_susc_scaling(quick: bool):
     from repro.core.pages import instance_from_counts
     from repro.core.susc import schedule_susc
 
-    pages = 120 if quick else 150
+    # Full mode is the 10k-page acceptance point for the array kernels;
+    # quick keeps CI smoke in the hundreds.
+    pages = 120 if quick else 1250
     times = (4, 8, 16, 32, 64, 128, 256, 512)
     sizes = tuple(pages for _ in times)
     instance = instance_from_counts(sizes, times)
@@ -213,6 +215,41 @@ def _build_delay_cache(quick: bool):
     )
 
 
+def _build_delay_batch(quick: bool):
+    from repro.core.delay import paper_group_delay, paper_group_delay_batch
+
+    import numpy as np
+
+    # An 8-group ladder and a deterministic bank of candidate frequency
+    # vectors, the shape the pruned searches hand to the batched
+    # Equation-(2) kernel.  Reference is the scalar objective looped row
+    # by row — exactly what the searches did before the batch kernel.
+    times = [4, 8, 16, 32, 64, 128, 256, 512]
+    sizes = [2, 3, 4, 6, 8, 12, 16, 24]
+    channels = 8
+    m = 512 if quick else 4096
+    h = len(times)
+    rows = np.asarray(
+        [[1 + ((i * 7 + j * 3) % 6) for j in range(h)] for i in range(m)],
+        dtype=np.int64,
+    )
+    row_lists = rows.tolist()
+
+    def scalar() -> float:
+        total = 0.0
+        for row in row_lists:
+            total += paper_group_delay(row, sizes, times, channels)
+        return total
+
+    def batched() -> float:
+        return float(
+            paper_group_delay_batch(rows, sizes, times, channels).sum()
+        )
+
+    config = {"rows": m, "groups": h, "channels": channels}
+    return (config, scalar, batched, 2)
+
+
 def _build_live_replan(quick: bool):
     from repro.core.pamad import schedule_pamad
     from repro.live.catalog import LiveCatalog
@@ -238,33 +275,39 @@ def _build_live_replan(quick: bool):
         cycle=schedule.program.cycle_length,
         budget=budget,
     )
-    state = replanner.state
 
-    # One page joins the slowest rung: the canonical degraded-mode
-    # mutation the patch path exists for.  Ineligibility here would mean
-    # the fast path never fires on its own benchmark — fail loudly.
+    # One page toggling in and out of the slowest rung: the canonical
+    # degraded-mode mutations the patch path exists for.  Alternating
+    # insert/remove keeps the snapshot and the incremental rung cache
+    # evolving exactly as they do between re-plans in the live service,
+    # so the timed mean is the steady-state per-patch cost (the
+    # sub-100us headline).  Ineligibility here would mean the fast path
+    # never fires on its own benchmark — fail loudly.
     mutated = catalog.copy()
     mutated.insert(page_id, times[-1])
+    cursor = {"program": schedule.program, "insert": True}
 
     def patch():
-        replanner.state = state  # rewind the snapshot between runs
-        patched = replanner.try_patch(mutated.pages(), schedule.program)
+        target = mutated if cursor["insert"] else catalog
+        patched = replanner.try_patch(target.pages(), cursor["program"])
         if patched is None:
             raise SimulationError(
                 "live-replan benchmark mutation was not patch-eligible"
             )
+        cursor["program"] = patched
+        cursor["insert"] = not cursor["insert"]
         return patched
 
     config = {
         "pages": len(pages) + 1,
         "budget": budget,
-        "mutation": "insert",
+        "mutation": "insert/remove toggle",
     }
     return (
         config,
         lambda: schedule_pamad(mutated.to_instance(), budget),
         patch,
-        1,
+        8,
     )
 
 
@@ -275,6 +318,7 @@ SUITE_ENTRIES: dict[str, tuple[float, _Builder]] = {
     "bench_ablation_search": (3.0, _build_opt_search),
     "bench_brute_force_search": (2.0, _build_brute_search),
     "bench_delay_cache": (1.5, _build_delay_cache),
+    "bench_delay_batch": (10.0, _build_delay_batch),
     "bench_live_replan": (1.5, _build_live_replan),
 }
 

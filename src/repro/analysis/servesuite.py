@@ -12,10 +12,12 @@ runtime and the sweep executor:
   mutation churn (insert+remove cancels, retunes collapse to the last)
   into net operations, re-planning once per surviving operation instead
   of once per raw event.
-* **Chunked sweep transport** — :attr:`~repro.engine.executor.
-  ExecutionPolicy.chunk_size` ships one pickled ``ProblemInstance`` per
-  chunk of cells instead of per cell, cutting pool-transport overhead
-  on grids of cheap cells.
+* **Zero-copy chunked sweeps** — :attr:`~repro.engine.executor.
+  ExecutionPolicy.chunk_size` ships one ``ProblemInstance`` per chunk
+  of cells instead of per cell, and ``transport="shm"`` moves chunk
+  results through ``multiprocessing.shared_memory`` segments instead
+  of the pool's pickle pipe, cutting transport overhead on grids of
+  cheap cells.
 
 The payload (``benchmarks/results/BENCH_serve.json``) follows the same
 contract as BENCH_core — ratios not absolute times, best-of-N minimum
@@ -180,7 +182,7 @@ def _build_mutation_coalescing(quick: bool):
     return config, lambda: run(0), lambda: run(window), stats
 
 
-def _build_sweep_chunked(quick: bool):
+def _build_sweep_zerocopy(quick: bool):
     from repro.core.pages import instance_from_counts
     from repro.engine.executor import (
         CellSpec,
@@ -206,18 +208,18 @@ def _build_sweep_chunked(quick: bool):
         for i in range(cells)
     ]
 
-    def sweep(chunk: int):
+    def sweep(chunk: int, transport: str):
         outcomes, report = run_cells(
             specs,
             workers=workers,
             mode="process",
-            policy=ExecutionPolicy(chunk_size=chunk),
+            policy=ExecutionPolicy(chunk_size=chunk, transport=transport),
         )
         if report.fallback:
             # Both paths would silently degrade to identical serial runs
             # and the ratio would gate on noise — fail loudly instead.
             raise SimulationError(
-                "sweep-chunked benchmark fell back to serial execution; "
+                "sweep-zerocopy benchmark fell back to serial execution; "
                 "process pools are unavailable on this host"
             )
         return outcomes
@@ -226,6 +228,7 @@ def _build_sweep_chunked(quick: bool):
         "cells": cells,
         "workers": workers,
         "chunk_size": chunk_size,
+        "transport": "shm",
         "pages": instance.n,
         "num_requests": 60,
     }
@@ -236,13 +239,21 @@ def _build_sweep_chunked(quick: bool):
             "cells_per_second_fast": round(cells / fast_s, 1),
         }
 
-    return config, lambda: sweep(1), lambda: sweep(chunk_size), stats
+    # Reference is the pre-optimisation executor: one pickled instance
+    # per cell over the pool pipe.  Fast combines chunking with the
+    # shared-memory manifest so workers map results instead of piping.
+    return (
+        config,
+        lambda: sweep(1, "pickle"),
+        lambda: sweep(chunk_size, "shm"),
+        stats,
+    )
 
 
 SUITE_ENTRIES: dict[str, tuple[float, _Builder]] = {
     "serve_listener_replay": (5.0, _build_listener_replay),
     "serve_mutation_coalescing": (1.3, _build_mutation_coalescing),
-    "serve_sweep_chunked": (1.1, _build_sweep_chunked),
+    "serve_sweep_zerocopy": (1.1, _build_sweep_zerocopy),
 }
 
 

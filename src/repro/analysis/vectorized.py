@@ -28,6 +28,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.core.delay import paper_group_delay_batch
 from repro.core.errors import SimulationError
 from repro.core.pages import ProblemInstance
 from repro.core.program import BroadcastProgram
@@ -41,61 +42,6 @@ __all__ = [
     "BatchMeasurement",
     "batch_measure",
 ]
-
-
-def paper_group_delay_batch(
-    frequency_rows: np.ndarray | list,
-    sizes: list[int] | tuple[int, ...],
-    times: list[int] | tuple[int, ...],
-    num_channels: int,
-) -> np.ndarray:
-    """Equation (2) for many frequency vectors at once, bit-identical.
-
-    Evaluates :func:`repro.core.delay.paper_group_delay` for every row of
-    ``frequency_rows`` (shape ``(m, h)``, integer frequencies ``>= 1``)
-    and returns the ``m`` delays.  The OPT searches call this on whole
-    candidate batches instead of looping the scalar objective.
-
-    Bit-identity with the scalar is load-bearing (the pruned searches
-    must reproduce the reference tie-breaks exactly), so the kernel
-    mirrors the scalar's float operation sequence:
-
-    * ``slots`` and the Equation-8 cycle stay in int64 (exact — the
-      scalar uses Python ints; all quantities here are far below 2**53,
-      so int64 -> float64 conversions are exact too);
-    * every division matches a scalar ``int / int`` (both correctly
-      rounded quotients of exactly-represented integers);
-    * the per-group accumulation runs as an ordered Python loop over
-      groups (``total = total + weight * term`` elementwise), matching
-      the scalar's left-to-right sum — *not* ``np.sum``, whose pairwise
-      reduction would round differently.
-    """
-    rows = np.asarray(frequency_rows, dtype=np.int64)
-    if rows.ndim != 2:
-        raise SimulationError(
-            f"frequency_rows must be 2-D (m, h), got shape {rows.shape}"
-        )
-    h = rows.shape[1]
-    if h != len(sizes) or h != len(times):
-        raise SimulationError(
-            f"vector lengths differ: S rows have {h}, P={len(sizes)}, "
-            f"t={len(times)}"
-        )
-    sizes_arr = np.asarray(sizes, dtype=np.int64)
-    slots = rows @ sizes_arr  # exact int64
-    cycle = -(-slots // num_channels)  # exact ceil, matches ceil_div
-    slots_f = slots.astype(np.float64)
-    total = np.zeros(rows.shape[0], dtype=np.float64)
-    for i in range(h):
-        s_i = rows[:, i]
-        weight = (s_i * int(sizes[i])).astype(np.float64) / slots_f
-        spacing_real = slots_f / (num_channels * s_i).astype(np.float64)
-        spacing_cycle = cycle.astype(np.float64) / s_i.astype(np.float64)
-        term = np.maximum(spacing_real - times[i], 0.0) * np.maximum(
-            (spacing_cycle - times[i]) / 2.0, 0.0
-        )
-        total = total + weight * term
-    return total
 
 
 def program_delay_vector(
@@ -199,7 +145,14 @@ class AppearanceIndex:
                 from the program get empty rows (callers decide whether
                 that is an error or an off-air observation).
         """
-        if page_ids is None:
+        memoise = page_ids is None
+        if memoise:
+            # The default-row index of one program is requested once per
+            # batch by the live replay loop; key the memo on the
+            # program's mutation stamp so in-place repairs invalidate it.
+            memo = getattr(program, "_appearance_index_memo", None)
+            if memo is not None and memo[0] == program.version:
+                return memo[1]
             page_ids = sorted(program.page_ids())
         slot_lists = [program.appearance_slots(pid) for pid in page_ids]
         counts = np.asarray(
@@ -210,12 +163,15 @@ class AppearanceIndex:
             [slot for slots in slot_lists for slot in slots],
             dtype=np.float64,
         )
-        return cls(
+        index = cls(
             cycle_length=program.cycle_length,
             page_ids=np.asarray(list(page_ids), dtype=np.int64),
             slots=flat,
             offsets=offsets,
         )
+        if memoise:
+            program._appearance_index_memo = (program.version, index)
+        return index
 
     def row_of(self, page_id: int) -> int:
         """Row index of ``page_id``; raises when the page is not indexed."""
@@ -230,6 +186,117 @@ class AppearanceIndex:
         """Boolean per row: does the page appear at all?"""
         return np.diff(self.offsets) > 0
 
+    def rows_for(self, page_ids: np.ndarray) -> np.ndarray:
+        """Resolve many page ids to row indices (``-1`` = not indexed).
+
+        A memoised ``id -> row`` lookup table turns resolution into one
+        gather when the id space is dense (the common case: page ids
+        grow by insertion); sparse id spaces fall back to a
+        ``searchsorted`` over the sorted ``page_ids``.
+        """
+        cached = getattr(self, "_row_lut_cache", None)
+        if cached is None:
+            lut = None
+            if self.page_ids.size:
+                top = int(self.page_ids.max())
+                if (
+                    int(self.page_ids.min()) >= 0
+                    and top <= 4 * self.page_ids.size + 1024
+                ):
+                    lut = np.full(top + 2, -1, dtype=np.int64)
+                    lut[self.page_ids] = np.arange(
+                        self.page_ids.shape[0], dtype=np.int64
+                    )
+            cached = lut
+            object.__setattr__(self, "_row_lut_cache", cached)
+        page_ids = np.asarray(page_ids, dtype=np.int64)
+        if cached is not None:
+            top = cached.shape[0] - 2
+            safe = np.where(
+                (page_ids >= 0) & (page_ids <= top), page_ids, top + 1
+            )
+            return cached[safe]
+        if not self.page_ids.size:
+            return np.full(page_ids.shape[0], -1, dtype=np.int64)
+        pos = np.searchsorted(self.page_ids, page_ids)
+        pos = np.minimum(pos, self.page_ids.shape[0] - 1)
+        return np.where(self.page_ids[pos] == page_ids, pos, -1)
+
+    def _row_keys(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-slot integer sort keys, memoised on the (frozen) index.
+
+        ``keys[k] = slot + row * cycle`` is globally sorted because each
+        row's slots are sorted within ``[0, cycle)``, which lets
+        :func:`batch_waits` resolve a whole mixed-page batch with one
+        ``searchsorted`` instead of a Python loop per distinct page.
+        ``firsts[row]`` is the flat position of the row's first slot
+        (``-1`` for off-air rows).  Integer keys, not biased floats:
+        ``arrival + row * cycle`` can round across a slot boundary,
+        breaking bit-identity with the scalar kernel.
+        """
+        cached = getattr(self, "_row_keys_cache", None)
+        if cached is None:
+            counts = np.diff(self.offsets)
+            row_of_slot = np.repeat(
+                np.arange(counts.shape[0], dtype=np.int64), counts
+            )
+            keys = (
+                self.slots.astype(np.int64)
+                + row_of_slot * self.cycle_length
+            )
+            firsts = np.where(counts > 0, self.offsets[:-1], -1)
+            cached = (keys, firsts)
+            object.__setattr__(self, "_row_keys_cache", cached)
+        return cached
+
+    #: Dense wait tables are only worth their memory for the small
+    #: serving programs the live replay loop indexes; past this many
+    #: row x arrival cells :func:`batch_waits` binary-searches instead.
+    _WAIT_LUT_MAX_CELLS = 1 << 16
+
+    def _wait_lut(self) -> "np.ndarray | None":
+        """Dense next-appearance table, memoised on the (frozen) index.
+
+        ``lut[row * (cycle + 1) + c]`` is the slot a request arriving at
+        any time with ``ceil(arrival) == c`` waits for — the row's first
+        slot ``>= c``, or its first slot plus one cycle when the arrival
+        is past the row's last appearance.  This turns the whole
+        :func:`batch_waits` search into one gather; ``None`` when the
+        table would be large (fall back to ``searchsorted``) or any row
+        is empty (the search path owns the off-air error).
+        """
+        cached = getattr(self, "_wait_lut_cache", "unset")
+        if isinstance(cached, str):  # sentinel: not computed yet
+            counts = np.diff(self.offsets)
+            cycle = self.cycle_length
+            cells = counts.shape[0] * (cycle + 1)
+            if (
+                counts.size == 0
+                or cells > self._WAIT_LUT_MAX_CELLS
+                or bool((counts == 0).any())
+            ):
+                cached = None
+            else:
+                # One searchsorted over the whole row x arrival grid,
+                # reusing the global integer keys (rebuilt per program
+                # version — a Python per-row loop here would eat the
+                # gain on mutation-heavy traces).
+                keys, firsts = self._row_keys()
+                rows_arange = np.arange(counts.shape[0], dtype=np.int64)
+                cells = (
+                    rows_arange[:, None] * cycle
+                    + np.arange(cycle + 1, dtype=np.int64)[None, :]
+                ).ravel()
+                pos = np.searchsorted(keys, cells, side="left")
+                row_of_cell = np.repeat(rows_arange, cycle + 1)
+                wrapped = pos == self.offsets[row_of_cell + 1]
+                nxt = self.slots[
+                    np.where(wrapped, firsts[row_of_cell], pos)
+                ]
+                cached = np.where(wrapped, nxt + cycle, nxt)
+            object.__setattr__(self, "_wait_lut_cache", cached)
+        return cached
+
 
 def batch_waits(
     index: AppearanceIndex,
@@ -242,9 +309,14 @@ def batch_waits(
     BroadcastProgram.wait_time` per request: arrivals are reduced into
     ``[0, cycle)`` with ``fmod`` (exactly Python's ``%`` for the
     non-negative times used here), the next appearance is found with a
-    per-page ``searchsorted``, and the wrapped case computes
-    ``(first_slot + cycle) - arrival`` in the scalar's operation order.
-    Rows must be on air (non-empty); callers mask off-air pages first.
+    single ``searchsorted`` over the whole batch, and the wrapped case
+    computes ``(first_slot + cycle) - arrival`` in the scalar's
+    operation order.  The search runs on integer keys ``slot + row *
+    cycle`` against needles ``ceil(arrival) + row * cycle`` — exact
+    arithmetic, and for integer slots ``slot >= arrival`` iff ``slot >=
+    ceil(arrival)``, so positions match the scalar scan even for
+    arrivals within one ULP of a slot boundary.  Rows must be on air
+    (non-empty); callers mask off-air pages first.
 
     Args:
         index: The packed appearance table.
@@ -258,29 +330,29 @@ def batch_waits(
         np.asarray(arrivals, dtype=np.float64), index.cycle_length
     )
     rows = np.asarray(rows, dtype=np.int64)
-    waits = np.empty(arrivals.shape[0], dtype=np.float64)
-    order = np.argsort(rows, kind="stable")
-    sorted_rows = rows[order]
-    boundaries = np.searchsorted(
-        sorted_rows, np.arange(index.page_ids.shape[0] + 1)
-    )
-    for row in np.unique(sorted_rows):
-        lo, hi = boundaries[row], boundaries[row + 1]
-        slots = index.slots[index.offsets[row]:index.offsets[row + 1]]
-        if slots.size == 0:
-            raise SimulationError(
-                f"page {int(index.page_ids[row])} does not appear in "
-                "the program"
-            )
-        positions = order[lo:hi]
-        page_arrivals = arrivals[positions]
-        nxt = np.searchsorted(slots, page_arrivals, side="left")
-        wrapped = nxt == slots.size
-        next_slot = slots[np.where(wrapped, 0, nxt)]
-        waits[positions] = np.where(
-            wrapped, next_slot + index.cycle_length, next_slot
-        ) - page_arrivals
-    return waits
+    lut = index._wait_lut()
+    if lut is not None:
+        # Dense fast path: one gather instead of a binary search.  The
+        # table stores exact integer slot values (wrap pre-applied) as
+        # float64, so the subtraction below is the scalar's final
+        # operation verbatim — bit-identity holds along both paths.
+        cells = np.ceil(arrivals).astype(np.int64)
+        cells += rows * (index.cycle_length + 1)
+        return lut[cells] - arrivals
+    keys, firsts = index._row_keys()
+    row_firsts = firsts[rows]
+    if row_firsts.size and row_firsts.min() < 0:
+        bad = rows[row_firsts < 0]
+        raise SimulationError(
+            f"page {int(index.page_ids[bad.min()])} does not appear in "
+            "the program"
+        )
+    cycle = index.cycle_length
+    needles = np.ceil(arrivals).astype(np.int64) + rows * cycle
+    pos = np.searchsorted(keys, needles, side="left")
+    wrapped = pos == index.offsets[rows + 1]
+    next_slot = index.slots[np.where(wrapped, row_firsts, pos)]
+    return np.where(wrapped, next_slot + cycle, next_slot) - arrivals
 
 
 @dataclass(frozen=True)

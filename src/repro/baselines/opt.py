@@ -41,7 +41,7 @@ reference would have accepted, and candidate loops may *break* at the
 first pruned candidate because ``F_min`` grows with the candidate.
 Leaves that survive are evaluated in reference order through the
 bit-identical batch kernel
-:func:`repro.analysis.vectorized.paper_group_delay_batch`, so the
+:func:`repro.core.delay.paper_group_delay_batch`, so the
 incumbent evolves exactly as in the reference walk — same minimum,
 same tie-breaks, same returned vector.
 """
@@ -52,7 +52,11 @@ import itertools
 import math
 from dataclasses import dataclass
 
-from repro.core.delay import paper_group_delay, program_average_delay
+from repro.core.delay import (
+    paper_group_delay,
+    paper_group_delay_batch,
+    program_average_delay,
+)
 from repro.core.errors import SearchSpaceError
 from repro.core.frequencies import (
     FrequencyAssignment,
@@ -190,10 +194,6 @@ def opt_frequencies(
             )
             lb_memo[slots_min] = cached
         return cached
-
-    # Imported lazily: repro.analysis pulls in the engine package, which
-    # imports this module back (schedule_opt) during initialisation.
-    from repro.analysis.vectorized import paper_group_delay_batch
 
     def flush(rows: list, labels: list) -> None:
         """Batch-evaluate collected leaves, scanning in reference order.
@@ -356,8 +356,6 @@ def _brute_force_pruned(
     evaluates the innermost position as one bit-identical batch — the
     incumbent therefore evolves exactly as in the exhaustive scan.
     """
-    from repro.analysis.vectorized import paper_group_delay_batch
-
     h = instance.h
     sizes = instance.group_sizes
     times = instance.expected_times

@@ -1,0 +1,194 @@
+"""numba ``@njit`` kernels for the placement and delay hot paths.
+
+Importing this module requires numba; callers go through
+:mod:`repro.core.backend` (``active_backend()``) and only land here when
+numba resolved as the active backend.  Each kernel is a *direct loop
+transcription of the reference algorithm* — not of the vectorised numpy
+kernel — so byte-identity with the reference scans holds by
+construction; :mod:`tests.test_fastpath` and :mod:`tests.test_delay`
+parametrise their equality harnesses over both backends to pin it.
+
+Kernels return status codes instead of raising (numba exceptions cannot
+carry the repo's formatted messages); the Python wrappers in
+:mod:`repro.core.fastpath` and :mod:`repro.core.delay` map the codes
+back to the reference error messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = [
+    "place_by_frequency_kernel",
+    "place_sequential_kernel",
+    "susc_fill_kernel",
+    "group_delay_rows_kernel",
+    "normalized_group_delay_rows_kernel",
+]
+
+
+@njit(cache=True)
+def place_by_frequency_kernel(
+    grid, fill, page_ids, page_freqs, cycle, num_channels
+):  # pragma: no cover - exercised only on the numba CI leg
+    """Algorithm 4 placement; returns ``(misses, failed_page_pos, k)``.
+
+    ``failed_page_pos`` is ``-1`` on success, else the position (into
+    ``page_ids``) of the copy that found no free slot anywhere.
+    """
+    misses = 0
+    for p in range(page_ids.shape[0]):
+        s_i = page_freqs[p]
+        for k in range(s_i):
+            window_start = -(-cycle * k // s_i)
+            window_end = -(-cycle * (k + 1) // s_i)
+            if window_end > cycle:
+                window_end = cycle
+            column = -1
+            for c in range(window_start, window_end):
+                if fill[c] < num_channels:
+                    column = c
+                    break
+            if column < 0:
+                # Window full: cyclic fallback scan from window_start.
+                misses += 1
+                for c in range(window_start, cycle):
+                    if fill[c] < num_channels:
+                        column = c
+                        break
+                if column < 0:
+                    for c in range(0, window_start):
+                        if fill[c] < num_channels:
+                            column = c
+                            break
+                if column < 0:
+                    return misses, p, k
+            grid[fill[column], column] = page_ids[p]
+            fill[column] += 1
+    return misses, -1, -1
+
+
+@njit(cache=True)
+def place_sequential_kernel(
+    grid, fill, page_ids, page_freqs, cycle, num_channels
+):  # pragma: no cover - exercised only on the numba CI leg
+    """Sequential (ABL3) placement; returns the failed page pos or -1."""
+    cursor = 0
+    for p in range(page_ids.shape[0]):
+        for _ in range(page_freqs[p]):
+            column = -1
+            for c in range(cursor, cycle):
+                if fill[c] < num_channels:
+                    column = c
+                    break
+            if column < 0:
+                cursor = 0
+                for c in range(cycle):
+                    if fill[c] < num_channels:
+                        column = c
+                        break
+                if column < 0:
+                    return p
+            else:
+                cursor = column
+            grid[fill[column], column] = page_ids[p]
+            fill[column] += 1
+    return -1
+
+
+@njit(cache=True)
+def susc_fill_kernel(
+    grid, page_ids, windows, first_slots, cycle, num_channels
+):  # pragma: no cover - exercised only on the numba CI leg
+    """Algorithm 1/2 fill; returns ``(status, page_pos, channel, slot)``.
+
+    Status 0 = placed everything; 1 = no free slot in any channel's
+    window (Theorem 3.2); 2 = a periodic copy landed on an occupied
+    slot (Theorem 3.3, with the offending channel/slot).
+    ``first_slots[p] = (slot, channel)`` records each page's anchor.
+    """
+    for p in range(page_ids.shape[0]):
+        window = windows[p]
+        placed = False
+        for channel in range(num_channels):
+            start = -1
+            for s in range(window):
+                if grid[channel, s] == -1:
+                    start = s
+                    break
+            if start < 0:
+                continue
+            s = start + window
+            while s < cycle:
+                if grid[channel, s] != -1:
+                    return 2, p, channel, s
+                s += window
+            s = start
+            while s < cycle:
+                grid[channel, s] = page_ids[p]
+                s += window
+            first_slots[p, 0] = start
+            first_slots[p, 1] = channel
+            placed = True
+            break
+        if not placed:
+            return 1, p, -1, -1
+    return 0, -1, -1, -1
+
+
+@njit(cache=True)
+def group_delay_rows_kernel(
+    rows, sizes, times, num_channels
+):  # pragma: no cover - exercised only on the numba CI leg
+    """Equation (2) objective per frequency row, scalar-exact.
+
+    Operation-for-operation :func:`repro.core.delay.paper_group_delay`:
+    int64 slot totals, exact ceil via ``-(-slots // N)``, every division
+    an int64/int64 true division (correctly rounded, as the scalar's
+    ``int / int``), and the per-group terms summed in group order.
+    """
+    out = np.empty(rows.shape[0], dtype=np.float64)
+    for r in range(rows.shape[0]):
+        slots = np.int64(0)
+        for i in range(rows.shape[1]):
+            slots += rows[r, i] * sizes[i]
+        cycle = -(-slots // num_channels)
+        total = 0.0
+        for i in range(rows.shape[1]):
+            s_i = rows[r, i]
+            weight = (s_i * sizes[i]) / slots
+            spacing_real = slots / (num_channels * s_i)
+            spacing_cycle = cycle / s_i
+            a = spacing_real - times[i]
+            if a < 0.0:
+                a = 0.0
+            b = (spacing_cycle - times[i]) / 2.0
+            if b < 0.0:
+                b = 0.0
+            total = total + weight * (a * b)
+        out[r] = total
+    return out
+
+
+@njit(cache=True)
+def normalized_group_delay_rows_kernel(
+    rows, sizes, times, num_channels
+):  # pragma: no cover - exercised only on the numba CI leg
+    """Normalized (Section 4.1) objective per row, scalar-exact."""
+    out = np.empty(rows.shape[0], dtype=np.float64)
+    for r in range(rows.shape[0]):
+        slots = np.int64(0)
+        for i in range(rows.shape[1]):
+            slots += rows[r, i] * sizes[i]
+        cycle = -(-slots // num_channels)
+        total = 0.0
+        for i in range(rows.shape[1]):
+            s_i = rows[r, i]
+            weight = (s_i * sizes[i]) / slots
+            gap = cycle / s_i
+            excess = gap - times[i]
+            if excess > 0.0:
+                total = total + weight * (excess * excess) / (2.0 * gap)
+        out[r] = total
+    return out

@@ -24,6 +24,12 @@ Three related models live here:
 * :func:`normalized_group_delay` — the Section-4.1-faithful variant (with
   the ``1/gap`` factor kept), used by the ABL2 ablation to quantify how
   much the paper's simplification changes the chosen frequencies.
+
+Each model also has a *batch* entry point (``*_batch``) that evaluates
+many pages or many frequency vectors in one numpy pass, bit-identical to
+looping the scalar form.  The frequency searches (Algorithm 3's staged
+scan, the OPT branch-and-bound) and the sweep analysis call the batch
+kernels so no hot path pays a per-candidate Python objective call.
 """
 
 from __future__ import annotations
@@ -31,7 +37,10 @@ from __future__ import annotations
 import math
 from typing import Mapping, Sequence
 
-from repro.core.errors import InvalidInstanceError
+import numpy as np
+
+from repro.core.backend import active_backend
+from repro.core.errors import InvalidInstanceError, SimulationError
 from repro.core.intmath import ceil_div
 from repro.core.pages import ProblemInstance
 from repro.core.program import BroadcastProgram
@@ -40,11 +49,15 @@ __all__ = [
     "page_average_delay",
     "page_average_wait",
     "page_miss_probability",
+    "page_average_delay_batch",
+    "page_miss_probability_batch",
     "program_average_delay",
     "program_average_wait",
     "program_miss_probability",
     "paper_group_delay",
+    "paper_group_delay_batch",
     "normalized_group_delay",
+    "normalized_group_delay_batch",
     "even_spread_page_delay",
     "uniform_access_probabilities",
 ]
@@ -100,6 +113,92 @@ def page_miss_probability(
         )
         / cycle
     )
+
+
+def _packed_cyclic_gaps(
+    program: BroadcastProgram, page_ids: Sequence[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """All pages' cyclic gaps back to back, plus row starts.
+
+    Returns ``(gaps, starts)`` where ``gaps`` is int64 and
+    ``starts[i]`` indexes page ``i``'s first gap; ``starts`` has one
+    trailing entry equal to ``gaps.size`` so rows are
+    ``gaps[starts[i]:starts[i + 1]]``.  Gap counts equal appearance
+    counts, which are always >= 1 for broadcast pages; a page with no
+    appearances raises, matching the scalar models' division semantics.
+    """
+    gap_lists = []
+    for page_id in page_ids:
+        gaps = program.cyclic_gaps(page_id)
+        if not gaps:
+            raise SimulationError(
+                f"page {page_id} does not appear in the program"
+            )
+        gap_lists.append(gaps)
+    counts = np.asarray([len(gaps) for gaps in gap_lists], dtype=np.int64)
+    starts = np.concatenate(([0], np.cumsum(counts)))
+    flat = np.asarray(
+        [gap for gaps in gap_lists for gap in gaps], dtype=np.int64
+    )
+    return flat, starts
+
+
+def page_average_delay_batch(
+    program: BroadcastProgram,
+    page_ids: Sequence[int],
+    expected_times: Sequence[int],
+) -> np.ndarray:
+    """:func:`page_average_delay` for many pages in one numpy pass.
+
+    Exactly equal to the scalar per page: gaps and expected times are
+    integers, so the squared-excess accumulation runs in int64 (exact,
+    like the scalar's Python-int accumulator) and only the final
+    ``/ (2 * cycle)`` division produces a float — the same correctly
+    rounded quotient the scalar computes.
+    """
+    if len(page_ids) != len(expected_times):
+        raise SimulationError(
+            f"got {len(page_ids)} pages for {len(expected_times)} "
+            "expected times"
+        )
+    if not page_ids:
+        return np.empty(0, dtype=np.float64)
+    gaps, starts = _packed_cyclic_gaps(program, page_ids)
+    counts = np.diff(starts)
+    expected = np.repeat(
+        np.asarray(expected_times, dtype=np.int64), counts
+    )
+    excess = np.maximum(gaps - expected, 0)
+    sums = np.add.reduceat(excess * excess, starts[:-1])
+    return sums / (2 * program.cycle_length)
+
+
+def page_miss_probability_batch(
+    program: BroadcastProgram,
+    page_ids: Sequence[int],
+    expected_times: Sequence[int],
+) -> np.ndarray:
+    """:func:`page_miss_probability` for many pages in one numpy pass.
+
+    Same exactness argument as :func:`page_average_delay_batch`: the
+    clamped-excess sum is integer-exact, the single division matches the
+    scalar's ``int / int``.
+    """
+    if len(page_ids) != len(expected_times):
+        raise SimulationError(
+            f"got {len(page_ids)} pages for {len(expected_times)} "
+            "expected times"
+        )
+    if not page_ids:
+        return np.empty(0, dtype=np.float64)
+    gaps, starts = _packed_cyclic_gaps(program, page_ids)
+    counts = np.diff(starts)
+    expected = np.repeat(
+        np.asarray(expected_times, dtype=np.int64), counts
+    )
+    excess = np.maximum(gaps - expected, 0)
+    sums = np.add.reduceat(excess, starts[:-1])
+    return sums / program.cycle_length
 
 
 def uniform_access_probabilities(
@@ -276,6 +375,124 @@ def normalized_group_delay(
         excess = gap - t_i
         if excess > 0:
             total += weight * (excess * excess) / (2.0 * gap)
+    return total
+
+
+def _check_batch_rows(
+    rows: np.ndarray,
+    sizes: Sequence[int],
+    times: Sequence[int],
+) -> None:
+    if rows.ndim != 2:
+        raise SimulationError(
+            f"frequency_rows must be 2-D (m, h), got shape {rows.shape}"
+        )
+    h = rows.shape[1]
+    if h != len(sizes) or h != len(times):
+        raise SimulationError(
+            f"vector lengths differ: S rows have {h}, P={len(sizes)}, "
+            f"t={len(times)}"
+        )
+
+
+def paper_group_delay_batch(
+    frequency_rows: "np.ndarray | list",
+    sizes: Sequence[int],
+    times: Sequence[int],
+    num_channels: int,
+) -> np.ndarray:
+    """Equation (2) for many frequency vectors at once, bit-identical.
+
+    Evaluates :func:`paper_group_delay` for every row of
+    ``frequency_rows`` (shape ``(m, h)``, integer frequencies ``>= 1``)
+    and returns the ``m`` delays.  The frequency searches call this on
+    whole candidate batches instead of looping the scalar objective.
+
+    Bit-identity with the scalar is load-bearing (the pruned searches
+    must reproduce the reference tie-breaks exactly), so the kernel
+    mirrors the scalar's float operation sequence:
+
+    * ``slots`` and the Equation-8 cycle stay in int64 (exact — the
+      scalar uses Python ints; all quantities here are far below 2**53,
+      so int64 -> float64 conversions are exact too);
+    * every division matches a scalar ``int / int`` (both correctly
+      rounded quotients of exactly-represented integers);
+    * the per-group accumulation runs as an ordered Python loop over
+      groups (``total = total + weight * term`` elementwise), matching
+      the scalar's left-to-right sum — *not* ``np.sum``, whose pairwise
+      reduction would round differently.
+    """
+    rows = np.asarray(frequency_rows, dtype=np.int64)
+    _check_batch_rows(rows, sizes, times)
+    if active_backend() == "numba":
+        from repro.core import _numba_kernels
+
+        return _numba_kernels.group_delay_rows_kernel(
+            rows,
+            np.asarray(sizes, dtype=np.int64),
+            np.asarray(times, dtype=np.int64),
+            num_channels,
+        )
+    h = rows.shape[1]
+    sizes_arr = np.asarray(sizes, dtype=np.int64)
+    slots = rows @ sizes_arr  # exact int64
+    cycle = -(-slots // num_channels)  # exact ceil, matches ceil_div
+    slots_f = slots.astype(np.float64)
+    total = np.zeros(rows.shape[0], dtype=np.float64)
+    for i in range(h):
+        s_i = rows[:, i]
+        weight = (s_i * int(sizes[i])).astype(np.float64) / slots_f
+        spacing_real = slots_f / (num_channels * s_i).astype(np.float64)
+        spacing_cycle = cycle.astype(np.float64) / s_i.astype(np.float64)
+        term = np.maximum(spacing_real - times[i], 0.0) * np.maximum(
+            (spacing_cycle - times[i]) / 2.0, 0.0
+        )
+        total = total + weight * term
+    return total
+
+
+def normalized_group_delay_batch(
+    frequency_rows: "np.ndarray | list",
+    sizes: Sequence[int],
+    times: Sequence[int],
+    num_channels: int,
+) -> np.ndarray:
+    """:func:`normalized_group_delay` for many frequency vectors at once.
+
+    Same exactness recipe as :func:`paper_group_delay_batch` (int64
+    slots/cycle, scalar-matching division order, ordered per-group
+    accumulation).  The scalar only accumulates groups whose excess is
+    positive; adding an exact 0.0 for the others is the identical float
+    sum, so a clamp reproduces the conditional.
+    """
+    rows = np.asarray(frequency_rows, dtype=np.int64)
+    _check_batch_rows(rows, sizes, times)
+    if active_backend() == "numba":
+        from repro.core import _numba_kernels
+
+        return _numba_kernels.normalized_group_delay_rows_kernel(
+            rows,
+            np.asarray(sizes, dtype=np.int64),
+            np.asarray(times, dtype=np.int64),
+            num_channels,
+        )
+    h = rows.shape[1]
+    sizes_arr = np.asarray(sizes, dtype=np.int64)
+    slots = rows @ sizes_arr
+    cycle = -(-slots // num_channels)
+    slots_f = slots.astype(np.float64)
+    cycle_f = cycle.astype(np.float64)
+    total = np.zeros(rows.shape[0], dtype=np.float64)
+    for i in range(h):
+        s_i = rows[:, i]
+        weight = (s_i * int(sizes[i])).astype(np.float64) / slots_f
+        gap = cycle_f / s_i.astype(np.float64)
+        excess = np.maximum(gap - times[i], 0.0)
+        total = total + np.where(
+            excess > 0.0,
+            weight * (excess * excess) / (2.0 * gap),
+            0.0,
+        )
     return total
 
 

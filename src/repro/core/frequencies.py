@@ -26,9 +26,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
-from repro.core.delay import paper_group_delay
+import numpy as np
+
+from repro.core.delay import (
+    normalized_group_delay,
+    normalized_group_delay_batch,
+    paper_group_delay,
+    paper_group_delay_batch,
+)
 from repro.core.errors import SearchSpaceError
 from repro.core.intmath import ceil_div
 from repro.core.pages import ProblemInstance
@@ -187,6 +195,80 @@ def pamad_frequencies(
     )
 
 
+#: Scalar stage objectives with a bit-identical batch kernel.  The
+#: staged search evaluates candidate blocks through these instead of
+#: looping the scalar objective (see :mod:`repro.core.delay`).
+_BATCH_OBJECTIVES = {
+    paper_group_delay: paper_group_delay_batch,
+    normalized_group_delay: normalized_group_delay_batch,
+}
+
+
+def _scan_stage_candidates(
+    r_values: list[int],
+    stage: int,
+    sizes: Sequence[int],
+    times: Sequence[int],
+    num_channels: int,
+    bound: int,
+    objective,
+) -> tuple[int, float]:
+    """Algorithm 3's candidate scan for one stage, batched when possible.
+
+    Reproduces the reference scan exactly: candidates ``1..bound`` in
+    order, accept on ``delay < best - 1e-12``, stop at the first
+    zero-delay incumbent ("larger multipliers need not be considered").
+    Known objectives evaluate through their bit-identical batch kernel
+    in geometrically growing blocks, so the zero-delay early exit keeps
+    its economics while large stages stop paying a per-candidate Python
+    objective call; unknown objectives use the scalar loop.
+    """
+    best_r = 1
+    best_delay = math.inf
+    batch = _BATCH_OBJECTIVES.get(objective)
+    if batch is None or bound < 16:
+        for candidate in range(1, bound + 1):
+            delay = stage_delay(
+                [*r_values, candidate],
+                stage,
+                sizes,
+                times,
+                num_channels,
+                objective=objective,
+            )
+            if delay < best_delay - 1e-12:
+                best_r, best_delay = candidate, delay
+            if best_delay == 0.0:
+                break
+        return best_r, best_delay
+
+    # Candidate c's stage frequencies are the stage-(i-1) frequencies
+    # scaled by c, with the new group at 1 — so the whole block is one
+    # outer product.
+    base = np.asarray(
+        stage_frequencies(r_values, stage - 1), dtype=np.int64
+    )
+    stage_sizes = sizes[:stage]
+    stage_times = times[:stage]
+    lo = 1
+    block = 32
+    while lo <= bound:
+        hi = min(bound, lo + block - 1)
+        cands = np.arange(lo, hi + 1, dtype=np.int64)
+        rows = np.empty((cands.size, stage), dtype=np.int64)
+        rows[:, : stage - 1] = cands[:, None] * base
+        rows[:, stage - 1] = 1
+        delays = batch(rows, stage_sizes, stage_times, num_channels)
+        for candidate, delay in zip(range(lo, hi + 1), delays.tolist()):
+            if delay < best_delay - 1e-12:
+                best_r, best_delay = candidate, delay
+            if best_delay == 0.0:
+                return best_r, best_delay
+        lo = hi + 1
+        block *= 4
+    return best_r, best_delay
+
+
 def pamad_frequencies_for(
     sizes: Sequence[int],
     times: Sequence[int],
@@ -200,6 +282,12 @@ def pamad_frequencies_for(
     candidate catalogs without building a
     :class:`~repro.core.pages.ProblemInstance`) can skip the instance
     construction.  :func:`pamad_frequencies` delegates here.
+
+    Derivations under the default objective are memoised on
+    ``(sizes, times, num_channels)`` — the result is a frozen
+    dataclass, so sharing one instance across callers is safe.  The
+    live re-plan fast path leans on this: a catalog shape seen before
+    re-plans without re-running the staged search.
     """
     if num_channels <= 0:
         raise SearchSpaceError(
@@ -209,6 +297,32 @@ def pamad_frequencies_for(
         raise SearchSpaceError(
             f"got {len(sizes)} sizes for {len(times)} expected times"
         )
+    if objective is paper_group_delay:
+        return _pamad_frequencies_cached(
+            tuple(sizes), tuple(times), num_channels
+        )
+    return _pamad_frequencies_impl(
+        tuple(sizes), tuple(times), num_channels, objective
+    )
+
+
+@lru_cache(maxsize=4096)
+def _pamad_frequencies_cached(
+    sizes: tuple[int, ...],
+    times: tuple[int, ...],
+    num_channels: int,
+) -> FrequencyAssignment:
+    return _pamad_frequencies_impl(
+        sizes, times, num_channels, paper_group_delay
+    )
+
+
+def _pamad_frequencies_impl(
+    sizes: tuple[int, ...],
+    times: tuple[int, ...],
+    num_channels: int,
+    objective,
+) -> FrequencyAssignment:
     h = len(sizes)
 
     r_values: list[int] = []
@@ -217,23 +331,9 @@ def pamad_frequencies_for(
         bound = r_upper_bound(
             r_values, stage, sizes, times, num_channels
         )
-        best_r = 1
-        best_delay = math.inf
-        for candidate in range(1, bound + 1):
-            delay = stage_delay(
-                [*r_values, candidate],
-                stage,
-                sizes,
-                times,
-                num_channels,
-                objective=objective,
-            )
-            if delay < best_delay - 1e-12:
-                best_r, best_delay = candidate, delay
-            if best_delay == 0.0:
-                # The paper's example logic: once a multiplier satisfies the
-                # stage without delay, larger ones "need not be considered".
-                break
+        best_r, best_delay = _scan_stage_candidates(
+            r_values, stage, sizes, times, num_channels, bound, objective
+        )
         r_values.append(best_r)
         stage_delays.append(best_delay)
 

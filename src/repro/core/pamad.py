@@ -117,6 +117,7 @@ def place_by_frequency(
         range(instance.h), key=lambda i: frequencies[i], reverse=True
     )
     window_misses = 0
+    fallback = _CyclicFallbackCursor(program)
     for group_position in order:
         group = instance.groups[group_position]
         s_i = frequencies[group_position]
@@ -133,9 +134,7 @@ def place_by_frequency(
                         break
                 if not placed:
                     window_misses += 1
-                    placed = _place_cyclic_fallback(
-                        program, page.page_id, window_start
-                    )
+                    placed = fallback.place(page.page_id, window_start)
                 if not placed:
                     raise SchedulingError(
                         f"no free slot anywhere in the cycle for page "
@@ -183,6 +182,7 @@ def place_sequential(
         num_channels=num_channels, cycle_length=cycle
     )
     cursor = 0  # column of the last successful placement; never decreases
+    fallback = _CyclicFallbackCursor(program)
     order = sorted(
         range(instance.h), key=lambda i: frequencies[i], reverse=True
     )
@@ -203,7 +203,7 @@ def place_sequential(
                     # Earlier columns may still have holes (cursor only
                     # tracks the frontier); rescan from the start once.
                     cursor = 0
-                    placed = _place_cyclic_fallback(program, page.page_id, 0)
+                    placed = fallback.place(page.page_id, 0)
                 if not placed:
                     raise SchedulingError(
                         f"grid full before placing page {page.page_id}"
@@ -211,18 +211,64 @@ def place_sequential(
     return PlacementResult(program=program, window_misses=0)
 
 
+class _CyclicFallbackCursor:
+    """Amortised-linear cyclic fallback placement for one program build.
+
+    The naive fallback rescanned every column from the requested offset,
+    making repeated fallbacks O(cycle^2).  Columns only ever fill up
+    during a placement run, so full columns can be remembered: a
+    pointer-jumping array (path-compressed) links each known-full column
+    to the next candidate, and every probe either places a page or
+    permanently marks one more column full.  Each column is marked at
+    most once per run, so all fallbacks together cost one scan of the
+    grid — and the column chosen is exactly the one the naive cyclic
+    scan would have found (the first non-full column cyclically from
+    the start offset).
+    """
+
+    def __init__(self, program: BroadcastProgram) -> None:
+        self._program = program
+        self._next_free = list(range(program.cycle_length + 1))
+
+    def _find(self, column: int) -> int:
+        """First non-full column at or after ``column`` (cycle = none)."""
+        program = self._program
+        next_free = self._next_free
+        cycle = program.cycle_length
+        root = column
+        while True:
+            while next_free[root] != root:
+                root = next_free[root]
+            if root >= cycle:
+                break
+            if program.free_channel_in_column(root) is not None:
+                break
+            # Learned this column is full (placements outside the
+            # fallback filled it); link it forward for good.
+            next_free[root] = root + 1
+        while next_free[column] != root:
+            column, next_free[column] = next_free[column], root
+        return root
+
+    def place(self, page_id: int, start_column: int) -> bool:
+        """Place in the first free cell scanning cyclically from a column."""
+        program = self._program
+        cycle = program.cycle_length
+        column = self._find(start_column)
+        if column >= cycle:
+            column = self._find(0)
+            if column >= start_column:
+                return False
+        channel = program.free_channel_in_column(column)
+        program.assign(channel, column, page_id)
+        return True
+
+
 def _place_cyclic_fallback(
     program: BroadcastProgram, page_id: int, start_column: int
 ) -> bool:
-    """Place in the first free cell scanning cyclically from a column."""
-    cycle = program.cycle_length
-    for offset in range(cycle):
-        column = (start_column + offset) % cycle
-        channel = program.free_channel_in_column(column)
-        if channel is not None:
-            program.assign(channel, column, page_id)
-            return True
-    return False
+    """One-shot cyclic fallback (kept for callers without a cursor)."""
+    return _CyclicFallbackCursor(program).place(page_id, start_column)
 
 
 @dataclass(frozen=True)

@@ -63,9 +63,14 @@ class BroadcastProgram:
         self._grid: list[list[int | None]] = [
             [None] * cycle_length for _ in range(num_channels)
         ]
-        # page_id -> sorted-on-demand list of SlotRef; kept as the single
-        # source of truth for appearance queries.
-        self._appearances: dict[int, list[SlotRef]] = {}
+        # page_id -> sorted-on-demand list of SlotRef; the source of
+        # truth for appearance queries.  ``None`` means "not built yet":
+        # bulk constructors (:meth:`from_grid` / :meth:`from_array`)
+        # defer the table and the first appearance query derives it from
+        # the grid in one row-major pass — so building a program costs
+        # O(rows copied) and consumers that never ask for appearances
+        # (placement benchmarks, grid diffs) never pay for SlotRefs.
+        self._appearances: dict[int, list[SlotRef]] | None = {}
         # Memoised derived tables, invalidated per page on any mutation
         # of that page's cells.  Delay evaluation calls appearance_slots/
         # cyclic_gaps once per page per metric, so repeated evaluation of
@@ -73,6 +78,13 @@ class BroadcastProgram:
         # exactly once.
         self._slots_cache: dict[int, list[int]] = {}
         self._gaps_cache: dict[int, list[int]] = {}
+        # Packed int64 mirror of the grid (-1 = free), built lazily by
+        # :meth:`packed_grid` and kept in sync cell-by-cell on mutation.
+        # The array-kernel constructors seed it for free, so consumers
+        # like the live re-plan patcher never pay an O(grid) conversion.
+        self._packed = None
+        # Bumped on every cell mutation; see :attr:`version`.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Shape
@@ -92,6 +104,17 @@ class BroadcastProgram:
     def total_slots(self) -> int:
         """Total number of cells in one cycle."""
         return self._num_channels * self._cycle_length
+
+    @property
+    def version(self) -> int:
+        """Mutation stamp: incremented by every :meth:`assign`/:meth:`clear`.
+
+        External caches keyed on ``(id(program), program.version)`` stay
+        coherent across in-place repairs without subscribing to every
+        mutation (the appearance-index memo in
+        :mod:`repro.analysis.vectorized` is the canonical consumer).
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Cell access
@@ -116,6 +139,21 @@ class BroadcastProgram:
         """True if the cell holds no page."""
         return self.get(channel, slot) is None
 
+    def _appearance_table(self) -> dict[int, list[SlotRef]]:
+        """The appearance table, derived from the grid on first demand."""
+        table = self._appearances
+        if table is None:
+            table = {}
+            for channel, row in enumerate(self._grid):
+                for slot, page_id in enumerate(row):
+                    if page_id is not None:
+                        refs = table.get(page_id)
+                        if refs is None:
+                            table[page_id] = refs = []
+                        refs.append(SlotRef(slot=slot, channel=channel))
+            self._appearances = table
+        return table
+
     def assign(self, channel: int, slot: int, page_id: int) -> None:
         """Place ``page_id`` at ``(channel, slot)``.
 
@@ -129,25 +167,33 @@ class BroadcastProgram:
                 f"slot (ch={channel}, slot={slot}) already holds page "
                 f"{occupant}; cannot place page {page_id}"
             )
+        appearances = self._appearance_table()
         self._grid[channel][slot] = page_id
-        self._appearances.setdefault(page_id, []).append(
+        appearances.setdefault(page_id, []).append(
             SlotRef(slot=slot, channel=channel)
         )
         self._slots_cache.pop(page_id, None)
         self._gaps_cache.pop(page_id, None)
+        if self._packed is not None:
+            self._packed[channel, slot] = page_id
+        self._version += 1
 
     def clear(self, channel: int, slot: int) -> int | None:
         """Remove and return the page at a cell (``None`` if it was free)."""
         self._check_cell(channel, slot)
         occupant = self._grid[channel][slot]
         if occupant is not None:
+            appearances = self._appearance_table()
             self._grid[channel][slot] = None
-            refs = self._appearances[occupant]
+            refs = appearances[occupant]
             refs.remove(SlotRef(slot=slot, channel=channel))
             if not refs:
-                del self._appearances[occupant]
+                del appearances[occupant]
             self._slots_cache.pop(occupant, None)
             self._gaps_cache.pop(occupant, None)
+            if self._packed is not None:
+                self._packed[channel, slot] = -1
+            self._version += 1
         return occupant
 
     # ------------------------------------------------------------------
@@ -197,11 +243,11 @@ class BroadcastProgram:
 
     def page_ids(self) -> set[int]:
         """All page ids appearing at least once in the program."""
-        return set(self._appearances)
+        return set(self._appearance_table())
 
     def appearances(self, page_id: int) -> list[SlotRef]:
         """All cells holding ``page_id``, sorted by airtime."""
-        return sorted(self._appearances.get(page_id, []))
+        return sorted(self._appearance_table().get(page_id, []))
 
     def appearance_slots(self, page_id: int) -> list[int]:
         """Sorted slot indices at which ``page_id`` is broadcast.
@@ -213,19 +259,25 @@ class BroadcastProgram:
         cached = self._slots_cache.get(page_id)
         if cached is None:
             cached = sorted(
-                {ref.slot for ref in self._appearances.get(page_id, [])}
+                {
+                    ref.slot
+                    for ref in self._appearance_table().get(page_id, [])
+                }
             )
             self._slots_cache[page_id] = cached
         return list(cached)
 
     def broadcast_count(self, page_id: int) -> int:
         """Number of appearances of ``page_id`` in one cycle (``s_{i,j}``)."""
-        return len(self._appearances.get(page_id, []))
+        return len(self._appearance_table().get(page_id, []))
 
     def page_counts(self) -> Counter[int]:
         """Appearance count per page id."""
         return Counter(
-            {page_id: len(refs) for page_id, refs in self._appearances.items()}
+            {
+                page_id: len(refs)
+                for page_id, refs in self._appearance_table().items()
+            }
         )
 
     def cyclic_gaps(self, page_id: int) -> list[int]:
@@ -281,13 +333,14 @@ class BroadcastProgram:
         every non-``None`` cell in row-major order, but without per-cell
         bounds and conflict checks (each cell is written exactly once by
         construction).  Fast placement kernels materialise their result
-        through this path.
+        through this path.  The appearance table is deferred: building it
+        per cell would dominate large constructions, and the first
+        appearance query derives the identical table from the grid.
         """
         if not grid or not grid[0]:
             raise InvalidInstanceError("grid must be non-empty")
         cycle_length = len(grid[0])
         program = cls(num_channels=len(grid), cycle_length=cycle_length)
-        appearances = program._appearances
         rows = program._grid
         for channel, row in enumerate(grid):
             if len(row) != cycle_length:
@@ -296,12 +349,31 @@ class BroadcastProgram:
                     f"{cycle_length}"
                 )
             rows[channel] = list(row)
-            for slot, page_id in enumerate(row):
-                if page_id is not None:
-                    refs = appearances.get(page_id)
-                    if refs is None:
-                        appearances[page_id] = refs = []
-                    refs.append(SlotRef(slot=slot, channel=channel))
+        program._appearances = None
+        return program
+
+    @classmethod
+    def from_array(cls, array) -> "BroadcastProgram":
+        """Build a program from an int array grid (``-1`` marks empty).
+
+        The vectorised placement kernels finish holding a numpy
+        ``(num_channels, cycle_length)`` int grid; this converts it in
+        bulk (one C-level pass per row, no per-cell Python loop) and
+        defers the appearance table exactly like :meth:`from_grid`.
+        """
+        import numpy as np
+
+        arr = np.asarray(array)
+        if arr.ndim != 2 or arr.size == 0:
+            raise InvalidInstanceError("grid must be a non-empty 2-D array")
+        cells = arr.astype(object)
+        cells[arr < 0] = None
+        program = cls(
+            num_channels=arr.shape[0], cycle_length=arr.shape[1]
+        )
+        program._grid = cells.tolist()
+        program._appearances = None
+        program._packed = arr.astype(np.int64)
         return program
 
     def copy(self) -> "BroadcastProgram":
@@ -311,6 +383,7 @@ class BroadcastProgram:
         duplicated but the :class:`SlotRef` objects (immutable) and the
         memoised appearance tables are shared/copied as-is, so copying
         costs list duplication rather than re-deriving every reference.
+        A deferred appearance table stays deferred in the clone.
         The live re-plan patcher copies the on-air program this way
         before editing one group's cells.
         """
@@ -319,10 +392,13 @@ class BroadcastProgram:
             cycle_length=self._cycle_length,
         )
         clone._grid = [list(row) for row in self._grid]
-        clone._appearances = {
-            page_id: list(refs)
-            for page_id, refs in self._appearances.items()
-        }
+        if self._appearances is None:
+            clone._appearances = None
+        else:
+            clone._appearances = {
+                page_id: list(refs)
+                for page_id, refs in self._appearances.items()
+            }
         clone._slots_cache = {
             page_id: list(slots)
             for page_id, slots in self._slots_cache.items()
@@ -331,11 +407,36 @@ class BroadcastProgram:
             page_id: list(gaps)
             for page_id, gaps in self._gaps_cache.items()
         }
+        if self._packed is not None:
+            clone._packed = self._packed.copy()
         return clone
 
     def grid_rows(self) -> list[list[int | None]]:
         """A copy of the raw grid, row per channel (for bulk consumers)."""
         return [list(row) for row in self._grid]
+
+    def packed_grid(self):
+        """The grid as an int64 numpy array, ``-1`` marking free cells.
+
+        The array is the program's internal mirror — treat it as
+        read-only and ``.copy()`` before editing.  Programs built by the
+        array kernels (:meth:`from_array`) carry it from birth; for
+        others the first call pays one O(grid) conversion, after which
+        :meth:`assign`/:meth:`clear` keep it in sync cell-by-cell.  The
+        live re-plan patcher runs entirely on this mirror, which is what
+        makes its taut-budget patches microsecond-scale.
+        """
+        if self._packed is None:
+            import numpy as np
+
+            self._packed = np.asarray(
+                [
+                    [-1 if cell is None else cell for cell in row]
+                    for row in self._grid
+                ],
+                dtype=np.int64,
+            )
+        return self._packed
 
     # ------------------------------------------------------------------
     # Serialisation and rendering
@@ -389,7 +490,8 @@ class BroadcastProgram:
         """
         if cell_width is None:
             widest = max(
-                (len(str(pid)) for pid in self._appearances), default=1
+                (len(str(pid)) for pid in self._appearance_table()),
+                default=1,
             )
             cell_width = max(widest, len(str(self._cycle_length))) + 1
         lines = []
@@ -415,6 +517,6 @@ class BroadcastProgram:
         return (
             f"BroadcastProgram(channels={self._num_channels}, "
             f"cycle={self._cycle_length}, "
-            f"pages={len(self._appearances)}, "
+            f"pages={len(self._appearance_table())}, "
             f"occupancy={self.occupancy():.2f})"
         )

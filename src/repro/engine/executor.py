@@ -27,19 +27,29 @@ grid order, alongside the successful :class:`CellResult` entries.
 
 Pool transport is *chunked and lazy*: :attr:`ExecutionPolicy.chunk_size`
 cells ride in one future, so the (identical) ``ProblemInstance`` payload
-is pickled once per chunk instead of once per cell, and chunks are
+ships once per chunk instead of once per cell, and chunks are
 submitted in waves of at most ``workers`` — never all up front — so a
 circuit that opens mid-grid short-circuits every not-yet-submitted cell
-without burning pool work.  Cells can also opt into the vectorised
-``batch`` measurement backend via :attr:`ExecutionPolicy.
-measure_backend` (recorded in manifests; see
-:func:`repro.sim.clients.measure_with_backend`).  Chunking, waves and
-backend never change *which* results come back: outcomes are
-bit-identical to a ``workers=1`` serial run of the same policy.
+without burning pool work.  On process pools the shared instance is
+*posted once per run* into a :mod:`multiprocessing.shared_memory` block
+(:attr:`ExecutionPolicy.transport` ``"shm"``, the default); chunk
+payloads then carry only the block's name and each worker attaches and
+unpickles it once, caching by name — large grids stop re-shipping the
+instance entirely.  ``"pickle"`` restores the per-chunk copy, and any
+shared-memory failure degrades to it silently (recorded in the report).
+When a timeout is set, workers also post each finished cell into a
+shared progress map, so a timed-out chunk *harvests* the cells that did
+complete — only the genuinely unfinished cells burn retries.  Cells can
+also opt into the vectorised ``batch`` measurement backend via
+:attr:`ExecutionPolicy.measure_backend` (recorded in manifests; see
+:func:`repro.sim.clients.measure_with_backend`).  Chunking, waves,
+transport and backend never change *which* results come back: outcomes
+are bit-identical to a ``workers=1`` serial run of the same policy.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
 import time
 import traceback
@@ -52,7 +62,14 @@ from concurrent.futures import (
 )
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field, replace
+from multiprocessing import shared_memory
 
+from repro.core.backend import (
+    COMPUTE_BACKENDS,
+    active_backend,
+    resolve_backend,
+    set_backend,
+)
 from repro.core.errors import ReproError
 from repro.core.pages import ProblemInstance
 from repro.engine.cache import CachedSchedule
@@ -71,9 +88,16 @@ __all__ = [
     "run_cells",
     "run_tasks",
     "EXECUTOR_MODES",
+    "EXECUTOR_TRANSPORTS",
 ]
 
 EXECUTOR_MODES = ("serial", "thread", "process")
+
+#: Chunk-payload transports for process pools.  ``"shm"`` posts the
+#: shared instance into one ``multiprocessing.shared_memory`` block per
+#: run; ``"pickle"`` ships a copy inside every chunk.  Serial and thread
+#: execution pass objects by reference (reported as ``"inline"``).
+EXECUTOR_TRANSPORTS = ("shm", "pickle")
 
 
 @dataclass(frozen=True)
@@ -223,6 +247,16 @@ class ExecutionPolicy:
             :func:`~repro.analysis.vectorized.batch_measure` pass).
             Backends draw different RNG streams, so manifests record
             which one ran.
+        transport: Chunk-payload transport for process pools.  ``"shm"``
+            (default) posts the shared ``ProblemInstance`` once into a
+            shared-memory block that workers attach by name; ``"pickle"``
+            ships a pickled copy per chunk.  Ignored outside process
+            mode; shared-memory failures degrade to ``"pickle"``
+            silently (the report records what actually ran).
+        compute_backend: Kernel backend for placement/delay math:
+            ``"auto"`` (numba when installed, else numpy), ``"python"``,
+            or ``"numba"`` (see :mod:`repro.core.backend`).  Workers
+            resolve it per process; manifests record the resolution.
     """
 
     timeout: float | None = None
@@ -231,6 +265,8 @@ class ExecutionPolicy:
     breaker_threshold: int = 3
     chunk_size: int = 1
     measure_backend: str = "scalar"
+    transport: str = "shm"
+    compute_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -255,6 +291,16 @@ class ExecutionPolicy:
                 f"unknown measure_backend {self.measure_backend!r}; "
                 f"choose from {', '.join(MEASUREMENT_BACKENDS)}"
             )
+        if self.transport not in EXECUTOR_TRANSPORTS:
+            raise ReproError(
+                f"unknown transport {self.transport!r}; choose from "
+                f"{', '.join(EXECUTOR_TRANSPORTS)}"
+            )
+        if self.compute_backend not in COMPUTE_BACKENDS:
+            raise ReproError(
+                f"unknown compute_backend {self.compute_backend!r}; "
+                f"choose from {', '.join(COMPUTE_BACKENDS)}"
+            )
 
 
 @dataclass
@@ -275,6 +321,9 @@ class ExecutionReport:
     chunk_size: int = 1
     measure_backend: str = "scalar"
     short_circuited: int = 0
+    transport: str = "inline"
+    harvested: int = 0
+    compute_backend: str = "python"
 
     def as_dict(self) -> dict:
         return {
@@ -287,6 +336,9 @@ class ExecutionReport:
             "chunk_size": self.chunk_size,
             "measure_backend": self.measure_backend,
             "short_circuited": self.short_circuited,
+            "transport": self.transport,
+            "harvested": self.harvested,
+            "compute_backend": self.compute_backend,
         }
 
 
@@ -339,10 +391,12 @@ def execute_cell(spec: CellSpec, backend: str = "scalar") -> CellResult:
 
 
 def _guarded_execute(
-    spec: CellSpec, backend: str = "scalar"
+    spec: CellSpec, backend: str = "scalar", compute: str | None = None
 ) -> CellResult | _CellError:
     """Worker entry point: cell exceptions become picklable values."""
     try:
+        if compute is not None and compute != active_backend():
+            set_backend(compute)
         return execute_cell(spec, backend)
     except Exception as error:  # noqa: BLE001 - the guard is the point
         return _CellError(
@@ -366,11 +420,75 @@ class _ChunkCell:
 
 @dataclass(frozen=True)
 class _ChunkSpec:
-    """A batch of cells sharing one pickled ``ProblemInstance``."""
+    """A batch of cells sharing one ``ProblemInstance``.
 
-    instance: ProblemInstance
+    The instance rides either inline (``instance``, pickled with the
+    chunk on process pools) or by reference to a shared-memory block
+    (``shm_name``/``shm_size``) the parent posted once for the whole
+    run.  ``indices`` are the cells' grid positions — the keys workers
+    use to post per-cell results into ``progress`` so a timed-out chunk
+    can be harvested.
+    """
+
+    instance: ProblemInstance | None
     backend: str
     cells: tuple[_ChunkCell, ...]
+    indices: tuple[int, ...] = ()
+    shm_name: str | None = None
+    shm_size: int = 0
+    progress: object | None = None
+    compute_backend: str = "python"
+
+
+class _ShmPost:
+    """One ``ProblemInstance`` pickled once into a shared-memory block.
+
+    Workers attach by name and unpickle straight out of the mapped
+    buffer — the payload crosses the process boundary exactly once per
+    worker instead of once per chunk.  The parent owns the block's
+    lifetime: :meth:`close` unlinks it after the pool has drained.
+    """
+
+    def __init__(self, instance: ProblemInstance) -> None:
+        payload = pickle.dumps(instance, protocol=pickle.HIGHEST_PROTOCOL)
+        self.size = len(payload)
+        self.block = shared_memory.SharedMemory(
+            create=True, size=max(1, self.size)
+        )
+        self.block.buf[: self.size] = payload
+
+    @property
+    def name(self) -> str:
+        return self.block.name
+
+    def close(self) -> None:
+        try:
+            self.block.close()
+            self.block.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+#: Worker-side cache of instances unpickled from shared memory, keyed
+#: by block name.  Pools (and their workers, and this cache) live for
+#: one ``run_cells`` call; names are unique per post, so entries can
+#: never go stale.
+_SHM_INSTANCES: dict[str, ProblemInstance] = {}
+
+
+def _instance_from_shm(name: str, size: int) -> ProblemInstance:
+    """Attach, unpickle and cache the posted instance (once per worker)."""
+    instance = _SHM_INSTANCES.get(name)
+    if instance is None:
+        block = shared_memory.SharedMemory(name=name)
+        view = block.buf[:size]
+        try:
+            instance = pickle.loads(view)
+        finally:
+            view.release()
+            block.close()
+        _SHM_INSTANCES[name] = instance
+    return instance
 
 
 def _chunk_cell(spec: CellSpec) -> _ChunkCell:
@@ -399,11 +517,29 @@ def _cell_spec(cell: _ChunkCell, instance: ProblemInstance) -> CellSpec:
 def _guarded_execute_chunk(
     chunk: _ChunkSpec,
 ) -> list[CellResult | _CellError]:
-    """Worker entry point for a chunk: per-cell failures stay values."""
-    return [
-        _guarded_execute(_cell_spec(cell, chunk.instance), chunk.backend)
-        for cell in chunk.cells
-    ]
+    """Worker entry point for a chunk: per-cell failures stay values.
+
+    Each finished cell is also posted into the shared ``progress`` map
+    (when the parent supplied one) so that a chunk whose *later* cells
+    blow the timeout budget does not forfeit the earlier results.
+    """
+    if chunk.compute_backend != active_backend():
+        set_backend(chunk.compute_backend)
+    if chunk.shm_name is not None:
+        instance = _instance_from_shm(chunk.shm_name, chunk.shm_size)
+    else:
+        instance = chunk.instance
+    progress = chunk.progress
+    values: list[CellResult | _CellError] = []
+    for position, cell in enumerate(chunk.cells):
+        value = _guarded_execute(_cell_spec(cell, instance), chunk.backend)
+        values.append(value)
+        if progress is not None:
+            try:
+                progress[chunk.indices[position]] = value
+            except (OSError, EOFError):  # manager gone; keep computing
+                progress = None
+    return values
 
 
 class _CircuitBreaker:
@@ -575,85 +711,168 @@ def _run_pool(
     # (future, [(grid index, spec), ...]) in submission order; results
     # are processed head-of-line so outcome content matches serial runs.
     in_flight: deque[tuple[Future, list[tuple[int, CellSpec]]]] = deque()
-    with pool_cls(max_workers=min(workers, len(chunks))) as pool:
 
-        def submit_wave() -> None:
-            # Lazy submission: keep at most `workers` chunks in flight
-            # so a circuit opened by an earlier result short-circuits
-            # later cells *before* they ever reach the pool.
-            nonlocal next_chunk
-            while next_chunk < len(chunks) and len(in_flight) < workers:
-                start, chunk = chunks[next_chunk]
-                next_chunk += 1
-                live: list[tuple[int, CellSpec]] = []
-                for offset, spec in enumerate(chunk):
-                    if breaker.is_open(spec.algorithm):
-                        report.short_circuited += 1
-                        outcomes[start + offset] = _finalize(
-                            spec,
-                            _CellError(
-                                "CircuitOpen",
-                                f"circuit open for {spec.algorithm!r}; "
-                                "cell not submitted",
+    # Zero-copy transport: the shared instance is posted once per run;
+    # chunks carry only the block's name.  Any shared-memory failure
+    # flips the run back to pickled chunks (recorded in the report).
+    use_shm = mode == "process" and policy.transport == "shm"
+    posts: dict[int, _ShmPost] = {}
+    report.transport = "pickle" if mode == "process" else "inline"
+
+    # Progress map for timeout harvesting: workers post each finished
+    # cell so a timed-out chunk only forfeits the unfinished ones.
+    # Threads share the parent's memory (a plain dict suffices);
+    # processes need a manager proxy, which is only worth its server
+    # process when a timeout can actually strand results.
+    manager = None
+    progress = None
+    if policy.timeout is not None:
+        if mode == "process":
+            try:
+                manager = multiprocessing.Manager()
+                progress = manager.dict()
+            except OSError:  # pragma: no cover - no manager, no harvest
+                manager = None
+        else:
+            progress = {}
+
+    def _post(instance: ProblemInstance) -> _ShmPost | None:
+        nonlocal use_shm
+        post = posts.get(id(instance))
+        if post is None:
+            try:
+                post = _ShmPost(instance)
+            except (OSError, pickle.PicklingError):
+                use_shm = False  # degrade this run to pickled chunks
+                return None
+            posts[id(instance)] = post
+        return post
+
+    try:
+        with pool_cls(max_workers=min(workers, len(chunks))) as pool:
+
+            def submit_wave() -> None:
+                # Lazy submission: keep at most `workers` chunks in
+                # flight so a circuit opened by an earlier result
+                # short-circuits later cells *before* they ever reach
+                # the pool.
+                nonlocal next_chunk
+                while next_chunk < len(chunks) and len(in_flight) < workers:
+                    start, chunk = chunks[next_chunk]
+                    next_chunk += 1
+                    live: list[tuple[int, CellSpec]] = []
+                    for offset, spec in enumerate(chunk):
+                        if breaker.is_open(spec.algorithm):
+                            report.short_circuited += 1
+                            outcomes[start + offset] = _finalize(
+                                spec,
+                                _CellError(
+                                    "CircuitOpen",
+                                    f"circuit open for {spec.algorithm!r};"
+                                    " cell not submitted",
+                                ),
+                                attempts=0,
+                                circuit_open=True,
+                                breaker=breaker,
+                                report=report,
+                                telemetry=telemetry,
+                            )
+                        else:
+                            live.append((start + offset, spec))
+                    if live:
+                        instance = live[0][1].instance
+                        post = _post(instance) if use_shm else None
+                        if post is not None:
+                            report.transport = "shm"
+                        payload = _ChunkSpec(
+                            instance=None if post is not None else instance,
+                            backend=policy.measure_backend,
+                            cells=tuple(
+                                _chunk_cell(spec) for _, spec in live
                             ),
-                            attempts=0,
-                            circuit_open=True,
-                            breaker=breaker,
-                            report=report,
-                            telemetry=telemetry,
+                            indices=tuple(index for index, _ in live),
+                            shm_name=(
+                                post.name if post is not None else None
+                            ),
+                            shm_size=post.size if post is not None else 0,
+                            progress=progress,
+                            compute_backend=report.compute_backend,
                         )
-                    else:
-                        live.append((start + offset, spec))
-                if live:
-                    payload = _ChunkSpec(
-                        instance=live[0][1].instance,
-                        backend=policy.measure_backend,
-                        cells=tuple(
-                            _chunk_cell(spec) for _, spec in live
-                        ),
-                    )
-                    in_flight.append(
-                        (pool.submit(_guarded_execute_chunk, payload), live)
-                    )
+                        in_flight.append(
+                            (
+                                pool.submit(
+                                    _guarded_execute_chunk, payload
+                                ),
+                                live,
+                            )
+                        )
 
-        submit_wave()
-        while in_flight:
-            future, live = in_flight.popleft()
-            values = _await_value(
-                future, policy, report, telemetry,
-                f"chunk of {len(live)} cell(s)",
-            )
-            if isinstance(values, _CellError):
-                # The whole chunk timed out; every cell it carried
-                # shares the failure (and its own retry budget below).
-                values = [values] * len(live)
-            for (index, spec), value in zip(live, values):
-                # A circuit that opened while this chunk was in flight
-                # disables retries; its result is still accepted.
-                circuit_open = breaker.is_open(spec.algorithm)
-                attempts = 1
-                while True:
-                    if isinstance(value, CellResult):
-                        breaker.record_success(spec.algorithm)
-                        outcomes[index] = replace(value, attempts=attempts)
-                        break
-                    if circuit_open or attempts > policy.retries:
-                        outcomes[index] = _finalize(
-                            spec, value, attempts, circuit_open,
-                            breaker, report, telemetry,
-                        )
-                        break
-                    report.retries += 1
-                    _note(telemetry, "executor.retries")
-                    _backoff_sleep(policy, attempts)
-                    retry = pool.submit(
-                        _guarded_execute, spec, policy.measure_backend
-                    )
-                    value = _await_value(
-                        retry, policy, report, telemetry, "cell"
-                    )
-                    attempts += 1
             submit_wave()
+            while in_flight:
+                future, live = in_flight.popleft()
+                values = _await_value(
+                    future, policy, report, telemetry,
+                    f"chunk of {len(live)} cell(s)",
+                )
+                if isinstance(values, _CellError):
+                    # The chunk timed out; harvest the cells its worker
+                    # had already finished — only the unfinished rest
+                    # share the failure (and its retry budget below).
+                    finished: dict = {}
+                    if progress is not None:
+                        try:
+                            finished = dict(progress.copy())
+                        except (OSError, EOFError):  # pragma: no cover
+                            finished = {}
+                    timeout_error = values
+                    values = [
+                        finished.get(index, timeout_error)
+                        for index, _ in live
+                    ]
+                    salvaged = sum(
+                        1 for value in values
+                        if value is not timeout_error
+                    )
+                    report.harvested += salvaged
+                    _note(telemetry, "executor.harvested", salvaged)
+                for (index, spec), value in zip(live, values):
+                    # A circuit that opened while this chunk was in
+                    # flight disables retries; its result is still
+                    # accepted.
+                    circuit_open = breaker.is_open(spec.algorithm)
+                    attempts = 1
+                    while True:
+                        if isinstance(value, CellResult):
+                            breaker.record_success(spec.algorithm)
+                            outcomes[index] = replace(
+                                value, attempts=attempts
+                            )
+                            break
+                        if circuit_open or attempts > policy.retries:
+                            outcomes[index] = _finalize(
+                                spec, value, attempts, circuit_open,
+                                breaker, report, telemetry,
+                            )
+                            break
+                        report.retries += 1
+                        _note(telemetry, "executor.retries")
+                        _backoff_sleep(policy, attempts)
+                        retry = pool.submit(
+                            _guarded_execute,
+                            spec,
+                            policy.measure_backend,
+                            report.compute_backend,
+                        )
+                        value = _await_value(
+                            retry, policy, report, telemetry, "cell"
+                        )
+                        attempts += 1
+                submit_wave()
+    finally:
+        for post in posts.values():
+            post.close()
+        if manager is not None:
+            manager.shutdown()
     report.breaker_trips = breaker.trips
     _note(telemetry, "executor.breaker_trips", breaker.trips)
     return outcomes
@@ -817,38 +1036,57 @@ def run_tasks(
             f"{', '.join(EXECUTOR_MODES)}"
         )
     policy = policy or ExecutionPolicy()
+    compute_backend = resolve_backend(policy.compute_backend)
     payloads = list(payloads)
-    if mode == "serial" or workers <= 1 or len(payloads) <= 1:
-        report = ExecutionReport(mode="serial", requested_mode=mode)
-        return (
-            _run_tasks_serial(fn, payloads, policy, report, telemetry),
-            report,
-        )
-    report = ExecutionReport(mode=mode, requested_mode=mode)
+    previous_backend = active_backend()
+    set_backend(compute_backend)
     try:
-        return (
-            _run_tasks_pool(
-                fn, payloads, workers, mode, policy, report, telemetry
-            ),
-            report,
-        )
-    except (
-        pickle.PicklingError,
-        AttributeError,
-        TypeError,
-        BrokenExecutor,
-        OSError,
-        RuntimeError,
-    ):
-        # Same contract as run_cells: only pool infrastructure triggers
-        # the fallback; task-level exceptions are already values.
+        if mode == "serial" or workers <= 1 or len(payloads) <= 1:
+            report = ExecutionReport(
+                mode="serial",
+                requested_mode=mode,
+                compute_backend=compute_backend,
+            )
+            return (
+                _run_tasks_serial(fn, payloads, policy, report, telemetry),
+                report,
+            )
         report = ExecutionReport(
-            mode="serial", requested_mode=mode, fallback=True
+            mode=mode,
+            requested_mode=mode,
+            transport="pickle" if mode == "process" else "inline",
+            compute_backend=compute_backend,
         )
-        return (
-            _run_tasks_serial(fn, payloads, policy, report, telemetry),
-            report,
-        )
+        try:
+            return (
+                _run_tasks_pool(
+                    fn, payloads, workers, mode, policy, report, telemetry
+                ),
+                report,
+            )
+        except (
+            pickle.PicklingError,
+            AttributeError,
+            TypeError,
+            BrokenExecutor,
+            OSError,
+            RuntimeError,
+        ):
+            # Same contract as run_cells: only pool infrastructure
+            # triggers the fallback; task-level exceptions are already
+            # values.
+            report = ExecutionReport(
+                mode="serial",
+                requested_mode=mode,
+                fallback=True,
+                compute_backend=compute_backend,
+            )
+            return (
+                _run_tasks_serial(fn, payloads, policy, report, telemetry),
+                report,
+            )
+    finally:
+        set_backend(previous_backend)
 
 
 def run_cells(
@@ -890,41 +1128,54 @@ def run_cells(
             f"{', '.join(EXECUTOR_MODES)}"
         )
     policy = policy or ExecutionPolicy()
-    if mode == "serial" or workers <= 1 or len(specs) <= 1:
-        report = ExecutionReport(
-            mode="serial",
-            requested_mode=mode,
-            chunk_size=policy.chunk_size,
-            measure_backend=policy.measure_backend,
-        )
-        return _run_serial(specs, policy, report, telemetry), report
-    report = ExecutionReport(
-        mode=mode,
-        requested_mode=mode,
-        chunk_size=policy.chunk_size,
-        measure_backend=policy.measure_backend,
-    )
+    compute_backend = resolve_backend(policy.compute_backend)
+    # The kernels dispatch on the process-wide active backend; honour
+    # the policy for this run and restore afterwards (workers apply the
+    # same resolution per process via the chunk payload).
+    previous_backend = active_backend()
+    set_backend(compute_backend)
     try:
-        return (
-            _run_pool(specs, workers, mode, policy, report, telemetry),
-            report,
-        )
-    except (
-        pickle.PicklingError,
-        AttributeError,
-        TypeError,
-        BrokenExecutor,
-        OSError,
-        RuntimeError,
-    ):
-        # Pool infrastructure failed (unpicklable scheduler, fork limits,
-        # missing multiprocessing support); the cells themselves are pure,
-        # so rerun the full grid serially with fresh accounting.
+        if mode == "serial" or workers <= 1 or len(specs) <= 1:
+            report = ExecutionReport(
+                mode="serial",
+                requested_mode=mode,
+                chunk_size=policy.chunk_size,
+                measure_backend=policy.measure_backend,
+                compute_backend=compute_backend,
+            )
+            return _run_serial(specs, policy, report, telemetry), report
         report = ExecutionReport(
-            mode="serial",
+            mode=mode,
             requested_mode=mode,
-            fallback=True,
             chunk_size=policy.chunk_size,
             measure_backend=policy.measure_backend,
+            compute_backend=compute_backend,
         )
-        return _run_serial(specs, policy, report, telemetry), report
+        try:
+            return (
+                _run_pool(specs, workers, mode, policy, report, telemetry),
+                report,
+            )
+        except (
+            pickle.PicklingError,
+            AttributeError,
+            TypeError,
+            BrokenExecutor,
+            OSError,
+            RuntimeError,
+        ):
+            # Pool infrastructure failed (unpicklable scheduler, fork
+            # limits, missing multiprocessing support); the cells
+            # themselves are pure, so rerun the full grid serially with
+            # fresh accounting.
+            report = ExecutionReport(
+                mode="serial",
+                requested_mode=mode,
+                fallback=True,
+                chunk_size=policy.chunk_size,
+                measure_backend=policy.measure_backend,
+                compute_backend=compute_backend,
+            )
+            return _run_serial(specs, policy, report, telemetry), report
+    finally:
+        set_backend(previous_backend)

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
 
+from repro.core.backend import active_backend
 from repro.core.bounds import ChannelPlan, minimum_channels, plan_channels
 from repro.core.errors import ReproError
 from repro.core.pages import ProblemInstance
@@ -122,6 +123,9 @@ def _serial_executor_block() -> dict:
         "chunk_size": 1,
         "measure_backend": "scalar",
         "short_circuited": 0,
+        "transport": "inline",
+        "harvested": 0,
+        "compute_backend": active_backend(),
     }
 
 

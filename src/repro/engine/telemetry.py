@@ -34,7 +34,11 @@ Manifest schema (``manifest_version`` 7)::
         "timeouts": 0,                  # per-future timeout expiries
         "chunk_size": 1,                # cells per pool future (v4)
         "measure_backend": "scalar",    # scalar | batch (v4)
-        "short_circuited": 0            # cells never submitted (v4)
+        "short_circuited": 0,           # cells never submitted (v4)
+        "transport": "shm",             # shm | pickle | inline (v8)
+        "harvested": 0,                 # cells saved from timed-out
+                                        #   chunks (v8)
+        "compute_backend": "python"     # python | numba kernels (v8)
       },
       "cache": {"run": {...}, "total": {...}},   # CacheStats dicts
       "timings": {"schedule": {"seconds": 0.81, "calls": 6}, ...},
@@ -80,10 +84,11 @@ version 6 added the ``durability`` sub-block inside ``control`` (the
 write-ahead journal's crash-recovery trail); version 7 added the
 ``federate`` operation and the ``federation`` block (the sharded
 multi-station layer's ring placement, global admission and drift-
-rebalance trail).
+rebalance trail); version 8 added the zero-copy-transport executor keys
+(``transport`` / ``harvested`` / ``compute_backend``).
 :meth:`RunManifest.from_dict` parses every version back to 1,
 defaulting the keys each newer version introduced, so consumers can
-rely on the version-7 shape either way.
+rely on the version-8 shape either way.
 """
 
 from __future__ import annotations
@@ -105,7 +110,7 @@ __all__ = [
     "describe_instance",
 ]
 
-MANIFEST_VERSION = 7
+MANIFEST_VERSION = 8
 
 #: Executor-block keys added in manifest version 2, with their defaults
 #: (applied when parsing version-1 documents).
@@ -122,6 +127,15 @@ _EXECUTOR_V4_DEFAULTS = {
     "chunk_size": 1,
     "measure_backend": "scalar",
     "short_circuited": 0,
+}
+
+#: Executor-block keys added in manifest version 8 (zero-copy
+#: transport), with their defaults (applied when parsing version-1..7
+#: documents; ``transport`` defaults per mode — older process-pool runs
+#: pickled chunk payloads, everything else passed objects inline).
+_EXECUTOR_V8_DEFAULTS = {
+    "harvested": 0,
+    "compute_backend": "python",
 }
 
 #: ``service.counters`` keys added in manifest version 4 (serving
@@ -273,16 +287,19 @@ class RunManifest:
     def from_dict(cls, payload: Mapping[str, object]) -> "RunManifest":
         """Parse a manifest document of any supported schema version.
 
-        Accepts version 1 through 7 documents: the hardening keys
+        Accepts version 1 through 8 documents: the hardening keys
         missing from version-1 executor blocks default to zero, the
         ``service`` block missing below version 3 defaults to ``{}``,
         the version-4 chunked-transport executor keys and serving-
         throughput service counters default to their quiescent values,
         the version-5 ``control`` block defaults to ``{}``, a
         non-empty pre-v6 ``control`` block gains a defaulted
-        ``durability`` sub-block, and the version-7 ``federation``
-        block defaults to ``{}`` — so consumers can rely on the
-        version-7 shape either way.
+        ``durability`` sub-block, the version-7 ``federation`` block
+        defaults to ``{}``, and the version-8 zero-copy-transport
+        executor keys default to what the older executors actually did
+        (``transport`` ``"pickle"`` for process mode, ``"inline"``
+        otherwise; ``compute_backend`` ``"python"``) — so consumers can
+        rely on the version-8 shape either way.
 
         Raises:
             ReproError: For unknown (newer) versions or documents missing
@@ -301,6 +318,12 @@ class RunManifest:
                 executor.setdefault(key, default)
             for key, default in _EXECUTOR_V4_DEFAULTS.items():
                 executor.setdefault(key, default)
+            for key, default in _EXECUTOR_V8_DEFAULTS.items():
+                executor.setdefault(key, default)
+            executor.setdefault(
+                "transport",
+                "pickle" if executor.get("mode") == "process" else "inline",
+            )
             service = dict(payload.get("service", {}))
             if "counters" in service:
                 counters = dict(service["counters"])

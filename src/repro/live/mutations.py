@@ -234,6 +234,44 @@ class MutationTrace:
         """Read a trace previously written by :meth:`save`."""
         return cls.from_json(Path(path).read_text(encoding="utf-8"))
 
+    def columns(self) -> "tuple":
+        """Columnar numpy view of the events, memoised on the trace.
+
+        Returns ``(times, is_listener, page_ids, expected)`` — float64
+        arrival/effect times, a listener-kind mask, int64 page ids and
+        int64 promised deadlines (``-1`` where the event carries none).
+        The batched replay engine slices these instead of re-reading
+        half a million event objects per run; like :meth:`fingerprint`,
+        the trace is frozen so one conversion pass serves every replay.
+        """
+        cached = getattr(self, "_columns", None)
+        if cached is None:
+            import numpy as np
+
+            count = len(self.events)
+            times = np.fromiter(
+                (event.time for event in self.events), np.float64, count
+            )
+            is_listener = np.fromiter(
+                (event.kind == "listener" for event in self.events),
+                np.bool_,
+                count,
+            )
+            page_ids = np.fromiter(
+                (event.page_id for event in self.events), np.int64, count
+            )
+            expected = np.fromiter(
+                (
+                    -1 if event.expected_time is None else event.expected_time
+                    for event in self.events
+                ),
+                np.int64,
+                count,
+            )
+            cached = (times, is_listener, page_ids, expected)
+            object.__setattr__(self, "_columns", cached)
+        return cached
+
     def fingerprint(self) -> str:
         """Stable content digest, suitable for run manifests.
 

@@ -61,6 +61,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["LiveBroadcastService", "LiveReport"]
 
+# Chunk bounds for the batched listener engine: a segment's first chunk
+# after a re-plan is small (breaches tend to re-trigger shortly after the
+# cooldown clears, and waits computed past a trigger are thrown away),
+# then doubles so long healthy runs are processed in full-width passes.
+_CHUNK_MIN = 2048
+_CHUNK_MAX = 65536
+
 
 @dataclass(frozen=True)
 class LiveReport:
@@ -617,9 +624,7 @@ class LiveBroadcastService:
             self._full_replan("slo-breach")
             self.slo.reset_window()
 
-    def _on_listener_batch(
-        self, events: tuple[MutationEvent, ...]
-    ) -> None:
+    def _replay_listeners(self, all_times, all_expected, all_pages) -> None:
         """Replay a run of listener arrivals as vectorised passes.
 
         Sequentially equivalent to calling :meth:`_on_listener` per
@@ -630,86 +635,150 @@ class LiveBroadcastService:
         cumulative sum, and a mid-batch breach re-plans at the
         triggering listener's timestamp before the remainder of the
         batch is re-vectorised against the new program.
+
+        Listeners between two re-plans form one *segment* (one
+        ``listener_batch`` log entry).  Internally a segment is scanned
+        in chunks that double from ``_CHUNK_MIN`` to ``_CHUNK_MAX``:
+        waits computed past a breach trigger are priced against the
+        wrong program and must be discarded, so the waste per re-plan is
+        bounded by one chunk instead of the whole remaining run —
+        re-plan-heavy traces stay linear while healthy traces quickly
+        reach full-width vectorised passes.  Chunking is invisible in
+        the output: the log, counters and SLO window are per segment,
+        and ``slo_exact`` accumulation stays left-to-right.
+
+        Args:
+            all_times: float64 arrival times, in trace order.
+            all_expected: int64 promised deadlines per listener.
+            all_pages: int64 requested page per listener.
         """
         import numpy as np
 
         from repro.analysis.vectorized import AppearanceIndex, batch_waits
 
-        total = len(events)
-        all_times = np.asarray(
-            [event.time for event in events], dtype=np.float64
-        )
-        all_expected = np.asarray(
-            [event.expected_time for event in events], dtype=np.int64
-        )
-        all_pages = np.asarray(
-            [event.page_id for event in events], dtype=np.int64
-        )
+        total = int(all_times.shape[0])
         start = 0
         while start < total:
-            m = total - start
             program = self.program
-            times = all_times[start:]
-            expected = all_expected[start:]
-            waits = np.zeros(m, dtype=np.float64)
-            if program is None or not program.page_ids():
-                served = np.zeros(m, dtype=bool)
-            else:
+            index = None
+            if program is not None and program.page_ids():
                 index = AppearanceIndex.from_program(program)
-                # index.page_ids is sorted (from_program default), so
-                # page ids resolve to rows with one searchsorted.
-                pages = all_pages[start:]
-                pos = np.searchsorted(index.page_ids, pages)
-                pos = np.minimum(pos, index.page_ids.shape[0] - 1)
-                served = index.page_ids[pos] == pages
-                if served.any():
-                    waits[served] = batch_waits(
-                        index, pos[served], times[served]
+            seg_start = start
+            seg_served = 0
+            seg_misses = 0
+            seg_wait = 0.0
+            trigger: int | None = None
+            chunk = _CHUNK_MIN
+            while start < total and trigger is None:
+                stop = min(start + chunk, total)
+                chunk = min(chunk * 2, _CHUNK_MAX)
+                m = stop - start
+                times = all_times[start:stop]
+                expected = all_expected[start:stop]
+                if index is None:
+                    waits = np.zeros(m, dtype=np.float64)
+                    served = np.zeros(m, dtype=bool)
+                    all_served = False
+                    miss = np.ones(m, dtype=bool)
+                else:
+                    rows = index.rows_for(all_pages[start:stop])
+                    served = rows >= 0
+                    all_served = bool(served.all())
+                    if all_served:
+                        waits = batch_waits(index, rows, times)
+                        miss = waits > expected
+                    else:
+                        waits = np.zeros(m, dtype=np.float64)
+                        if served.any():
+                            waits[served] = batch_waits(
+                                index, rows[served], times[served]
+                            )
+                        miss = ~served | (waits > expected)
+                chunk_misses = int(miss.sum())
+
+                # Replay the rolling SLO window: seed with the tracker's
+                # current deque, then find the first arrival whose post-
+                # observation window both breaches and clears the cooldown
+                # (the same predicate _on_listener evaluates per event).
+                # Any window count is bounded by the misses available
+                # (deque + chunk) and any eligible window is at least
+                # half wide, so when the bound cannot clear the target
+                # the replay is skipped outright (float division keeps
+                # the bound comparison aligned with the trigger test).
+                w = self.slo.window
+                half = max(1, w // 2)
+                target = self.slo.target_miss_rate
+                p = len(self.slo._recent)
+                local = None
+                if (sum(self.slo._recent) + chunk_misses) / half > target:
+                    prior = np.asarray(
+                        list(self.slo._recent), dtype=np.int64
                     )
-            miss = ~served | (waits > expected)
+                    seq = np.concatenate(
+                        [prior, miss.astype(np.int64)]
+                    )
+                    csum = np.concatenate([[0], np.cumsum(seq)])
+                    # Window counts as slice differences: after the i-th
+                    # listener the window spans min(w, p + i) entries,
+                    # so the first k = max(0, min(m, w - p)) positions
+                    # subtract the empty prefix and the rest subtract
+                    # the cumulative sum w entries back.
+                    k = max(0, min(m, w - p))
+                    counts = csum[p + 1:p + m + 1].copy()
+                    if k < m:
+                        counts[k:] -= csum[p + k + 1 - w:p + m + 1 - w]
+                    eligible = np.empty(m, dtype=bool)
+                    if k:
+                        win_head = p + 1 + np.arange(k, dtype=np.int64)
+                        eligible[:k] = (win_head >= half) & (
+                            (counts[:k] / win_head) > target
+                        )
+                    eligible[k:] = (counts[k:] / w) > target
+                    hits = np.flatnonzero(eligible)
+                    if hits.size:
+                        cool = (
+                            times[hits] - self._last_slo_replan
+                        ) >= self.replan_cooldown
+                        hits = hits[cool]
+                    if hits.size:
+                        local = int(hits[0])
+                upto = m if local is None else local + 1
 
-            # Replay the rolling SLO window: seed with the tracker's
-            # current deque, then find the first arrival whose post-
-            # observation window both breaches and clears the cooldown
-            # (the same predicate _on_listener evaluates per event).
-            prior = np.asarray(list(self.slo._recent), dtype=np.int64)
-            seq = np.concatenate([prior, miss.astype(np.int64)])
-            csum = np.concatenate([[0], np.cumsum(seq)])
-            lengths = prior.shape[0] + np.arange(1, m + 1)
-            win = np.minimum(self.slo.window, lengths)
-            counts = csum[lengths] - csum[lengths - win]
-            eligible = (
-                (win >= max(1, self.slo.window // 2))
-                & ((counts / win) > self.slo.target_miss_rate)
-                & ((times - self._last_slo_replan) >= self.replan_cooldown)
-            )
-            hits = np.flatnonzero(eligible)
-            trigger = int(hits[0]) if hits.size else None
-            upto = m if trigger is None else trigger + 1
+                self.slo.observe_batch(
+                    expected[:upto],
+                    waits[:upto],
+                    served[:upto],
+                    miss[:upto],
+                    exact=self.slo_exact,
+                )
+                if all_served and upto == m:
+                    seg_served += m
+                    seg_misses += chunk_misses
+                    seg_wait += float(waits.sum())
+                else:
+                    seg_served += int(served[:upto].sum())
+                    seg_misses += int(miss[:upto].sum())
+                    seg_wait += float(waits[:upto][served[:upto]].sum())
+                start += upto
+                if local is not None:
+                    trigger = start - 1
 
-            self.slo.observe_batch(
-                expected[:upto],
-                waits[:upto],
-                served[:upto],
-                miss[:upto],
-                exact=self.slo_exact,
-            )
-            batch_misses = int(miss[:upto].sum())
-            self._count("listeners", upto)
-            self._count("batched_listeners", upto)
-            if batch_misses:
-                self._count("misses", batch_misses)
+            count = start - seg_start
+            self._count("listeners", count)
+            self._count("batched_listeners", count)
+            if seg_misses:
+                self._count("misses", seg_misses)
             self._record(
                 "listener_batch",
-                count=upto,
-                first_time=float(times[0]),
-                last_time=float(times[upto - 1]),
-                served=int(served[:upto].sum()),
-                misses=batch_misses,
-                wait_total=round(float(waits[:upto][served[:upto]].sum()), 6),
+                count=count,
+                first_time=float(all_times[seg_start]),
+                last_time=float(all_times[start - 1]),
+                served=seg_served,
+                misses=seg_misses,
+                wait_total=round(seg_wait, 6),
             )
             if trigger is not None:
-                self._now_override = float(times[trigger])
+                self._now_override = float(all_times[trigger])
                 try:
                     self._last_slo_replan = self.now
                     self._count("slo_replans")
@@ -724,39 +793,26 @@ class LiveBroadcastService:
                     self.slo.reset_window()
                 finally:
                     self._now_override = None
-            start += upto
 
     # ------------------------------------------------------------------
     # Run
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _split_at_flushes(
-        run: tuple[MutationEvent, ...], flush_times: list[float]
-    ) -> list[tuple[MutationEvent, ...]]:
-        """Split a listener run at coalescing flush boundaries.
-
-        A listener at exactly the flush time still precedes the flush
-        (trace events are scheduled before the dynamically-scheduled
-        flush callback, and the loop breaks ties FIFO), so segments are
-        closed only for listeners strictly after a flush.
-        """
-        segments: list[tuple[MutationEvent, ...]] = []
-        current: list[MutationEvent] = []
-        k = 0
-        for event in run:
-            while k < len(flush_times) and event.time > flush_times[k]:
-                if current:
-                    segments.append(tuple(current))
-                    current = []
-                k += 1
-            current.append(event)
-        if current:
-            segments.append(tuple(current))
-        return segments
-
     def run(self) -> LiveReport:
-        """Replay the whole trace; returns the structured report."""
+        """Replay the whole trace; returns the structured report.
+
+        In batched mode the trace's memoised columnar arrays (see
+        :meth:`~repro.live.mutations.MutationTrace.columns`) drive the
+        schedule: listener runs between catalog mutations are located by
+        a mask diff, split at coalescing flush boundaries with one
+        ``searchsorted`` per run, and dispatched to the vectorised
+        engine as array slices — no per-event Python work.  A listener
+        at exactly a flush time still precedes the flush (trace events
+        are scheduled before the dynamically-scheduled flush callback,
+        and the loop breaks ties FIFO), so runs are cut only after
+        listeners strictly past a flush, matching the event-by-event
+        path.
+        """
         if self._loop is not None:
             raise SimulationError(
                 "LiveBroadcastService.run() can only be called once; "
@@ -767,29 +823,53 @@ class LiveBroadcastService:
         self._self_check("initial")
         events = self.trace.events
         flush_times = self._planned_flush_times()
-        i, n = 0, len(events)
-        while i < n:
-            event = events[i]
-            if event.kind != "listener" or not self.batch_listeners:
+        if not self.batch_listeners:
+            for event in events:
                 handler = (
                     self._on_listener
                     if event.kind == "listener"
                     else self._on_mutation
                 )
                 self._loop.schedule_at(event.time, partial(handler, event))
-                i += 1
-                continue
-            j = i
-            while j < n and events[j].kind == "listener":
-                j += 1
-            for segment in self._split_at_flushes(
-                events[i:j], flush_times
-            ):
+            self._loop.run(until=float(self.trace.horizon))
+            return self._build_report()
+
+        import numpy as np
+
+        all_times, is_listener, all_pages, all_expected = (
+            self.trace.columns()
+        )
+        edges = np.flatnonzero(
+            np.diff(np.concatenate(([False], is_listener, [False])))
+        )
+        runs = edges.reshape(-1, 2)  # [start, stop) listener runs
+        flushes = np.asarray(flush_times, dtype=np.float64)
+        cursor = 0
+        for lo, hi in runs.tolist():
+            for k in range(cursor, lo):
                 self._loop.schedule_at(
-                    segment[0].time,
-                    partial(self._on_listener_batch, segment),
+                    events[k].time, partial(self._on_mutation, events[k])
                 )
-            i = j
+            cuts = np.unique(
+                np.searchsorted(all_times[lo:hi], flushes, side="right")
+            )
+            cuts = cuts[(cuts > 0) & (cuts < hi - lo)]
+            bounds = [lo, *(lo + cuts).tolist(), hi]
+            for a, b in zip(bounds, bounds[1:]):
+                self._loop.schedule_at(
+                    float(all_times[a]),
+                    partial(
+                        self._replay_listeners,
+                        all_times[a:b],
+                        all_expected[a:b],
+                        all_pages[a:b],
+                    ),
+                )
+            cursor = hi
+        for k in range(cursor, len(events)):
+            self._loop.schedule_at(
+                events[k].time, partial(self._on_mutation, events[k])
+            )
         self._loop.run(until=float(self.trace.horizon))
         return self._build_report()
 

@@ -1,0 +1,110 @@
+"""Compute-backend switch: resolution, env wiring, and fallbacks.
+
+numba is optional, so these tests must pass both with and without it
+installed.  Cases that need a specific availability state force the
+cached probe (``backend._NUMBA_AVAILABLE``) and restore it afterwards;
+the numba-only equality legs live in :mod:`tests.test_fastpath` and
+:mod:`tests.test_delay` behind ``skipif`` guards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import backend
+from repro.core.backend import (
+    COMPILED_BACKENDS,
+    COMPUTE_BACKENDS,
+    active_backend,
+    numba_available,
+    resolve_backend,
+    set_backend,
+)
+from repro.core.errors import ReproError
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend_state():
+    """Reset the module's cached probe + active backend after each test."""
+    available = backend._NUMBA_AVAILABLE
+    active = backend._ACTIVE
+    yield
+    backend._NUMBA_AVAILABLE = available
+    backend._ACTIVE = active
+
+
+def _force_numba(available: bool) -> None:
+    backend._NUMBA_AVAILABLE = available
+
+
+class TestResolution:
+    def test_taxonomy(self):
+        assert COMPILED_BACKENDS == ("python", "numba")
+        assert COMPUTE_BACKENDS == ("auto", "python", "numba")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError, match="unknown compute backend"):
+            resolve_backend("fortran")
+
+    def test_python_always_resolves(self):
+        for available in (False, True):
+            _force_numba(available)
+            assert resolve_backend("python") == "python"
+
+    def test_auto_without_numba_degrades_to_python(self):
+        _force_numba(False)
+        assert resolve_backend("auto") == "python"
+
+    def test_auto_with_numba_prefers_numba(self):
+        _force_numba(True)
+        assert resolve_backend("auto") == "numba"
+
+    def test_explicit_numba_without_numba_raises(self):
+        # An explicit request must never silently degrade: benchmark
+        # numbers recorded as "numba" would otherwise be python timings.
+        _force_numba(False)
+        with pytest.raises(ReproError, match="numba is not installed"):
+            resolve_backend("numba")
+
+    def test_probe_is_consistent_with_import(self):
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            assert numba_available() is False
+        else:
+            assert numba_available() is True
+
+
+class TestActiveBackend:
+    def test_env_variable_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AIR_BACKEND", "python")
+        backend._ACTIVE = None  # force re-resolution from the env
+        assert active_backend() == "python"
+
+    def test_env_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AIR_BACKEND", raising=False)
+        _force_numba(False)
+        backend._ACTIVE = None
+        assert active_backend() == "python"
+
+    def test_bad_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AIR_BACKEND", "gpu")
+        backend._ACTIVE = None
+        with pytest.raises(ReproError, match="unknown compute backend"):
+            active_backend()
+
+    def test_set_backend_overrides_and_returns_resolved(self):
+        _force_numba(False)
+        assert set_backend("auto") == "python"
+        assert active_backend() == "python"
+        assert set_backend("python") == "python"
+
+    def test_set_backend_rejects_unknown(self):
+        with pytest.raises(ReproError):
+            set_backend("carrier-pigeon")
+        # A failed switch must not clobber a previously valid state.
+        _force_numba(False)
+        set_backend("python")
+        with pytest.raises(ReproError):
+            set_backend("fortran")
+        assert active_backend() == "python"

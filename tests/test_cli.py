@@ -8,6 +8,7 @@ import os
 import pytest
 
 from repro.cli import main
+from repro.engine.telemetry import MANIFEST_VERSION
 
 
 class TestPlan:
@@ -174,7 +175,7 @@ class TestFederate:
         assert "global admission:" in out
         assert "per-shard replay" in out
 
-    def test_manifest_is_v7_with_federation_block(self, tmp_path, capsys):
+    def test_manifest_is_current_with_federation_block(self, tmp_path, capsys):
         manifest_path = tmp_path / "fed.json"
         code = main(["federate", *self._INSTANCE, "--shards", "2",
                      "--mutations", "8", "--listeners", "40",
@@ -182,7 +183,7 @@ class TestFederate:
                      str(manifest_path)])
         assert code == 0
         payload = json.loads(manifest_path.read_text())
-        assert payload["manifest_version"] == 7
+        assert payload["manifest_version"] == MANIFEST_VERSION
         assert payload["operation"] == "federate"
         assert payload["federation"]["shards"] == 2
 

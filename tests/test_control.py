@@ -46,6 +46,7 @@ from repro.control import (
 from repro.core.errors import SimulationError
 from repro.core.pages import instance_from_counts
 from repro.engine import BroadcastEngine
+from repro.engine.telemetry import MANIFEST_VERSION
 from repro.live import LiveBroadcastService, MutationTrace
 from repro.workload.mutations import generate_mutation_trace
 
@@ -452,7 +453,7 @@ class TestRemediation:
         assert control["triggers"] == {"sustained-miss": 1}
         [record] = control["records"]
         assert record["applied"] == "add_channel"
-        assert manifest.manifest["manifest_version"] == 7
+        assert manifest.manifest["manifest_version"] == MANIFEST_VERSION
         assert manifest.manifest["operation"] == "control"
 
 
@@ -634,7 +635,7 @@ class TestServeCli:
         assert m1.read_bytes() == m2.read_bytes()
         assert o1.read_bytes() == o2.read_bytes()
         payload = json.loads(m1.read_text())
-        assert payload["manifest_version"] == 7
+        assert payload["manifest_version"] == MANIFEST_VERSION
         assert payload["operation"] == "control"
         assert len(payload["control"]["records"]) == 1
 

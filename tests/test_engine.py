@@ -43,6 +43,14 @@ def _crashing_scheduler(instance, num_channels):
     raise ValueError("deliberate crash")
 
 
+def _slow_scheduler(instance, num_channels):
+    """Sleeps past the test timeout — exercises chunk-timeout harvest."""
+    import time
+
+    time.sleep(1.2)
+    return schedule_pamad(instance, num_channels)
+
+
 _FLAKY_CALLS = {"count": 0}
 
 
@@ -265,6 +273,80 @@ class TestEngineSweep:
         assert result.manifest.executor["mode"] == "serial"
         assert result.manifest.executor["fallback"] is True
         assert len(result.points) == 4
+
+    @staticmethod
+    def _measured(points):
+        # Fresh engines re-schedule, so wall-clock elapsed differs; every
+        # measured/derived field must still be bit-identical.
+        from dataclasses import replace as _replace
+
+        return [_replace(p, elapsed_seconds=0.0) for p in points]
+
+    def test_shm_transport_matches_serial_bit_identically(
+        self, fig2_instance
+    ):
+        serial = BroadcastEngine().sweep(
+            fig2_instance, workers=1, **SWEEP_KWARGS
+        )
+        shm = BroadcastEngine(
+            execution=ExecutionPolicy(transport="shm", chunk_size=3)
+        ).sweep(fig2_instance, workers=2, executor="process", **SWEEP_KWARGS)
+        assert self._measured(shm.points) == self._measured(serial.points)
+        assert shm.manifest.executor["transport"] == "shm"
+
+    def test_pickle_transport_matches_serial_bit_identically(
+        self, fig2_instance
+    ):
+        serial = BroadcastEngine().sweep(
+            fig2_instance, workers=1, **SWEEP_KWARGS
+        )
+        pickled = BroadcastEngine(
+            execution=ExecutionPolicy(transport="pickle", chunk_size=3)
+        ).sweep(fig2_instance, workers=2, executor="process", **SWEEP_KWARGS)
+        assert self._measured(pickled.points) == self._measured(
+            serial.points
+        )
+        assert pickled.manifest.executor["transport"] == "pickle"
+
+    @pytest.mark.parametrize("mode", ("thread", "process"))
+    def test_chunk_timeout_harvests_finished_cells(
+        self, fig2_instance, mode
+    ):
+        # One chunk carries a fast cell then a slow one; the chunk blows
+        # the timeout budget but the fast cell's finished result must be
+        # harvested instead of shared into the failure.
+        from repro.engine.executor import CellSpec, run_cells
+
+        def spec(name, scheduler):
+            return CellSpec(
+                algorithm=name,
+                scheduler=scheduler,
+                channels=3,
+                instance=fig2_instance,
+                num_requests=50,
+                seed=1,
+            )
+
+        outcomes, report = run_cells(
+            [spec("pamad", schedule_pamad), spec("slow", _slow_scheduler)],
+            workers=2,
+            mode=mode,
+            policy=ExecutionPolicy(
+                timeout=0.4, retries=0, backoff=0.0, chunk_size=2
+            ),
+        )
+        assert not isinstance(outcomes[0], CellFailure)
+        assert outcomes[0].point.algorithm == "pamad"
+        assert isinstance(outcomes[1], CellFailure)
+        assert outcomes[1].error_type == "TimeoutError"
+        assert report.harvested == 1
+        assert report.timeouts >= 1
+
+    def test_transport_and_backend_validation(self):
+        with pytest.raises(ReproError, match="transport"):
+            ExecutionPolicy(transport="carrier-pigeon")
+        with pytest.raises(ReproError, match="compute_backend"):
+            ExecutionPolicy(compute_backend="fortran")
 
     def test_channel_sweep_helper_delegates_to_engine(self, fig2_instance):
         from repro.analysis.sweep import channel_sweep
@@ -561,6 +643,7 @@ class TestRunManifest:
             "mode", "workers", "fallback",
             "retries", "cell_failures", "breaker_trips", "timeouts",
             "chunk_size", "measure_backend", "short_circuited",
+            "transport", "harvested", "compute_backend",
         }
         for scope in ("run", "total"):
             assert set(payload["cache"][scope]) == {

@@ -10,6 +10,7 @@ for every generated input, not just the benchmark configs.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from fractions import Fraction
 
 import pytest
@@ -22,6 +23,11 @@ from repro.analysis.perfsuite import (
     validate_payload,
 )
 from repro.baselines.opt import brute_force_frequencies, opt_frequencies
+from repro.core.backend import (
+    active_backend,
+    numba_available,
+    set_backend,
+)
 from repro.core.bounds import minimum_channels
 from repro.core.errors import SimulationError
 from repro.core.frequencies import (
@@ -39,6 +45,34 @@ from repro.core.program import BroadcastProgram
 from repro.core.susc import schedule_susc
 from repro.live.catalog import LiveCatalog
 from repro.live.replan import FastReplanner
+
+
+# ----------------------------------------------------------------------
+# Compute backends under test
+# ----------------------------------------------------------------------
+
+#: Both compiled backends; the numba leg skips when numba is absent so
+#: the suite stays green either way (CI runs a dedicated numba job).
+BACKENDS = [
+    "python",
+    pytest.param(
+        "numba",
+        marks=pytest.mark.skipif(
+            not numba_available(), reason="numba not installed"
+        ),
+    ),
+]
+
+
+@contextmanager
+def use_backend(name):
+    """Run a block on ``name``, restoring the process-wide backend."""
+    previous = active_backend()
+    set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
 
 
 # ----------------------------------------------------------------------
@@ -73,34 +107,46 @@ def degraded_instances(draw):
 
 
 class TestPlacementEquality:
-    @given(degraded_instances())
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(case=degraded_instances())
     @settings(max_examples=60, deadline=None)
-    def test_place_by_frequency_fast_matches_reference(self, case):
+    def test_place_by_frequency_fast_matches_reference(
+        self, backend, case
+    ):
         instance, channels = case
         frequencies = pamad_frequencies(instance, channels).frequencies
         slow = place_by_frequency(
             instance, frequencies, channels, fast=False
         )
-        fast = place_by_frequency(instance, frequencies, channels)
+        with use_backend(backend):
+            fast = place_by_frequency(instance, frequencies, channels)
         assert fast.program.grid_rows() == slow.program.grid_rows()
         assert fast.window_misses == slow.window_misses
 
-    @given(degraded_instances())
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(case=degraded_instances())
     @settings(max_examples=60, deadline=None)
-    def test_place_sequential_fast_matches_reference(self, case):
+    def test_place_sequential_fast_matches_reference(
+        self, backend, case
+    ):
         instance, channels = case
         frequencies = pamad_frequencies(instance, channels).frequencies
         slow = place_sequential(
             instance, frequencies, channels, fast=False
         )
-        fast = place_sequential(instance, frequencies, channels)
+        with use_backend(backend):
+            fast = place_sequential(instance, frequencies, channels)
         assert fast.program.grid_rows() == slow.program.grid_rows()
         assert fast.window_misses == slow.window_misses
 
-    @given(instances())
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(instance=instances())
     @settings(max_examples=40, deadline=None)
-    def test_susc_fast_matches_both_reference_probes(self, instance):
-        fast = schedule_susc(instance, validate=False)
+    def test_susc_fast_matches_both_reference_probes(
+        self, backend, instance
+    ):
+        with use_backend(backend):
+            fast = schedule_susc(instance, validate=False)
         for optimized in (False, True):
             slow = schedule_susc(
                 instance, validate=False, fast=False, optimized=optimized
@@ -248,6 +294,42 @@ class TestProgramCopy:
             )
 
 
+class TestPackedGridMirror:
+    @staticmethod
+    def _as_packed_rows(program):
+        return [
+            [-1 if cell is None else cell for cell in row]
+            for row in program.grid_rows()
+        ]
+
+    def test_mirror_matches_grid(self):
+        program = _small_program()
+        assert program.packed_grid().tolist() == self._as_packed_rows(
+            program
+        )
+
+    def test_mirror_tracks_mutations(self):
+        program = _small_program()
+        packed = program.packed_grid()  # materialise before mutating
+        page_id = max(program.page_counts())
+        ref = program.appearances(page_id)[0]
+        program.clear(ref.channel, ref.slot)
+        assert packed[ref.channel, ref.slot] == -1
+        program.assign(ref.channel, ref.slot, page_id)
+        assert packed[ref.channel, ref.slot] == page_id
+        assert packed.tolist() == self._as_packed_rows(program)
+
+    def test_copy_does_not_alias_the_mirror(self):
+        program = _small_program()
+        program.packed_grid()
+        clone = program.copy()
+        page_id = max(clone.page_counts())
+        ref = clone.appearances(page_id)[0]
+        clone.clear(ref.channel, ref.slot)
+        assert program.packed_grid()[ref.channel, ref.slot] == page_id
+        assert clone.packed_grid()[ref.channel, ref.slot] == -1
+
+
 # ----------------------------------------------------------------------
 # Live re-plan patch path
 # ----------------------------------------------------------------------
@@ -375,6 +457,68 @@ class TestFastReplanner:
         )
         fresh.invalidate()
         assert fresh.state is None
+
+
+class TestPackedPatchEquality:
+    """The packed-array patcher must equal the cell-by-cell oracle."""
+
+    @given(
+        sizes=st.lists(st.integers(1, 10), min_size=2, max_size=4),
+        budget=st.integers(1, 4),
+        drop=st.booleans(),
+        extra=st.integers(1, 3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_patch_matches_reference_oracle(
+        self, sizes, budget, drop, extra
+    ):
+        times = tuple(4 * 2**i for i in range(len(sizes)))
+        instance = instance_from_counts(sizes, times)
+        budget = min(budget, minimum_channels(instance))
+        schedule = schedule_pamad(instance, budget)
+        program = schedule.program
+        frequencies = schedule.assignment.frequencies
+        # Mutate the last rung: optionally drop one page, add `extra`.
+        rung = [
+            page.page_id
+            for page in instance.pages()
+            if page.expected_time == times[-1]
+        ]
+        new_rung = set(rung[1:]) if drop and len(rung) > 1 else set(rung)
+        top = max(page.page_id for page in instance.pages())
+        new_rung.update(top + 1 + i for i in range(extra))
+        new_sizes = tuple(sizes[:-1]) + (len(new_rung),)
+        new_frequencies = pamad_frequencies_for(
+            new_sizes, times, budget
+        ).frequencies
+        copies = new_frequencies[-1]
+        clear = set(rung) | new_rung
+        reference = FastReplanner._patch_reference(
+            program, clear, new_rung, copies, budget
+        )
+        packed = FastReplanner._patch_packed(
+            program, clear, new_rung, copies
+        )
+        if packed is NotImplemented:
+            return  # overflow regime: dispatch uses the oracle directly
+        if reference is None:
+            assert packed is None
+        else:
+            assert packed.grid_rows() == reference.grid_rows()
+
+    def test_empty_rung_patch_just_clears(self):
+        instance = instance_from_counts((2, 3), (4, 8))
+        program = schedule_pamad(instance, 2).program
+        rung = {
+            page.page_id
+            for page in instance.pages()
+            if page.expected_time == 8
+        }
+        patched = FastReplanner._patch_packed(program, rung, set(), 1)
+        assert patched is not NotImplemented
+        assert set(patched.page_counts()) == (
+            set(program.page_counts()) - rung
+        )
 
 
 # ----------------------------------------------------------------------

@@ -27,6 +27,7 @@ from repro.core.pages import instance_from_counts
 from repro.federation import FederatedBroadcastService
 from repro.live.mutations import MutationEvent, MutationTrace
 from repro.workload.mutations import generate_mutation_trace
+from repro.engine.telemetry import MANIFEST_VERSION
 
 
 def _instance():
@@ -275,7 +276,7 @@ class TestValidation:
 
 
 class TestEngineFacade:
-    def test_federate_emits_deterministic_v7_manifest(self):
+    def test_federate_emits_deterministic_current_manifest(self):
         from repro.engine import BroadcastEngine
 
         def manifest_json():
@@ -288,7 +289,7 @@ class TestEngineFacade:
         first = manifest_json()
         assert first == manifest_json()
         payload = json.loads(first)
-        assert payload["manifest_version"] == 7
+        assert payload["manifest_version"] == MANIFEST_VERSION
         assert payload["operation"] == "federate"
         assert payload["federation"]["shards"] == 2
         assert payload["results"]["shards"] == 2

@@ -14,6 +14,7 @@ from repro.core.errors import (
 )
 from repro.core.pages import instance_from_counts
 from repro.engine import BroadcastEngine
+from repro.engine.telemetry import MANIFEST_VERSION
 from repro.live import (
     AdmissionController,
     LiveBroadcastService,
@@ -542,7 +543,7 @@ class TestEngineLive:
         result = BroadcastEngine().live(fig2_instance, trace)
         payload = result.manifest.to_dict()
         assert payload["operation"] == "live"
-        assert payload["manifest_version"] == 7
+        assert payload["manifest_version"] == MANIFEST_VERSION
         assert payload["service"]["budget"] == result.report.budget
         assert payload["created_at"] == 0.0
         assert payload["timings"] == {}

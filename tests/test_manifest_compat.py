@@ -1,9 +1,9 @@
-"""Manifest schema compatibility: golden v1..v7 fixtures through repro.api.
+"""Manifest schema compatibility: golden v1..v8 fixtures through repro.api.
 
 One golden document per schema version lives in ``tests/fixtures/``;
 every one of them must parse through the :mod:`repro.api` manifest
-codecs into the current (v7) in-memory shape, with the keys newer
-versions introduced defaulted, and re-serialise as a stable v7 document
+codecs into the current (v8) in-memory shape, with the keys newer
+versions introduced defaulted, and re-serialise as a stable v8 document
 (``from_dict(to_dict(m)) == m``, the round-trip contract).
 """
 
@@ -134,8 +134,23 @@ class TestVersionDefaults:
         assert federation["pages_moved"] == len(federation["rebalances"])
         assert len(federation["shard_reports"]) == 2
         assert federation["ring_fingerprint"]
+
+    @pytest.mark.parametrize("version", (1, 2, 3, 4, 5, 6, 7))
+    def test_pre_v8_executor_gains_transport_keys(self, version):
+        executor = manifest_from_dict(load_fixture(version)).executor
+        assert executor["harvested"] == 0
+        assert executor["compute_backend"] == "python"
+        expected = "pickle" if executor["mode"] == "process" else "inline"
+        assert executor["transport"] == expected
+
+    def test_v8_transport_keys_preserved(self):
+        manifest = manifest_from_dict(load_fixture(8))
+        executor = manifest.executor
+        assert executor["transport"] == "shm"
+        assert executor["harvested"] == 2
+        assert executor["compute_backend"] == "python"
         # Byte-identity: the golden document re-serialises exactly.
-        text = (FIXTURES / "manifest_v7.json").read_text()
+        text = (FIXTURES / "manifest_v8.json").read_text()
         again = json.dumps(
             manifest_to_dict(manifest_from_json(text)),
             indent=2,

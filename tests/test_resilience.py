@@ -18,6 +18,7 @@ from repro.core.errors import SimulationError
 from repro.core.bounds import minimum_channels
 from repro.core.pages import instance_from_counts
 from repro.engine import default_engine
+from repro.engine.telemetry import MANIFEST_VERSION
 from repro.resilience import (
     FaultEvent,
     FaultPlan,
@@ -319,7 +320,7 @@ class TestEngineResilience:
         )
         payload = json.loads(result.manifest.to_json())
         assert payload["operation"] == "resilience"
-        assert payload["manifest_version"] == 7
+        assert payload["manifest_version"] == MANIFEST_VERSION
         plan_block = payload["parameters"]["plan"]
         assert plan_block["fingerprint"] == plan.fingerprint()
         assert plan_block["num_channels"] == 4

@@ -606,7 +606,7 @@ class TestServeSuitePlumbing:
         assert set(SUITE_ENTRIES) == {
             "serve_listener_replay",
             "serve_mutation_coalescing",
-            "serve_sweep_chunked",
+            "serve_sweep_zerocopy",
         }
         for floor, builder in SUITE_ENTRIES.values():
             assert floor > 1.0
