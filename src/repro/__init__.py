@@ -109,7 +109,7 @@ from repro.engine import (
     register_scheduler,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 # Aliases removed after their deprecation period (they warned through
 # PR 1-5); each maps to the replacement named in the error.  Served by

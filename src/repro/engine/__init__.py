@@ -29,6 +29,7 @@ from repro.engine.executor import (
     ExecutionPolicy,
     ExecutionReport,
     SweepPoint,
+    TaskPool,
     default_channel_points,
 )
 from repro.engine.facade import (
@@ -76,6 +77,7 @@ __all__ = [
     "SchedulerRegistry",
     "SweepPoint",
     "SweepResult",
+    "TaskPool",
     "Telemetry",
     "available_schedulers",
     "default_channel_points",

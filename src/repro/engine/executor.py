@@ -83,6 +83,7 @@ __all__ = [
     "CellResult",
     "CellFailure",
     "TaskFailure",
+    "TaskPool",
     "ExecutionPolicy",
     "ExecutionReport",
     "run_cells",
@@ -949,6 +950,50 @@ def _run_tasks_serial(
     return outcomes
 
 
+def _drain_task_futures(
+    pool,
+    fn,
+    payloads: list,
+    policy: ExecutionPolicy,
+    report: ExecutionReport,
+    telemetry,
+) -> list:
+    """Submit every payload to ``pool`` and harvest results in order."""
+    outcomes: list = [None] * len(payloads)
+    futures = [
+        pool.submit(_guarded_call, fn, payload) for payload in payloads
+    ]
+    for index, future in enumerate(futures):
+        value = _await_value(
+            future, policy, report, telemetry, f"task {index}"
+        )
+        attempts = 1
+        while (
+            isinstance(value, _CellError)
+            and attempts <= policy.retries
+        ):
+            report.retries += 1
+            _note(telemetry, "executor.retries")
+            _backoff_sleep(policy, attempts)
+            retry = pool.submit(_guarded_call, fn, payloads[index])
+            value = _await_value(
+                retry, policy, report, telemetry, f"task {index}"
+            )
+            attempts += 1
+        if isinstance(value, _CellError):
+            report.cell_failures += 1
+            _note(telemetry, "executor.cell_failures")
+            outcomes[index] = TaskFailure(
+                index=index,
+                error_type=value.error_type,
+                message=value.message,
+                attempts=attempts,
+            )
+        else:
+            outcomes[index] = value
+    return outcomes
+
+
 def _run_tasks_pool(
     fn,
     payloads: list,
@@ -959,40 +1004,163 @@ def _run_tasks_pool(
     telemetry,
 ) -> list:
     pool_cls = ProcessPoolExecutor if mode == "process" else ThreadPoolExecutor
-    outcomes: list = [None] * len(payloads)
     with pool_cls(max_workers=min(workers, len(payloads))) as pool:
-        futures = [
-            pool.submit(_guarded_call, fn, payload) for payload in payloads
-        ]
-        for index, future in enumerate(futures):
-            value = _await_value(
-                future, policy, report, telemetry, f"task {index}"
+        return _drain_task_futures(
+            pool, fn, payloads, policy, report, telemetry
+        )
+
+
+class TaskPool:
+    """A persistent :func:`run_tasks` executor pool.
+
+    :func:`run_tasks` builds and tears down its worker pool per call;
+    callers that fan out repeatedly over the same task family (the
+    federation's warm shard pool, bench repetitions) instead hold one
+    ``TaskPool`` so workers — and whatever warm per-process state they
+    have accumulated (attached shared-memory posts, per-shard engines
+    and their program caches) — survive across calls.  Dispatch shares
+    the :func:`run_tasks` hardening verbatim: worker exceptions come
+    back as :class:`TaskFailure` values in payload order, retries follow
+    :attr:`ExecutionPolicy.retries` with exponential backoff, waits
+    honour :attr:`ExecutionPolicy.timeout`, and pool-infrastructure
+    failures rebuild the pool once, then fall back to a serial rerun of
+    the batch (the report records the fallback).  Results are
+    bit-identical to :func:`run_tasks` for pure ``fn``.
+
+    Usable as a context manager; :meth:`close` shuts the workers down.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        mode: str = "process",
+        *,
+        policy: ExecutionPolicy | None = None,
+    ) -> None:
+        if mode not in EXECUTOR_MODES:
+            raise ReproError(
+                f"unknown executor mode {mode!r}; choose from "
+                f"{', '.join(EXECUTOR_MODES)}"
             )
-            attempts = 1
-            while (
-                isinstance(value, _CellError)
-                and attempts <= policy.retries
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.mode = mode
+        self.policy = policy or ExecutionPolicy()
+        self._pool = None
+        self._closed = False
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            pool_cls = (
+                ProcessPoolExecutor
+                if self.mode == "process"
+                else ThreadPoolExecutor
+            )
+            self._pool = pool_cls(max_workers=self.workers)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+            self._pool = None
+
+    def run(
+        self,
+        fn,
+        payloads,
+        *,
+        policy: ExecutionPolicy | None = None,
+        telemetry=None,
+    ) -> tuple[list, ExecutionReport]:
+        """Fan ``fn`` across ``payloads`` on the persistent pool.
+
+        Same contract and return shape as :func:`run_tasks`; serial
+        mode (or a single payload) bypasses the pool entirely.
+        """
+        if self._closed:
+            raise ReproError("TaskPool is closed")
+        policy = policy or self.policy
+        compute_backend = resolve_backend(policy.compute_backend)
+        payloads = list(payloads)
+        previous_backend = active_backend()
+        set_backend(compute_backend)
+        try:
+            if (
+                self.mode == "serial"
+                or self.workers <= 1
+                or len(payloads) <= 1
             ):
-                report.retries += 1
-                _note(telemetry, "executor.retries")
-                _backoff_sleep(policy, attempts)
-                retry = pool.submit(_guarded_call, fn, payloads[index])
-                value = _await_value(
-                    retry, policy, report, telemetry, f"task {index}"
+                report = ExecutionReport(
+                    mode="serial",
+                    requested_mode=self.mode,
+                    compute_backend=compute_backend,
                 )
-                attempts += 1
-            if isinstance(value, _CellError):
-                report.cell_failures += 1
-                _note(telemetry, "executor.cell_failures")
-                outcomes[index] = TaskFailure(
-                    index=index,
-                    error_type=value.error_type,
-                    message=value.message,
-                    attempts=attempts,
+                return (
+                    _run_tasks_serial(
+                        fn, payloads, policy, report, telemetry
+                    ),
+                    report,
                 )
-            else:
-                outcomes[index] = value
-    return outcomes
+            report = ExecutionReport(
+                mode=self.mode,
+                requested_mode=self.mode,
+                transport="pickle" if self.mode == "process" else "inline",
+                compute_backend=compute_backend,
+            )
+            for attempt in range(2):
+                try:
+                    return (
+                        _drain_task_futures(
+                            self._ensure_pool(),
+                            fn,
+                            payloads,
+                            policy,
+                            report,
+                            telemetry,
+                        ),
+                        report,
+                    )
+                except (
+                    pickle.PicklingError,
+                    AttributeError,
+                    TypeError,
+                    BrokenExecutor,
+                    OSError,
+                    RuntimeError,
+                ):
+                    # A broken pool is rebuilt once (workers may have
+                    # been killed); a second infrastructure failure
+                    # falls through to the serial rerun.
+                    self._discard_pool()
+                    if attempt == 1:
+                        break
+            report = ExecutionReport(
+                mode="serial",
+                requested_mode=self.mode,
+                fallback=True,
+                compute_backend=compute_backend,
+            )
+            return (
+                _run_tasks_serial(fn, payloads, policy, report, telemetry),
+                report,
+            )
+        finally:
+            set_backend(previous_backend)
+
+    def close(self) -> None:
+        """Shut the workers down; the pool refuses further runs."""
+        self._discard_pool()
+        self._closed = True
+
+    def __enter__(self) -> "TaskPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def run_tasks(

@@ -945,11 +945,13 @@ class BroadcastEngine:
         target_miss_rate: float = 0.05,
         replan_cooldown: int = 8,
         batch_listeners: bool = False,
+        router: str = "columnar",
         workers: int | None = None,
         mode: str | None = None,
+        pool=None,
         manifest_path: str | Path | None = None,
     ) -> "FederationResult":
-        """Replay a trace across N station shards (manifested, v7).
+        """Replay a trace across N station shards (manifested, v9).
 
         Routes the global trace through a
         :class:`~repro.federation.service.FederatedBroadcastService` —
@@ -959,9 +961,13 @@ class BroadcastEngine:
         ``workers > 1``.  Shard replays are pure, so the report is
         identical for every worker count and mode.
 
-        The manifest (operation ``"federate"``, schema v7 with the
-        ``federation`` block) is emitted deterministically, like
-        :meth:`live`: fixed inputs produce byte-identical documents.
+        The manifest (operation ``"federate"``, schema v9 with the
+        ``federation`` block and its ``transport`` field) is emitted
+        deterministically, like :meth:`live`: fixed inputs produce
+        byte-identical documents.  The router is deliberately *not*
+        recorded anywhere in the manifest: the columnar and sequential
+        routers are required to produce byte-identical documents, and
+        CI diffs the two to prove it.
 
         Args:
             initial: Catalog on air at ``t=0`` (instance or mapping);
@@ -980,10 +986,16 @@ class BroadcastEngine:
             queue_limit: Global FIFO insert-queue capacity.
             slo_window / target_miss_rate / replan_cooldown /
             batch_listeners: Forwarded to every shard's live service.
+            router: Listener-routing implementation — ``"columnar"``
+                (vectorised, the default) or ``"sequential"`` (the
+                per-event reference); reports are byte-identical.
             workers: Fan-out width; defaults to the engine's
                 ``workers`` attribute.
             mode: Executor mode; defaults to the engine's ``executor``
                 when pooling, ``"serial"`` otherwise.
+            pool: Optional persistent
+                :class:`~repro.engine.executor.TaskPool` whose warm
+                workers replay the shards (overrides workers/mode).
             manifest_path: When set, also write this call's manifest
                 JSON to the path.
 
@@ -1017,6 +1029,7 @@ class BroadcastEngine:
             target_miss_rate=target_miss_rate,
             replan_cooldown=replan_cooldown,
             batch_listeners=batch_listeners,
+            router=router,
         )
         with self.telemetry.timer("federate.replay"):
             report = service.run(
@@ -1024,6 +1037,7 @@ class BroadcastEngine:
                 mode=mode,
                 policy=self.execution,
                 telemetry=self.telemetry,
+                pool=pool,
             )
         federation_block = report.as_dict()
         manifest = self._emit_manifest(

@@ -8,10 +8,10 @@ did (hits/misses for the run and for the engine's lifetime).  Manifests
 are the machine-readable audit trail of an engine process: the CLI can
 write them next to results, and regression tooling can diff them.
 
-Manifest schema (``manifest_version`` 7)::
+Manifest schema (``manifest_version`` 9)::
 
     {
-      "manifest_version": 7,
+      "manifest_version": 9,
       "run_id": 3,                      # per-engine monotonic counter
       "operation": "sweep",             # plan | schedule | evaluate |
                                         #   sweep | resilience | live |
@@ -67,7 +67,11 @@ Manifest schema (``manifest_version`` 7)::
                                         #   pages moved by the drift
                                         #   rebalancer, global admission
                                         #   counters, per-shard report
-                                        #   summaries; {} otherwise
+                                        #   summaries; (v9) the
+                                        #   "transport" field: how shard
+                                        #   sub-traces crossed to the
+                                        #   replay workers (inline |
+                                        #   shm | pickle); {} otherwise
       "results": {...}                  # operation-specific summary
     }
 
@@ -85,10 +89,13 @@ write-ahead journal's crash-recovery trail); version 7 added the
 ``federate`` operation and the ``federation`` block (the sharded
 multi-station layer's ring placement, global admission and drift-
 rebalance trail); version 8 added the zero-copy-transport executor keys
-(``transport`` / ``harvested`` / ``compute_backend``).
+(``transport`` / ``harvested`` / ``compute_backend``); version 9 added
+the ``transport`` field inside the ``federation`` block (how shard
+sub-traces reach the replay workers: ``inline`` by reference, ``shm``
+via one shared-memory listener post, ``pickle`` per shard plan).
 :meth:`RunManifest.from_dict` parses every version back to 1,
 defaulting the keys each newer version introduced, so consumers can
-rely on the version-8 shape either way.
+rely on the version-9 shape either way.
 """
 
 from __future__ import annotations
@@ -110,7 +117,7 @@ __all__ = [
     "describe_instance",
 ]
 
-MANIFEST_VERSION = 8
+MANIFEST_VERSION = 9
 
 #: Executor-block keys added in manifest version 2, with their defaults
 #: (applied when parsing version-1 documents).
@@ -287,7 +294,7 @@ class RunManifest:
     def from_dict(cls, payload: Mapping[str, object]) -> "RunManifest":
         """Parse a manifest document of any supported schema version.
 
-        Accepts version 1 through 8 documents: the hardening keys
+        Accepts version 1 through 9 documents: the hardening keys
         missing from version-1 executor blocks default to zero, the
         ``service`` block missing below version 3 defaults to ``{}``,
         the version-4 chunked-transport executor keys and serving-
@@ -295,11 +302,14 @@ class RunManifest:
         the version-5 ``control`` block defaults to ``{}``, a
         non-empty pre-v6 ``control`` block gains a defaulted
         ``durability`` sub-block, the version-7 ``federation`` block
-        defaults to ``{}``, and the version-8 zero-copy-transport
+        defaults to ``{}``, the version-8 zero-copy-transport
         executor keys default to what the older executors actually did
         (``transport`` ``"pickle"`` for process mode, ``"inline"``
-        otherwise; ``compute_backend`` ``"python"``) — so consumers can
-        rely on the version-8 shape either way.
+        otherwise; ``compute_backend`` ``"python"``), and a non-empty
+        pre-v9 ``federation`` block gains a ``transport`` field
+        defaulted the same way (older federations pickled shard plans
+        under process fan-out and passed them inline otherwise) — so
+        consumers can rely on the version-9 shape either way.
 
         Raises:
             ReproError: For unknown (newer) versions or documents missing
@@ -335,6 +345,14 @@ class RunManifest:
                 control.setdefault(
                     "durability", dict(_CONTROL_DURABILITY_V6_DEFAULT)
                 )
+            federation = dict(payload.get("federation", {}))
+            if federation:
+                federation.setdefault(
+                    "transport",
+                    "pickle"
+                    if executor.get("mode") == "process"
+                    else "inline",
+                )
             return cls(
                 run_id=int(payload["run_id"]),
                 operation=str(payload["operation"]),
@@ -356,7 +374,7 @@ class RunManifest:
                 results=dict(payload.get("results", {})),
                 service=service,
                 control=control,
-                federation=dict(payload.get("federation", {})),
+                federation=federation,
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ReproError(

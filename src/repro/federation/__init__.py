@@ -17,17 +17,25 @@ from repro.federation.admission import (
 )
 from repro.federation.ring import ShardRing, partition_catalog
 from repro.federation.service import (
+    FEDERATION_ROUTERS,
+    FEDERATION_TRANSPORTS,
+    ColumnarShardPlan,
     FederatedBroadcastService,
     FederationReport,
+    RoutedTrace,
     ShardPlan,
     replay_shard_task,
 )
 
 __all__ = [
+    "ColumnarShardPlan",
+    "FEDERATION_ROUTERS",
+    "FEDERATION_TRANSPORTS",
     "FederatedBroadcastService",
     "FederationReport",
     "GlobalAdmissionController",
     "GlobalAdmissionDecision",
+    "RoutedTrace",
     "ShardPlan",
     "ShardRing",
     "partition_catalog",

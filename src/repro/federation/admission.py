@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Mapping, Sequence
 
 from repro.core.errors import SimulationError
@@ -163,6 +164,16 @@ class GlobalAdmissionController:
         """The shard currently holding ``page_id``, if any."""
         return self._location.get(page_id)
 
+    @property
+    def locations(self) -> Mapping[int, int]:
+        """Read-only live view of the ``page_id -> shard`` shadow state.
+
+        The columnar router rebuilds its page-location lookup table
+        from this view after every catalog event instead of calling
+        :meth:`locate` once per listener.
+        """
+        return MappingProxyType(self._location)
+
     def pages(self, shard: int) -> dict[int, int]:
         """Snapshot of one shard's ``page_id -> expected_time`` mirror."""
         return dict(self._pages[shard])
@@ -204,7 +215,17 @@ class GlobalAdmissionController:
         self._apply_remove(source, page_id)
         self._apply_insert(target, page_id, expected)
 
-    def _required_with(self, shard: int, expected: int) -> int:
+    def required_with(self, shard: int, expected: int) -> int:
+        """Theorem-3.1 requirement of ``shard`` plus one hypothetical page.
+
+        The what-if probe behind every placement decision: the shard's
+        current expected-time histogram with one more page of deadline
+        ``expected``, priced without mutating any state.  Public because
+        the drift rebalancer (see
+        :meth:`repro.federation.service.FederatedBroadcastService`)
+        asks the same question before moving a page — a move is only
+        legal when the target stays within budget.
+        """
         histogram = dict(self._times[shard])
         histogram[expected] = histogram.get(expected, 0) + 1
         return required_channels_of(histogram)
@@ -221,7 +242,7 @@ class GlobalAdmissionController:
 
     def _fit_shard(self, expected: int, home: int) -> int | None:
         """Home if it fits, else the least-loaded shard with headroom."""
-        if self._required_with(home, expected) <= self.budget:
+        if self.required_with(home, expected) <= self.budget:
             return home
         candidates = sorted(
             (self.channel_load(shard), shard)
@@ -229,7 +250,7 @@ class GlobalAdmissionController:
             if shard != home
         )
         for _, shard in candidates:
-            if self._required_with(shard, expected) <= self.budget:
+            if self.required_with(shard, expected) <= self.budget:
                 return shard
         return None
 
@@ -280,7 +301,7 @@ class GlobalAdmissionController:
             )
         shard = self._fit_shard(expected, home)
         if shard is not None:
-            required = self._required_with(shard, expected)
+            required = self.required_with(shard, expected)
             self._apply_insert(shard, event.page_id, expected)
             if shard == home:
                 return self._decision(
@@ -290,7 +311,7 @@ class GlobalAdmissionController:
             return self._decision(
                 event, "admitted", shard, home, required, "spilled"
             )
-        required = self._required_with(home, expected)
+        required = self.required_with(home, expected)
         if len(self._queue) < self.queue_limit:
             self._queue.append((event, home))
             return self._decision(
@@ -364,7 +385,7 @@ class GlobalAdmissionController:
             if shard is None:
                 remaining.append((event, home))
                 continue
-            required = self._required_with(shard, expected)
+            required = self.required_with(shard, expected)
             self._apply_insert(shard, event.page_id, expected)
             self.counters["drained"] += 1
             if shard != home:

@@ -87,6 +87,11 @@ class ShardRing:
         points.sort()
         self._points = [p for p, _ in points]
         self._owners = [s for _, s in points]
+        # group -> shard lookups are memoised: the columnar router asks
+        # for the same handful of ladder groups across millions of
+        # listener routings, and each miss pays a SHA-256 digest.
+        # Membership changes invalidate the whole cache.
+        self._owner_cache: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Membership
@@ -119,11 +124,17 @@ class ShardRing:
 
     def owner(self, group: int) -> int:
         """The shard pinned to ladder group ``group`` (an expected time)."""
-        point = _point(self.seed, f"group:{int(group)}")
+        group = int(group)
+        cached = self._owner_cache.get(group)
+        if cached is not None:
+            return cached
+        point = _point(self.seed, f"group:{group}")
         index = bisect.bisect_right(self._points, point)
         if index == len(self._points):
             index = 0
-        return self._owners[index]
+        shard = self._owners[index]
+        self._owner_cache[group] = shard
+        return shard
 
     def assignment(self, groups: Iterable[int]) -> dict[int, int]:
         """``group -> shard`` for every group, in one pass."""

@@ -5,7 +5,7 @@ across N station shards and replays each shard through its own
 :class:`~repro.live.service.LiveBroadcastService`.  The replay is two
 deterministic phases:
 
-1. **Routing** — a single sequential pass over the global trace.  A
+1. **Routing** — one pass over the global trace.  A
    :class:`~repro.federation.ring.ShardRing` pins each ladder group to a
    shard; a :class:`~repro.federation.admission.GlobalAdmissionController`
    judges every catalog mutation against the *federation's* Theorem-3.1
@@ -16,19 +16,52 @@ deterministic phases:
    exceeds ``rebalance_threshold`` times the federation mean, up to
    ``max_pages_moved`` pages migrate to the least-loaded shard —
    emitted as a ``page_remove``/``page_insert`` pair at the next slot,
-   the Farach-Colton-style reallocation budget.  The pass emits one
-   sub-trace per shard.
+   the Farach-Colton-style reallocation budget.
 
-2. **Shard replay** — every sub-trace replays through a fresh
-   per-shard :class:`~repro.live.service.LiveBroadcastService` (its own
-   private engine, so shard outcomes are pure functions of the
-   sub-trace).  Because each mutation now re-plans a ~K/N-page shard
-   catalog instead of the full K pages, aggregate replay cost drops
-   near-linearly with the shard count even on one core; on multi-core
-   hosts the shards additionally fan out across the chunked sweep
-   executor's process pool (:func:`repro.engine.executor.run_tasks`).
-   Fan-out never changes results: outcomes are collected in shard
-   order and are bit-identical to a serial replay.
+   Two router implementations share the catalog control path and are
+   byte-identical by construction (property-tested):
+
+   * ``sequential`` — the reference: every event, listener arrivals
+     included, walks the control loop one Python iteration at a time.
+   * ``columnar`` (default) — the hot path: catalog events (original
+     plus injected drains/moves) still take the sequential control
+     path, but the listener runs between them are routed in vectorised
+     passes over :meth:`~repro.live.mutations.MutationTrace.columns` —
+     a dense page→shard lookup table refreshed from the controller's
+     shadow state after each catalog event, orphans detected by mask
+     and resolved through the (memoised) ring.  Per-listener Python
+     work drops to zero.
+
+2. **Shard replay** — every shard's routed sub-trace replays through a
+   :class:`~repro.live.service.LiveBroadcastService` on a *warm*
+   per-shard engine (kept module-global, so bench repetitions and
+   repeated ``run()`` calls in one process reuse each shard's program
+   cache; results are unchanged because schedulers are deterministic
+   and cached programs are copied before use).  Sub-traces are built by
+   a stable merge of the listener columns and the catalog events on
+   ``(time, kind, page_id)`` through
+   :meth:`~repro.live.mutations.MutationTrace.presorted` — no re-sort,
+   no duplicate scan, no JSON fingerprint; the content digest comes
+   from :func:`~repro.live.mutations.fingerprint_columns`.
+
+   Fan-out transports (recorded as ``federation.transport``, manifest
+   schema v9):
+
+   * ``inline`` — serial/thread replay: sub-trace events *reference*
+     the parent trace's event objects (zero copies, zero construction).
+   * ``shm`` — process pools: the listener columns and their shard
+     assignment are posted once into ``multiprocessing.shared_memory``;
+     each worker attaches, masks out its shard's rows and rebuilds only
+     its own listener events.  Falls back to ``pickle`` when shared
+     memory is unavailable.
+   * ``pickle`` — the legacy path: a full sub-trace pickled per
+     :class:`ShardPlan`.
+
+   Pass a persistent :class:`~repro.engine.executor.TaskPool` to
+   :meth:`FederatedBroadcastService.run` to keep pool workers (and the
+   warm engines and shared-memory attachments they hold) alive across
+   runs.  Fan-out never changes results: outcomes are collected in
+   shard order and are bit-identical to a serial replay.
 
 Every phase draws randomness from nothing but the ring seed and the
 trace, so two runs of the same inputs produce byte-identical reports —
@@ -38,29 +71,48 @@ the federation inherits the live layer's replay-determinism contract.
 from __future__ import annotations
 
 import math
+import pickle
 from dataclasses import dataclass, field
-from typing import Mapping, TYPE_CHECKING
+from multiprocessing import shared_memory
+from typing import Mapping, Sequence, TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.errors import ReproError, SimulationError
 from repro.core.pages import ProblemInstance
-from repro.engine.executor import ExecutionPolicy, run_tasks
+from repro.engine.executor import ExecutionPolicy, TaskPool, run_tasks
 from repro.federation.admission import (
     GlobalAdmissionController,
     GlobalAdmissionDecision,
 )
 from repro.federation.ring import ShardRing, partition_catalog
 from repro.live.catalog import LiveCatalog
-from repro.live.mutations import MutationEvent, MutationTrace
+from repro.live.mutations import (
+    MutationEvent,
+    MutationTrace,
+    fingerprint_columns,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.engine.executor import ExecutionReport
+    from repro.engine.facade import BroadcastEngine
 
 __all__ = [
+    "FEDERATION_ROUTERS",
+    "FEDERATION_TRANSPORTS",
+    "ColumnarShardPlan",
     "FederatedBroadcastService",
     "FederationReport",
+    "RoutedTrace",
     "ShardPlan",
     "replay_shard_task",
 ]
+
+#: Router implementations (identical outputs; ``columnar`` is the fast
+#: default, ``sequential`` the per-event reference).
+FEDERATION_ROUTERS = ("columnar", "sequential")
+
+#: Shard fan-out transports recorded in ``federation.transport``.
+FEDERATION_TRANSPORTS = ("inline", "shm", "pickle")
 
 #: ``LiveBroadcastService`` counters aggregated across shards.
 _AGGREGATED_COUNTERS = (
@@ -77,6 +129,20 @@ _AGGREGATED_COUNTERS = (
     "replans_avoided",
 )
 
+#: Dense page→shard lookup tables are capped at this many entries
+#: (64 MiB of int64); catalogs with sparser page-id spaces fall back to
+#: per-run dictionary resolution, which is slower but allocation-safe.
+_LOCATION_LUT_LIMIT = 8_388_608
+
+
+def _event_sort_key(event: MutationEvent) -> tuple:
+    return (event.time, event.kind, event.page_id)
+
+
+# ----------------------------------------------------------------------
+# Shard plans (the fan-out payloads)
+# ----------------------------------------------------------------------
+
 
 @dataclass(frozen=True)
 class ShardPlan:
@@ -85,6 +151,8 @@ class ShardPlan:
     Picklable by construction (plain ints and a
     :class:`~repro.live.mutations.MutationTrace` of frozen events), so
     it crosses the process-pool boundary as cheaply as a sweep chunk.
+    ``inline`` transport ships the same object by reference, with the
+    sub-trace's events *aliasing* the parent trace's event objects.
     """
 
     shard: int
@@ -97,22 +165,282 @@ class ShardPlan:
     target_miss_rate: float
     replan_cooldown: int
     batch_listeners: bool
+    warm_engine: bool = True
 
 
-def replay_shard_task(plan: ShardPlan) -> dict:
+@dataclass(frozen=True)
+class ColumnarShardPlan:
+    """A shard workload whose listeners live in a shared-memory post.
+
+    The zero-copy sibling of :class:`ShardPlan`: catalog events (a few
+    hundred at most) pickle normally, while the listener columns — the
+    millions of rows — are posted *once* for the whole federation (see
+    ``shm_name``) together with a per-listener shard assignment.  The
+    worker attaches, selects its shard's rows, rebuilds its listener
+    events and merges them with the catalog events; ``fingerprint`` is
+    stamped rather than recomputed so the rebuilt sub-trace reports
+    identically to an inline replay.
+    """
+
+    shard: int
+    initial: tuple[tuple[int, int], ...]
+    horizon: int
+    meta: Mapping[str, object]
+    catalog_events: tuple[MutationEvent, ...]
+    fingerprint: str
+    shm_name: str
+    shm_size: int
+    budget: int
+    admission: bool
+    queue_limit: int
+    slo_window: int
+    target_miss_rate: float
+    replan_cooldown: int
+    batch_listeners: bool
+    warm_engine: bool = True
+
+
+# ----------------------------------------------------------------------
+# Sub-trace assembly (shared by parent and shm workers)
+# ----------------------------------------------------------------------
+
+
+def _merge_columns(lt, lp, le, catalog_events: Sequence[MutationEvent]):
+    """Stable-merge listener columns with sorted catalog events.
+
+    ``lt``/``lp``/``le`` are the shard's listener times, page ids and
+    expected times in trace order; ``catalog_events`` must already be
+    sorted by ``(time, kind, page_id)``.  Returns the merged columnar
+    arrays plus the catalog-position mask.  The merge reproduces the
+    ``(time, kind, page_id)`` sort order the validating constructor
+    would compute: at a shared timestamp ``"listener"`` sorts before
+    every catalog kind, so each catalog event lands *after* all
+    listeners at or before its time (``searchsorted`` side ``right``).
+    """
+    lc = len(catalog_events)
+    ll = int(lt.shape[0])
+    n = ll + lc
+    mask = np.zeros(n, dtype=bool)
+    m_times = np.empty(n, dtype=np.float64)
+    m_pages = np.empty(n, dtype=np.int64)
+    m_expected = np.empty(n, dtype=np.int64)
+    if lc:
+        ct = np.fromiter(
+            (event.time for event in catalog_events), np.float64, lc
+        )
+        positions = np.searchsorted(lt, ct, side="right")
+        positions = positions + np.arange(lc, dtype=np.int64)
+        mask[positions] = True
+        m_times[mask] = ct
+        m_pages[mask] = np.fromiter(
+            (event.page_id for event in catalog_events), np.int64, lc
+        )
+        m_expected[mask] = np.fromiter(
+            (
+                -1 if event.expected_time is None else event.expected_time
+                for event in catalog_events
+            ),
+            np.int64,
+            lc,
+        )
+    is_listener = ~mask
+    m_times[is_listener] = lt
+    m_pages[is_listener] = lp
+    m_expected[is_listener] = le
+    return m_times, is_listener, m_pages, m_expected, mask
+
+
+def _assemble_subtrace(
+    horizon: int,
+    meta: Mapping[str, object],
+    catalog_events: Sequence[MutationEvent],
+    lt,
+    lp,
+    le,
+    listener_objects,
+    *,
+    fingerprint: str | None = None,
+    with_columns: bool = True,
+) -> MutationTrace:
+    """Build one shard's sub-trace without re-validating anything.
+
+    ``listener_objects`` is a sequence (or object ndarray) of the
+    shard's listener events aligned with ``lt`` order — parent event
+    objects on the inline path, worker-rebuilt events on the shm path.
+    The merged trace goes through
+    :meth:`~repro.live.mutations.MutationTrace.presorted` with its
+    columns pre-seeded (unless ``with_columns`` is off, for pickle
+    transport, where shipping the arrays would double the payload) and
+    its fingerprint stamped — computed via
+    :func:`~repro.live.mutations.fingerprint_columns` when not given.
+    """
+    m_times, is_listener, m_pages, m_expected, mask = _merge_columns(
+        lt, lp, le, catalog_events
+    )
+    n = int(m_times.shape[0])
+    events = np.empty(n, dtype=object)
+    lc = len(catalog_events)
+    if lc:
+        cat_arr = np.empty(lc, dtype=object)
+        cat_arr[:] = list(catalog_events)
+        events[mask] = cat_arr
+    if n - lc:
+        if isinstance(listener_objects, np.ndarray):
+            lis_arr = listener_objects
+        else:
+            lis_arr = np.empty(n - lc, dtype=object)
+            lis_arr[:] = list(listener_objects)
+        events[is_listener] = lis_arr
+    if fingerprint is None:
+        fingerprint = fingerprint_columns(
+            horizon, meta, m_times, is_listener, m_pages, m_expected,
+            catalog_events,
+        )
+    columns = (
+        (m_times, is_listener, m_pages, m_expected)
+        if with_columns
+        else None
+    )
+    return MutationTrace.presorted(
+        horizon,
+        tuple(events.tolist()),
+        meta,
+        columns=columns,
+        fingerprint=fingerprint,
+    )
+
+
+class _FedShmPost:
+    """The federation's listener columns, posted once into shared memory.
+
+    One pickle of ``(times, page_ids, expected, shard)`` listener
+    arrays crosses the process boundary once per :meth:`run`, instead
+    of a million listener events pickling per shard plan.  The parent
+    owns the block: :meth:`close` unlinks it after the fan-out drains.
+    """
+
+    def __init__(self, arrays: tuple) -> None:
+        payload = pickle.dumps(arrays, protocol=pickle.HIGHEST_PROTOCOL)
+        self.size = len(payload)
+        self.block = shared_memory.SharedMemory(
+            create=True, size=max(1, self.size)
+        )
+        self.block.buf[: self.size] = payload
+
+    @property
+    def name(self) -> str:
+        return self.block.name
+
+    def close(self) -> None:
+        try:
+            self.block.close()
+            self.block.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+#: Worker-side cache of the attached listener-column post.  A run posts
+#: exactly one block, so the cache keeps a single entry; a new name
+#: evicts the previous attachment (warm pool workers outlive runs).
+_FED_SHM_CACHE: dict[str, tuple] = {}
+
+
+def _listener_columns_from_shm(name: str, size: int) -> tuple:
+    cached = _FED_SHM_CACHE.get(name)
+    if cached is None:
+        block = shared_memory.SharedMemory(name=name)
+        view = block.buf[:size]
+        try:
+            cached = pickle.loads(view)
+        finally:
+            view.release()
+            block.close()
+        _FED_SHM_CACHE.clear()
+        _FED_SHM_CACHE[name] = cached
+    return cached
+
+
+def _subtrace_from_plan(plan: ColumnarShardPlan) -> MutationTrace:
+    """Rebuild one shard's sub-trace from the shared-memory post."""
+    lt, lp, le, ls = _listener_columns_from_shm(
+        plan.shm_name, plan.shm_size
+    )
+    select = ls == plan.shard
+    lt = np.ascontiguousarray(lt[select])
+    lp = np.ascontiguousarray(lp[select])
+    le = np.ascontiguousarray(le[select])
+    listeners = [
+        MutationEvent(
+            time=time,
+            kind="listener",
+            page_id=page,
+            expected_time=None if exp < 0 else exp,
+        )
+        for time, page, exp in zip(
+            lt.tolist(), lp.tolist(), le.tolist()
+        )
+    ]
+    return _assemble_subtrace(
+        plan.horizon,
+        plan.meta,
+        plan.catalog_events,
+        lt,
+        lp,
+        le,
+        listeners,
+        fingerprint=plan.fingerprint,
+    )
+
+
+# ----------------------------------------------------------------------
+# Warm shard engines
+# ----------------------------------------------------------------------
+
+#: Per-shard engines kept warm for the life of the process (parent for
+#: serial/thread replay, each pool worker for process replay).  Reuse
+#: is a pure wall-clock win: program-cache keys are content fingerprints
+#: and cached programs are copied before the live service edits them,
+#: so a warm engine returns exactly what a cold one would compute.
+_WARM_ENGINES: dict[int, "BroadcastEngine"] = {}
+
+
+def _warm_engine(shard: int) -> "BroadcastEngine":
+    engine = _WARM_ENGINES.get(shard)
+    if engine is None:
+        from repro.engine.facade import BroadcastEngine
+
+        engine = BroadcastEngine()
+        _WARM_ENGINES[shard] = engine
+    return engine
+
+
+def replay_shard_task(plan: ShardPlan | ColumnarShardPlan) -> dict:
     """Replay one shard to completion (the executor task entry point).
 
     Builds the shard's :class:`~repro.live.service.LiveBroadcastService`
-    on a private engine and returns the report's manifest-ready dict
-    (plus the shard id) — never the live objects, so the return value
-    pickles back across the pool without dragging program grids along.
+    on the shard's warm engine and returns the report's manifest-ready
+    dict (plus the shard id) — never the live objects, so the return
+    value pickles back across the pool without dragging program grids
+    along.  :class:`ColumnarShardPlan` payloads rebuild their sub-trace
+    from the shared-memory listener post first.
     """
     from repro.live.service import LiveBroadcastService
 
+    if isinstance(plan, ColumnarShardPlan):
+        trace = _subtrace_from_plan(plan)
+    else:
+        trace = plan.trace
+    if plan.warm_engine:
+        engine = _warm_engine(plan.shard)
+    else:
+        from repro.engine.facade import BroadcastEngine
+
+        engine = BroadcastEngine()
     service = LiveBroadcastService(
         dict(plan.initial),
-        plan.trace,
+        trace,
         budget=plan.budget,
+        engine=engine,
         admission=plan.admission,
         queue_limit=plan.queue_limit,
         slo_window=plan.slo_window,
@@ -124,6 +452,226 @@ def replay_shard_task(plan: ShardPlan) -> dict:
     summary = report.as_dict()
     summary["shard"] = plan.shard
     return summary
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RoutedTrace:
+    """Phase-1 output: where every event goes, plus the control trail.
+
+    Attributes:
+        controller: The admission controller, final shadow state.
+        decisions: Every global admission verdict, in event order.
+        rebalances: ``(time, page_id, source, target)`` per move.
+        routing: Router accounting counters.
+        catalog_events: Per-shard catalog events (original admissions
+            plus injected drains/moves), in emit order.
+        listener_shard: One entry per parent-trace event — the shard
+            each listener was routed to, ``-1`` at non-listener
+            positions.
+    """
+
+    controller: GlobalAdmissionController
+    decisions: list[GlobalAdmissionDecision]
+    rebalances: list[tuple[float, int, int, int]]
+    routing: dict[str, int]
+    catalog_events: dict[int, list[MutationEvent]]
+    listener_shard: "np.ndarray"
+
+
+class _RouterState:
+    """The catalog control path both routers share.
+
+    Admission verdicts, queue drains and drift rebalancing live here so
+    the sequential reference and the columnar hot path cannot drift
+    apart — they differ only in how listener arrivals are resolved to
+    shards.  Dedup (``used_keys``) covers catalog and injected events
+    only: listeners are unique by the parent trace's own invariant, so
+    keeping one key per routed listener (the old behaviour) would cost
+    O(events) memory for no protection.
+    """
+
+    def __init__(self, service: "FederatedBroadcastService") -> None:
+        self.service = service
+        self.controller = GlobalAdmissionController(
+            service.partition,
+            service.budget,
+            queue_limit=service.queue_limit,
+            enabled=service.admission,
+        )
+        self.catalog_events: dict[int, list[MutationEvent]] = {
+            s: [] for s in service.ring.shards
+        }
+        self.used_keys: dict[int, set[tuple]] = {
+            s: set() for s in service.ring.shards
+        }
+        self.decisions: list[GlobalAdmissionDecision] = []
+        self.rebalances: list[tuple[float, int, int, int]] = []
+        self.deferred_pages: set[int] = set()
+        self.routing = {
+            "listeners_routed": 0,
+            "orphan_listeners": 0,
+            "drain_events": 0,
+            "drains_deferred": 0,
+            "moves_emitted": 0,
+            "moves_skipped_budget": 0,
+            "moves_skipped_guard": 0,
+        }
+
+    def emit(self, shard: int, event: MutationEvent) -> bool:
+        key = (event.time, event.kind, event.page_id)
+        if key in self.used_keys[shard]:
+            return False
+        self.used_keys[shard].add(key)
+        self.catalog_events[shard].append(event)
+        return True
+
+    def next_slot(self, now: float) -> float | None:
+        """The first integer slot strictly after ``now`` (in-horizon).
+
+        Router-injected catalog events (queue drains, rebalance moves)
+        land one slot late so they always *follow* every original event
+        of the triggering slot in sub-trace sort order — the walk order
+        and the replay order stay aligned.
+        """
+        slot = float(math.floor(now)) + 1.0
+        return slot if slot < self.service.trace.horizon else None
+
+    def drain(self, now: float) -> None:
+        controller = self.controller
+        slot = self.next_slot(now)
+        if slot is None:
+            # End-of-horizon triggers can fire repeatedly while the same
+            # inserts sit in the queue; count each *page* once instead
+            # of re-adding the whole queue depth per trigger.
+            self.deferred_pages.update(
+                event.page_id for event in controller.queued
+            )
+            return
+        for decision in controller.drain(slot):
+            self.decisions.append(decision)
+            assert decision.shard is not None
+            emitted = self.emit(
+                decision.shard,
+                MutationEvent(
+                    time=slot,
+                    kind="page_insert",
+                    page_id=decision.page_id,
+                    expected_time=controller.pages(decision.shard)[
+                        decision.page_id
+                    ],
+                ),
+            )
+            if emitted:
+                self.routing["drain_events"] += 1
+
+    def rebalance(self, now: float) -> None:
+        service = self.service
+        controller = self.controller
+        if not service.rebalance_threshold or service.shards < 2:
+            return
+        slot = self.next_slot(now)
+        if slot is None:
+            return
+        loads = {
+            s: controller.channel_load(s) for s in controller.shards
+        }
+        mean = sum(loads.values()) / len(loads)
+        if mean <= 0.0:
+            return
+        source = max(loads, key=lambda s: (loads[s], -s))
+        if loads[source] <= service.rebalance_threshold * mean:
+            return
+        target = min(loads, key=lambda s: (loads[s], s))
+        moved = 0
+        # Heaviest pages first (smallest expected time), page id as
+        # the tie-break — a deterministic pick that sheds the most
+        # load per unit of reallocation budget.
+        candidates = sorted(
+            controller.pages(source).items(),
+            key=lambda item: (item[1], item[0]),
+        )
+        for page_id, expected in candidates:
+            if moved >= service.max_pages_moved:
+                self.routing["moves_skipped_budget"] += 1
+                break
+            if controller.page_count(source) <= 1:
+                self.routing["moves_skipped_guard"] += 1
+                break
+            if controller.required_with(target, expected) > service.budget:
+                self.routing["moves_skipped_budget"] += 1
+                continue
+            remove = MutationEvent(
+                time=slot, kind="page_remove", page_id=page_id
+            )
+            insert = MutationEvent(
+                time=slot,
+                kind="page_insert",
+                page_id=page_id,
+                expected_time=expected,
+            )
+            if (
+                (slot, "page_remove", page_id) in self.used_keys[source]
+                or (slot, "page_insert", page_id) in self.used_keys[target]
+            ):
+                self.routing["moves_skipped_guard"] += 1
+                continue
+            self.emit(source, remove)
+            self.emit(target, insert)
+            controller.move_page(page_id, source, target)
+            self.rebalances.append((slot, page_id, source, target))
+            self.routing["moves_emitted"] += 1
+            moved += 1
+            if (
+                controller.channel_load(source)
+                <= service.rebalance_threshold * mean
+            ):
+                break
+
+    def handle_catalog(self, event: MutationEvent) -> None:
+        """Decide one original catalog event and run its side effects."""
+        controller = self.controller
+        if event.kind == "page_insert":
+            home = self.service._effective_owner(
+                int(event.expected_time or 0)
+            )
+            decision = controller.decide_insert(event, home)
+            self.decisions.append(decision)
+            if decision.verdict == "admitted":
+                assert decision.shard is not None
+                self.emit(decision.shard, event)
+                self.rebalance(event.time)
+        elif event.kind == "page_remove":
+            decision = controller.decide_remove(event)
+            self.decisions.append(decision)
+            if decision.verdict == "admitted":
+                assert decision.shard is not None
+                self.emit(decision.shard, event)
+                self.drain(event.time)
+        elif event.kind == "page_retune":
+            decision = controller.decide_retune(event)
+            self.decisions.append(decision)
+            if decision.verdict == "admitted":
+                assert decision.shard is not None
+                self.emit(decision.shard, event)
+                self.drain(event.time)
+                self.rebalance(event.time)
+        else:  # pragma: no cover - routers never send listeners here
+            raise SimulationError(
+                f"listener event reached the catalog path: {event}"
+            )
+
+    def finish(self) -> None:
+        self.routing["drains_deferred"] = len(self.deferred_pages)
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -148,6 +696,8 @@ class FederationReport:
         shard_reports: Per-shard ``LiveReport.as_dict()`` summaries
             (plus ``"shard"``), ascending shard order.
         counters: Shard counters summed across the federation.
+        transport: How sub-traces crossed to the shard replays
+            (``inline`` / ``shm`` / ``pickle``); manifest schema v9.
         executor: The fan-out's executor block (mode, fallback, ...).
     """
 
@@ -164,6 +714,7 @@ class FederationReport:
     routing: Mapping[str, int]
     shard_reports: tuple[Mapping[str, object], ...]
     counters: Mapping[str, int]
+    transport: str = "inline"
     executor: Mapping[str, object] = field(default_factory=dict)
 
     @property
@@ -187,11 +738,18 @@ class FederationReport:
         return (self.misses / listeners) if listeners else 0.0
 
     def as_dict(self) -> dict:
-        """The manifest ``federation`` block (schema v7)."""
+        """The manifest ``federation`` block (schema v9).
+
+        Deliberately *router-free*: the columnar and sequential routers
+        must produce byte-identical blocks (the CI smoke job ``cmp``\\ s
+        the two manifests), so only content — not which implementation
+        computed it — may appear here.
+        """
         return {
             "shards": self.shards,
             "budget": self.budget,
             "seed": self.seed,
+            "transport": self.transport,
             "ring_fingerprint": self.ring_fingerprint,
             "trace_fingerprint": self.trace_fingerprint,
             "group_assignment": {
@@ -216,6 +774,11 @@ class FederationReport:
             "final_valid": self.final_valid,
             "shard_reports": [dict(r) for r in self.shard_reports],
         }
+
+
+# ----------------------------------------------------------------------
+# Service
+# ----------------------------------------------------------------------
 
 
 class FederatedBroadcastService:
@@ -243,6 +806,14 @@ class FederatedBroadcastService:
             inherit the flag).
         queue_limit: Global FIFO insert-queue capacity (shard services
             get the same local capacity as a safety net).
+        router: ``"columnar"`` (vectorised listener routing, the
+            default) or ``"sequential"`` (the per-event reference);
+            reports are byte-identical either way.
+        warm_shard_pool: Replay each shard on a process-lifetime warm
+            engine (program caches survive across runs — the default).
+            ``False`` gives every replay a private cold engine, the
+            pre-warm-pool behaviour; results are identical either way
+            because cached programs are copied before use.
         slo_window / target_miss_rate / replan_cooldown /
         batch_listeners: Forwarded to every shard's
             :class:`~repro.live.service.LiveBroadcastService`.
@@ -261,6 +832,8 @@ class FederatedBroadcastService:
         max_pages_moved: int = 4,
         admission: bool = True,
         queue_limit: int = 16,
+        router: str = "columnar",
+        warm_shard_pool: bool = True,
         slo_window: int = 64,
         target_miss_rate: float = 0.05,
         replan_cooldown: int = 8,
@@ -276,6 +849,11 @@ class FederatedBroadcastService:
         if max_pages_moved < 0:
             raise ReproError(
                 f"max_pages_moved must be >= 0, got {max_pages_moved}"
+            )
+        if router not in FEDERATION_ROUTERS:
+            raise ReproError(
+                f"unknown router {router!r}; choose from "
+                f"{', '.join(FEDERATION_ROUTERS)}"
             )
         catalog = (
             LiveCatalog(initial).pages()
@@ -299,6 +877,8 @@ class FederatedBroadcastService:
         self.max_pages_moved = int(max_pages_moved)
         self.admission = admission
         self.queue_limit = int(queue_limit)
+        self.router = router
+        self.warm_shard_pool = bool(warm_shard_pool)
         self.slo_window = int(slo_window)
         self.target_miss_rate = float(target_miss_rate)
         self.replan_cooldown = int(replan_cooldown)
@@ -319,6 +899,7 @@ class FederatedBroadcastService:
         if budget < 1:
             raise SimulationError(f"budget must be >= 1, got {budget}")
         self.budget = int(budget)
+        self._max_initial_page = max(catalog)
         self._report: FederationReport | None = None
 
     # ------------------------------------------------------------------
@@ -364,142 +945,25 @@ class FederatedBroadcastService:
     # Phase 1: routing
     # ------------------------------------------------------------------
 
-    def route(self) -> tuple[
-        dict[int, list[MutationEvent]],
-        GlobalAdmissionController,
-        list[GlobalAdmissionDecision],
-        list[tuple[float, int, int, int]],
-        dict[str, int],
-    ]:
-        """One sequential pass: global admission, drift moves, sub-traces."""
-        controller = GlobalAdmissionController(
-            self.partition,
-            self.budget,
-            queue_limit=self.queue_limit,
-            enabled=self.admission,
-        )
-        sub_events: dict[int, list[MutationEvent]] = {
-            s: [] for s in self.ring.shards
-        }
-        used_keys: dict[int, set[tuple]] = {s: set() for s in self.ring.shards}
-        decisions: list[GlobalAdmissionDecision] = []
-        rebalances: list[tuple[float, int, int, int]] = []
-        routing = {
-            "listeners_routed": 0,
-            "orphan_listeners": 0,
-            "drain_events": 0,
-            "drains_deferred": 0,
-            "moves_emitted": 0,
-            "moves_skipped_budget": 0,
-            "moves_skipped_guard": 0,
-        }
-
-        def emit(shard: int, event: MutationEvent) -> bool:
-            key = (event.time, event.kind, event.page_id)
-            if key in used_keys[shard]:
-                return False
-            used_keys[shard].add(key)
-            sub_events[shard].append(event)
-            return True
-
-        def next_slot(now: float) -> float | None:
-            """The first integer slot strictly after ``now`` (in-horizon).
-
-            Router-injected catalog events (queue drains, rebalance
-            moves) land one slot late so they always *follow* every
-            original event of the triggering slot in sub-trace sort
-            order — the walk order and the replay order stay aligned.
-            """
-            slot = float(math.floor(now)) + 1.0
-            return slot if slot < self.trace.horizon else None
-
-        def drain(now: float) -> None:
-            slot = next_slot(now)
-            if slot is None:
-                routing["drains_deferred"] += len(controller.queued)
-                return
-            for decision in controller.drain(slot):
-                decisions.append(decision)
-                assert decision.shard is not None
-                emitted = emit(
-                    decision.shard,
-                    MutationEvent(
-                        time=slot,
-                        kind="page_insert",
-                        page_id=decision.page_id,
-                        expected_time=controller.pages(decision.shard)[
-                            decision.page_id
-                        ],
-                    ),
-                )
-                if emitted:
-                    routing["drain_events"] += 1
-
-        def rebalance(now: float) -> None:
-            if not self.rebalance_threshold or self.shards < 2:
-                return
-            slot = next_slot(now)
-            if slot is None:
-                return
-            loads = {
-                s: controller.channel_load(s) for s in controller.shards
-            }
-            mean = sum(loads.values()) / len(loads)
-            if mean <= 0.0:
-                return
-            source = max(loads, key=lambda s: (loads[s], -s))
-            if loads[source] <= self.rebalance_threshold * mean:
-                return
-            target = min(loads, key=lambda s: (loads[s], s))
-            moved = 0
-            # Heaviest pages first (smallest expected time), page id as
-            # the tie-break — a deterministic pick that sheds the most
-            # load per unit of reallocation budget.
-            candidates = sorted(
-                controller.pages(source).items(),
-                key=lambda item: (item[1], item[0]),
+    def route(self, router: str | None = None) -> RoutedTrace:
+        """Run phase 1 with the configured (or given) router."""
+        router = self.router if router is None else router
+        if router not in FEDERATION_ROUTERS:
+            raise ReproError(
+                f"unknown router {router!r}; choose from "
+                f"{', '.join(FEDERATION_ROUTERS)}"
             )
-            for page_id, expected in candidates:
-                if moved >= self.max_pages_moved:
-                    routing["moves_skipped_budget"] += 1
-                    break
-                if controller.page_count(source) <= 1:
-                    routing["moves_skipped_guard"] += 1
-                    break
-                if (
-                    controller._required_with(target, expected)
-                    > self.budget
-                ):
-                    routing["moves_skipped_budget"] += 1
-                    continue
-                remove = MutationEvent(
-                    time=slot, kind="page_remove", page_id=page_id
-                )
-                insert = MutationEvent(
-                    time=slot,
-                    kind="page_insert",
-                    page_id=page_id,
-                    expected_time=expected,
-                )
-                if (
-                    (slot, "page_remove", page_id) in used_keys[source]
-                    or (slot, "page_insert", page_id) in used_keys[target]
-                ):
-                    routing["moves_skipped_guard"] += 1
-                    continue
-                emit(source, remove)
-                emit(target, insert)
-                controller.move_page(page_id, source, target)
-                rebalances.append((slot, page_id, source, target))
-                routing["moves_emitted"] += 1
-                moved += 1
-                if (
-                    controller.channel_load(source)
-                    <= self.rebalance_threshold * mean
-                ):
-                    break
+        if router == "sequential":
+            return self._route_sequential()
+        return self._route_columnar()
 
-        for event in self.trace.events:
+    def _route_sequential(self) -> RoutedTrace:
+        """The reference pass: every event walks the control loop."""
+        state = _RouterState(self)
+        controller = state.controller
+        routing = state.routing
+        listener_shard = np.full(len(self.trace.events), -1, dtype=np.int64)
+        for index, event in enumerate(self.trace.events):
             if event.kind == "listener":
                 shard = controller.locate(event.page_id)
                 if shard is None:
@@ -507,70 +971,232 @@ class FederatedBroadcastService:
                         int(event.expected_time or 1)
                     )
                     routing["orphan_listeners"] += 1
-                emit(shard, event)
+                listener_shard[index] = shard
                 routing["listeners_routed"] += 1
-                continue
-            if event.kind == "page_insert":
-                home = self._effective_owner(int(event.expected_time or 0))
-                decision = controller.decide_insert(event, home)
-                decisions.append(decision)
-                if decision.verdict == "admitted":
-                    assert decision.shard is not None
-                    emit(decision.shard, event)
-                    rebalance(event.time)
-            elif event.kind == "page_remove":
-                decision = controller.decide_remove(event)
-                decisions.append(decision)
-                if decision.verdict == "admitted":
-                    assert decision.shard is not None
-                    emit(decision.shard, event)
-                    drain(event.time)
-            elif event.kind == "page_retune":
-                decision = controller.decide_retune(event)
-                decisions.append(decision)
-                if decision.verdict == "admitted":
-                    assert decision.shard is not None
-                    emit(decision.shard, event)
-                    drain(event.time)
-                    rebalance(event.time)
-        return sub_events, controller, decisions, rebalances, routing
+            else:
+                state.handle_catalog(event)
+        state.finish()
+        return RoutedTrace(
+            controller=controller,
+            decisions=state.decisions,
+            rebalances=state.rebalances,
+            routing=routing,
+            catalog_events=state.catalog_events,
+            listener_shard=listener_shard,
+        )
+
+    def _route_columnar(self) -> RoutedTrace:
+        """The hot pass: vectorised listener runs between catalog events.
+
+        Catalog events take the exact sequential control path (shared
+        :class:`_RouterState`); the listener runs between them resolve
+        against a dense page→shard table refreshed from the controller's
+        shadow state — refreshed lazily, only after catalog events, so a
+        million listeners between two mutations cost two ``take``\\ s and
+        a mask.  Trace sort order guarantees listeners at time ``t``
+        precede catalog events at ``t``, so run boundaries land exactly
+        where the sequential walk would put them.
+        """
+        state = _RouterState(self)
+        events = self.trace.events
+        times, is_listener, page_ids, expected = self.trace.columns()
+        count = len(events)
+        listener_shard = np.full(count, -1, dtype=np.int64)
+        max_page = self._max_initial_page
+        if count:
+            max_page = max(max_page, int(page_ids.max()))
+        dense = max_page < _LOCATION_LUT_LIMIT
+        loc = (
+            np.full(max_page + 1, -1, dtype=np.int64) if dense else None
+        )
+        loc_prev: np.ndarray | None = None
+        dirty = True
+
+        def refresh() -> None:
+            nonlocal loc_prev, dirty
+            locations = state.controller.locations
+            pids = np.fromiter(
+                locations.keys(), np.int64, len(locations)
+            )
+            shards_now = np.fromiter(
+                locations.values(), np.int64, len(locations)
+            )
+            if loc_prev is not None:
+                loc[loc_prev] = -1
+            loc[pids] = shards_now
+            loc_prev = pids
+            dirty = False
+
+        def route_run(lo: int, hi: int) -> None:
+            nonlocal dirty
+            pids = page_ids[lo:hi]
+            if dense:
+                if dirty:
+                    refresh()
+                shards_run = loc[pids]
+            else:
+                locations = state.controller.locations
+                unique, inverse = np.unique(pids, return_inverse=True)
+                owners = np.fromiter(
+                    (
+                        locations.get(int(p), -1)
+                        for p in unique.tolist()
+                    ),
+                    np.int64,
+                    unique.size,
+                )
+                shards_run = owners[inverse]
+            orphan = shards_run < 0
+            if orphan.any():
+                exp = expected[lo:hi][orphan]
+                values, inverse = np.unique(exp, return_inverse=True)
+                # The expected column stores ``None`` as ``-1``; the
+                # sequential fallback is ``int(expected_time or 1)``,
+                # which maps both None and 0 to group 1.
+                owners = np.fromiter(
+                    (
+                        self._effective_owner(int(v) if v > 0 else 1)
+                        for v in values.tolist()
+                    ),
+                    np.int64,
+                    values.size,
+                )
+                shards_run[orphan] = owners[inverse]
+                state.routing["orphan_listeners"] += int(orphan.sum())
+            listener_shard[lo:hi] = shards_run
+            state.routing["listeners_routed"] += hi - lo
+
+        cursor = 0
+        for cat_index in np.flatnonzero(~is_listener).tolist():
+            if cat_index > cursor:
+                route_run(cursor, cat_index)
+            state.handle_catalog(events[cat_index])
+            dirty = True
+            cursor = cat_index + 1
+        if cursor < count:
+            route_run(cursor, count)
+        state.finish()
+        return RoutedTrace(
+            controller=state.controller,
+            decisions=state.decisions,
+            rebalances=state.rebalances,
+            routing=state.routing,
+            catalog_events=state.catalog_events,
+            listener_shard=listener_shard,
+        )
 
     # ------------------------------------------------------------------
     # Phase 2: shard replay
     # ------------------------------------------------------------------
 
+    def _events_object_array(self) -> "np.ndarray":
+        """The parent events as an object ndarray, memoised on the trace.
+
+        Fancy-indexing this array is how inline sub-traces alias parent
+        event objects: selecting 125k listeners costs one C-level take
+        instead of 125k constructor calls.
+        """
+        cached = getattr(self.trace, "_object_array", None)
+        if cached is None:
+            cached = np.empty(len(self.trace.events), dtype=object)
+            cached[:] = self.trace.events
+            object.__setattr__(self.trace, "_object_array", cached)
+        return cached
+
+    def _subtrace_meta(self, shard: int) -> dict:
+        return {
+            "generator": "federation.router",
+            "shard": shard,
+            "shards": self.shards,
+            "parent_fingerprint": self.trace.fingerprint(),
+        }
+
+    def _plan_args(self, shard: int) -> dict:
+        return {
+            "shard": shard,
+            "initial": tuple(sorted(self.partition[shard].items())),
+            "budget": self.budget,
+            "admission": self.admission,
+            "queue_limit": self.queue_limit,
+            "slo_window": self.slo_window,
+            "target_miss_rate": self.target_miss_rate,
+            "replan_cooldown": self.replan_cooldown,
+            "batch_listeners": self.batch_listeners,
+            "warm_engine": self.warm_shard_pool,
+        }
+
     def _shard_plans(
-        self, sub_events: Mapping[int, list[MutationEvent]]
+        self, routed: RoutedTrace, transport: str
     ) -> list[ShardPlan]:
+        """Inline/pickle plans: sub-traces assembled in the parent."""
+        times, _, page_ids, expected = self.trace.columns()
+        objects = self._events_object_array()
         plans = []
         for shard in self.ring.shards:
-            trace = MutationTrace(
-                horizon=self.trace.horizon,
-                events=tuple(sub_events[shard]),
-                meta={
-                    "generator": "federation.router",
-                    "shard": shard,
-                    "shards": self.shards,
-                    "parent_fingerprint": self.trace.fingerprint(),
-                },
+            catalog_events = sorted(
+                routed.catalog_events[shard], key=_event_sort_key
             )
-            plans.append(
-                ShardPlan(
-                    shard=shard,
-                    initial=tuple(
-                        sorted(self.partition[shard].items())
-                    ),
-                    trace=trace,
-                    budget=self.budget,
-                    admission=self.admission,
-                    queue_limit=self.queue_limit,
-                    slo_window=self.slo_window,
-                    target_miss_rate=self.target_miss_rate,
-                    replan_cooldown=self.replan_cooldown,
-                    batch_listeners=self.batch_listeners,
-                )
+            lis_idx = np.flatnonzero(routed.listener_shard == shard)
+            trace = _assemble_subtrace(
+                self.trace.horizon,
+                self._subtrace_meta(shard),
+                catalog_events,
+                np.ascontiguousarray(times[lis_idx]),
+                np.ascontiguousarray(page_ids[lis_idx]),
+                np.ascontiguousarray(expected[lis_idx]),
+                objects[lis_idx],
+                with_columns=transport != "pickle",
             )
+            plans.append(ShardPlan(trace=trace, **self._plan_args(shard)))
         return plans
+
+    def _columnar_plans(
+        self, routed: RoutedTrace
+    ) -> tuple[list[ColumnarShardPlan], _FedShmPost]:
+        """Zero-copy plans: listeners posted once into shared memory."""
+        times, is_listener, page_ids, expected = self.trace.columns()
+        lis_pos = np.flatnonzero(is_listener)
+        lt = np.ascontiguousarray(times[lis_pos])
+        lp = np.ascontiguousarray(page_ids[lis_pos])
+        le = np.ascontiguousarray(expected[lis_pos])
+        ls = np.ascontiguousarray(routed.listener_shard[lis_pos])
+        post = _FedShmPost((lt, lp, le, ls))
+        plans = []
+        try:
+            for shard in self.ring.shards:
+                catalog_events = tuple(
+                    sorted(
+                        routed.catalog_events[shard], key=_event_sort_key
+                    )
+                )
+                select = ls == shard
+                meta = self._subtrace_meta(shard)
+                fingerprint = fingerprint_columns(
+                    self.trace.horizon,
+                    meta,
+                    *_merge_columns(
+                        np.ascontiguousarray(lt[select]),
+                        np.ascontiguousarray(lp[select]),
+                        np.ascontiguousarray(le[select]),
+                        catalog_events,
+                    )[:4],
+                    catalog_events,
+                )
+                plans.append(
+                    ColumnarShardPlan(
+                        horizon=self.trace.horizon,
+                        meta=meta,
+                        catalog_events=catalog_events,
+                        fingerprint=fingerprint,
+                        shm_name=post.name,
+                        shm_size=post.size,
+                        **self._plan_args(shard),
+                    )
+                )
+        except Exception:
+            post.close()
+            raise
+        return plans, post
 
     def run(
         self,
@@ -579,31 +1205,70 @@ class FederatedBroadcastService:
         mode: str = "serial",
         policy: ExecutionPolicy | None = None,
         telemetry=None,
+        pool: TaskPool | None = None,
     ) -> FederationReport:
         """Route, then replay every shard (once per service instance).
 
-        ``workers``/``mode``/``policy`` drive the executor fan-out; the
-        report is identical for every combination (shard replays are
-        pure), so ``mode="serial"`` is the reference and pools are a
-        pure wall-clock optimisation.
+        ``workers``/``mode``/``policy`` drive the executor fan-out; a
+        persistent :class:`~repro.engine.executor.TaskPool` may be
+        passed instead (its mode/width/policy then apply, and its
+        workers stay warm across runs).  The report is identical for
+        every combination (shard replays are pure), so ``mode="serial"``
+        is the reference and pools are a pure wall-clock optimisation.
+
+        Transport: process fan-out ships listeners through one
+        shared-memory post (``policy.transport == "shm"``, the default)
+        or per-plan pickles; serial and thread replay pass sub-traces
+        inline, aliasing the parent trace's event objects.  The
+        transport that actually ran is recorded in the report.
         """
         if self._report is not None:
             raise SimulationError(
                 "this federation already ran; build a fresh service "
                 "to replay again"
             )
-        sub_events, controller, decisions, rebalances, routing = (
-            self.route()
+        routed = self.route()
+        effective_mode = pool.mode if pool is not None else mode
+        effective_workers = (
+            pool.workers if pool is not None else workers
         )
-        plans = self._shard_plans(sub_events)
-        outcomes, report = run_tasks(
-            replay_shard_task,
-            plans,
-            workers=workers,
-            mode=mode,
-            policy=policy,
-            telemetry=telemetry,
+        effective_policy = policy or (
+            pool.policy if pool is not None else None
+        ) or ExecutionPolicy()
+        pooled = (
+            effective_mode == "process"
+            and effective_workers > 1
+            and len(self.ring.shards) > 1
         )
+        transport = effective_policy.transport if pooled else "inline"
+        post: _FedShmPost | None = None
+        try:
+            if transport == "shm":
+                try:
+                    plans, post = self._columnar_plans(routed)
+                except OSError:
+                    transport = "pickle"
+            if post is None:
+                plans = self._shard_plans(routed, transport)
+            if pool is not None:
+                outcomes, report = pool.run(
+                    replay_shard_task,
+                    plans,
+                    policy=policy,
+                    telemetry=telemetry,
+                )
+            else:
+                outcomes, report = run_tasks(
+                    replay_shard_task,
+                    plans,
+                    workers=workers,
+                    mode=mode,
+                    policy=policy,
+                    telemetry=telemetry,
+                )
+        finally:
+            if post is not None:
+                post.close()
         shard_reports: list[dict] = []
         for plan, outcome in zip(plans, outcomes):
             if isinstance(outcome, dict):
@@ -618,7 +1283,8 @@ class FederatedBroadcastService:
             for name in _AGGREGATED_COUNTERS:
                 counters[name] += int(summary["counters"][name])
         executor_block = report.as_dict()
-        executor_block["workers"] = max(1, int(workers))
+        executor_block["workers"] = max(1, int(effective_workers))
+        executor_block["transport"] = transport
         self._report = FederationReport(
             shards=self.shards,
             budget=self.budget,
@@ -627,12 +1293,13 @@ class FederatedBroadcastService:
             trace_fingerprint=self.trace.fingerprint(),
             ring_fingerprint=self.ring.fingerprint(),
             group_assignment=dict(self.group_assignment),
-            admission=controller.as_dict(),
-            decisions=tuple(decisions),
-            rebalances=tuple(rebalances),
-            routing=routing,
+            admission=routed.controller.as_dict(),
+            decisions=tuple(routed.decisions),
+            rebalances=tuple(routed.rebalances),
+            routing=routed.routing,
             shard_reports=tuple(shard_reports),
             counters=counters,
+            transport=transport,
             executor=executor_block,
         )
         return self._report

@@ -40,6 +40,7 @@ __all__ = [
     "CATALOG_KINDS",
     "MutationEvent",
     "MutationTrace",
+    "fingerprint_columns",
     "scripted_trace",
 ]
 
@@ -287,6 +288,94 @@ class MutationTrace:
             ).hexdigest()[:16]
             object.__setattr__(self, "_fingerprint", cached)
         return cached
+
+    @classmethod
+    def presorted(
+        cls,
+        horizon: int,
+        events: Sequence["MutationEvent"],
+        meta: Mapping[str, object] | None = None,
+        *,
+        columns: tuple | None = None,
+        fingerprint: str | None = None,
+    ) -> "MutationTrace":
+        """Trusted constructor for events already sorted and validated.
+
+        The federation router derives per-shard sub-traces from a parent
+        trace that has already paid :meth:`__post_init__`'s sort and
+        duplicate scan; re-validating a million routed listeners per
+        shard would dominate the replay.  The caller *guarantees* the
+        events are in ``(time, kind, page_id)`` order, unique, and
+        inside the horizon — subsets and stable merges of a validated
+        trace preserve all three.  ``columns`` pre-seeds the
+        :meth:`columns` cache (same ``(times, is_listener, page_ids,
+        expected)`` layout) and ``fingerprint`` pre-seeds
+        :meth:`fingerprint`; both must describe exactly ``events``.
+        """
+        if horizon < 1:
+            raise SimulationError(
+                f"trace horizon must be >= 1, got {horizon}"
+            )
+        trace = object.__new__(cls)
+        object.__setattr__(trace, "horizon", int(horizon))
+        object.__setattr__(trace, "events", tuple(events))
+        object.__setattr__(
+            trace, "meta", dict(sorted(dict(meta or {}).items()))
+        )
+        if columns is not None:
+            object.__setattr__(trace, "_columns", columns)
+        if fingerprint is not None:
+            object.__setattr__(trace, "_fingerprint", fingerprint)
+        return trace
+
+
+def fingerprint_columns(
+    horizon: int,
+    meta: Mapping[str, object],
+    times,
+    is_listener,
+    page_ids,
+    expected,
+    catalog_events: Sequence[MutationEvent],
+) -> str:
+    """Content digest of a trace described by its columnar arrays.
+
+    The arrays are the trace's :meth:`MutationTrace.columns` layout (in
+    sorted event order); ``catalog_events`` are the non-listener events
+    in the same sorted order, carrying the per-event kind the listener
+    mask cannot (the mask only separates listeners from catalog
+    mutations).  Together with the horizon and meta these determine the
+    full event content, so the digest is a faithful fingerprint — but a
+    *differently computed* one than :meth:`MutationTrace.fingerprint`
+    (which canonicalises through JSON): the two must not be mixed for
+    the same trace.  The federation router stamps every sub-trace with
+    this digest via :meth:`MutationTrace.presorted`, on both the
+    columnar and the sequential reference paths, so reports stay
+    byte-identical across routers while skipping a JSON serialisation
+    that would rival the shard replay itself.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"columns:v1\n")
+    digest.update(str(int(horizon)).encode("utf-8"))
+    digest.update(b"\n")
+    digest.update(
+        json.dumps(dict(meta), sort_keys=True).encode("utf-8")
+    )
+    digest.update(b"\n")
+    import numpy as np
+
+    digest.update(np.ascontiguousarray(times, dtype=np.float64).tobytes())
+    digest.update(
+        np.ascontiguousarray(is_listener, dtype=np.bool_).tobytes()
+    )
+    digest.update(np.ascontiguousarray(page_ids, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(expected, dtype=np.int64).tobytes())
+    digest.update(
+        json.dumps(
+            [event.to_dict() for event in catalog_events], sort_keys=True
+        ).encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
 
 
 def scripted_trace(

@@ -302,7 +302,13 @@ class LiveBroadcastService:
         schedule = self.engine.schedule(
             instance, algorithm, channels=self.budget
         )
-        self.program = schedule.program
+        # The engine's program cache returns the *identical* schedule
+        # object on a hit, and the incremental repairs below mutate the
+        # program in place (assign/clear) — so the service must work on
+        # a copy or it would poison the cache for every later hit (its
+        # own re-plans of the same catalog, and any other service
+        # sharing the engine, e.g. warm federation shard engines).
+        self.program = schedule.program.copy()
         if algorithm == "pamad":
             self._replanner.remember(
                 catalog=self.catalog.pages(),

@@ -1,0 +1,296 @@
+"""Columnar vs sequential federation routing: byte-identity and speed
+machinery.
+
+The columnar router is a pure performance optimisation: listeners are
+resolved to shards in vectorised passes instead of one Python iteration
+each, sub-traces are assembled by stable merge through
+``MutationTrace.presorted`` and fingerprinted columnarly.  None of that
+may change a single byte of the resulting
+:class:`~repro.federation.service.FederationReport`:
+
+* **Property (hypothesis)** — over random catalogs, taut budgets,
+  orphan-listener traces and rebalance storms, the two routers emit
+  byte-identical ``as_dict()`` documents.
+* **Transport equivalence** — the shared-memory fan-out, the pickle
+  fan-out and the inline serial replay all produce the same report.
+* **Warm pool** — repeated runs through one persistent
+  :class:`~repro.engine.executor.TaskPool` stay deterministic.
+* **Regression: drains_deferred** — queue drains deferred at the end
+  of the horizon are counted once per queued page, not once per queue
+  snapshot per trigger.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pages import instance_from_counts
+from repro.engine.executor import ExecutionPolicy, TaskPool
+from repro.federation import FederatedBroadcastService
+from repro.federation.service import _RouterState
+from repro.live.mutations import MutationEvent, MutationTrace
+from repro.workload.mutations import generate_mutation_trace
+
+
+def _instance(counts=(4, 4, 4, 4), ladder=(4, 8, 16, 32)):
+    return instance_from_counts(counts, ladder)
+
+
+def _trace(instance, *, listeners=120, mutations=24, horizon=96, seed=2):
+    return generate_mutation_trace(
+        instance,
+        seed=seed,
+        horizon=horizon,
+        mutations=mutations,
+        listeners=listeners,
+    )
+
+
+def _report(router, *, trace=None, instance=None, **kwargs):
+    instance = instance or _instance()
+    trace = trace if trace is not None else _trace(instance)
+    defaults = dict(shards=2, seed=0, router=router)
+    defaults.update(kwargs)
+    return FederatedBroadcastService(instance, trace, **defaults).run()
+
+
+def _dumps(report):
+    return json.dumps(report.as_dict(), sort_keys=True)
+
+
+class TestRouterEquivalence:
+    def test_default_router_is_columnar(self):
+        service = FederatedBroadcastService(
+            _instance(), _trace(_instance()), shards=2
+        )
+        assert service.router == "columnar"
+
+    def test_unknown_router_rejected(self):
+        from repro.core.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown router"):
+            FederatedBroadcastService(
+                _instance(), _trace(_instance()), shards=2, router="simd"
+            )
+
+    def test_basic_byte_identity(self):
+        assert _dumps(_report("columnar")) == _dumps(_report("sequential"))
+
+    def test_byte_identity_under_rebalance_storm(self):
+        kwargs = dict(
+            shards=4, rebalance_threshold=1.1, max_pages_moved=8
+        )
+        assert _dumps(_report("columnar", **kwargs)) == _dumps(
+            _report("sequential", **kwargs)
+        )
+
+    def test_byte_identity_under_taut_budget(self):
+        # budget == the per-shard minimum: admissions queue and reject.
+        kwargs = dict(shards=2, budget=2, queue_limit=2)
+        assert _dumps(_report("columnar", **kwargs)) == _dumps(
+            _report("sequential", **kwargs)
+        )
+
+    def test_byte_identity_with_orphan_listeners(self):
+        # Listeners for pages no shard owns (never inserted) take the
+        # expected-time fallback — in both routers.
+        instance = _instance()
+        base = _trace(instance, listeners=40, mutations=8, horizon=48)
+        orphans = tuple(
+            MutationEvent(
+                time=float(t), kind="listener", page_id=9_000 + t,
+                expected_time=8,
+            )
+            for t in range(3, 23, 4)
+        )
+        trace = MutationTrace(
+            horizon=base.horizon, events=base.events + orphans
+        )
+        a = _report("columnar", instance=instance, trace=trace)
+        b = _report("sequential", instance=instance, trace=trace)
+        assert a.routing["orphan_listeners"] >= len(orphans)
+        assert _dumps(a) == _dumps(b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        horizon=st.integers(8, 96),
+        mutations=st.integers(0, 32),
+        listeners=st.integers(0, 160),
+        shards=st.integers(1, 4),
+        threshold=st.sampled_from((0.0, 1.1, 1.5, 2.0)),
+        budget_slack=st.integers(0, 2),
+        queue_limit=st.integers(1, 8),
+    )
+    def test_property_routers_byte_identical(
+        self,
+        seed,
+        horizon,
+        mutations,
+        listeners,
+        shards,
+        threshold,
+        budget_slack,
+        queue_limit,
+    ):
+        instance = _instance()
+        trace = _trace(
+            instance,
+            listeners=listeners,
+            mutations=mutations,
+            horizon=horizon,
+            seed=seed,
+        )
+
+        def build(router):
+            return FederatedBroadcastService(
+                instance,
+                trace,
+                shards=shards,
+                seed=seed,
+                router=router,
+                rebalance_threshold=threshold,
+                max_pages_moved=4,
+                queue_limit=queue_limit,
+                budget=2 + budget_slack if budget_slack else None,
+            ).run()
+
+        assert _dumps(build("columnar")) == _dumps(build("sequential"))
+
+
+class TestTransports:
+    def test_shm_matches_inline(self):
+        inline = _report("columnar")
+        shm = FederatedBroadcastService(
+            _instance(), _trace(_instance()), shards=2, seed=0
+        ).run(
+            workers=2,
+            mode="process",
+            policy=ExecutionPolicy(transport="shm"),
+        )
+        assert inline.transport == "inline"
+        assert shm.transport == "shm"
+        a, b = inline.as_dict(), shm.as_dict()
+        for block in (a, b):
+            block.pop("executor", None)
+            block.pop("transport")
+        assert json.dumps(a, sort_keys=True) == json.dumps(
+            b, sort_keys=True
+        )
+
+    def test_pickle_matches_inline(self):
+        inline = _report("columnar")
+        pickled = FederatedBroadcastService(
+            _instance(), _trace(_instance()), shards=2, seed=0
+        ).run(
+            workers=2,
+            mode="process",
+            policy=ExecutionPolicy(transport="pickle"),
+        )
+        assert pickled.transport == "pickle"
+        a, b = inline.as_dict(), pickled.as_dict()
+        for block in (a, b):
+            block.pop("executor", None)
+            block.pop("transport")
+        assert json.dumps(a, sort_keys=True) == json.dumps(
+            b, sort_keys=True
+        )
+
+    def test_thread_mode_stays_inline(self):
+        report = FederatedBroadcastService(
+            _instance(), _trace(_instance()), shards=2, seed=0
+        ).run(workers=2, mode="thread")
+        assert report.transport == "inline"
+
+    def test_subtrace_fingerprints_stable_across_transports(self):
+        inline = _report("columnar")
+        shm = FederatedBroadcastService(
+            _instance(), _trace(_instance()), shards=2, seed=0
+        ).run(workers=2, mode="process")
+        assert [r["trace_fingerprint"] for r in inline.shard_reports] == [
+            r["trace_fingerprint"] for r in shm.shard_reports
+        ]
+
+
+class TestWarmPool:
+    def test_pool_runs_are_deterministic(self):
+        with TaskPool(2, mode="process") as pool:
+            first = FederatedBroadcastService(
+                _instance(), _trace(_instance()), shards=2, seed=0
+            ).run(pool=pool)
+            second = FederatedBroadcastService(
+                _instance(), _trace(_instance()), shards=2, seed=0
+            ).run(pool=pool)
+        a, b = first.as_dict(), second.as_dict()
+        for block in (a, b):
+            block.pop("executor", None)
+        assert json.dumps(a, sort_keys=True) == json.dumps(
+            b, sort_keys=True
+        )
+
+    def test_pool_matches_serial_reference(self):
+        serial = _report("columnar")
+        with TaskPool(2, mode="process") as pool:
+            pooled = FederatedBroadcastService(
+                _instance(), _trace(_instance()), shards=2, seed=0
+            ).run(pool=pool)
+        a, b = serial.as_dict(), pooled.as_dict()
+        for block in (a, b):
+            block.pop("executor", None)
+            block.pop("transport")
+        assert json.dumps(a, sort_keys=True) == json.dumps(
+            b, sort_keys=True
+        )
+
+    def test_closed_pool_refuses_runs(self):
+        from repro.core.errors import ReproError
+
+        pool = TaskPool(2, mode="process")
+        pool.close()
+        with pytest.raises(ReproError, match="closed"):
+            FederatedBroadcastService(
+                _instance(), _trace(_instance()), shards=2, seed=0
+            ).run(pool=pool)
+
+
+class TestDrainsDeferredRegression:
+    def test_deferred_pages_counted_once(self):
+        """A queue stuck at end-of-horizon defers each page once.
+
+        The old router re-added the whole queue depth on every deferred
+        drain trigger, so two triggers over a two-page queue reported
+        four deferrals.  The counter now names the number of *pages*
+        whose admission never landed.
+        """
+        service = FederatedBroadcastService(
+            _instance(), _trace(_instance()), shards=2, seed=0
+        )
+        state = _RouterState(service)
+        queued = (
+            MutationEvent(
+                time=1.0, kind="page_insert", page_id=501, expected_time=4
+            ),
+            MutationEvent(
+                time=1.0, kind="page_insert", page_id=502, expected_time=4
+            ),
+        )
+        state.controller._queue.extend(
+            (event, 0) for event in queued
+        )
+        horizon = float(service.trace.horizon)
+        state.drain(horizon)  # past the last slot: both defer
+        state.drain(horizon)  # a second trigger must not re-count
+        state.finish()
+        assert state.routing["drains_deferred"] == 2
+
+    def test_end_to_end_deferred_drains_bounded_by_queue(self):
+        # With a taut budget and tiny queue, deferred drains can never
+        # exceed the number of distinct queued pages.
+        report = _report(
+            "columnar", shards=2, budget=2, queue_limit=3
+        )
+        assert report.routing["drains_deferred"] <= 3

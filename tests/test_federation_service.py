@@ -68,9 +68,13 @@ class TestDeterminism:
         ).run(workers=2, mode="process")
         a = serial.as_dict()
         b = pooled.as_dict()
-        # The executor block legitimately differs (mode, workers).
-        a.pop("executor", None) or a
-        b.pop("executor", None) or b
+        # The executor block and fan-out transport legitimately differ
+        # (mode, workers, inline vs shm); everything else is identical.
+        for block in (a, b):
+            block.pop("executor", None)
+            block.pop("transport", None)
+        assert serial.transport == "inline"
+        assert pooled.transport in ("shm", "pickle")
         assert json.dumps(a, sort_keys=True) == json.dumps(
             b, sort_keys=True
         )

@@ -1,9 +1,9 @@
-"""Manifest schema compatibility: golden v1..v8 fixtures through repro.api.
+"""Manifest schema compatibility: golden v1..v9 fixtures through repro.api.
 
 One golden document per schema version lives in ``tests/fixtures/``;
 every one of them must parse through the :mod:`repro.api` manifest
-codecs into the current (v8) in-memory shape, with the keys newer
-versions introduced defaulted, and re-serialise as a stable v8 document
+codecs into the current (v9) in-memory shape, with the keys newer
+versions introduced defaulted, and re-serialise as a stable v9 document
 (``from_dict(to_dict(m)) == m``, the round-trip contract).
 """
 
@@ -149,8 +149,33 @@ class TestVersionDefaults:
         assert executor["transport"] == "shm"
         assert executor["harvested"] == 2
         assert executor["compute_backend"] == "python"
+
+    @pytest.mark.parametrize("version", (7, 8))
+    def test_pre_v9_federation_block_gains_transport(self, version):
+        manifest = manifest_from_dict(load_fixture(version))
+        federation = manifest.federation
+        assert federation  # both golden docs carry a federation block
+        expected = (
+            "pickle"
+            if manifest.executor["mode"] == "process"
+            else "inline"
+        )
+        assert federation["transport"] == expected
+
+    @pytest.mark.parametrize("version", (1, 2, 3, 4, 5, 6))
+    def test_pre_v9_empty_federation_gains_nothing(self, version):
+        # An absent federation block must stay {}, not grow a transport.
+        assert manifest_from_dict(load_fixture(version)).federation == {}
+
+    def test_v9_federation_transport_preserved(self):
+        manifest = manifest_from_dict(load_fixture(9))
+        assert manifest.operation == "federate"
+        federation = manifest.federation
+        assert federation["transport"] == "shm"
+        assert federation["shards"] == 2
+        assert federation["final_valid"] is True
         # Byte-identity: the golden document re-serialises exactly.
-        text = (FIXTURES / "manifest_v8.json").read_text()
+        text = (FIXTURES / "manifest_v9.json").read_text()
         again = json.dumps(
             manifest_to_dict(manifest_from_json(text)),
             indent=2,

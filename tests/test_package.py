@@ -16,7 +16,7 @@ from repro.core import errors
 
 class TestTopLevelExports:
     def test_version(self):
-        assert repro.__version__ == "1.9.0"
+        assert repro.__version__ == "1.10.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
